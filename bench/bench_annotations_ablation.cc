@@ -1,0 +1,100 @@
+// §5.1 annotations ablation: "we re-tested these drivers with all
+// annotations turned off. We managed to reproduce all the race condition
+// bugs ... We also found the hardware-related bugs ... However, removing the
+// annotations resulted in decreased code coverage, so we did not find the
+// memory leaks and the segmentation faults."
+//
+// Reruns the whole corpus twice (standard annotations vs none) and reports,
+// per seeded bug, whether each mode found it, plus the coverage drop.
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "src/core/ddt.h"
+#include "src/drivers/corpus.h"
+
+namespace {
+
+ddt::DdtConfig BenchConfig(bool annotations) {
+  ddt::DdtConfig config;
+  config.engine.max_instructions = 2'000'000;
+  config.engine.max_wall_ms = 120'000;
+  config.engine.max_states = 512;
+  config.use_standard_annotations = annotations;
+  return config;
+}
+
+bool Found(const ddt::DdtResult& result, const ddt::ExpectedBug& want,
+           std::set<size_t>* used) {
+  for (size_t i = 0; i < result.bugs.size(); ++i) {
+    if (used->count(i) == 0 && result.bugs[i].type == want.type &&
+        result.bugs[i].title.find(want.keyword) != std::string::npos) {
+      used->insert(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Annotations ablation (Section 5.1)\n\n");
+  std::printf("%-12s %-55s %6s %8s %10s\n", "driver", "bug", "with", "without", "ann-needed");
+  std::printf("%s\n", std::string(96, '-').c_str());
+
+  bool ok = true;
+  size_t with_total = 0;
+  size_t without_total = 0;
+  double cov_with = 0;
+  double cov_without = 0;
+
+  for (const ddt::CorpusDriver& driver : ddt::Corpus()) {
+    ddt::Ddt with_run(BenchConfig(true));
+    ddt::DdtResult with = with_run.TestDriver(driver.image, driver.pci).take();
+    ddt::Ddt without_run(BenchConfig(false));
+    ddt::DdtResult without = without_run.TestDriver(driver.image, driver.pci).take();
+
+    cov_with += with.total_blocks == 0
+                    ? 0
+                    : static_cast<double>(with.covered_blocks) /
+                          static_cast<double>(with.total_blocks);
+    cov_without += without.total_blocks == 0
+                       ? 0
+                       : static_cast<double>(without.covered_blocks) /
+                             static_cast<double>(without.total_blocks);
+
+    std::set<size_t> used_with;
+    std::set<size_t> used_without;
+    for (const ddt::ExpectedBug& want : driver.expected) {
+      bool found_with = Found(with, want, &used_with);
+      bool found_without = Found(without, want, &used_without);
+      with_total += found_with ? 1 : 0;
+      without_total += found_without ? 1 : 0;
+      std::printf("%-12s %-55.55s %6s %8s %10s\n", driver.name.c_str(),
+                  want.description.c_str(), found_with ? "yes" : "NO",
+                  found_without ? "yes" : "no", want.needs_annotations ? "yes" : "no");
+      // Shape assertions: everything is found WITH annotations; the
+      // annotation-independent bugs (races, interrupt bugs) survive the
+      // ablation; the annotation-dependent ones (leaks, segfaults driven by
+      // registry values / allocation failures / symbolic request arguments)
+      // are missed without them.
+      ok &= found_with;
+      if (!want.needs_annotations) {
+        ok &= found_without;
+      } else {
+        ok &= !found_without;
+      }
+    }
+  }
+
+  std::printf("%s\n", std::string(96, '-').c_str());
+  std::printf("\nbugs found:     with annotations %zu/14, without %zu/14\n", with_total,
+              without_total);
+  std::printf("mean coverage:  with annotations %.1f%%, without %.1f%%\n",
+              100.0 * cov_with / 6.0, 100.0 * cov_without / 6.0);
+  std::printf("\n%s\n", ok ? "ANNOTATIONS ABLATION SHAPE: REPRODUCED (races + hardware bugs "
+                             "survive; leaks and segfaults need annotations)"
+                           : "ANNOTATIONS ABLATION SHAPE: FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,214 @@
+// Figures 2 and 3: basic-block coverage over time.
+//
+// Reproduces both plots for the same representative drivers the paper used
+// (RTL8029, Intel Pro/100, Intel AC97): Figure 2 is *relative* coverage
+// (fraction of the driver's basic blocks), Figure 3 is *absolute* covered
+// block counts. Time is reported both as wall-clock milliseconds and as
+// executed guest instructions (the deterministic "virtual time" axis).
+//
+// The expected shape (§5.2): a step pattern — each newly exercised entry
+// point triggers a burst of fresh blocks, followed by a flat period while
+// additional paths re-cover the same blocks — and curves that flatten once
+// no new entry points remain.
+//
+// Usage: bench_coverage [--searcher=coverage-greedy|dfs|bfs|random]
+// The searcher flag doubles as the state-selection ablation.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/coverage_report.h"
+#include "src/core/ddt.h"
+#include "src/drivers/asm_lib.h"
+#include "src/drivers/corpus.h"
+#include "src/vm/assembler.h"
+
+namespace {
+
+ddt::SearchStrategy ParseStrategy(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--searcher=", 11) == 0) {
+      std::string name = argv[i] + 11;
+      if (name == "dfs") {
+        return ddt::SearchStrategy::kDfs;
+      }
+      if (name == "bfs") {
+        return ddt::SearchStrategy::kBfs;
+      }
+      if (name == "random") {
+        return ddt::SearchStrategy::kRandom;
+      }
+    }
+  }
+  return ddt::SearchStrategy::kCoverageGreedy;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ddt::SearchStrategy strategy = ParseStrategy(argc, argv);
+  std::printf("Figures 2 & 3: coverage over time (searcher: %s)\n\n",
+              ddt::SearchStrategyName(strategy));
+
+  const char* drivers[] = {"rtl8029", "pro100", "ac97"};
+  bool ok = true;
+
+  for (const char* name : drivers) {
+    const ddt::CorpusDriver& driver = ddt::CorpusDriverByName(name);
+    ddt::DdtConfig config;
+    config.engine.max_instructions = 2'500'000;
+    config.engine.max_wall_ms = 120'000;
+    config.engine.max_states = 768;
+    config.engine.strategy = strategy;
+    ddt::Ddt ddt_run(config);
+    ddt::Result<ddt::DdtResult> result = ddt_run.TestDriver(driver.image, driver.pci);
+    if (!result.ok()) {
+      std::printf("LOAD FAILURE: %s\n", result.status().message().c_str());
+      return 1;
+    }
+    const ddt::DdtResult& r = result.value();
+
+    std::printf("--- %s: %zu total basic blocks, final coverage %zu (%.1f%%), %.0f ms ---\n",
+                driver.pretty_name.c_str(), r.total_blocks, r.covered_blocks,
+                100.0 * static_cast<double>(r.covered_blocks) /
+                    static_cast<double>(r.total_blocks),
+                r.stats.wall_ms);
+    std::printf("%14s %12s %10s %12s\n", "instructions", "wall_ms", "blocks", "relative");
+    // Print a decimated series (every sample would be thousands of lines).
+    const std::vector<ddt::CoverageSample>& samples = r.coverage_samples;
+    size_t stride = samples.size() > 40 ? samples.size() / 40 : 1;
+    for (size_t i = 0; i < samples.size(); i += stride) {
+      const ddt::CoverageSample& s = samples[i];
+      std::printf("%14llu %12.1f %10zu %11.1f%%\n",
+                  static_cast<unsigned long long>(s.instructions), s.wall_ms, s.covered_blocks,
+                  100.0 * static_cast<double>(s.covered_blocks) /
+                      static_cast<double>(r.total_blocks));
+    }
+    if (!samples.empty() && samples.back().covered_blocks != r.covered_blocks) {
+      const ddt::CoverageSample& s = samples.back();
+      std::printf("%14llu %12.1f %10zu %11.1f%%\n",
+                  static_cast<unsigned long long>(s.instructions), s.wall_ms, s.covered_blocks,
+                  100.0 * static_cast<double>(s.covered_blocks) /
+                      static_cast<double>(r.total_blocks));
+    }
+
+    // Per-function attribution: how broadly exploration spread.
+    {
+      std::map<uint32_t, std::string> symbols;
+      for (const auto& [sym_name, addr] : driver.assembled.symbols) {
+        symbols[addr] = sym_name;
+      }
+      ddt::CoverageReport fn_report =
+          ddt::BuildCoverageReport(ddt_run.engine().cfg(),
+                                   ddt_run.engine().covered_block_leaders(),
+                                   driver.assembled.functions, &symbols);
+      size_t touched = 0;
+      for (const ddt::FunctionCoverage& fn : fn_report.functions) {
+        touched += fn.covered > 0 ? 1 : 0;
+      }
+      std::printf("functions touched: %zu / %zu\n", touched, fn_report.functions.size());
+    }
+
+    // Shape checks: the curve is non-trivial, monotone (by construction) and
+    // flattens: the last 10% of the run discovers <30% of the blocks.
+    if (samples.size() < 10) {
+      std::printf("!! too few samples\n");
+      ok = false;
+    } else {
+      uint64_t total_insns = samples.back().instructions;
+      size_t at_90 = 0;
+      for (const ddt::CoverageSample& s : samples) {
+        if (s.instructions <= total_insns * 9 / 10) {
+          at_90 = s.covered_blocks;
+        }
+      }
+      double tail_fraction =
+          static_cast<double>(r.covered_blocks - at_90) / static_cast<double>(r.covered_blocks);
+      std::printf("flattening: %.1f%% of blocks discovered in the last 10%% of the run\n",
+                  100.0 * tail_fraction);
+      ok &= tail_fraction < 0.3;
+    }
+    std::printf("\n");
+  }
+
+  // Searcher ablation (design choice #2 in DESIGN.md; §4.3): the paper's
+  // coverage-greedy heuristic "avoids states that are stuck, for instance,
+  // in polling loops (typical of device drivers)". The ablation driver polls
+  // a device-ready register — every poll iteration forks on the symbolic
+  // read, so a naive searcher can spend the whole budget inside the loop
+  // while the post-initialization code (a large diagnostic surface) starves.
+  std::string polling_source = R"(
+    .driver "polling"
+    .entry driver_entry
+    .code
+    .func driver_entry
+      la r0, entry_table
+      kcall MosRegisterDriver
+      ret
+    .func ep_init
+      push {r4, lr}
+      movi r0, 0
+      kcall MosMapIoSpace
+      mov r4, r0
+    wait_ready:
+      ld32 r1, [r4+0]          ; device status (symbolic: forks every poll)
+      andi r1, r1, 1
+      bnz r1, device_ready
+      br wait_ready            ; not ready: poll again
+    device_ready:
+      movi r0, 0
+      pop {r4, lr}
+      ret
+    .func ep_diag
+      push lr
+      call poll_diag_dispatch
+      pop lr
+      ret
+  )";
+  polling_source += ddt::GenerateDiagDispatch("poll_diag", 48);
+  polling_source += ddt::GenerateFillerFunctions("poll_diag", 48, 0x9011, 2, 4);
+  polling_source += "\n  .data\n";
+  polling_source += ddt::EntryTable("ep_init", "", "", "", "", "", "", "ep_diag");
+  ddt::DriverImage polling_image = ddt::Assemble(polling_source).value().image;
+  ddt::PciDescriptor polling_pci;
+  polling_pci.vendor_id = 0x9011;
+  polling_pci.device_id = 1;
+  polling_pci.bars.push_back(ddt::PciBar{0x100});
+
+  std::printf("searcher ablation (polling-loop driver, 120k-instruction budget):\n");
+  std::printf("%-18s %10s %10s\n", "strategy", "covered", "blocks%");
+  size_t greedy_covered = 0;
+  size_t dfs_covered = 0;
+  for (ddt::SearchStrategy s :
+       {ddt::SearchStrategy::kCoverageGreedy, ddt::SearchStrategy::kDfs,
+        ddt::SearchStrategy::kBfs, ddt::SearchStrategy::kRandom}) {
+    ddt::DdtConfig config;
+    config.engine.max_instructions = 120000;
+    // Lift the engine's own anti-dive safeguards (fork-depth and state caps
+    // would otherwise bail naive searchers out of the loop) so the ablation
+    // isolates the state-selection policy itself.
+    config.engine.max_states = 100000;
+    config.engine.max_fork_depth = 1 << 20;
+    config.engine.strategy = s;
+    ddt::Ddt ddt_run(config);
+    ddt::Result<ddt::DdtResult> result = ddt_run.TestDriver(polling_image, polling_pci);
+    if (result.ok()) {
+      const ddt::DdtResult& r = result.value();
+      std::printf("%-18s %10zu %9.1f%%\n", ddt::SearchStrategyName(s), r.covered_blocks,
+                  100.0 * static_cast<double>(r.covered_blocks) /
+                      static_cast<double>(r.total_blocks));
+      if (s == ddt::SearchStrategy::kCoverageGreedy) {
+        greedy_covered = r.covered_blocks;
+      }
+      if (s == ddt::SearchStrategy::kDfs) {
+        dfs_covered = r.covered_blocks;
+      }
+    }
+  }
+  ok &= greedy_covered > dfs_covered;  // the heuristic escapes the loop
+  std::printf("\n%s\n", ok ? "FIGURES 2/3 SHAPE: REPRODUCED (stepped growth, flattening curves)"
+                           : "FIGURES 2/3 SHAPE: FAILED");
+  return ok ? 0 : 1;
+}

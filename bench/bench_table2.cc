@@ -1,0 +1,101 @@
+// Table 2: "Summary of previously unknown bugs discovered by DDT."
+//
+// Runs full DDT on each corpus driver and prints the driver / bug-type /
+// description rows. Verifies the headline result: all 14 seeded bugs (the
+// same classes and counts as the paper's Table 2) are found, with zero
+// unexpected warnings — "we encountered no false positives during testing".
+// Also runs the Driver Verifier stress baseline on the same corpus to
+// reproduce the §5.1 observation that concrete stress testing finds none of
+// them (while DDT "finds multiple bugs in one run").
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "src/baselines/driver_verifier.h"
+#include "src/core/ddt.h"
+#include "src/drivers/corpus.h"
+
+namespace {
+
+ddt::DdtConfig BenchConfig() {
+  ddt::DdtConfig config;
+  config.engine.max_instructions = 2'000'000;
+  config.engine.max_wall_ms = 120'000;
+  config.engine.max_states = 512;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  using ddt::Bug;
+  using ddt::CorpusDriver;
+  using ddt::ExpectedBug;
+
+  std::printf("Table 2: bugs discovered by DDT in the corpus drivers\n\n");
+  std::printf("%-18s | %-18s | %s\n", "Tested Driver", "Bug Type", "Description");
+  std::printf("%s\n", std::string(100, '-').c_str());
+
+  size_t total_found = 0;
+  size_t total_expected = 0;
+  size_t false_positives = 0;
+  size_t stress_found = 0;
+  double ddt_ms = 0;
+  double stress_ms = 0;
+
+  for (const CorpusDriver& driver : ddt::Corpus()) {
+    ddt::Ddt ddt_run(BenchConfig());
+    ddt::Result<ddt::DdtResult> result = ddt_run.TestDriver(driver.image, driver.pci);
+    if (!result.ok()) {
+      std::printf("LOAD FAILURE for %s: %s\n", driver.name.c_str(),
+                  result.status().message().c_str());
+      return 1;
+    }
+    const ddt::DdtResult& r = result.value();
+    ddt_ms += r.stats.wall_ms;
+
+    // Pair found bugs with the seeded ground truth.
+    std::set<size_t> used;
+    for (const ExpectedBug& want : driver.expected) {
+      ++total_expected;
+      for (size_t i = 0; i < r.bugs.size(); ++i) {
+        if (used.count(i) == 0 && r.bugs[i].type == want.type &&
+            r.bugs[i].title.find(want.keyword) != std::string::npos) {
+          used.insert(i);
+          ++total_found;
+          std::printf("%-18s | %-18s | %s\n", driver.pretty_name.c_str(),
+                      ddt::BugTypeName(want.type), want.description.c_str());
+          break;
+        }
+      }
+    }
+    for (size_t i = 0; i < r.bugs.size(); ++i) {
+      if (used.count(i) == 0) {
+        ++false_positives;
+        std::printf("%-18s | %-18s | UNEXPECTED: %s\n", driver.pretty_name.c_str(),
+                    ddt::BugTypeName(r.bugs[i].type), r.bugs[i].title.c_str());
+      }
+    }
+
+    // Stress baseline on the same driver.
+    ddt::StressConfig stress;
+    stress.iterations = 10;
+    ddt::StressResult stress_result =
+        ddt::RunDriverVerifierStress(driver.image, driver.pci, stress);
+    stress_found += stress_result.bugs.size();
+    stress_ms += stress_result.wall_ms;
+  }
+
+  std::printf("%s\n", std::string(100, '-').c_str());
+  std::printf("\nDDT:             %zu / %zu seeded bugs found, %zu false positives, %.0f ms\n",
+              total_found, total_expected, false_positives, ddt_ms);
+  std::printf("Driver Verifier: %zu / %zu seeded bugs found (concrete stress, 10 iterations "
+              "per driver, %.0f ms)\n",
+              stress_found, total_expected, stress_ms);
+  bool ok = total_found == total_expected && false_positives == 0 &&
+            stress_found < total_expected / 2;
+  std::printf("\n%s\n", ok ? "TABLE 2 SHAPE: REPRODUCED (14/14 bugs, 0 false positives, "
+                             "stress testing finds almost none)"
+                           : "TABLE 2 SHAPE: FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+#include "src/annotations/annotation.h"
+
+#include "src/kernel/api.h"
+#include "src/support/strings.h"
+
+namespace ddt {
+
+std::string EntryAnnotationKey(int slot) {
+  return StrFormat("entry:%s", EntrySlotName(slot));
+}
+
+void AnnotationSet::Add(std::shared_ptr<ApiAnnotation> annotation) {
+  by_function_[annotation->function()].push_back(std::move(annotation));
+}
+
+void AnnotationSet::Merge(const AnnotationSet& other) {
+  for (const auto& [function, list] : other.by_function_) {
+    auto& target = by_function_[function];
+    target.insert(target.end(), list.begin(), list.end());
+  }
+}
+
+const std::vector<std::shared_ptr<ApiAnnotation>>& AnnotationSet::For(
+    const std::string& function) const {
+  static const std::vector<std::shared_ptr<ApiAnnotation>> kEmpty;
+  auto it = by_function_.find(function);
+  return it == by_function_.end() ? kEmpty : it->second;
+}
+
+size_t AnnotationSet::size() const {
+  size_t total = 0;
+  for (const auto& [name, list] : by_function_) {
+    total += list.size();
+  }
+  return total;
+}
+
+}  // namespace ddt

@@ -1,0 +1,127 @@
+#include "src/baselines/driver_verifier.h"
+
+#include <chrono>
+#include <memory>
+#include <set>
+
+#include "src/annotations/annotation.h"
+#include "src/hw/device.h"
+#include "src/kernel/kernel_api.h"
+#include "src/support/rng.h"
+
+namespace ddt {
+
+namespace {
+
+// Driver Verifier's low-resources simulation: on the return path of an
+// allocator, roll the dice and fail the call in place (undoing the kernel
+// bookkeeping). Unlike DDT's annotation alternatives this does NOT fork —
+// one world, randomly chosen, exactly like the real tool.
+class RandomAllocFailure : public ApiAnnotation {
+ public:
+  RandomAllocFailure(std::string api, bool status_style, int out_arg, uint32_t one_in)
+      : api_(std::move(api)), status_style_(status_style), out_arg_(out_arg), one_in_(one_in) {}
+
+  std::string function() const override { return api_; }
+
+  AnnotationOutcome OnReturn(KernelContext& kc) override {
+    Value ret = kc.GetReturn();
+    if (!ret.IsConcrete()) {
+      return AnnotationOutcome{};
+    }
+    bool succeeded = status_style_ ? ret.concrete() == kStatusSuccess : ret.concrete() != 0;
+    if (!succeeded || kc.rng().NextBelow(one_in_) != 0) {
+      return AnnotationOutcome{};
+    }
+    if (status_style_) {
+      uint32_t out_ptr = kc.Concretize(kc.Arg(out_arg_), "lowres.out_ptr");
+      uint32_t written = kc.ReadGuestU32(out_ptr);
+      kc.kernel().pool.erase(written);
+      kc.kernel().packet_pools.erase(written);
+      if (kc.kernel().packets.count(written) != 0) {
+        RemoveGrant(kc.kernel(), written);
+        kc.kernel().packets.erase(written);
+      }
+      kc.WriteGuestU32(out_ptr, 0);
+      kc.SetReturn(Value::Concrete(kStatusInsufficientResources));
+    } else {
+      kc.kernel().pool.erase(ret.concrete());
+      kc.SetReturn(Value::Concrete(0));
+    }
+    return AnnotationOutcome{};
+  }
+
+ private:
+  std::string api_;
+  bool status_style_;
+  int out_arg_;
+  uint32_t one_in_;
+};
+
+AnnotationSet MakeLowResourceAnnotations(uint32_t one_in) {
+  AnnotationSet set;
+  set.Add(std::make_shared<RandomAllocFailure>("MosAllocatePool", false, 0, one_in));
+  set.Add(std::make_shared<RandomAllocFailure>("MosAllocatePoolWithTag", false, 0, one_in));
+  set.Add(std::make_shared<RandomAllocFailure>("MosAllocateMemoryWithTag", true, 0, one_in));
+  set.Add(std::make_shared<RandomAllocFailure>("MosNewInterruptSync", true, 0, one_in));
+  set.Add(std::make_shared<RandomAllocFailure>("MosAllocatePacketPool", true, 0, one_in));
+  set.Add(std::make_shared<RandomAllocFailure>("MosAllocatePacket", true, 0, one_in));
+  return set;
+}
+
+}  // namespace
+
+StressResult RunDriverVerifierStress(const DriverImage& image, const PciDescriptor& descriptor,
+                                     const StressConfig& config) {
+  auto start = std::chrono::steady_clock::now();
+  Rng rng(config.seed);
+  StressResult result;
+  std::set<std::string> seen;
+
+  for (int i = 0; i < config.iterations; ++i) {
+    DdtConfig run_config;
+    // Fully concrete: no annotations, no symbolic interrupts, scripted
+    // device. The in-guest verifier checks and the VM-level checkers are the
+    // same ones DDT uses — the comparison isolates input generation.
+    run_config.use_standard_annotations = false;
+    run_config.engine.enable_symbolic_interrupts = false;
+    run_config.engine.max_instructions = config.max_instructions_per_run;
+    run_config.engine.max_states = 4;
+    run_config.engine.seed = rng.Next();
+    // Driver Verifier semantics: the machine bluescreens on the first bug.
+    run_config.engine.stop_after_first_bug = true;
+    for (int k = 0; k < config.random_interrupts_per_run; ++k) {
+      run_config.engine.forced_interrupt_schedule.push_back(
+          static_cast<uint32_t>(rng.NextBelow(config.interrupt_crossing_range)));
+    }
+
+    Ddt ddt(run_config);
+    // Concrete device: every register read returns a fresh random value.
+    ddt.SetDevice(std::make_unique<ScriptedDevice>(std::vector<uint32_t>{}, rng.Next()));
+    if (config.simulate_low_resources) {
+      ddt.AddAnnotations(MakeLowResourceAnnotations(config.allocation_failure_one_in));
+    }
+    Result<DdtResult> run = ddt.TestDriver(image, descriptor);
+    ++result.iterations;
+    if (!run.ok()) {
+      continue;
+    }
+    result.total_instructions += run.value().stats.instructions;
+    if (!run.value().bugs.empty()) {
+      ++result.crashed_iterations;
+      for (const Bug& bug : run.value().bugs) {
+        if (seen.insert(bug.title).second) {
+          Bug copy = bug;
+          copy.trace.clear();  // expression pointers die with this iteration
+          copy.inputs.clear();
+          result.bugs.push_back(copy);
+        }
+      }
+    }
+  }
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+}  // namespace ddt

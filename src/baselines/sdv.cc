@@ -1,0 +1,300 @@
+#include "src/baselines/sdv.h"
+
+#include <array>
+#include <chrono>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "src/kernel/api.h"
+#include "src/support/strings.h"
+#include "src/vm/disasm.h"
+#include "src/vm/layout.h"
+
+namespace ddt {
+
+namespace {
+
+struct AbstractLock {
+  bool held = false;
+  bool dpr = false;
+};
+
+// Abstract machine state along one syntactic path.
+struct AbstractState {
+  // Registers with statically-known constant values (movi/la/mov only —
+  // arithmetic results are top, which is what makes data-dependent guards
+  // opaque to the analysis).
+  std::array<std::optional<uint32_t>, kNumRegisters> regs;
+  std::map<uint32_t, AbstractLock> locks;
+  int irql = 0;
+  uint32_t block = 0;           // current basic block leader
+  std::set<uint32_t> visited;   // blocks visited on this path (acyclic walk)
+};
+
+class Analyzer {
+ public:
+  Analyzer(const DriverImage& image, uint32_t base, const SdvConfig& config)
+      : image_(image), base_(base), config_(config) {
+    cfg_ = BuildCfg(image.code.data(), image.code.size(), base);
+  }
+
+  SdvResult Run(const std::vector<uint32_t>& roots) {
+    auto start = std::chrono::steady_clock::now();
+    for (uint32_t root : roots) {
+      AnalyzeFunction(root);
+    }
+    result_.functions_analyzed = roots.size();
+    result_.wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+    return result_;
+  }
+
+ private:
+  void Report(uint32_t function, uint32_t pc, const std::string& rule,
+              const std::string& message) {
+    if (!reported_.insert(StrFormat("%s@%x", rule.c_str(), pc)).second) {
+      return;
+    }
+    result_.findings.push_back(SdvFinding{rule, function, pc, message});
+  }
+
+  std::optional<Instruction> DecodeAt(uint32_t pc) const {
+    if (pc < base_ || pc + kInstructionSize > base_ + image_.code.size()) {
+      return std::nullopt;
+    }
+    return DecodeInstruction(image_.code.data() + (pc - base_));
+  }
+
+  // Applies a kernel call's rule automaton. pc is the call site.
+  void ApplyKCall(uint32_t function, uint32_t pc, uint32_t import_index, AbstractState* state) {
+    if (import_index >= image_.imports.size()) {
+      return;
+    }
+    const std::string& name = image_.imports[import_index];
+    std::optional<uint32_t> arg0 = state->regs[0];
+
+    auto lock_of = [&]() -> AbstractLock* {
+      // Unknown lock pointers are skipped: the analyzer cannot tell which
+      // lock they denote without real data flow (documented limitation).
+      if (!arg0.has_value()) {
+        return nullptr;
+      }
+      return &state->locks[*arg0];
+    };
+
+    if (name == "MosAcquireSpinLock" || name == "MosDprAcquireSpinLock") {
+      bool dpr = name[3] == 'D';
+      AbstractLock* lock = lock_of();
+      if (lock != nullptr) {
+        if (lock->held) {
+          Report(function, pc, "double-acquire",
+                 StrFormat("spinlock 0x%x acquired twice on a path (deadlock)", *arg0));
+        }
+        lock->held = true;
+        lock->dpr = dpr;
+      }
+      if (!dpr) {
+        state->irql = 2;
+      } else if (state->irql < 2) {
+        Report(function, pc, "dpr-at-passive",
+               "MosDprAcquireSpinLock requires IRQL >= DISPATCH");
+      }
+      return;
+    }
+    if (name == "MosReleaseSpinLock" || name == "MosDprReleaseSpinLock") {
+      bool dpr = name[3] == 'D';
+      AbstractLock* lock = lock_of();
+      if (lock != nullptr) {
+        if (!lock->held) {
+          Report(function, pc, "release-unacquired",
+                 StrFormat("spinlock 0x%x released while not held", *arg0));
+        } else if (lock->dpr != dpr) {
+          Report(function, pc, "wrong-release-variant",
+                 StrFormat("spinlock 0x%x acquired with the %s variant but released with the "
+                           "%s variant",
+                           *arg0, lock->dpr ? "Dpr" : "plain", dpr ? "Dpr" : "plain"));
+        }
+        lock->held = false;
+      }
+      if (!dpr) {
+        state->irql = 0;  // coarse: restores to PASSIVE
+      }
+      return;
+    }
+    if (name == "MosRaiseIrql") {
+      state->irql = arg0.has_value() ? static_cast<int>(*arg0) : 5;
+      return;
+    }
+    if (name == "MosLowerIrql") {
+      state->irql = arg0.has_value() ? static_cast<int>(*arg0) : 0;
+      return;
+    }
+    if (name == "MosOpenConfiguration" || name == "MosReadConfiguration" ||
+        name == "MosCloseConfiguration") {
+      if (state->irql > 0) {
+        Report(function, pc, "pageable-at-raised-irql",
+               StrFormat("%s touches pageable data but the IRQL is %d", name.c_str(),
+                         state->irql));
+      }
+      return;
+    }
+    if (name == "MosAllocatePool" || name == "MosAllocatePoolWithTag" ||
+        name == "MosAllocateMemoryWithTag") {
+      if (state->irql > 2) {
+        Report(function, pc, "alloc-above-dispatch",
+               StrFormat("%s requires IRQL <= DISPATCH but the IRQL is %d", name.c_str(),
+                         state->irql));
+      }
+      return;
+    }
+  }
+
+  // Walks one path from `state` to completion, forking at branches.
+  // Iterative worklist to avoid deep recursion.
+  void AnalyzeFunction(uint32_t entry) {
+    std::vector<AbstractState> worklist;
+    AbstractState initial;
+    initial.block = entry;
+    worklist.push_back(initial);
+    uint64_t paths = 0;
+
+    while (!worklist.empty()) {
+      if (paths >= config_.max_paths_per_function) {
+        ++result_.capped_functions;
+        break;
+      }
+      AbstractState state = std::move(worklist.back());
+      worklist.pop_back();
+
+      bool path_ended = false;
+      while (!path_ended) {
+        if (state.visited.count(state.block) != 0) {
+          // Loop edge: stop this path (acyclic enumeration).
+          path_ended = true;
+          break;
+        }
+        state.visited.insert(state.block);
+        auto block_it = cfg_.blocks.find(state.block);
+        if (block_it == cfg_.blocks.end()) {
+          path_ended = true;
+          break;
+        }
+        const BasicBlock& block = block_it->second;
+
+        // Interpret the block's instructions abstractly.
+        for (uint32_t pc = block.begin; pc < block.end; pc += kInstructionSize) {
+          std::optional<Instruction> insn = DecodeAt(pc);
+          if (!insn.has_value()) {
+            break;
+          }
+          ++result_.abstract_steps;
+          if (result_.abstract_steps >= config_.max_path_steps * 64) {
+            return;  // global safety valve
+          }
+          switch (insn->opcode) {
+            case Opcode::kMovI:
+              state.regs[insn->rd] = insn->imm;
+              break;
+            case Opcode::kMov:
+              state.regs[insn->rd] = state.regs[insn->ra];
+              break;
+            case Opcode::kKCall:
+              ApplyKCall(entry, pc, insn->imm, &state);
+              break;
+            case Opcode::kCall:
+              // Callees are analyzed separately (no interprocedural lock
+              // state). A call clobbers the argument/scratch registers.
+              for (int r = 0; r <= 3; ++r) {
+                state.regs[static_cast<size_t>(r)] = std::nullopt;
+              }
+              break;
+            case Opcode::kCallR:
+              // Unresolvable indirect call: assume no lock effect.
+              for (int r = 0; r <= 3; ++r) {
+                state.regs[static_cast<size_t>(r)] = std::nullopt;
+              }
+              break;
+            case Opcode::kNop:
+            case Opcode::kPush:
+            case Opcode::kPop:
+            case Opcode::kSt8:
+            case Opcode::kSt16:
+            case Opcode::kSt32:
+              break;
+            default:
+              // Everything else (ALU, loads) produces an unknown value.
+              if (insn->rd < kNumRegisters && insn->opcode != Opcode::kBz &&
+                  insn->opcode != Opcode::kBnz && insn->opcode != Opcode::kBr &&
+                  insn->opcode != Opcode::kRet && insn->opcode != Opcode::kJr &&
+                  insn->opcode != Opcode::kHalt) {
+                state.regs[insn->rd] = std::nullopt;
+              }
+              break;
+          }
+        }
+
+        if (block.ends_in_return || block.ends_in_halt) {
+          // End of path: the lock automaton's accept check.
+          for (const auto& [addr, lock] : state.locks) {
+            if (lock.held) {
+              Report(entry, block.end - kInstructionSize, "lock-held-at-return",
+                     StrFormat("spinlock 0x%x still held when the function returns", addr));
+            }
+          }
+          ++paths;
+          ++result_.paths_explored;
+          path_ended = true;
+          break;
+        }
+        if (block.has_indirect_successor) {
+          // jr: unresolvable; end the path.
+          ++paths;
+          ++result_.paths_explored;
+          path_ended = true;
+          break;
+        }
+        if (block.successors.empty()) {
+          ++paths;
+          ++result_.paths_explored;
+          path_ended = true;
+          break;
+        }
+        // Branch conditions are NOT evaluated: explore every successor. The
+        // first successor continues in-place; the rest fork.
+        // For call blocks the successors are (target, continuation) — only
+        // the continuation stays within this function.
+        uint32_t last_pc = block.end - kInstructionSize;
+        std::optional<Instruction> term = DecodeAt(last_pc);
+        if (term.has_value() && term->opcode == Opcode::kCall) {
+          state.block = block.successors.back();  // continuation
+          continue;
+        }
+        for (size_t s = 1; s < block.successors.size(); ++s) {
+          AbstractState forked = state;
+          forked.block = block.successors[s];
+          worklist.push_back(std::move(forked));
+        }
+        state.block = block.successors[0];
+      }
+    }
+  }
+
+  const DriverImage& image_;
+  uint32_t base_;
+  SdvConfig config_;
+  Cfg cfg_;
+  SdvResult result_;
+  std::set<std::string> reported_;
+};
+
+}  // namespace
+
+SdvResult RunSdvAnalysis(const DriverImage& image, const std::vector<uint32_t>& roots,
+                         const SdvConfig& config) {
+  Analyzer analyzer(image, kDriverImageBase, config);
+  return analyzer.Run(roots);
+}
+
+}  // namespace ddt

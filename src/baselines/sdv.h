@@ -1,0 +1,62 @@
+// SDV-style static analysis baseline (§3.4.2, §5.1).
+//
+// A path-enumerating abstract interpreter over the driver binary's CFG,
+// checking API-usage rules the way SLAM/SDV checks its lock/IRQL automata:
+//   - spinlock discipline: double acquire, release of an unheld lock,
+//     acquire/release variant mismatch, lock still held at return,
+//   - IRQL rules: pageable APIs (configuration) at raised IRQL, pool
+//     allocation above DISPATCH_LEVEL.
+//
+// Deliberate (and documented) limitations that mirror the real tool's
+// behavior in the paper's experiment:
+//   - per-function analysis: no cross-function lock-order reasoning, so
+//     AB/BA deadlocks across entry points are invisible;
+//   - the lock automaton checks balance, not LIFO order, so out-of-order
+//     releases pass;
+//   - lock pointers that are not static constants (loaded from memory) are
+//     ignored — the analyzer cannot prove which lock they denote;
+//   - branch conditions are not evaluated: every syntactic path is explored,
+//     including infeasible ones — the source of false positives;
+//   - paths are enumerated exhaustively (up to a cap), which is exactly why
+//     it is slower than DDT's directed dynamic exploration on branchy code.
+#ifndef SRC_BASELINES_SDV_H_
+#define SRC_BASELINES_SDV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/vm/image.h"
+
+namespace ddt {
+
+struct SdvFinding {
+  std::string rule;     // "release-unacquired", "double-acquire", ...
+  uint32_t function = 0;
+  uint32_t pc = 0;
+  std::string message;
+};
+
+struct SdvConfig {
+  size_t max_paths_per_function = 1 << 16;
+  size_t max_path_steps = 1 << 20;
+};
+
+struct SdvResult {
+  std::vector<SdvFinding> findings;  // deduped by (rule, pc)
+  size_t functions_analyzed = 0;
+  uint64_t paths_explored = 0;
+  uint64_t abstract_steps = 0;
+  uint64_t capped_functions = 0;  // functions whose enumeration hit the cap
+  double wall_ms = 0;
+};
+
+// Analyzes the image. `roots` lists function start addresses (the paper
+// notes SDV "requires special entry point annotations" — this is that list;
+// pass AssembledDriver::functions).
+SdvResult RunSdvAnalysis(const DriverImage& image, const std::vector<uint32_t>& roots,
+                         const SdvConfig& config = SdvConfig());
+
+}  // namespace ddt
+
+#endif  // SRC_BASELINES_SDV_H_

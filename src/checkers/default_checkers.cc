@@ -1,0 +1,21 @@
+#include "src/checkers/default_checkers.h"
+
+#include "src/checkers/leak_checker.h"
+#include "src/checkers/lock_checker.h"
+#include "src/checkers/loop_checker.h"
+#include "src/checkers/memory_checker.h"
+#include "src/checkers/race_checker.h"
+
+namespace ddt {
+
+std::vector<std::unique_ptr<Checker>> MakeDefaultCheckers() {
+  std::vector<std::unique_ptr<Checker>> checkers;
+  checkers.push_back(std::make_unique<MemoryChecker>());
+  checkers.push_back(std::make_unique<LeakChecker>());
+  checkers.push_back(std::make_unique<LockChecker>());
+  checkers.push_back(std::make_unique<RaceChecker>());
+  checkers.push_back(std::make_unique<LoopChecker>());
+  return checkers;
+}
+
+}  // namespace ddt

@@ -1,0 +1,18 @@
+// The default checker set (§2: "DDT provides a default set of checkers, and
+// this set can be extended with an arbitrary number of other checkers").
+#ifndef SRC_CHECKERS_DEFAULT_CHECKERS_H_
+#define SRC_CHECKERS_DEFAULT_CHECKERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/engine/checker.h"
+
+namespace ddt {
+
+// memory-access, resource-leak, spinlock, race-lockset, infinite-loop.
+std::vector<std::unique_ptr<Checker>> MakeDefaultCheckers();
+
+}  // namespace ddt
+
+#endif  // SRC_CHECKERS_DEFAULT_CHECKERS_H_

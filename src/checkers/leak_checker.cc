@@ -1,0 +1,78 @@
+#include "src/checkers/leak_checker.h"
+
+#include "src/engine/execution_state.h"
+#include "src/support/strings.h"
+
+namespace ddt {
+
+void LeakChecker::OnKernelEvent(ExecutionState& st, const KernelEvent& event,
+                                CheckerHost& host) {
+  if (event.kind != KernelEvent::Kind::kEntryExit) {
+    return;
+  }
+  int slot = static_cast<int>(event.a);
+  uint32_t status = event.b;
+  if (slot == kEpInitialize && status != kStatusSuccess) {
+    // Failure path: everything acquired during init must be gone.
+    CheckLeaks(st, host, kEpInitialize, /*unload=*/false);
+  } else if (slot == kEpHalt) {
+    CheckLeaks(st, host, -1, /*unload=*/true);
+  }
+}
+
+void LeakChecker::CheckLeaks(ExecutionState& st, CheckerHost& host, int slot, bool unload) {
+  const KernelState& ks = st.kernel;
+  const char* when = unload ? "at driver unload" : "on failed initialization";
+
+  for (const PoolAllocation* alloc : ks.LiveAllocations(slot)) {
+    // Interrupt-sync objects and similar kernel-owned helpers are freed by
+    // the kernel at teardown; skip kernel-internal tags.
+    bool ndis_style = alloc->api == "MosAllocateMemoryWithTag";
+    bool kernel_internal = alloc->api == "MosNewInterruptSync";
+    if (kernel_internal) {
+      continue;
+    }
+    if (ndis_style) {
+      host.ReportBug(st, BugType::kResourceLeak,
+                     StrFormat("driver does not free memory allocated with "
+                               "MosAllocateMemoryWithTag (tag 0x%x, %u bytes) %s",
+                               alloc->tag, alloc->size, when),
+                     StrFormat("allocation 0x%x from %s is still live", alloc->addr,
+                               alloc->api.c_str()));
+    } else {
+      host.ReportBug(st, BugType::kMemoryLeak,
+                     StrFormat("memory leak %s: %u bytes from %s never freed", when,
+                               alloc->size, alloc->api.c_str()),
+                     StrFormat("allocation 0x%x (tag 0x%x) is still live", alloc->addr,
+                               alloc->tag));
+    }
+    return;  // one leak report per checkpoint; the path terminates anyway
+  }
+
+  for (uint32_t handle : ks.OpenConfigHandles(slot)) {
+    host.ReportBug(st, BugType::kResourceLeak,
+                   StrFormat("driver does not call MosCloseConfiguration %s", when),
+                   StrFormat("configuration handle 0x%x is still open", handle));
+    return;
+  }
+
+  for (const auto& [desc, packet] : ks.packets) {
+    if (packet.alive) {
+      host.ReportBug(st, BugType::kResourceLeak,
+                     StrFormat("driver does not free allocated packets %s", when),
+                     StrFormat("packet 0x%x from pool 0x%x is still outstanding", desc,
+                               packet.pool));
+      return;
+    }
+  }
+  for (const auto& [handle, pool] : ks.packet_pools) {
+    if (pool.alive) {
+      host.ReportBug(st, BugType::kResourceLeak,
+                     StrFormat("driver does not free its packet pool %s", when),
+                     StrFormat("packet pool 0x%x is still live", handle));
+      return;
+    }
+  }
+}
+
+}  // namespace ddt

@@ -1,0 +1,31 @@
+// Resource/memory leak detection (§3.1, "memory leaks and other resource
+// leaks" — verified on exit paths, per the resource allocation hints).
+//
+// Two checkpoints:
+//   - a failed Initialize: everything acquired during initialization must
+//     have been released on the failure path (the RTL8029/PCNet/Pro1000
+//     bug pattern);
+//   - Halt (unload): nothing may remain live at all.
+//
+// Pool memory allocated via the Ex-style APIs reports as a memory leak;
+// NDIS-style tagged memory, configuration handles, packets and packet pools
+// report as resource leaks (matching Table 2's naming).
+#ifndef SRC_CHECKERS_LEAK_CHECKER_H_
+#define SRC_CHECKERS_LEAK_CHECKER_H_
+
+#include "src/engine/checker.h"
+
+namespace ddt {
+
+class LeakChecker : public Checker {
+ public:
+  std::string name() const override { return "resource-leak"; }
+  void OnKernelEvent(ExecutionState& st, const KernelEvent& event, CheckerHost& host) override;
+
+ private:
+  void CheckLeaks(ExecutionState& st, CheckerHost& host, int slot, bool unload);
+};
+
+}  // namespace ddt
+
+#endif  // SRC_CHECKERS_LEAK_CHECKER_H_

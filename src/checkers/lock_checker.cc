@@ -1,0 +1,120 @@
+#include "src/checkers/lock_checker.h"
+
+#include "src/engine/execution_state.h"
+#include "src/support/strings.h"
+
+namespace ddt {
+
+namespace {
+
+struct LockCheckerState : public CheckerState {
+  std::vector<uint32_t> held_stack;  // LIFO acquisition order (this path)
+
+  std::unique_ptr<CheckerState> Clone() const override {
+    return std::make_unique<LockCheckerState>(*this);
+  }
+};
+
+LockCheckerState& StateOf(ExecutionState& st) {
+  auto it = st.checker_state.find("spinlock");
+  return *static_cast<LockCheckerState*>(it->second.get());
+}
+
+}  // namespace
+
+std::unique_ptr<CheckerState> LockChecker::MakeState() const {
+  return std::make_unique<LockCheckerState>();
+}
+
+bool LockChecker::PathExists(uint32_t from, uint32_t to) const {
+  // DFS over the order graph.
+  std::vector<uint32_t> work{from};
+  std::set<uint32_t> seen;
+  while (!work.empty()) {
+    uint32_t node = work.back();
+    work.pop_back();
+    if (node == to) {
+      return true;
+    }
+    if (!seen.insert(node).second) {
+      continue;
+    }
+    auto it = order_edges_.find(node);
+    if (it != order_edges_.end()) {
+      for (uint32_t next : it->second) {
+        work.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+void LockChecker::OnKernelEvent(ExecutionState& st, const KernelEvent& event,
+                                CheckerHost& host) {
+  switch (event.kind) {
+    case KernelEvent::Kind::kLockAcquire: {
+      LockCheckerState& lcs = StateOf(st);
+      uint32_t lock = event.a;
+      for (uint32_t held : lcs.held_stack) {
+        if (held == lock) {
+          continue;
+        }
+        // About to add edge held -> lock. A pre-existing path lock -> held
+        // means some other explored path acquires them in the opposite
+        // order: AB/BA deadlock.
+        if (PathExists(lock, held)) {
+          host.ReportBug(
+              st, BugType::kDeadlock,
+              StrFormat("lock-order inversion between spinlocks 0x%x and 0x%x", held, lock),
+              "two feasible paths acquire these locks in opposite orders; concurrent "
+              "execution deadlocks");
+          return;
+        }
+        order_edges_[held].insert(lock);
+      }
+      lcs.held_stack.push_back(lock);
+      break;
+    }
+    case KernelEvent::Kind::kLockRelease: {
+      LockCheckerState& lcs = StateOf(st);
+      uint32_t lock = event.a;
+      if (!lcs.held_stack.empty() && lcs.held_stack.back() != lock) {
+        // Held but not top-of-stack: non-LIFO release.
+        bool held = false;
+        for (uint32_t candidate : lcs.held_stack) {
+          held |= candidate == lock;
+        }
+        if (held) {
+          host.ReportBug(st, BugType::kApiMisuse,
+                         StrFormat("out-of-order spinlock release: 0x%x released while 0x%x "
+                                   "was acquired more recently",
+                                   lock, lcs.held_stack.back()),
+                         "spinlocks must be released in LIFO order");
+          return;
+        }
+      }
+      for (auto it = lcs.held_stack.rbegin(); it != lcs.held_stack.rend(); ++it) {
+        if (*it == lock) {
+          lcs.held_stack.erase(std::next(it).base());
+          break;
+        }
+      }
+      break;
+    }
+    case KernelEvent::Kind::kEntryExit: {
+      LockCheckerState& lcs = StateOf(st);
+      if (!lcs.held_stack.empty()) {
+        host.ReportBug(st, BugType::kApiMisuse,
+                       StrFormat("spinlock 0x%x still held when entry point %s returned",
+                                 lcs.held_stack.back(),
+                                 EntrySlotName(static_cast<int>(event.a))),
+                       "forgotten spinlock release; the CPU stays at DISPATCH forever");
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace ddt

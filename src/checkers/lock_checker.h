@@ -1,0 +1,40 @@
+// Spinlock discipline checking beyond the kernel verifier's bugchecks.
+//
+// The in-guest verifier (kernel module) already bugchecks on the crashing
+// misuses: recursive acquisition, releasing an unheld lock, releasing with
+// the wrong Dpr variant. This checker covers the non-crashing disciplines
+// DDT's path exploration makes visible:
+//   - cross-path lock-order inversion (AB/BA deadlock): a *global* lock-order
+//     graph accumulates acquisition edges from every explored path; a cycle
+//     means two feasible paths can deadlock each other,
+//   - out-of-order (non-LIFO) release,
+//   - spinlocks still held when an entry point returns ("forgotten release").
+#ifndef SRC_CHECKERS_LOCK_CHECKER_H_
+#define SRC_CHECKERS_LOCK_CHECKER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/engine/checker.h"
+
+namespace ddt {
+
+class LockChecker : public Checker {
+ public:
+  std::string name() const override { return "spinlock"; }
+  std::unique_ptr<CheckerState> MakeState() const override;
+  void OnKernelEvent(ExecutionState& st, const KernelEvent& event, CheckerHost& host) override;
+
+ private:
+  // Engine-global lock-order graph: edge A -> B means "B acquired while
+  // holding A" was observed on some path.
+  std::map<uint32_t, std::set<uint32_t>> order_edges_;
+
+  bool PathExists(uint32_t from, uint32_t to) const;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_CHECKERS_LOCK_CHECKER_H_

@@ -1,0 +1,98 @@
+#include "src/checkers/loop_checker.h"
+
+#include "src/engine/execution_state.h"
+#include "src/support/strings.h"
+
+namespace ddt {
+
+namespace {
+
+struct LoopCheckerState : public CheckerState {
+  // Fingerprint of the machine state the last time we sampled, and the
+  // step count it was taken at.
+  uint64_t fingerprint = 0;
+  uint64_t fingerprint_step = 0;
+  bool fingerprint_valid = false;
+  // Set when anything that could change future behavior happened since the
+  // fingerprint: a memory write or a kernel call.
+  bool dirty_since_fingerprint = true;
+
+  std::unique_ptr<CheckerState> Clone() const override {
+    return std::make_unique<LoopCheckerState>(*this);
+  }
+};
+
+LoopCheckerState& StateOf(ExecutionState& st) {
+  return *static_cast<LoopCheckerState*>(st.checker_state.at("infinite-loop").get());
+}
+
+uint64_t Fingerprint(const ExecutionState& st, uint32_t pc) {
+  uint64_t h = pc;
+  for (int r = 0; r < kNumRegisters; ++r) {
+    Value v = st.Reg(r);
+    uint64_t piece = v.IsConcrete() ? v.concrete()
+                                    : reinterpret_cast<uint64_t>(v.symbolic());
+    h ^= piece + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::unique_ptr<CheckerState> LoopChecker::MakeState() const {
+  return std::make_unique<LoopCheckerState>();
+}
+
+void LoopChecker::OnMemAccess(ExecutionState& st, const MemAccessEvent& access,
+                              CheckerHost& host) {
+  if (access.is_write) {
+    StateOf(st).dirty_since_fingerprint = true;
+  }
+}
+
+void LoopChecker::OnKernelEvent(ExecutionState& st, const KernelEvent& event, CheckerHost& host) {
+  LoopCheckerState& lcs = StateOf(st);
+  // Any boundary activity invalidates periodicity reasoning and resets the
+  // heuristic clock implicitly (steps_in_frame is engine-maintained).
+  lcs.dirty_since_fingerprint = true;
+  lcs.fingerprint_valid = false;
+}
+
+void LoopChecker::OnInstruction(ExecutionState& st, uint32_t pc, CheckerHost& host) {
+  LoopCheckerState& lcs = StateOf(st);
+
+  // Tier 1: precise periodicity detection. Sample every 64 instructions
+  // once past the warm-up; a clean (no writes, no kernel calls) recurrence
+  // of the same (pc, registers) fingerprint proves the state machine cycled.
+  if (st.steps_in_frame >= warmup_ && st.steps_in_frame % 64 == 0) {
+    uint64_t fp = Fingerprint(st, pc);
+    if (lcs.fingerprint_valid && !lcs.dirty_since_fingerprint && fp == lcs.fingerprint) {
+      host.ReportBug(st, BugType::kInfiniteLoop,
+                     StrFormat("infinite loop: machine state repeats at pc 0x%08x in %s context",
+                               pc, ExecContextName(st.CurrentContext())),
+                     StrFormat("identical cpu state recurred after %llu instructions with no "
+                               "memory writes or kernel calls in between; the loop can never "
+                               "terminate",
+                               static_cast<unsigned long long>(st.steps_in_frame -
+                                                               lcs.fingerprint_step)));
+      return;
+    }
+    lcs.fingerprint = fp;
+    lcs.fingerprint_step = st.steps_in_frame;
+    lcs.fingerprint_valid = true;
+    lcs.dirty_since_fingerprint = false;
+  }
+
+  // Tier 2: heuristic backstop for loops that do write memory (counters) but
+  // still never cross the kernel/driver boundary.
+  if (st.steps_in_frame >= max_steps_) {
+    host.ReportBug(st, BugType::kInfiniteLoop,
+                   StrFormat("suspected infinite loop around pc 0x%08x in %s context", pc,
+                             ExecContextName(st.CurrentContext())),
+                   StrFormat("%llu instructions executed without crossing the kernel/driver "
+                             "boundary; likely a polling loop the device never satisfies",
+                             static_cast<unsigned long long>(st.steps_in_frame)));
+  }
+}
+
+}  // namespace ddt

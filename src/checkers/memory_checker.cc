@@ -1,0 +1,122 @@
+#include "src/checkers/memory_checker.h"
+
+#include "src/engine/execution_state.h"
+#include "src/solver/solver.h"
+#include "src/support/strings.h"
+#include "src/vm/layout.h"
+
+namespace ddt {
+
+// Note: the *symbolic* address bounds analysis ("can this address expression
+// escape every accessible region?") lives in the engine's address-resolution
+// path — it must fork (report the escaping case, constrain the surviving
+// path in-bounds) which only the engine can do. This checker verifies the
+// resolved concrete access.
+void MemoryChecker::OnMemAccess(ExecutionState& st, const MemAccessEvent& access,
+                                CheckerHost& host) {
+  const KernelState& ks = st.kernel;
+  uint32_t addr = access.addr;
+
+  auto provenance = [&]() -> std::string {
+    if (!access.addr_was_symbolic) {
+      return "";
+    }
+    std::string expr = access.addr_expr != nullptr ? ExprToString(access.addr_expr) : "?";
+    if (expr.size() > 160) {
+      expr.resize(160);
+      expr += "...";
+    }
+    return StrFormat("; address derived from symbolic data: %s", expr.c_str());
+  };
+
+  // Null page: classic null (or near-null) pointer dereference.
+  if (addr < kNullGuardEnd) {
+    host.ReportBug(st, BugType::kSegfault,
+                   StrFormat("null pointer dereference (%s of %u bytes at 0x%x)",
+                             access.is_write ? "write" : "read", access.size, addr),
+                   StrFormat("access to the unmapped null page%s", provenance().c_str()));
+    return;
+  }
+
+  // Driver image: code is execute/read-only; data and bss are read-write.
+  if (ks.driver.ContainsCode(addr)) {
+    if (access.is_write) {
+      host.ReportBug(st, BugType::kMemoryCorruption,
+                     StrFormat("write to driver code segment at 0x%x", addr),
+                     StrFormat("code is mapped read-only%s", provenance().c_str()));
+    }
+    return;
+  }
+  if (ks.driver.ContainsData(addr)) {
+    return;
+  }
+
+  // Driver stack: accesses below the stack pointer are prohibited — an
+  // interrupt handler saving context would overwrite them (§3.1.1).
+  if (InRange(addr, kDriverStackBottom, kDriverStackTop)) {
+    Value sp = st.Reg(kRegSp);
+    if (sp.IsConcrete() && addr < sp.concrete()) {
+      host.ReportBug(
+          st, BugType::kMemoryCorruption,
+          StrFormat("%s below the stack pointer (addr 0x%x < sp 0x%x)",
+                    access.is_write ? "write" : "read", addr, sp.concrete()),
+          "memory below sp can be overwritten by an interrupt handler saving context");
+    }
+    return;
+  }
+
+  // Kernel pool: must hit a live allocation.
+  if (InRange(addr, kKernelHeapBase, kKernelHeapLimit)) {
+    const PoolAllocation* alloc = ks.FindAllocation(addr);
+    if (alloc == nullptr) {
+      host.ReportBug(st,
+                     access.is_write ? BugType::kMemoryCorruption : BugType::kSegfault,
+                     StrFormat("heap %s outside any allocation at 0x%x",
+                               access.is_write ? "write" : "read", addr),
+                     StrFormat("out-of-bounds pool access%s", provenance().c_str()));
+      return;
+    }
+    if (!alloc->alive) {
+      host.ReportBug(st, access.is_write ? BugType::kMemoryCorruption : BugType::kSegfault,
+                     StrFormat("use-after-free: %s at 0x%x in freed allocation 0x%x (%s)",
+                               access.is_write ? "write" : "read", addr, alloc->addr,
+                               alloc->api.c_str()),
+                     StrFormat("allocation was freed earlier on this path%s",
+                               provenance().c_str()));
+      return;
+    }
+    if (addr + access.size > alloc->addr + alloc->size) {
+      host.ReportBug(st, access.is_write ? BugType::kMemoryCorruption : BugType::kSegfault,
+                     StrFormat("heap overflow: %u-byte %s at 0x%x overruns allocation "
+                               "0x%x (+%u bytes)",
+                               access.size, access.is_write ? "write" : "read", addr,
+                               alloc->addr, alloc->size),
+                     StrFormat("access crosses the allocation's end%s", provenance().c_str()));
+    }
+    return;
+  }
+
+  // Kernel grants (request buffers, packets, parameter blocks). Pageable
+  // grants must only be touched at PASSIVE_LEVEL — at DISPATCH or above a
+  // page fault cannot be serviced (the paper's "accesses to pageable memory
+  // when page faults are not allowed" checker).
+  if (const MemoryGrant* grant = ks.FindGrant(addr); grant != nullptr) {
+    if (grant->pageable && ks.irql >= Irql::kDispatch) {
+      host.ReportBug(st, BugType::kKernelCrash,
+                     StrFormat("pageable buffer 0x%x touched at IRQL %s", addr,
+                               IrqlName(ks.irql)),
+                     "a page fault at raised IRQL bugchecks the machine "
+                     "(IRQL_NOT_LESS_OR_EQUAL)");
+    }
+    return;
+  }
+
+  // Anything else is off-limits to the driver.
+  host.ReportBug(st, access.is_write ? BugType::kMemoryCorruption : BugType::kSegfault,
+                 StrFormat("invalid %s of %u bytes at 0x%x",
+                           access.is_write ? "write" : "read", access.size, addr),
+                 StrFormat("address is outside every region the driver may access%s",
+                           provenance().c_str()));
+}
+
+}  // namespace ddt

@@ -1,0 +1,31 @@
+// VM-level memory access verification (§3.1.1).
+//
+// On each driver memory access, checks whether the driver has sufficient
+// permissions. The accessible regions mirror the paper's list:
+//   - dynamically allocated memory and buffers (live pool allocations),
+//   - buffers passed to the driver (kernel memory grants: request buffers,
+//     packet descriptors/payloads, configuration blocks),
+//   - the driver's own image (code read-only, data/bss read-write),
+//   - the current driver stack, with accesses below the stack pointer
+//     prohibited (an interrupt handler could overwrite them),
+//   - hardware-related areas (the MMIO window — dispatched to the device
+//     model by the engine before checkers run, so never seen here).
+//
+// Everything else is a bug: reads are segmentation faults (the null page
+// yields "null pointer dereference"), writes are memory corruption.
+#ifndef SRC_CHECKERS_MEMORY_CHECKER_H_
+#define SRC_CHECKERS_MEMORY_CHECKER_H_
+
+#include "src/engine/checker.h"
+
+namespace ddt {
+
+class MemoryChecker : public Checker {
+ public:
+  std::string name() const override { return "memory-access"; }
+  void OnMemAccess(ExecutionState& st, const MemAccessEvent& access, CheckerHost& host) override;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_CHECKERS_MEMORY_CHECKER_H_

@@ -1,0 +1,122 @@
+#include "src/checkers/race_checker.h"
+
+#include <map>
+#include <set>
+
+#include "src/engine/execution_state.h"
+#include "src/support/strings.h"
+#include "src/vm/layout.h"
+
+namespace ddt {
+
+namespace {
+
+// Context classes whose interleaving is asynchronous: "task" (entry points)
+// vs. "interrupt" (ISR / DPC / timer).
+enum class Side : uint8_t { kTask = 0, kInterrupt = 1 };
+
+struct WordAccess {
+  bool seen[2] = {false, false};
+  bool wrote[2] = {false, false};
+  // Intersection of lock sets across all accesses from each side; starts as
+  // "universe" until the first access.
+  std::set<uint32_t> locks[2];
+  bool have_locks[2] = {false, false};
+  bool reported = false;
+};
+
+struct RaceCheckerState : public CheckerState {
+  std::map<uint32_t, WordAccess> words;
+
+  std::unique_ptr<CheckerState> Clone() const override {
+    return std::make_unique<RaceCheckerState>(*this);
+  }
+};
+
+RaceCheckerState& StateOf(ExecutionState& st) {
+  auto it = st.checker_state.find("race-lockset");
+  return *static_cast<RaceCheckerState*>(it->second.get());
+}
+
+std::set<uint32_t> HeldLocks(const ExecutionState& st) {
+  std::set<uint32_t> held;
+  for (const auto& [addr, lock] : st.kernel.locks) {
+    if (lock.held) {
+      held.insert(addr);
+    }
+  }
+  return held;
+}
+
+}  // namespace
+
+std::unique_ptr<CheckerState> RaceChecker::MakeState() const {
+  return std::make_unique<RaceCheckerState>();
+}
+
+void RaceChecker::OnMemAccess(ExecutionState& st, const MemAccessEvent& access,
+                              CheckerHost& host) {
+  // Shared driver state: the data/bss segment and live heap allocations.
+  const KernelState& ks = st.kernel;
+  bool shared = ks.driver.ContainsData(access.addr) ||
+                (InRange(access.addr, kKernelHeapBase, kKernelHeapLimit) &&
+                 ks.FindAllocation(access.addr) != nullptr);
+  if (!shared) {
+    return;
+  }
+  ExecContextKind ctx = st.CurrentContext();
+  if (ctx == ExecContextKind::kNone) {
+    return;
+  }
+  Side side = ctx == ExecContextKind::kEntryPoint ? Side::kTask : Side::kInterrupt;
+  size_t s = static_cast<size_t>(side);
+
+  RaceCheckerState& rcs = StateOf(st);
+  uint32_t word = access.addr & ~3u;
+  WordAccess& wa = rcs.words[word];
+  if (wa.reported) {
+    return;
+  }
+
+  std::set<uint32_t> held = HeldLocks(st);
+  wa.seen[s] = true;
+  wa.wrote[s] |= access.is_write;
+  if (!wa.have_locks[s]) {
+    wa.locks[s] = held;
+    wa.have_locks[s] = true;
+  } else {
+    // Lockset algorithm: keep only locks held on *every* access.
+    std::set<uint32_t> intersection;
+    for (uint32_t lock : wa.locks[s]) {
+      if (held.count(lock) != 0) {
+        intersection.insert(lock);
+      }
+    }
+    wa.locks[s] = std::move(intersection);
+  }
+
+  // Write-write races only: a context reading state another context
+  // initializes (adapter fields, register base) is the normal driver idiom;
+  // both sides mutating the same word without a common lock is not.
+  if (wa.wrote[0] && wa.wrote[1]) {
+    std::set<uint32_t> common;
+    for (uint32_t lock : wa.locks[0]) {
+      if (wa.locks[1].count(lock) != 0) {
+        common.insert(lock);
+      }
+    }
+    if (common.empty()) {
+      wa.reported = true;
+      host.ReportBug(
+          st, BugType::kRaceCondition,
+          StrFormat("unsynchronized access to shared state 0x%x from %s and interrupt "
+                    "context",
+                    word, "entry-point"),
+          StrFormat("word 0x%x is %s by the entry point and %s by the ISR/DPC with no "
+                    "common spinlock held",
+                    word, wa.wrote[0] ? "written" : "read", wa.wrote[1] ? "written" : "read"));
+    }
+  }
+}
+
+}  // namespace ddt

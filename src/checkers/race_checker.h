@@ -1,0 +1,26 @@
+// Lockset-based race detection across entry-point and interrupt contexts.
+//
+// Symbolic interrupts (§3.3) let DDT run the ISR at arbitrary points; this
+// checker watches which shared driver state (data segment + heap) each
+// context touches and with which spinlocks held. A location written in one
+// context and accessed in another with no common lock is a race — this is
+// how the non-crashing AudioPCI races ("race condition in the initialization
+// routine", "races with interrupts while playing audio") surface without
+// needing the interleaving to actually corrupt anything on this run.
+#ifndef SRC_CHECKERS_RACE_CHECKER_H_
+#define SRC_CHECKERS_RACE_CHECKER_H_
+
+#include "src/engine/checker.h"
+
+namespace ddt {
+
+class RaceChecker : public Checker {
+ public:
+  std::string name() const override { return "race-lockset"; }
+  std::unique_ptr<CheckerState> MakeState() const override;
+  void OnMemAccess(ExecutionState& st, const MemAccessEvent& access, CheckerHost& host) override;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_CHECKERS_RACE_CHECKER_H_

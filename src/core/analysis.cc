@@ -1,0 +1,138 @@
+#include "src/core/analysis.h"
+
+#include "src/support/strings.h"
+
+namespace ddt {
+
+BugAnalysis AnalyzeBug(const Bug& bug, const DeviceSpec* spec) {
+  BugAnalysis analysis;
+
+  analysis.interrupt_dependent = !bug.interrupt_schedule.empty();
+  for (const auto& [seq, label] : bug.alternatives) {
+    if (label.find("fails") != std::string::npos) {
+      analysis.allocation_failure_dependent = true;
+      analysis.provenance.push_back(
+          StrFormat("kernel call #%u was made to fail (\"%s\")", seq, label.c_str()));
+    }
+  }
+
+  // Classification keys off the proximate inputs (the variables in the
+  // constraints added right before the report) when any are marked; the
+  // other inputs shaped the path but are not the cause.
+  bool have_proximate = false;
+  for (const SolvedInput& input : bug.inputs) {
+    have_proximate |= input.proximate;
+  }
+
+  size_t device_inputs = 0;
+  size_t device_inputs_in_spec = 0;
+  for (const SolvedInput& input : bug.inputs) {
+    if (have_proximate && !input.proximate) {
+      continue;
+    }
+    switch (input.origin.source) {
+      case VarOrigin::Source::kHardwareRead: {
+        analysis.device_input_dependent = true;
+        ++device_inputs;
+        const RegisterSpec* reg =
+            spec != nullptr ? spec->Find(static_cast<uint32_t>(input.origin.aux)) : nullptr;
+        bool violates = reg != nullptr && !reg->Allows(static_cast<uint32_t>(input.value));
+        if (reg != nullptr && !violates) {
+          ++device_inputs_in_spec;
+        }
+        if (violates) {
+          ++analysis.spec_violations;
+        }
+        analysis.provenance.push_back(StrFormat(
+            "device register +0x%llx (read #%llu) returned 0x%llx%s",
+            static_cast<unsigned long long>(input.origin.aux),
+            static_cast<unsigned long long>(input.origin.seq),
+            static_cast<unsigned long long>(input.value),
+            violates ? " — OUTSIDE the documented range (hardware malfunction)"
+                     : (reg != nullptr ? " — within the documented range" : "")));
+        break;
+      }
+      case VarOrigin::Source::kRegistry:
+        analysis.registry_dependent = true;
+        analysis.provenance.push_back(
+            StrFormat("registry parameter '%s' = 0x%llx", input.origin.label.c_str(),
+                      static_cast<unsigned long long>(input.value)));
+        break;
+      case VarOrigin::Source::kEntryArg:
+        analysis.request_dependent = true;
+        analysis.provenance.push_back(
+            StrFormat("I/O request argument '%s' = 0x%llx", input.var_name.c_str(),
+                      static_cast<unsigned long long>(input.value)));
+        break;
+      case VarOrigin::Source::kPacketData:
+        analysis.request_dependent = true;
+        analysis.provenance.push_back(
+            StrFormat("packet payload byte #%llu = 0x%llx",
+                      static_cast<unsigned long long>(input.origin.seq),
+                      static_cast<unsigned long long>(input.value)));
+        break;
+      default:
+        break;
+    }
+  }
+  if (analysis.interrupt_dependent) {
+    std::string crossings;
+    for (size_t i = 0; i < bug.interrupt_schedule.size(); ++i) {
+      crossings += StrFormat("%s%u", i == 0 ? "" : ", ", bug.interrupt_schedule[i]);
+    }
+    analysis.provenance.push_back(
+        StrFormat("an interrupt must arrive at boundary crossing(s) %s", crossings.c_str()));
+  }
+
+  // §3.6: if every contributing device input violates the spec, the bug
+  // cannot occur with correctly functioning hardware.
+  analysis.only_with_hardware_malfunction =
+      spec != nullptr && device_inputs > 0 && analysis.spec_violations == device_inputs;
+
+  // The interrupt is the *cause* only when the bug fired in interrupt
+  // context (or is a race); many paths merely happen to have had an ISR
+  // injected somewhere earlier.
+  bool interrupt_causal =
+      analysis.interrupt_dependent &&
+      (bug.type == BugType::kRaceCondition || bug.context == ExecContextKind::kIsr ||
+       bug.context == ExecContextKind::kDpc || bug.context == ExecContextKind::kTimer);
+
+  // Compose the user-readable one-liner, most specific cause first.
+  if (analysis.allocation_failure_dependent) {
+    analysis.summary = StrFormat("driver %s in low-memory situations",
+                                 bug.type == BugType::kResourceLeak ||
+                                         bug.type == BugType::kMemoryLeak
+                                     ? "leaks resources"
+                                     : "crashes");
+  } else if (interrupt_causal) {
+    analysis.summary = "bug manifests only under a specific interrupt interleaving";
+  } else if (analysis.only_with_hardware_malfunction) {
+    analysis.summary = "bug can only occur when the device malfunctions";
+  } else if (analysis.registry_dependent) {
+    analysis.summary = "bug is triggered by an unchecked registry parameter";
+  } else if (analysis.request_dependent) {
+    analysis.summary = "bug is triggered by a malformed or unexpected I/O request";
+  } else if (analysis.device_input_dependent) {
+    analysis.summary =
+        device_inputs_in_spec == device_inputs
+            ? "bug is triggered by documented device behavior (a genuine driver defect)"
+            : "bug is triggered by device register values";
+  } else {
+    analysis.summary = "bug fires unconditionally on the exercised path";
+  }
+  return analysis;
+}
+
+std::string BugAnalysis::Format() const {
+  std::string out = "analysis: " + summary + "\n";
+  for (const std::string& line : provenance) {
+    out += "  - " + line + "\n";
+  }
+  if (only_with_hardware_malfunction) {
+    out += "  => every contributing device input is outside the device specification;\n";
+    out += "     with correct hardware this path is unreachable (see paper section 3.6)\n";
+  }
+  return out;
+}
+
+}  // namespace ddt

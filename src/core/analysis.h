@@ -1,0 +1,76 @@
+// Automated bug analysis (§3.6).
+//
+// The paper: "One could write tools to automate the analysis and
+// classification of bugs found by DDT ... They could provide both
+// user-readable messages, like 'driver crashes in low-memory situations,'
+// and detailed technical information" — and, given a device specification,
+// "one can safely conclude that the observed behavior would not have
+// occurred unless the hardware malfunctioned."
+//
+// AnalyzeBug digests a Bug's evidence (solved inputs with their origins, the
+// annotation alternatives taken, the interrupt schedule) into exactly that:
+// a one-line user-readable summary, provenance notes for each contributing
+// input, and — when a DeviceSpec is supplied — whether the triggering device
+// outputs fall outside what the vendor documented.
+#ifndef SRC_CORE_ANALYSIS_H_
+#define SRC_CORE_ANALYSIS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/engine/bug_report.h"
+
+namespace ddt {
+
+// What the vendor documents a register as returning (per BAR offset).
+struct RegisterSpec {
+  uint32_t min_value = 0;
+  uint32_t max_value = 0xFFFFFFFF;
+  uint32_t valid_mask = 0xFFFFFFFF;  // bits that may ever be set
+
+  bool Allows(uint32_t value) const {
+    return value >= min_value && value <= max_value && (value & ~valid_mask) == 0;
+  }
+};
+
+struct DeviceSpec {
+  std::map<uint32_t, RegisterSpec> registers;  // keyed by register offset
+
+  // nullptr if the spec says nothing about this offset.
+  const RegisterSpec* Find(uint32_t offset) const {
+    auto it = registers.find(offset);
+    return it == registers.end() ? nullptr : &it->second;
+  }
+};
+
+struct BugAnalysis {
+  // One-line user-readable message.
+  std::string summary;
+  // Per-input provenance, e.g. "device register +0x04 (read #0) returned
+  // 0x2A — outside the documented range".
+  std::vector<std::string> provenance;
+
+  // Trigger classification.
+  bool interrupt_dependent = false;       // needs a specific interrupt interleaving
+  bool allocation_failure_dependent = false;  // needs an out-of-memory situation
+  bool registry_dependent = false;        // driven by a registry parameter value
+  bool device_input_dependent = false;    // driven by device register reads
+  bool request_dependent = false;         // driven by I/O request arguments
+
+  // §3.6 device-specification verdict: every device input that contributes
+  // to the bug lies outside the documented behavior, i.e. the bug cannot
+  // fire unless the hardware malfunctions. Only meaningful when a spec was
+  // supplied and it covers the contributing registers.
+  bool only_with_hardware_malfunction = false;
+  size_t spec_violations = 0;
+
+  std::string Format() const;
+};
+
+BugAnalysis AnalyzeBug(const Bug& bug, const DeviceSpec* spec = nullptr);
+
+}  // namespace ddt
+
+#endif  // SRC_CORE_ANALYSIS_H_

@@ -1,0 +1,220 @@
+#include "src/core/bug_io.h"
+
+#include <cstdio>
+
+#include "src/support/strings.h"
+
+namespace ddt {
+
+namespace {
+
+// Minimal escaping for the single-line string fields.
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Unescape(const std::string& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      out.push_back(s[i] == 'n' ? '\n' : s[i]);
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SerializeBugs(const std::vector<Bug>& bugs) {
+  std::string out = "ddt-bug-report v1\n";
+  for (const Bug& bug : bugs) {
+    out += "bug\n";
+    out += StrFormat("type %d\n", static_cast<int>(bug.type));
+    out += "title " + Escape(bug.title) + "\n";
+    out += "details " + Escape(bug.details) + "\n";
+    out += "driver " + Escape(bug.driver) + "\n";
+    out += "checker " + Escape(bug.checker) + "\n";
+    out += StrFormat("pc %u\n", bug.pc);
+    out += StrFormat("state %llu\n", static_cast<unsigned long long>(bug.state_id));
+    out += StrFormat("context %d\n", static_cast<int>(bug.context));
+    for (const SolvedInput& input : bug.inputs) {
+      out += StrFormat("input %d %llu %llu %u %llu %d %s %s\n",
+                       static_cast<int>(input.origin.source),
+                       static_cast<unsigned long long>(input.origin.aux),
+                       static_cast<unsigned long long>(input.origin.seq), input.width,
+                       static_cast<unsigned long long>(input.value), input.proximate ? 1 : 0,
+                       Escape(input.var_name).c_str(), Escape(input.origin.label).c_str());
+    }
+    for (uint32_t crossing : bug.interrupt_schedule) {
+      out += StrFormat("interrupt %u\n", crossing);
+    }
+    for (const auto& [seq, label] : bug.alternatives) {
+      out += StrFormat("alternative %u %s\n", seq, Escape(label).c_str());
+    }
+    for (uint32_t slot : bug.workload_trail) {
+      out += StrFormat("workload %u\n", slot);
+    }
+    out += "trace " + Escape(FormatTrace(bug.trace, 60)) + "\n";
+    out += "end\n";
+  }
+  return out;
+}
+
+Result<std::vector<Bug>> DeserializeBugs(const std::string& text) {
+  std::vector<Bug> bugs;
+  Bug current;
+  bool in_bug = false;
+  size_t pos = 0;
+  bool saw_header = false;
+
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() && pos > text.size()) {
+      break;
+    }
+    if (!saw_header) {
+      if (line != "ddt-bug-report v1") {
+        return Status::Error("bug report: bad header");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (line == "bug") {
+      if (in_bug) {
+        return Status::Error("bug report: nested bug");
+      }
+      in_bug = true;
+      current = Bug();
+      continue;
+    }
+    if (line == "end") {
+      if (!in_bug) {
+        return Status::Error("bug report: stray end");
+      }
+      bugs.push_back(current);
+      in_bug = false;
+      continue;
+    }
+    if (!in_bug || line.empty()) {
+      continue;
+    }
+    size_t space = line.find(' ');
+    std::string key = line.substr(0, space);
+    std::string value = space == std::string::npos ? "" : line.substr(space + 1);
+    if (key == "type") {
+      current.type = static_cast<BugType>(std::atoi(value.c_str()));
+    } else if (key == "title") {
+      current.title = Unescape(value);
+    } else if (key == "details") {
+      current.details = Unescape(value);
+    } else if (key == "driver") {
+      current.driver = Unescape(value);
+    } else if (key == "checker") {
+      current.checker = Unescape(value);
+    } else if (key == "pc") {
+      current.pc = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "state") {
+      current.state_id = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "context") {
+      current.context = static_cast<ExecContextKind>(std::atoi(value.c_str()));
+    } else if (key == "input") {
+      SolvedInput input;
+      int source;
+      unsigned long long aux;
+      unsigned long long seq;
+      unsigned width;
+      unsigned long long val;
+      int proximate;
+      int consumed = 0;
+      if (std::sscanf(value.c_str(), "%d %llu %llu %u %llu %d %n", &source, &aux, &seq, &width,
+                      &val, &proximate, &consumed) != 6) {
+        return Status::Error("bug report: bad input line: " + line);
+      }
+      input.origin.source = static_cast<VarOrigin::Source>(source);
+      input.origin.aux = aux;
+      input.origin.seq = seq;
+      input.width = static_cast<uint8_t>(width);
+      input.value = val;
+      input.proximate = proximate != 0;
+      std::string rest = value.substr(static_cast<size_t>(consumed));
+      size_t sep = rest.find(' ');
+      input.var_name = Unescape(rest.substr(0, sep));
+      input.origin.label = sep == std::string::npos ? "" : Unescape(rest.substr(sep + 1));
+      current.inputs.push_back(input);
+    } else if (key == "interrupt") {
+      current.interrupt_schedule.push_back(
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10)));
+    } else if (key == "alternative") {
+      size_t sep = value.find(' ');
+      if (sep == std::string::npos) {
+        return Status::Error("bug report: bad alternative line");
+      }
+      current.alternatives.emplace_back(
+          static_cast<uint32_t>(std::strtoul(value.substr(0, sep).c_str(), nullptr, 10)),
+          Unescape(value.substr(sep + 1)));
+    } else if (key == "workload") {
+      current.workload_trail.push_back(
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10)));
+    } else if (key == "trace") {
+      // Stored as rendered text; kept in `details` addendum rather than as
+      // structured events (expression pointers cannot cross processes).
+      current.details += current.details.empty() ? "" : "\n";
+      current.details += Unescape(value);
+    }
+  }
+  if (in_bug) {
+    return Status::Error("bug report: truncated");
+  }
+  return bugs;
+}
+
+Status SaveBugsFile(const std::string& path, const std::vector<Bug>& bugs) {
+  std::string text = SerializeBugs(bugs);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Error("cannot open for writing: " + path);
+  }
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::Error("short write: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<Bug>> LoadBugsFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::Error("cannot open: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string text(static_cast<size_t>(size > 0 ? size : 0), '\0');
+  size_t read = std::fread(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (read != text.size()) {
+    return Status::Error("short read: " + path);
+  }
+  return DeserializeBugs(text);
+}
+
+}  // namespace ddt

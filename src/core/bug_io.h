@@ -1,0 +1,34 @@
+// Bug report serialization: ship the evidence (§3.5).
+//
+// "DDT's bug report is a collection of traces of the execution paths leading
+// to the bugs ... allowing the bug to be reproduced on the developer's or
+// consumer's machine." A saved report carries everything guided replay
+// needs — bug identity, the solved inputs with their origins, the interrupt
+// schedule, the annotation-alternative schedule, the workload trail — plus a
+// human-readable rendering of the trace tail. Loading a report on another
+// machine (or another process) and calling ReplayBug reproduces the bug.
+//
+// The format is a line-oriented text format (one report can hold many bugs);
+// it deliberately contains no expression pointers, so it is stable across
+// processes.
+#ifndef SRC_CORE_BUG_IO_H_
+#define SRC_CORE_BUG_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/engine/bug_report.h"
+#include "src/support/status.h"
+
+namespace ddt {
+
+// Serializes the replay-relevant fields (traces reduced to a rendered tail).
+std::string SerializeBugs(const std::vector<Bug>& bugs);
+Result<std::vector<Bug>> DeserializeBugs(const std::string& text);
+
+Status SaveBugsFile(const std::string& path, const std::vector<Bug>& bugs);
+Result<std::vector<Bug>> LoadBugsFile(const std::string& path);
+
+}  // namespace ddt
+
+#endif  // SRC_CORE_BUG_IO_H_

@@ -1,0 +1,82 @@
+#include "src/core/coverage_report.h"
+
+#include <algorithm>
+
+#include "src/support/strings.h"
+
+namespace ddt {
+
+CoverageReport BuildCoverageReport(const Cfg& cfg,
+                                   const std::unordered_set<uint32_t>& covered,
+                                   std::vector<uint32_t> function_starts,
+                                   const std::map<uint32_t, std::string>* symbols) {
+  CoverageReport report;
+  report.total_blocks = cfg.NumBlocks();
+  report.covered_blocks = covered.size();
+
+  // Ensure the code base address is a fallback "function" so every block has
+  // an owner.
+  function_starts.push_back(cfg.base);
+  std::sort(function_starts.begin(), function_starts.end());
+  function_starts.erase(std::unique(function_starts.begin(), function_starts.end()),
+                        function_starts.end());
+
+  std::map<uint32_t, FunctionCoverage> by_start;
+  for (uint32_t start : function_starts) {
+    FunctionCoverage fn;
+    fn.start = start;
+    if (symbols != nullptr) {
+      auto it = symbols->find(start);
+      if (it != symbols->end()) {
+        fn.name = it->second;
+      }
+    }
+    if (fn.name.empty()) {
+      fn.name = StrFormat("fn_%08x", start);
+    }
+    by_start.emplace(start, fn);
+  }
+
+  for (const auto& [leader, block] : cfg.blocks) {
+    auto it = by_start.upper_bound(leader);
+    if (it == by_start.begin()) {
+      continue;
+    }
+    --it;
+    it->second.blocks += 1;
+    if (covered.count(leader) != 0) {
+      it->second.covered += 1;
+    }
+  }
+
+  for (const auto& [start, fn] : by_start) {
+    if (fn.blocks > 0) {
+      report.functions.push_back(fn);
+    }
+  }
+  return report;
+}
+
+std::string CoverageReport::Format(double only_below) const {
+  std::string out;
+  out += StrFormat("coverage: %zu / %zu basic blocks (%.1f%%)\n", covered_blocks, total_blocks,
+                   total_blocks == 0 ? 0.0
+                                     : 100.0 * static_cast<double>(covered_blocks) /
+                                           static_cast<double>(total_blocks));
+  out += StrFormat("%-28s %10s %10s %8s\n", "function", "blocks", "covered", "pct");
+  size_t filtered = 0;
+  for (const FunctionCoverage& fn : functions) {
+    if (fn.Fraction() >= only_below) {
+      ++filtered;
+      continue;
+    }
+    out += StrFormat("%-28s %10zu %10zu %7.1f%%\n", fn.name.c_str(), fn.blocks, fn.covered,
+                     100.0 * fn.Fraction());
+  }
+  if (filtered > 0) {
+    out += StrFormat("(%zu fully covered function(s) elided)\n", filtered);
+  }
+  return out;
+}
+
+}  // namespace ddt

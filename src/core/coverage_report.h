@@ -1,0 +1,52 @@
+// Per-function coverage reporting.
+//
+// The engine counts covered basic blocks globally (the Figures 2/3 series);
+// this module attributes blocks to functions so a user can see *where*
+// exploration got stuck — which entry points, handlers, or helpers were
+// never exercised. Function starts come from the binary's static call
+// targets plus any externally known roots (entry points, .func symbols).
+#ifndef SRC_CORE_COVERAGE_REPORT_H_
+#define SRC_CORE_COVERAGE_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/vm/disasm.h"
+
+namespace ddt {
+
+struct FunctionCoverage {
+  uint32_t start = 0;
+  std::string name;  // symbol if known, else "fn_<addr>"
+  size_t blocks = 0;
+  size_t covered = 0;
+
+  double Fraction() const {
+    return blocks == 0 ? 0.0 : static_cast<double>(covered) / static_cast<double>(blocks);
+  }
+};
+
+struct CoverageReport {
+  size_t total_blocks = 0;
+  size_t covered_blocks = 0;
+  std::vector<FunctionCoverage> functions;  // sorted by start address
+
+  // Table rendering; functions below `only_below` coverage can be filtered
+  // (1.0 shows everything).
+  std::string Format(double only_below = 1.01) const;
+};
+
+// `function_starts` should include every known function address (call
+// targets + entry points + symbols); blocks are attributed to the closest
+// preceding start. `symbols` optionally maps addresses to names.
+CoverageReport BuildCoverageReport(const Cfg& cfg,
+                                   const std::unordered_set<uint32_t>& covered,
+                                   std::vector<uint32_t> function_starts,
+                                   const std::map<uint32_t, std::string>* symbols = nullptr);
+
+}  // namespace ddt
+
+#endif  // SRC_CORE_COVERAGE_REPORT_H_

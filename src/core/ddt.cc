@@ -1,0 +1,126 @@
+#include "src/core/ddt.h"
+
+#include "src/checkers/default_checkers.h"
+#include "src/support/check.h"
+#include "src/support/strings.h"
+
+namespace ddt {
+
+Ddt::Ddt(const DdtConfig& config) : config_(config) {}
+
+Ddt::~Ddt() = default;
+
+void Ddt::AddChecker(std::unique_ptr<Checker> checker) {
+  extra_checkers_.push_back(std::move(checker));
+}
+
+void Ddt::AddAnnotations(const AnnotationSet& annotations) {
+  extra_annotations_.push_back(annotations);
+}
+
+void Ddt::SetDevice(std::unique_ptr<DeviceModel> device) {
+  device_override_ = std::move(device);
+}
+
+std::map<std::string, uint32_t> Ddt::DefaultRegistry() {
+  return {
+      {"MaximumMulticastList", 8},
+      {"NetworkAddress", 0x00AABBCC},
+      {"LinkSpeed", 100},
+      {"TransmitBuffers", 16},
+      {"ReceiveBuffers", 16},
+      {"Volume", 50},
+      {"SampleRate", 44100},
+  };
+}
+
+Result<DdtResult> Ddt::TestDriver(const DriverImage& image, const PciDescriptor& descriptor) {
+  DDT_CHECK_MSG(!ran_, "one Ddt instance tests one driver");
+  ran_ = true;
+
+  engine_ = std::make_unique<Engine>(config_.engine);
+
+  if (config_.use_default_checkers) {
+    for (auto& checker : MakeDefaultCheckers()) {
+      engine_->AddChecker(std::move(checker));
+    }
+  }
+  for (auto& checker : extra_checkers_) {
+    engine_->AddChecker(std::move(checker));
+  }
+  extra_checkers_.clear();
+
+  AnnotationSet annotations;
+  if (config_.use_standard_annotations) {
+    annotations = AnnotationSet::Standard();
+  }
+  for (const AnnotationSet& extra : extra_annotations_) {
+    annotations.Merge(extra);
+  }
+  engine_->SetAnnotations(std::move(annotations));
+
+  std::map<std::string, uint32_t> registry = DefaultRegistry();
+  for (const auto& [key, value] : config_.registry) {
+    registry[key] = value;
+  }
+  engine_->SetRegistry(std::move(registry));
+
+  std::vector<WorkloadStep> workload =
+      config_.workload.has_value() ? *config_.workload
+                                   : BuildWorkload(DriverClassFor(image.name));
+  engine_->SetWorkload(std::move(workload));
+
+  if (device_override_ != nullptr) {
+    engine_->SetDevice(std::move(device_override_));
+  }
+
+  Status status = engine_->LoadDriver(image, descriptor);
+  if (!status.ok()) {
+    return status;
+  }
+  engine_->Run();
+
+  DdtResult result;
+  result.bugs = engine_->bugs();
+  result.stats = engine_->stats();
+  result.coverage_samples = engine_->coverage_samples();
+  result.covered_blocks = engine_->covered_blocks();
+  result.total_blocks = engine_->total_blocks();
+  result.solver_stats = engine_->solver().stats();
+  result.mem_stats = engine_->mem_stats();
+  return result;
+}
+
+Engine& Ddt::engine() {
+  DDT_CHECK_MSG(engine_ != nullptr, "TestDriver not called yet");
+  return *engine_;
+}
+
+std::string DdtResult::FormatReport(const std::string& driver_name) const {
+  std::string out;
+  out += StrFormat("=== DDT report for driver '%s' ===\n", driver_name.c_str());
+  out += StrFormat("bugs found: %zu\n", bugs.size());
+  for (const Bug& bug : bugs) {
+    out += "  " + bug.Row() + "\n";
+  }
+  out += StrFormat(
+      "coverage: %zu / %zu basic blocks (%.1f%%)\n", covered_blocks, total_blocks,
+      total_blocks == 0 ? 0.0 : 100.0 * static_cast<double>(covered_blocks) /
+                                     static_cast<double>(total_blocks));
+  out += StrFormat("instructions: %llu, forks: %llu, states: %llu created / %llu peak\n",
+                   static_cast<unsigned long long>(stats.instructions),
+                   static_cast<unsigned long long>(stats.forks),
+                   static_cast<unsigned long long>(stats.states_created),
+                   static_cast<unsigned long long>(stats.max_live_states));
+  out += StrFormat("solver: %llu queries (%llu quick, %llu cached, %llu SAT calls)\n",
+                   static_cast<unsigned long long>(solver_stats.queries),
+                   static_cast<unsigned long long>(solver_stats.quick_decides),
+                   static_cast<unsigned long long>(solver_stats.cache_hits),
+                   static_cast<unsigned long long>(solver_stats.sat_calls));
+  out += StrFormat("peak state working set: ~%llu KiB across live states\n",
+                   static_cast<unsigned long long>(stats.peak_state_bytes / 1024));
+  out += StrFormat("wall time: %.1f ms\n", stats.wall_ms);
+  return out;
+}
+
+}  // namespace ddt

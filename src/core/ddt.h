@@ -1,0 +1,92 @@
+// DDT public API.
+//
+// This is the library's front door, matching the paper's §2 contract: "DDT
+// takes as input a binary device driver and outputs a report of found bugs,
+// along with execution traces for each bug."
+//
+//   DdtConfig config;
+//   Ddt ddt(config);
+//   Result<DdtResult> result = ddt.TestDriver(image, pci_descriptor);
+//   for (const Bug& bug : result.value().bugs) { std::cout << bug.Format(); }
+//
+// Bug objects reference expression storage owned by the Ddt instance; keep
+// the instance alive while using the result.
+#ifndef SRC_CORE_DDT_H_
+#define SRC_CORE_DDT_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/annotations/annotation.h"
+#include "src/engine/engine.h"
+#include "src/kernel/exerciser.h"
+#include "src/support/status.h"
+
+namespace ddt {
+
+struct DdtConfig {
+  EngineConfig engine;
+  // Default dynamic checkers (§3.1.1). Custom checkers can be added through
+  // Ddt::AddChecker before TestDriver.
+  bool use_default_checkers = true;
+  // Standard MiniOS annotation set (§3.4). The ablation benchmark turns this
+  // off.
+  bool use_standard_annotations = true;
+  // Registry contents the guest kernel serves; merged over sane defaults.
+  std::map<std::string, uint32_t> registry;
+  // Workload override; by default chosen from the driver's class (network vs
+  // audio) per §4.3.
+  std::optional<std::vector<WorkloadStep>> workload;
+};
+
+struct DdtResult {
+  std::vector<Bug> bugs;
+  EngineStats stats;
+  std::vector<CoverageSample> coverage_samples;
+  size_t covered_blocks = 0;
+  size_t total_blocks = 0;
+  SolverStats solver_stats;
+  MemStats mem_stats;
+
+  // Table-2 style report with one row per bug.
+  std::string FormatReport(const std::string& driver_name) const;
+};
+
+class Ddt {
+ public:
+  explicit Ddt(const DdtConfig& config = DdtConfig());
+  ~Ddt();
+
+  // Additional checkers beyond the default set (§3.1's pluggable checkers).
+  void AddChecker(std::unique_ptr<Checker> checker);
+  // Extra annotations beyond (or instead of) the standard set.
+  void AddAnnotations(const AnnotationSet& annotations);
+  // Overrides the device model behind the PCI shell (default: SymbolicDevice;
+  // the stress baseline installs a ScriptedDevice).
+  void SetDevice(std::unique_ptr<DeviceModel> device);
+
+  // Loads and exercises the driver; returns the bug report. One Ddt instance
+  // tests one driver (make a new instance per driver).
+  Result<DdtResult> TestDriver(const DriverImage& image, const PciDescriptor& descriptor);
+
+  // The underlying engine (valid after TestDriver; exposes coverage, cfg...).
+  Engine& engine();
+
+  // Registry defaults every MiniOS instance starts from.
+  static std::map<std::string, uint32_t> DefaultRegistry();
+
+ private:
+  DdtConfig config_;
+  std::vector<std::unique_ptr<Checker>> extra_checkers_;
+  std::vector<AnnotationSet> extra_annotations_;
+  std::unique_ptr<DeviceModel> device_override_;
+  std::unique_ptr<Engine> engine_;
+  bool ran_ = false;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_CORE_DDT_H_

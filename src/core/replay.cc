@@ -1,0 +1,54 @@
+#include "src/core/replay.h"
+
+#include "src/support/strings.h"
+
+namespace ddt {
+
+ReplayResult ReplayBug(const DriverImage& image, const PciDescriptor& descriptor, const Bug& bug,
+                       const DdtConfig& config) {
+  DdtConfig replay_config = config;
+  EngineConfig& ec = replay_config.engine;
+  ec.guided = true;
+  ec.enable_symbolic_interrupts = false;
+  ec.forced_interrupt_schedule = bug.interrupt_schedule;
+  ec.forced_alternatives = bug.alternatives;
+  ec.guided_inputs.clear();
+  for (const SolvedInput& input : bug.inputs) {
+    ec.guided_inputs[OriginKeyString(input.origin)] = input.value;
+  }
+  // A single concrete path: budgets can be tight. Run the whole path (the
+  // target bug may be preceded by non-fatal warnings like lockset races).
+  ec.max_states = 4;
+  ec.stop_after_first_bug = false;
+
+  ReplayResult result;
+  Ddt ddt(replay_config);
+  Result<DdtResult> run = ddt.TestDriver(image, descriptor);
+  if (!run.ok()) {
+    result.detail = "replay failed to load driver: " + run.error();
+    return result;
+  }
+  result.stats = run.value().stats;
+  for (const Bug& observed : run.value().bugs) {
+    // The replay runs fully concretely, so messages can differ in wording
+    // (e.g. "symbolic address can leave all valid regions" becomes "invalid
+    // write at 0x..."); the bug identity is (type, detection pc).
+    if (observed.type == bug.type && (observed.title == bug.title || observed.pc == bug.pc)) {
+      result.reproduced = true;
+      result.observed = observed;
+      result.observed.trace.clear();  // expression pointers die with `ddt`
+      result.observed.inputs.clear();
+      result.detail = StrFormat("bug reproduced at pc=%08x", observed.pc);
+      return result;
+    }
+  }
+  if (!run.value().bugs.empty()) {
+    result.detail = StrFormat("replay hit a different bug: %s",
+                              run.value().bugs.front().Row().c_str());
+  } else {
+    result.detail = "replay completed without reproducing the bug";
+  }
+  return result;
+}
+
+}  // namespace ddt

@@ -1,0 +1,35 @@
+// Bug replay (§3.5): re-executes a recorded buggy path, fully concretely.
+//
+// A Bug carries everything replay needs: the solved concrete inputs (mapped
+// back to their origins — hardware read #n, registry parameter, entry
+// argument, packet byte), the interrupt schedule (which boundary crossings
+// the ISR fired at), and the annotation-alternative schedule (which kernel
+// calls "failed"). The replayer runs the same engine in guided mode: no
+// symbolic values survive, no forking happens, and the replay is declared
+// successful iff the same bug fires again.
+#ifndef SRC_CORE_REPLAY_H_
+#define SRC_CORE_REPLAY_H_
+
+#include <string>
+
+#include "src/core/ddt.h"
+
+namespace ddt {
+
+struct ReplayResult {
+  bool reproduced = false;
+  // The bug observed during replay (valid when reproduced).
+  Bug observed;
+  std::string detail;
+  EngineStats stats;
+};
+
+// Replays `bug` against the same driver/descriptor/configuration it was
+// found with. `config` should be the DdtConfig used for the original run
+// (the engine budgets are adjusted internally; symbolic exploration is off).
+ReplayResult ReplayBug(const DriverImage& image, const PciDescriptor& descriptor, const Bug& bug,
+                       const DdtConfig& config = DdtConfig());
+
+}  // namespace ddt
+
+#endif  // SRC_CORE_REPLAY_H_

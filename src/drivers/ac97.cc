@@ -1,0 +1,156 @@
+// Intel 82801AA AC'97 analogue, seeded with the single Table-2 defect:
+//   - race condition: during playback, the interrupt handler can cause a
+//     BSOD. The Write entry point raises the `playing` flag *before*
+//     publishing the buffer pointer; an interrupt landing in that window
+//     makes the ISR dereference a null buffer pointer in interrupt context.
+#include "src/drivers/asm_lib.h"
+#include "src/drivers/corpus.h"
+
+namespace ddt {
+
+std::string Ac97Source() {
+  std::string source = R"(
+  .driver "ac97"
+  .entry driver_entry
+  .import MosStallExecution
+  .code
+
+  .func driver_entry
+    la r0, entry_table
+    kcall MosRegisterDriver
+    ret
+
+  ; --------------------------------------------------------------- Initialize
+  .func ep_init
+    push {r4, r5, lr}
+    subi sp, sp, 8
+    la r5, adapter
+    mov r0, sp
+    kcall MosOpenConfiguration
+    ld32 r4, [sp+0]
+    mov r0, r4
+    la r1, name_volume
+    addi r2, sp, 0
+    kcall MosReadConfiguration
+    bnz r0, ac_no_volume
+    ld32 r1, [sp+4]
+    andi r1, r1, 0x7F                ; volume properly clamped
+    st32 [r5+12], r1
+  ac_no_volume:
+    mov r0, r4
+    kcall MosCloseConfiguration
+    ; DMA buffer
+    movi r0, 2048
+    movi r1, 0x41433937              ; 'AC97'
+    kcall MosAllocatePoolWithTag
+    bz r0, ac_init_failed
+    st32 [r5+0], r0                  ; adapter.dma_buffer (kept private)
+    movi r0, 0
+    kcall MosMapIoSpace
+    st32 [r5+4], r0
+    la r0, isr
+    la r1, adapter
+    kcall MosRegisterInterrupt
+    addi sp, sp, 8
+    movi r0, 0
+    pop {r4, r5, lr}
+    ret
+  ac_init_failed:
+    addi sp, sp, 8
+    movi r0, 0xC000009A
+    pop {r4, r5, lr}
+    ret
+
+  ; ---------------------------------------------------------------------- Halt
+  .func ep_halt
+    push {r4, lr}
+    la r4, adapter
+    kcall MosDeregisterInterrupt
+    ld32 r0, [r4+0]
+    kcall MosFreePool
+    movi r0, 0
+    pop {r4, lr}
+    ret
+
+  ; ------------------------------------------------------------------ Write
+  .func ep_write                   ; (buf, len) -> status  (playback)
+    push {r4, r5, lr}
+    mov r4, r0
+    mov r5, r1
+    la r2, adapter
+    ; BUG: playback is marked live before the buffer pointer is published
+    movi r1, 1
+    st32 [r2+8], r1                  ; playing = 1
+    ; program the codec sample rate -- the interrupt window
+    ld32 r1, [r2+4]
+    st32 [r1+4], r5
+    movi r0, 10
+    kcall MosStallExecution
+    ; ...only now is the buffer pointer published
+    la r2, adapter
+    ld32 r1, [r2+0]
+    st32 [r2+16], r1                 ; cur_buffer = dma_buffer
+    ; copy a sample and start the DMA engine
+    ld32 r3, [r4+0]
+    st32 [r1+0], r3
+    ld32 r1, [r2+4]
+    movi r3, 1
+    st32 [r1+8], r3
+    movi r0, 0
+    pop {r4, r5, lr}
+    ret
+
+  ; ------------------------------------------------------------------- Stop
+  .func ep_stop                    ; () -> status  (correct ordering)
+    push lr
+    la r2, adapter
+    st32 [r2+8], zr                  ; playing = 0 first...
+    st32 [r2+16], zr                 ; ...then retire the buffer pointer
+    movi r0, 0
+    pop lr
+    ret
+
+  ; -------------------------------------------------------------------- ISR
+  .func isr                        ; (ctx)
+    push {r4, lr}
+    mov r4, r0
+    ld32 r1, [r4+4]
+    ld32 r2, [r1+0]                  ; codec status
+    andi r3, r2, 1
+    bz r3, acisr_done
+    ld32 r3, [r4+8]                  ; playing?
+    bz r3, acisr_done
+    ; refill path: read the current sample and feed the codec FIFO
+    ld32 r2, [r4+16]                 ; cur_buffer -- NULL in the race window
+    ld32 r3, [r2+0]                  ; BSOD here when the race hits
+    ld32 r1, [r4+4]
+    st32 [r1+12], r3
+    ld32 r3, [r4+20]
+    addi r3, r3, 1
+    st32 [r4+20], r3                 ; ISR-private refill count
+  acisr_done:
+    pop {r4, lr}
+    ret
+
+  ; ------------------------------------------------------------------- Diag
+  .func ep_diag
+    push lr
+    call ac_diag_dispatch
+    pop lr
+    ret
+)";
+  source += GenerateDiagDispatch("ac_diag", 80);
+  source += GenerateFillerFunctions("ac_diag", 80, 0xAC97, 4, 6);
+  source += R"(
+  .data
+  adapter:               ; +0 dma_buffer, +4 mmio, +8 playing, +12 volume,
+    .space 32            ; +16 cur_buffer, +20 isr refills
+  name_volume:
+    .asciiz "Volume"
+    .align 4
+)";
+  source += EntryTable("ep_init", "ep_halt", "", "", "", "ep_write", "ep_stop", "ep_diag");
+  return source;
+}
+
+}  // namespace ddt

@@ -1,0 +1,121 @@
+#include "src/drivers/asm_lib.h"
+
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/support/strings.h"
+
+namespace ddt {
+
+std::string GenerateFillerFunctions(const std::string& prefix, int count, uint64_t seed,
+                                    int min_diamonds, int max_diamonds, int first_index) {
+  Rng rng(seed);
+  std::string out;
+  for (int i = first_index; i < first_index + count; ++i) {
+    out += StrFormat("  .func %s%d\n", prefix.c_str(), i);
+    // Branch diamonds over values derived from the (concrete at run time)
+    // seed argument. Registers r1..r3 are scratch (caller-clobbered).
+    int diamonds = min_diamonds +
+                   static_cast<int>(rng.NextBelow(
+                       static_cast<uint64_t>(max_diamonds - min_diamonds + 1)));
+    out += StrFormat("    addi r1, r0, %u\n", static_cast<uint32_t>(rng.NextBelow(255)) + 1);
+    for (int d = 0; d < diamonds; ++d) {
+      uint32_t mask = static_cast<uint32_t>(rng.NextBelow(15)) + 1;
+      out += StrFormat("    andi r2, r1, %u\n", mask);
+      out += StrFormat("    bz r2, %s%d_d%d_else\n", prefix.c_str(), i, d);
+      switch (rng.NextBelow(4)) {
+        case 0:
+          out += StrFormat("    muli r1, r1, %u\n", static_cast<uint32_t>(rng.NextBelow(7)) + 3);
+          break;
+        case 1:
+          out += StrFormat("    xori r1, r1, 0x%x\n", rng.Next32() & 0xFFFF);
+          break;
+        case 2:
+          out += "    shli r1, r1, 1\n";
+          break;
+        default:
+          out += StrFormat("    addi r1, r1, %u\n", static_cast<uint32_t>(rng.NextBelow(97)));
+          break;
+      }
+      out += StrFormat("    br %s%d_d%d_join\n", prefix.c_str(), i, d);
+      out += StrFormat("  %s%d_d%d_else:\n", prefix.c_str(), i, d);
+      switch (rng.NextBelow(3)) {
+        case 0:
+          out += "    lshri r1, r1, 1\n";
+          break;
+        case 1:
+          out += StrFormat("    ori r1, r1, 0x%x\n", rng.Next32() & 0xFF);
+          break;
+        default:
+          out += StrFormat("    subi r1, r1, %u\n", static_cast<uint32_t>(rng.NextBelow(13)));
+          break;
+      }
+      out += StrFormat("  %s%d_d%d_join:\n", prefix.c_str(), i, d);
+    }
+    out += "    mov r0, r1\n";
+    out += "    ret\n";
+  }
+  return out;
+}
+
+std::string GenerateDiagDispatch(const std::string& prefix, int count) {
+  // Recursive binary tree over r0 in [0, count); out-of-range codes return a
+  // not-supported status. r4 holds the code across the call (callee-saved by
+  // convention; helpers only use r0..r3).
+  std::string out;
+  out += StrFormat("  .func %s_dispatch\n", prefix.c_str());
+  out += "    push {r4, lr}\n";
+  out += "    mov r4, r0\n";
+  out += StrFormat("    sltui r1, r4, %d\n", count);
+  out += StrFormat("    bnz r1, %s_tree_0_%d\n", prefix.c_str(), count);
+  out += "    pop {r4, lr}\n";
+  out += "    movi r0, 0xC0000010\n";  // STATUS_INVALID_DEVICE_REQUEST
+  out += "    ret\n";
+
+  // Emit tree nodes: node covering [lo, hi).
+  struct Range {
+    int lo;
+    int hi;
+  };
+  std::vector<Range> work{{0, count}};
+  while (!work.empty()) {
+    Range r = work.back();
+    work.pop_back();
+    out += StrFormat("  %s_tree_%d_%d:\n", prefix.c_str(), r.lo, r.hi);
+    if (r.hi - r.lo == 1) {
+      out += StrFormat("    mov r0, r4\n");
+      out += StrFormat("    call %s%d\n", prefix.c_str(), r.lo);
+      out += "    pop {r4, lr}\n";
+      out += "    ret\n";
+      continue;
+    }
+    int mid = (r.lo + r.hi) / 2;
+    out += StrFormat("    sltui r1, r4, %d\n", mid);
+    out += StrFormat("    bnz r1, %s_tree_%d_%d\n", prefix.c_str(), r.lo, mid);
+    out += StrFormat("    br %s_tree_%d_%d\n", prefix.c_str(), mid, r.hi);
+    work.push_back({r.lo, mid});
+    work.push_back({mid, r.hi});
+  }
+  return out;
+}
+
+std::string EntryTable(const std::string& init, const std::string& halt,
+                       const std::string& query, const std::string& set,
+                       const std::string& send, const std::string& write,
+                       const std::string& stop, const std::string& diag) {
+  auto slot = [](const std::string& label) {
+    return label.empty() ? std::string("    .word 0\n") : StrFormat("    .word %s\n", label.c_str());
+  };
+  std::string out = "  entry_table:\n";
+  out += slot(init);
+  out += slot(halt);
+  out += slot(query);
+  out += slot(set);
+  out += slot(send);
+  out += slot(write);
+  out += slot(stop);
+  out += slot(diag);
+  return out;
+}
+
+}  // namespace ddt

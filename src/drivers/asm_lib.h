@@ -1,0 +1,47 @@
+// Shared assembly-generation helpers for the driver corpus.
+//
+// The corpus drivers are written in DVM32 assembly; the parts that are pure
+// bulk — diagnostic helper functions reachable from the Diag entry point —
+// are generated here. They serve three purposes:
+//   - they scale each driver's code size and function count so that the
+//     corpus preserves Table 1's relative ordering,
+//   - the Diag dispatch tree branches on a symbolic request code, so the
+//     engine discovers the helpers gradually (the stepped coverage growth of
+//     Figures 2 and 3),
+//   - the helpers are branchy diamonds over concrete values: dynamic
+//     execution walks one side, while the SDV-style static path enumeration
+//     must walk all of them (the honest cost asymmetry behind the §5.1
+//     SDV-vs-DDT timing comparison).
+#ifndef SRC_DRIVERS_ASM_LIB_H_
+#define SRC_DRIVERS_ASM_LIB_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ddt {
+
+// Generates `count` pure-register helper functions named <prefix>0 ...
+// <prefix>N-1, each declared with .func (they count as driver functions).
+// Helpers take a seed in r0, compute through a few branch diamonds, and
+// return a value in r0. They never touch memory.
+// min/max_diamonds control per-function length: many short functions raise
+// the function count, few long ones raise the code size (Table 1 has both
+// orderings and they disagree between drivers).
+std::string GenerateFillerFunctions(const std::string& prefix, int count, uint64_t seed,
+                                    int min_diamonds = 1, int max_diamonds = 3,
+                                    int first_index = 0);
+
+// Generates the body of a Diag entry point: a binary dispatch tree over the
+// (symbolic) request code in r0 that calls the matching helper function and
+// returns its result. The tree label prefix must be unique per driver.
+std::string GenerateDiagDispatch(const std::string& prefix, int count);
+
+// The standard 8-slot entry table; pass empty strings for absent entries.
+std::string EntryTable(const std::string& init, const std::string& halt,
+                       const std::string& query, const std::string& set,
+                       const std::string& send, const std::string& write,
+                       const std::string& stop, const std::string& diag);
+
+}  // namespace ddt
+
+#endif  // SRC_DRIVERS_ASM_LIB_H_

@@ -1,0 +1,173 @@
+// Ensoniq AudioPCI analogue, seeded with the four Table-2 defects:
+//   1. segfault — the driver *checks* the MosAllocatePoolWithTag result, but
+//      the error-handling path still stores a status code through the null
+//      pointer ("checks whether the allocation failed, but later uses the
+//      returned null pointer on an error handling path"),
+//   2. segfault — the MosNewInterruptSync status is never checked; on
+//      failure the driver dereferences the (null) sync object,
+//   3. race — the initialization routine keeps programming shared DMA state
+//      after the ISR is live, with no lock (race in the init routine),
+//   4. race — playback (Write) and the ISR both advance the ring position
+//      word with no common lock (races with interrupts while playing audio).
+#include "src/drivers/asm_lib.h"
+#include "src/drivers/corpus.h"
+
+namespace ddt {
+
+std::string AudiopciSource() {
+  std::string source = R"(
+  .driver "audiopci"
+  .entry driver_entry
+  .import MosZeroMemory
+  .import MosStallExecution
+  .import MosMoveMemory
+  .import MosGetCurrentIrql
+  .import MosRaiseIrql
+  .import MosLowerIrql
+  .import MosLog
+  .import MosReadPciConfig
+  .import MosCancelTimer
+  .import MosInitializeTimer
+  .code
+
+  .func driver_entry
+    la r0, entry_table
+    kcall MosRegisterDriver
+    ret
+
+  ; --------------------------------------------------------------- Initialize
+  .func ep_init
+    push {r4, r5, r6, lr}
+    subi sp, sp, 8
+    la r5, adapter
+    ; sound buffer
+    movi r0, 1024
+    movi r1, 0x534E4442              ; 'SNDB'
+    kcall MosAllocatePoolWithTag
+    mov r4, r0
+    bnz r4, au_buf_ok
+    ; BUG 1: error handling path writes a status code into the buffer header
+    movi r1, 0xC000009A
+    st32 [r4+8], r1                  ; r4 == 0 -> write into the null page
+    addi sp, sp, 8
+    movi r0, 0xC000009A
+    pop {r4, r5, r6, lr}
+    ret
+  au_buf_ok:
+    st32 [r5+0], r4                  ; adapter.buffer
+    ; interrupt synchronization object
+    mov r0, sp
+    kcall MosNewInterruptSync
+    ; BUG 2: status ignored; on failure sp[0] holds NULL
+    ld32 r6, [sp+0]
+    ld32 r1, [r6+0]                  ; dereference the sync object header
+    st32 [r5+4], r6                  ; adapter.sync
+    ; map codec registers
+    movi r0, 0
+    kcall MosMapIoSpace
+    st32 [r5+8], r0
+    ; interrupt goes live here...
+    la r0, isr
+    la r1, adapter
+    kcall MosRegisterInterrupt
+    ; ...and the codec needs time to power up
+    movi r0, 100
+    kcall MosStallExecution
+    ; BUG 3: ...but init keeps programming the shared DMA state, no lock
+    movi r1, 1
+    st32 [r5+16], r1                 ; dma_state = PRIMED (also written by ISR)
+    ld32 r1, [r5+8]
+    movi r2, 0x10
+    st32 [r1+4], r2                  ; start codec
+    addi sp, sp, 8
+    movi r0, 0
+    pop {r4, r5, r6, lr}
+    ret
+
+  ; ---------------------------------------------------------------------- Halt
+  .func ep_halt
+    push {r4, lr}
+    la r4, adapter
+    kcall MosDeregisterInterrupt
+    ld32 r0, [r4+0]
+    kcall MosFreePool
+    movi r0, 0
+    pop {r4, lr}
+    ret
+
+  ; ------------------------------------------------------------------ Write
+  .func ep_write                   ; (buf, len) -> status  (playback)
+    push {r4, r5, lr}
+    mov r4, r0
+    mov r5, r1
+    ; copy one sample word into the sound buffer (bounds fine)
+    la r2, adapter
+    ld32 r3, [r2+0]
+    ld32 r1, [r4+0]
+    st32 [r3+0], r1
+    ; BUG 4: advance the ring position with no lock (the ISR advances it too)
+    ld32 r1, [r2+20]
+    addi r1, r1, 4
+    andi r1, r1, 0x3FF
+    st32 [r2+20], r1                 ; ring_pos
+    ; kick the DMA engine
+    ld32 r3, [r2+8]
+    st32 [r3+8], r5
+    movi r0, 0
+    pop {r4, r5, lr}
+    ret
+
+  ; ------------------------------------------------------------------- Stop
+  .func ep_stop                    ; () -> status  (correct code)
+    push lr
+    la r0, lock
+    kcall MosAcquireSpinLock
+    la r2, adapter
+    st32 [r2+24], zr                 ; playing = 0 (locked)
+    la r0, lock
+    kcall MosReleaseSpinLock
+    movi r0, 0
+    pop lr
+    ret
+
+  ; -------------------------------------------------------------------- ISR
+  .func isr                        ; (ctx)
+    push {r4, lr}
+    mov r4, r0
+    ld32 r1, [r4+8]
+    ld32 r2, [r1+0]                  ; codec interrupt status
+    andi r3, r2, 1
+    bz r3, aisr_done
+    ; BUG 3 partner: acknowledge by rewriting the shared DMA state, no lock
+    movi r3, 2
+    st32 [r4+16], r3                 ; dma_state = RUNNING
+    ; BUG 4 partner: advance the ring position, no lock
+    ld32 r3, [r4+20]
+    addi r3, r3, 4
+    andi r3, r3, 0x3FF
+    st32 [r4+20], r3
+  aisr_done:
+    pop {r4, lr}
+    ret
+
+  ; ------------------------------------------------------------------- Diag
+  .func ep_diag
+    push lr
+    call au_diag_dispatch
+    pop lr
+    ret
+)";
+  source += GenerateDiagDispatch("au_diag", 150);
+  source += GenerateFillerFunctions("au_diag", 150, 0xAD10, 1, 1);
+  source += R"(
+  .data
+  adapter:               ; +0 buffer, +4 sync, +8 mmio, +16 dma_state,
+    .space 32            ; +20 ring_pos, +24 playing
+  lock:
+    .space 4
+)";
+  source += EntryTable("ep_init", "ep_halt", "", "", "", "ep_write", "ep_stop", "ep_diag");
+  return source;
+}
+
+}  // namespace ddt

@@ -1,0 +1,138 @@
+#include "src/drivers/corpus.h"
+
+#include "src/support/check.h"
+
+namespace ddt {
+
+namespace {
+
+PciDescriptor MakePci(uint16_t vendor, uint16_t device, uint8_t revision, uint8_t irq,
+                      std::initializer_list<uint32_t> bar_sizes, const std::string& pretty) {
+  PciDescriptor pci;
+  pci.vendor_id = vendor;
+  pci.device_id = device;
+  pci.revision = revision;
+  pci.irq_line = irq;
+  for (uint32_t size : bar_sizes) {
+    pci.bars.push_back(PciBar{size});
+  }
+  pci.pretty_name = pretty;
+  return pci;
+}
+
+CorpusDriver BuildDriver(const std::string& name, const std::string& pretty,
+                         DriverClass driver_class, const std::string& source,
+                         const PciDescriptor& pci, std::vector<ExpectedBug> expected) {
+  Result<AssembledDriver> assembled = Assemble(source);
+  DDT_CHECK_MSG(assembled.ok(), assembled.error().c_str());
+  CorpusDriver driver;
+  driver.name = name;
+  driver.pretty_name = pretty;
+  driver.driver_class = driver_class;
+  driver.assembled = assembled.take();
+  driver.image = driver.assembled.image;
+  driver.pci = pci;
+  driver.expected = std::move(expected);
+  return driver;
+}
+
+std::vector<CorpusDriver> BuildCorpus() {
+  std::vector<CorpusDriver> corpus;
+
+  corpus.push_back(BuildDriver(
+      "pro1000", "Intel Pro/1000", DriverClass::kNetwork, Pro1000Source(),
+      MakePci(0x8086, 0x100E, 2, 11, {0x1000, 0x100}, "Intel Pro/1000"),
+      {
+          ExpectedBug{BugType::kMemoryLeak, "memory leak on failed initialization",
+                      "Memory leak on failed initialization", /*needs_annotations=*/true,
+                      /*needs_interrupts=*/false},
+      }));
+
+  corpus.push_back(BuildDriver(
+      "pro100", "Intel Pro/100 (DDK)", DriverClass::kNetwork, Pro100Source(),
+      MakePci(0x8086, 0x1229, 8, 11, {0x1000}, "Intel Pro/100"),
+      {
+          ExpectedBug{BugType::kKernelCrash, "KeReleaseSpinLock",
+                      "KeReleaseSpinLock called from DPC routine", /*needs_annotations=*/false,
+                      /*needs_interrupts=*/true},
+      }));
+
+  corpus.push_back(BuildDriver(
+      "ac97", "Intel 82801AA AC97", DriverClass::kAudio, Ac97Source(),
+      MakePci(0x8086, 0x2415, 1, 10, {0x400}, "Intel 82801AA AC97"),
+      {
+          ExpectedBug{BugType::kRaceCondition, "null pointer",
+                      "During playback, the interrupt handler can cause a BSOD",
+                      /*needs_annotations=*/false, /*needs_interrupts=*/true},
+      }));
+
+  corpus.push_back(BuildDriver(
+      "audiopci", "Ensoniq AudioPCI", DriverClass::kAudio, AudiopciSource(),
+      MakePci(0x1274, 0x5000, 1, 10, {0x400}, "Ensoniq AudioPCI"),
+      {
+          ExpectedBug{BugType::kSegfault, "write of 4 bytes",
+                      "Driver crashes when ExAllocatePoolWithTag returns NULL",
+                      /*needs_annotations=*/true, /*needs_interrupts=*/false},
+          ExpectedBug{BugType::kSegfault, "read of 4 bytes",
+                      "Driver crashes when PcNewInterruptSync fails",
+                      /*needs_annotations=*/true, /*needs_interrupts=*/false},
+          ExpectedBug{BugType::kRaceCondition, "0x", "Race condition in the initialization "
+                      "routine", /*needs_annotations=*/false, /*needs_interrupts=*/true},
+          ExpectedBug{BugType::kRaceCondition, "0x", "Various race conditions with interrupts "
+                      "while playing audio", /*needs_annotations=*/false,
+                      /*needs_interrupts=*/true},
+      }));
+
+  corpus.push_back(BuildDriver(
+      "pcnet", "AMD PCNet", DriverClass::kNetwork, PcnetSource(),
+      MakePci(0x1022, 0x2000, 3, 9, {0x200}, "AMD PCNet"),
+      {
+          ExpectedBug{BugType::kResourceLeak, "MosAllocateMemoryWithTag",
+                      "Driver does not free memory allocated with NdisAllocateMemoryWithTag",
+                      /*needs_annotations=*/true, /*needs_interrupts=*/false},
+          ExpectedBug{BugType::kResourceLeak, "packets",
+                      "Driver does not free packets and buffers on failed initialization",
+                      /*needs_annotations=*/true, /*needs_interrupts=*/false},
+      }));
+
+  corpus.push_back(BuildDriver(
+      "rtl8029", "RTL8029", DriverClass::kNetwork, Rtl8029Source(),
+      MakePci(0x10EC, 0x8029, 0, 9, {0x100}, "RTL8029"),
+      {
+          ExpectedBug{BugType::kResourceLeak, "MosCloseConfiguration",
+                      "Driver does not always call NdisCloseConfiguration when initialization "
+                      "fails", /*needs_annotations=*/true, /*needs_interrupts=*/false},
+          ExpectedBug{BugType::kMemoryCorruption, "symbolic address",
+                      "Driver does not check the range for MaximumMulticastList registry "
+                      "parameter", /*needs_annotations=*/true, /*needs_interrupts=*/false},
+          ExpectedBug{BugType::kRaceCondition, "timer",
+                      "Interrupt arriving before timer initialization leads to BSOD",
+                      /*needs_annotations=*/false, /*needs_interrupts=*/true},
+          ExpectedBug{BugType::kSegfault, "symbolic address",
+                      "Crash when getting an unexpected OID in QueryInformation",
+                      /*needs_annotations=*/true, /*needs_interrupts=*/false},
+          ExpectedBug{BugType::kSegfault, "null pointer",
+                      "Crash when getting an unexpected OID in SetInformation",
+                      /*needs_annotations=*/true, /*needs_interrupts=*/false},
+      }));
+
+  return corpus;
+}
+
+}  // namespace
+
+const std::vector<CorpusDriver>& Corpus() {
+  static const std::vector<CorpusDriver>* corpus = new std::vector<CorpusDriver>(BuildCorpus());
+  return *corpus;
+}
+
+const CorpusDriver& CorpusDriverByName(const std::string& name) {
+  for (const CorpusDriver& driver : Corpus()) {
+    if (driver.name == name) {
+      return driver;
+    }
+  }
+  DDT_UNREACHABLE("unknown corpus driver");
+}
+
+}  // namespace ddt

@@ -1,0 +1,75 @@
+// The evaluation driver corpus: six synthetic closed-source binary drivers
+// modeled on the six Windows drivers of Table 1, each seeded with the same
+// kinds (and counts) of defects the paper reports in Table 2, plus the SDV
+// sample driver used in the §5.1 tool comparison.
+//
+// Each driver is written in DVM32 assembly and assembled to an opaque DDF
+// image at first use; DDT only ever sees the binary. ExpectedBug records the
+// ground truth the benchmarks assert against (what kind of bug, a keyword
+// its title must contain, and which DDT features are needed to find it —
+// the annotations ablation keys off that).
+#ifndef SRC_DRIVERS_CORPUS_H_
+#define SRC_DRIVERS_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/engine/bug_report.h"
+#include "src/hw/pci.h"
+#include "src/kernel/exerciser.h"
+#include "src/vm/assembler.h"
+#include "src/vm/image.h"
+
+namespace ddt {
+
+struct ExpectedBug {
+  BugType type;
+  // Substring the bug title must contain (identifies the specific defect).
+  std::string keyword;
+  // Paper's one-line description (Table 2 "Description" column).
+  std::string description;
+  // Finding it requires annotations (alloc-failure / registry / entry-arg).
+  bool needs_annotations = false;
+  // Finding it requires symbolic interrupts.
+  bool needs_interrupts = false;
+};
+
+struct CorpusDriver {
+  std::string name;          // corpus id ("rtl8029")
+  std::string pretty_name;   // Table 1 name ("RTL8029")
+  DriverClass driver_class;
+  DriverImage image;
+  AssembledDriver assembled;  // symbols etc. (benchmarks introspect sizes)
+  PciDescriptor pci;
+  std::vector<ExpectedBug> expected;
+};
+
+// The six Table 1/2 drivers, assembled and ready. Built once, cached.
+const std::vector<CorpusDriver>& Corpus();
+
+// Lookup by corpus id; aborts on unknown name.
+const CorpusDriver& CorpusDriverByName(const std::string& name);
+
+// Assembly sources (one function per driver; exposed for tests and the
+// source-availability column of Table 1 — pro100 mirrors the DDK driver
+// whose source the paper had).
+std::string Rtl8029Source();
+std::string PcnetSource();
+std::string Pro1000Source();
+std::string Pro100Source();
+std::string AudiopciSource();
+std::string Ac97Source();
+
+// SDV comparison driver (§5.1): the base sample with 8 seeded sample bugs,
+// and the variant with 5 additional synthetic bugs (deadlock, out-of-order
+// release, extra release, forgotten release, wrong-IRQL call) plus the
+// correlated-branch pattern that draws a false positive from the static
+// analyzer.
+std::string SdvSampleSource(bool with_synthetic_bugs);
+DriverImage SdvSampleImage(bool with_synthetic_bugs);
+PciDescriptor SdvSamplePci();
+std::vector<ExpectedBug> SdvSampleExpected(bool with_synthetic_bugs);
+
+}  // namespace ddt
+
+#endif  // SRC_DRIVERS_CORPUS_H_

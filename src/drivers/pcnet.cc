@@ -1,0 +1,269 @@
+// AMD PCNet analogue, seeded with the two Table-2 resource leaks:
+//   1. the adapter block allocated with MosAllocateMemoryWithTag is not
+//      freed when the receive-ring allocation fails,
+//   2. when the transmit-ring allocation fails, the driver frees the rings
+//      and the adapter block but forgets its packets and packet pool.
+// Everything else (locking, ISR/DPC split, unload) is deliberately correct.
+#include "src/drivers/asm_lib.h"
+#include "src/drivers/corpus.h"
+
+namespace ddt {
+
+std::string PcnetSource() {
+  std::string source = R"(
+  .driver "pcnet"
+  .entry driver_entry
+  .import MosZeroMemory
+  .code
+
+  .func driver_entry
+    la r0, entry_table
+    kcall MosRegisterDriver
+    ret
+
+  ; --------------------------------------------------------------- Initialize
+  .func ep_init
+    push {r4, r5, r6, lr}
+    subi sp, sp, 16                 ; [sp+0]=out ptr scratch
+    la r5, adapter
+    ; adapter block (NDIS-style tagged allocation)
+    mov r0, sp
+    movi r1, 128
+    movi r2, 0x41445054             ; 'ADPT'
+    kcall MosAllocateMemoryWithTag
+    bnz r0, init_fail_plain
+    ld32 r4, [sp+0]
+    st32 [r5+0], r4                 ; adapter.block
+    ; packet pool with two packets
+    mov r0, sp
+    movi r1, 4
+    kcall MosAllocatePacketPool
+    bnz r0, init_fail_free_block
+    ld32 r6, [sp+0]
+    st32 [r5+4], r6                 ; adapter.pool
+    mov r0, sp
+    mov r1, r6
+    kcall MosAllocatePacket
+    bnz r0, init_fail_free_pool
+    ld32 r1, [sp+0]
+    st32 [r5+8], r1                 ; adapter.pkt0
+    mov r0, sp
+    mov r1, r6
+    kcall MosAllocatePacket
+    bnz r0, init_fail_free_pkt0
+    ld32 r1, [sp+0]
+    st32 [r5+12], r1                ; adapter.pkt1
+    ; receive ring
+    movi r0, 512
+    movi r1, 0x52585247             ; 'RXRG'
+    kcall MosAllocatePoolWithTag
+    bz r0, init_fail_rx_ring
+    st32 [r5+16], r0                ; adapter.rx_ring
+    ; map registers, hook the interrupt
+    movi r0, 0
+    kcall MosMapIoSpace
+    st32 [r5+20], r0
+    la r0, isr
+    la r1, adapter
+    kcall MosRegisterInterrupt
+    ; transmit ring
+    movi r0, 512
+    movi r1, 0x54585247             ; 'TXRG'
+    kcall MosAllocatePoolWithTag
+    bz r0, init_fail_tx_ring
+    st32 [r5+24], r0                ; adapter.tx_ring
+    ; zero the rings before enabling DMA
+    ld32 r0, [r5+16]
+    movi r1, 512
+    kcall MosZeroMemory
+    ld32 r0, [r5+24]
+    movi r1, 512
+    kcall MosZeroMemory
+    addi sp, sp, 16
+    movi r0, 0
+    pop {r4, r5, r6, lr}
+    ret
+
+  init_fail_tx_ring:
+    ; BUG 2: frees the rings and the adapter block, forgets packets + pool
+    kcall MosDeregisterInterrupt
+    ld32 r0, [r5+16]
+    kcall MosFreePool
+    ld32 r0, [r5+0]
+    kcall MosFreeMemory
+    addi sp, sp, 16
+    movi r0, 0xC000009A
+    pop {r4, r5, r6, lr}
+    ret
+  init_fail_rx_ring:
+    ; BUG 1: frees the packets and pool but NOT the tagged adapter block
+    ld32 r0, [r5+12]
+    kcall MosFreePacket
+    ld32 r0, [r5+8]
+    kcall MosFreePacket
+    ld32 r0, [r5+4]
+    kcall MosFreePacketPool
+    addi sp, sp, 16
+    movi r0, 0xC000009A
+    pop {r4, r5, r6, lr}
+    ret
+  init_fail_free_pkt0:
+    ld32 r0, [r5+8]
+    kcall MosFreePacket
+  init_fail_free_pool:
+    ld32 r0, [r5+4]
+    kcall MosFreePacketPool
+  init_fail_free_block:
+    ld32 r0, [r5+0]
+    kcall MosFreeMemory
+  init_fail_plain:
+    addi sp, sp, 16
+    movi r0, 0xC000009A
+    pop {r4, r5, r6, lr}
+    ret
+
+  ; ---------------------------------------------------------------------- Halt
+  .func ep_halt
+    push {r4, lr}
+    la r4, adapter
+    kcall MosDeregisterInterrupt
+    ld32 r0, [r4+24]
+    kcall MosFreePool
+    ld32 r0, [r4+16]
+    kcall MosFreePool
+    ld32 r0, [r4+12]
+    kcall MosFreePacket
+    ld32 r0, [r4+8]
+    kcall MosFreePacket
+    ld32 r0, [r4+4]
+    kcall MosFreePacketPool
+    ld32 r0, [r4+0]
+    kcall MosFreeMemory
+    movi r0, 0
+    pop {r4, lr}
+    ret
+
+  ; ----------------------------------------------------------- QueryInformation
+  .func ep_query_info              ; (oid, buf, len) -> status  (correct code)
+    push {r4, lr}
+    seqi r4, r0, 0x00010106
+    bnz r4, pq_frame
+    seqi r4, r0, 0x00010107
+    bnz r4, pq_speed
+    seqi r4, r0, 0x00010102
+    bnz r4, pq_addr
+    movi r0, 0xC0000010              ; properly rejects unknown OIDs
+    pop {r4, lr}
+    ret
+  pq_frame:
+    movi r2, 1514
+    st32 [r1+0], r2
+    movi r0, 0
+    pop {r4, lr}
+    ret
+  pq_speed:
+    movi r2, 100
+    st32 [r1+0], r2
+    movi r0, 0
+    pop {r4, lr}
+    ret
+  pq_addr:
+    movi r2, 0x22334455
+    st32 [r1+0], r2
+    movi r0, 0
+    pop {r4, lr}
+    ret
+
+  ; ------------------------------------------------------------- SetInformation
+  .func ep_set_info                ; (oid, buf, len) -> status  (correct code)
+    push lr
+    seqi r3, r0, 0x00010103
+    bz r3, ps_reject
+    sltui r3, r2, 4                  ; properly validates the buffer length
+    bnz r3, ps_reject
+    ld32 r3, [r1+0]
+    la r2, adapter
+    st32 [r2+28], r3                 ; store the filter word
+    movi r0, 0
+    pop lr
+    ret
+  ps_reject:
+    movi r0, 0xC0000010
+    pop lr
+    ret
+
+  ; ------------------------------------------------------------------- Send
+  .func ep_send                    ; (packet, length) -> status
+    push {r4, r5, lr}
+    mov r4, r0
+    ld32 r5, [r4+0]
+    ld32 r1, [r5+0]
+    la r2, adapter
+    ld32 r2, [r2+20]
+    st32 [r2+16], r1                 ; tx FIFO
+    la r0, lock
+    kcall MosAcquireSpinLock
+    la r2, adapter
+    ld32 r1, [r2+32]
+    addi r1, r1, 1
+    st32 [r2+32], r1                 ; tx count (locked)
+    la r0, lock
+    kcall MosReleaseSpinLock
+    movi r0, 0
+    pop {r4, r5, lr}
+    ret
+
+  ; -------------------------------------------------------------------- ISR
+  .func isr                        ; (ctx)
+    push {r4, lr}
+    mov r4, r0
+    ld32 r1, [r4+20]
+    ld32 r2, [r1+0]                  ; status register
+    andi r3, r2, 3
+    bz r3, pisr_done
+    ld32 r3, [r4+36]                 ; ISR-private counter
+    addi r3, r3, 1
+    st32 [r4+36], r3
+    la r0, pcnet_dpc
+    la r1, adapter
+    kcall MosQueueDpc
+  pisr_done:
+    pop {r4, lr}
+    ret
+
+  ; -------------------------------------------------------------------- DPC
+  .func pcnet_dpc                  ; (ctx)  -- correct Dpr pairing
+    push {r4, lr}
+    mov r4, r0
+    la r0, lock
+    kcall MosDprAcquireSpinLock
+    ld32 r1, [r4+32]
+    addi r1, r1, 1
+    st32 [r4+32], r1
+    la r0, lock
+    kcall MosDprReleaseSpinLock
+    pop {r4, lr}
+    ret
+
+  ; ------------------------------------------------------------------- Diag
+  .func ep_diag
+    push lr
+    call pcnet_diag_dispatch
+    pop lr
+    ret
+)";
+  source += GenerateDiagDispatch("pcnet_diag", 36);
+  source += GenerateFillerFunctions("pcnet_diag", 36, 0x9C9E7, 1, 3);
+  source += R"(
+  .data
+  adapter:                ; +0 block, +4 pool, +8 pkt0, +12 pkt1, +16 rx_ring,
+    .space 48             ; +20 mmio, +24 tx_ring, +28 filter, +32 txcnt, +36 isr
+  lock:
+    .space 4
+)";
+  source += EntryTable("ep_init", "ep_halt", "ep_query_info", "ep_set_info", "ep_send", "", "",
+                       "ep_diag");
+  return source;
+}
+
+}  // namespace ddt

@@ -1,0 +1,197 @@
+// Intel Pro/100 (DDK sample) analogue — the one driver whose source the
+// paper had. Seeded with the single Table-2 defect:
+//   - kernel crash: the deferred procedure call (DPC) routine releases a
+//     spinlock acquired with MosDprAcquireSpinLock using the plain
+//     MosReleaseSpinLock — the NdisReleaseSpinLock-from-DPC bug that sets
+//     the IRQL to the wrong value (prohibited by the documentation).
+// Reaching it requires an interrupt (the ISR queues the DPC), so only
+// interrupt-injecting testing finds it.
+#include "src/drivers/asm_lib.h"
+#include "src/drivers/corpus.h"
+
+namespace ddt {
+
+std::string Pro100Source() {
+  std::string source = R"(
+  .driver "pro100"
+  .entry driver_entry
+  .import MosZeroMemory
+  .import MosMoveMemory
+  .import MosGetCurrentIrql
+  .import MosStallExecution
+  .import MosReadPciConfig
+  .import MosLog
+  .import MosIndicateReceive
+  .code
+
+  .func driver_entry
+    la r0, entry_table
+    kcall MosRegisterDriver
+    ret
+
+  ; --------------------------------------------------------------- Initialize
+  .func ep_init
+    push {r4, r5, lr}
+    subi sp, sp, 8
+    la r5, adapter
+    mov r0, sp
+    kcall MosOpenConfiguration
+    ld32 r4, [sp+0]
+    mov r0, r4
+    la r1, name_addr
+    addi r2, sp, 0
+    kcall MosReadConfiguration
+    mov r0, r4
+    kcall MosCloseConfiguration
+    ; control/status block
+    movi r0, 256
+    movi r1, 0x43534231              ; 'CSB1'
+    kcall MosAllocatePoolWithTag
+    bz r0, f100_init_failed
+    st32 [r5+0], r0
+    movi r0, 0
+    kcall MosMapIoSpace
+    st32 [r5+4], r0
+    la r0, isr
+    la r1, adapter
+    kcall MosRegisterInterrupt
+    addi sp, sp, 8
+    movi r0, 0
+    pop {r4, r5, lr}
+    ret
+  f100_init_failed:
+    addi sp, sp, 8
+    movi r0, 0xC000009A
+    pop {r4, r5, lr}
+    ret
+
+  ; ---------------------------------------------------------------------- Halt
+  .func ep_halt
+    push {r4, lr}
+    la r4, adapter
+    kcall MosDeregisterInterrupt
+    ld32 r0, [r4+0]
+    kcall MosFreePool
+    movi r0, 0
+    pop {r4, lr}
+    ret
+
+  ; ----------------------------------------------------------- QueryInformation
+  .func ep_query_info              ; (oid, buf, len) -> status  (correct code)
+    push lr
+    seqi r3, r0, 0x00010106
+    bnz r3, fq_frame
+    seqi r3, r0, 0x00010107
+    bnz r3, fq_speed
+    movi r0, 0xC0000010
+    pop lr
+    ret
+  fq_frame:
+    movi r2, 1514
+    st32 [r1+0], r2
+    movi r0, 0
+    pop lr
+    ret
+  fq_speed:
+    movi r2, 100
+    st32 [r1+0], r2
+    movi r0, 0
+    pop lr
+    ret
+
+  ; ------------------------------------------------------------- SetInformation
+  .func ep_set_info                ; (correct code)
+    push lr
+    seqi r3, r0, 0x00010103
+    bz r3, fs_reject
+    sltui r3, r2, 4
+    bnz r3, fs_reject
+    ld32 r3, [r1+0]
+    la r2, adapter
+    st32 [r2+8], r3
+    movi r0, 0
+    pop lr
+    ret
+  fs_reject:
+    movi r0, 0xC0000010
+    pop lr
+    ret
+
+  ; ------------------------------------------------------------------- Send
+  .func ep_send
+    push {r4, r5, lr}
+    mov r4, r0
+    ld32 r5, [r4+0]
+    ld32 r1, [r5+0]
+    la r2, adapter
+    ld32 r2, [r2+4]
+    st32 [r2+4], r1                  ; tx command unit
+    la r0, lock
+    kcall MosAcquireSpinLock
+    la r2, adapter
+    ld32 r1, [r2+12]
+    addi r1, r1, 1
+    st32 [r2+12], r1
+    la r0, lock
+    kcall MosReleaseSpinLock
+    movi r0, 0
+    pop {r4, r5, lr}
+    ret
+
+  ; -------------------------------------------------------------------- ISR
+  .func isr                        ; (ctx)
+    push {r4, lr}
+    mov r4, r0
+    ld32 r1, [r4+4]
+    ld32 r2, [r1+8]                  ; SCB status
+    andi r3, r2, 0xF
+    bz r3, fisr_done
+    ld32 r3, [r4+16]
+    addi r3, r3, 1
+    st32 [r4+16], r3                 ; ISR-private event count
+    la r0, pro100_dpc
+    la r1, adapter
+    kcall MosQueueDpc
+  fisr_done:
+    pop {r4, lr}
+    ret
+
+  ; -------------------------------------------------------------------- DPC
+  .func pro100_dpc                 ; (ctx)
+    push {r4, lr}
+    mov r4, r0
+    la r0, lock
+    kcall MosDprAcquireSpinLock
+    ld32 r1, [r4+12]
+    addi r1, r1, 1
+    st32 [r4+12], r1
+    la r0, lock
+    kcall MosReleaseSpinLock         ; BUG: wrong variant from a DPC routine
+    pop {r4, lr}
+    ret
+
+  ; ------------------------------------------------------------------- Diag
+  .func ep_diag
+    push lr
+    call f100_diag_dispatch
+    pop lr
+    ret
+)";
+  source += GenerateDiagDispatch("f100_diag", 45);
+  source += GenerateFillerFunctions("f100_diag", 45, 0xF100, 10, 14);
+  source += R"(
+  .data
+  adapter:               ; +0 csb, +4 mmio, +8 filter, +12 txcnt, +16 isr evt
+    .space 32
+  lock:
+    .space 4
+  name_addr:
+    .asciiz "NetworkAddress"
+    .align 4
+)";
+  source += EntryTable("ep_init", "ep_halt", "ep_query_info", "ep_set_info", "ep_send", "", "",
+                       "ep_diag");
+  return source;
+}
+
+}  // namespace ddt

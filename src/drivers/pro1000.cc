@@ -1,0 +1,339 @@
+// Intel Pro/1000 analogue: the largest corpus driver (Table 1's 168 KB /
+// 525 functions), seeded with one Table-2 defect:
+//   - memory leak on failed initialization: when the transmit descriptor
+//     ring allocation fails, the already-allocated receive ring is never
+//     freed.
+// The driver is otherwise well-behaved and deliberately broad: many
+// registry parameters, a large OID surface, and a big diagnostic helper
+// farm reachable from the Diag entry point.
+#include "src/drivers/asm_lib.h"
+#include "src/drivers/corpus.h"
+
+namespace ddt {
+
+std::string Pro1000Source() {
+  std::string source = R"(
+  .driver "pro1000"
+  .entry driver_entry
+  .import MosZeroMemory
+  .import MosMoveMemory
+  .import MosGetCurrentIrql
+  .import MosRaiseIrql
+  .import MosLowerIrql
+  .import MosLog
+  .import MosReadPciConfig
+  .import MosCancelTimer
+  .import MosIndicateReceive
+  .code
+
+  .func driver_entry
+    la r0, entry_table
+    kcall MosRegisterDriver
+    ret
+
+  ; ---------------------------------------------------------------- helpers
+  .func read_registry_param        ; (handle, name, default) -> value
+    push {r4, lr}
+    subi sp, sp, 8
+    mov r4, r2                     ; default
+    addi r2, sp, 0
+    kcall MosReadConfiguration
+    bnz r0, rr_default
+    ld32 r0, [sp+4]
+    addi sp, sp, 8
+    pop {r4, lr}
+    ret
+  rr_default:
+    mov r0, r4
+    addi sp, sp, 8
+    pop {r4, lr}
+    ret
+
+  ; --------------------------------------------------------------- Initialize
+  .func ep_init
+    push {r4, r5, r6, lr}
+    subi sp, sp, 8
+    la r5, adapter
+    ; configuration: three parameters, handle closed on every path
+    mov r0, sp
+    kcall MosOpenConfiguration
+    ld32 r4, [sp+0]
+    ld32 r0, [sp+0]
+    la r1, name_txbufs
+    movi r2, 16
+    call read_registry_param
+    andi r0, r0, 0x1F              ; properly clamped before use
+    st32 [r5+0], r0
+    mov r0, r4
+    la r1, name_rxbufs
+    movi r2, 16
+    call read_registry_param
+    andi r0, r0, 0x1F
+    st32 [r5+4], r0
+    mov r0, r4
+    la r1, name_speed
+    movi r2, 1000
+    call read_registry_param
+    st32 [r5+8], r0
+    mov r0, r4
+    kcall MosCloseConfiguration
+    ; receive descriptor ring
+    movi r0, 1024
+    kcall MosAllocatePool
+    bz r0, init_fail_plain
+    st32 [r5+12], r0               ; adapter.rx_ring
+    ; transmit descriptor ring
+    movi r0, 1024
+    kcall MosAllocatePool
+    bz r0, init_fail_tx            ; BUG: this path leaks the receive ring
+    st32 [r5+16], r0               ; adapter.tx_ring
+    ; map BAR0 and BAR1
+    movi r0, 0
+    kcall MosMapIoSpace
+    st32 [r5+20], r0
+    movi r0, 1
+    kcall MosMapIoSpace
+    st32 [r5+24], r0
+    ; read the hardware revision (annotations make this symbolic)
+    movi r0, 8
+    addi r1, sp, 4
+    movi r2, 1
+    kcall MosReadPciConfig
+    ld8u r1, [sp+4]
+    st32 [r5+28], r1
+    ; old silicon needs a workaround path
+    sltui r2, r1, 3
+    bz r2, init_new_silicon
+    ld32 r2, [r5+20]
+    movi r3, 1
+    st32 [r2+64], r3               ; enable legacy workaround
+    br init_hw_done
+  init_new_silicon:
+    ld32 r2, [r5+20]
+    movi r3, 2
+    st32 [r2+64], r3
+  init_hw_done:
+    ; hook interrupt; arm the link-check timer (correct order)
+    la r0, timer_block
+    la r1, link_timer
+    la r2, adapter
+    kcall MosInitializeTimer
+    la r0, isr
+    la r1, adapter
+    kcall MosRegisterInterrupt
+    la r0, timer_block
+    movi r1, 200
+    kcall MosSetTimer
+    ; clear both rings
+    ld32 r0, [r5+12]
+    movi r1, 1024
+    kcall MosZeroMemory
+    ld32 r0, [r5+16]
+    movi r1, 1024
+    kcall MosZeroMemory
+    addi sp, sp, 8
+    movi r0, 0
+    pop {r4, r5, r6, lr}
+    ret
+  init_fail_tx:
+    ; BUG: returns without freeing adapter.rx_ring
+    addi sp, sp, 8
+    movi r0, 0xC000009A
+    pop {r4, r5, r6, lr}
+    ret
+  init_fail_plain:
+    addi sp, sp, 8
+    movi r0, 0xC000009A
+    pop {r4, r5, r6, lr}
+    ret
+
+  ; ---------------------------------------------------------------------- Halt
+  .func ep_halt
+    push {r4, lr}
+    la r4, adapter
+    la r0, timer_block
+    kcall MosCancelTimer
+    kcall MosDeregisterInterrupt
+    ld32 r0, [r4+16]
+    kcall MosFreePool
+    ld32 r0, [r4+12]
+    kcall MosFreePool
+    movi r0, 0
+    pop {r4, lr}
+    ret
+
+  ; ----------------------------------------------------------- QueryInformation
+  .func ep_query_info              ; (oid, buf, len) -> status  (correct code)
+    push lr
+    seqi r3, r0, 0x00010106
+    bnz r3, gq_frame
+    seqi r3, r0, 0x00010107
+    bnz r3, gq_speed
+    seqi r3, r0, 0x00010102
+    bnz r3, gq_addr
+    seqi r3, r0, 0x00010103
+    bnz r3, gq_mcast
+    seqi r3, r0, 0x01010101
+    bnz r3, gq_perm
+    movi r0, 0xC0000010
+    pop lr
+    ret
+  gq_frame:
+    movi r2, 9014                  ; jumbo frames
+    st32 [r1+0], r2
+    movi r0, 0
+    pop lr
+    ret
+  gq_speed:
+    la r2, adapter
+    ld32 r2, [r2+8]
+    st32 [r1+0], r2
+    movi r0, 0
+    pop lr
+    ret
+  gq_addr:
+    movi r2, 0x11223344
+    st32 [r1+0], r2
+    movi r0, 0
+    pop lr
+    ret
+  gq_mcast:
+    la r2, adapter
+    ld32 r2, [r2+0]
+    st32 [r1+0], r2
+    movi r0, 0
+    pop lr
+    ret
+  gq_perm:
+    movi r2, 0x8086DEAD
+    st32 [r1+0], r2
+    movi r0, 0
+    pop lr
+    ret
+
+  ; ------------------------------------------------------------- SetInformation
+  .func ep_set_info                ; (oid, buf, len) -> status  (correct code)
+    push lr
+    seqi r3, r0, 0x00010103
+    bz r3, gs_reject
+    sltui r3, r2, 4
+    bnz r3, gs_reject
+    ld32 r3, [r1+0]
+    la r2, adapter
+    st32 [r2+32], r3
+    movi r0, 0
+    pop lr
+    ret
+  gs_reject:
+    movi r0, 0xC0000010
+    pop lr
+    ret
+
+  ; ------------------------------------------------------------------- Send
+  .func ep_send                    ; (packet, length) -> status
+    push {r4, r5, r6, lr}
+    mov r4, r0
+    mov r6, r1
+    ld32 r5, [r4+0]
+    ; copy the head of the payload into the tx ring slot 0 (correct bounds)
+    la r0, lock
+    kcall MosAcquireSpinLock
+    la r2, adapter
+    ld32 r0, [r2+16]               ; tx ring
+    mov r1, r5
+    movi r2, 16
+    kcall MosMoveMemory
+    la r2, adapter
+    ld32 r1, [r2+36]
+    addi r1, r1, 1
+    st32 [r2+36], r1               ; tx count (locked)
+    la r0, lock
+    kcall MosReleaseSpinLock
+    ; kick the DMA engine
+    la r2, adapter
+    ld32 r2, [r2+20]
+    st32 [r2+0x10], r6
+    movi r0, 0
+    pop {r4, r5, r6, lr}
+    ret
+
+  ; -------------------------------------------------------------------- ISR
+  .func isr                        ; (ctx)
+    push {r4, lr}
+    mov r4, r0
+    ld32 r1, [r4+20]
+    ld32 r2, [r1+0xC0]             ; interrupt cause register
+    bz r2, gisr_done
+    ld32 r3, [r4+40]               ; ISR-private cause accumulator
+    or r3, r3, r2
+    st32 [r4+40], r3
+    la r0, pro1000_dpc
+    la r1, adapter
+    kcall MosQueueDpc
+  gisr_done:
+    pop {r4, lr}
+    ret
+
+  ; -------------------------------------------------------------------- DPC
+  .func pro1000_dpc                ; (ctx)  -- correct Dpr pairing
+    push {r4, lr}
+    mov r4, r0
+    la r0, lock
+    kcall MosDprAcquireSpinLock
+    ld32 r1, [r4+36]
+    addi r1, r1, 1
+    st32 [r4+36], r1
+    la r0, lock
+    kcall MosDprReleaseSpinLock
+    pop {r4, lr}
+    ret
+
+  ; ------------------------------------------------------------------ timer
+  .func link_timer                 ; (ctx)
+    push {r4, lr}
+    mov r4, r0
+    ld32 r1, [r4+20]
+    ld32 r2, [r1+8]                ; link status register
+    andi r2, r2, 1
+    la r0, lock
+    kcall MosDprAcquireSpinLock
+    st32 [r4+44], r2               ; link state (locked)
+    la r0, lock
+    kcall MosDprReleaseSpinLock
+    pop {r4, lr}
+    ret
+
+  ; ------------------------------------------------------------------- Diag
+  .func ep_diag
+    push lr
+    call e1k_diag_dispatch
+    pop lr
+    ret
+)";
+  source += GenerateDiagDispatch("e1k_diag", 320);
+  source += GenerateFillerFunctions("e1k_diag", 320, 0xE1000, 3, 5);
+  source += R"(
+  .data
+  adapter:               ; +0 txbufs, +4 rxbufs, +8 speed, +12 rx_ring,
+    .space 64            ; +16 tx_ring, +20 bar0, +24 bar1, +28 rev,
+                         ; +32 filter, +36 txcnt, +40 isr causes, +44 link
+  lock:
+    .space 4
+  timer_block:
+    .space 16
+  name_txbufs:
+    .asciiz "TransmitBuffers"
+    .align 4
+  name_rxbufs:
+    .asciiz "ReceiveBuffers"
+    .align 4
+  name_speed:
+    .asciiz "LinkSpeed"
+    .align 4
+)";
+  source += EntryTable("ep_init", "ep_halt", "ep_query_info", "ep_set_info", "ep_send", "", "",
+                       "ep_diag");
+  return source;
+}
+
+}  // namespace ddt

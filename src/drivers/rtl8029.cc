@@ -1,0 +1,285 @@
+// RTL8029 analogue: the smallest corpus driver, seeded with the five Table-2
+// defects the paper found in the real RTL8029 NDIS driver:
+//   1. resource leak   — failed initialization skips MosCloseConfiguration
+//   2. memory corruption — MaximumMulticastList registry value used as an
+//                          unchecked index into a fixed 16-entry table
+//   3. race condition  — an interrupt arriving after the ISR is registered
+//                        but before the watchdog timer is initialized makes
+//                        the ISR pass an uninitialized timer to the kernel
+//                        (BSOD)
+//   4. segfault        — QueryInformation indexes its handler table with the
+//                        OID's low byte, unchecked
+//   5. segfault        — SetInformation dereferences the (null) pointer at
+//                        the head of the request buffer for unexpected OIDs
+#include "src/drivers/asm_lib.h"
+#include "src/drivers/corpus.h"
+
+namespace ddt {
+
+std::string Rtl8029Source() {
+  std::string source = R"(
+  .driver "rtl8029"
+  .entry driver_entry
+  .code
+
+  .func driver_entry
+    la r0, entry_table
+    kcall MosRegisterDriver
+    ret
+
+  ; --------------------------------------------------------------- Initialize
+  .func ep_init
+    push {r4, r5, r6, lr}
+    subi sp, sp, 16            ; [sp+0]=config handle out, [sp+4..11]=param blk
+    mov r0, sp
+    kcall MosOpenConfiguration
+    ld32 r4, [sp+0]
+    la r5, adapter
+    st32 [r5+0], r4            ; adapter.config = handle
+    ; read MaximumMulticastList; keep the kernel default on failure
+    mov r0, r4
+    la r1, name_mcast
+    addi r2, sp, 4
+    kcall MosReadConfiguration
+    bnz r0, init_no_param
+    ld32 r6, [sp+8]
+    st32 [r5+8], r6            ; adapter.mcast_count = value (NOT validated)
+  init_no_param:
+    movi r0, 0
+    kcall MosMapIoSpace
+    st32 [r5+4], r0            ; adapter.mmio = BAR0
+    ; receive buffer
+    movi r0, 256
+    movi r1, 0x52583239
+    kcall MosAllocatePoolWithTag
+    bz r0, init_alloc_failed
+    st32 [r5+12], r0           ; adapter.rx_buffer
+    ; hook the interrupt
+    la r0, isr
+    la r1, adapter
+    kcall MosRegisterInterrupt
+    bnz r0, init_isr_failed
+    ; let the NIC settle -- the interrupt is live, the watchdog is NOT yet
+    ; initialized: this is the race window
+    movi r0, 20
+    kcall MosStallExecution
+    la r0, timer_block
+    la r1, watchdog
+    la r2, adapter
+    kcall MosInitializeTimer
+    la r0, timer_block
+    movi r1, 100
+    kcall MosSetTimer
+    ld32 r0, [r5+0]
+    kcall MosCloseConfiguration
+    addi sp, sp, 16
+    movi r0, 0
+    pop {r4, r5, r6, lr}
+    ret
+  init_alloc_failed:
+    ; BUG 1: bail out without MosCloseConfiguration
+    addi sp, sp, 16
+    movi r0, 0xC000009A
+    pop {r4, r5, r6, lr}
+    ret
+  init_isr_failed:
+    ld32 r0, [r5+12]
+    kcall MosFreePool
+    ld32 r0, [r5+0]
+    kcall MosCloseConfiguration
+    addi sp, sp, 16
+    movi r0, 0xC0000001
+    pop {r4, r5, r6, lr}
+    ret
+
+  ; ---------------------------------------------------------------------- Halt
+  .func ep_halt
+    push {r4, lr}
+    la r4, adapter
+    la r0, timer_block
+    kcall MosCancelTimer
+    kcall MosDeregisterInterrupt
+    ld32 r0, [r4+12]
+    bz r0, halt_no_buffer
+    kcall MosFreePool
+  halt_no_buffer:
+    movi r0, 0
+    pop {r4, lr}
+    ret
+
+  ; ----------------------------------------------------------- QueryInformation
+  .func ep_query_info            ; (oid, buf, len) -> status
+    push {r4, lr}
+    ; BUG 4: assumes supported OIDs are dense in the low byte; no range check
+    andi r4, r0, 0xFF
+    shli r4, r4, 2
+    la r2, query_table
+    add r2, r2, r4
+    ld32 r2, [r2+0]
+    mov r0, r1
+    callr r2
+    pop {r4, lr}
+    ret
+
+  .func qh_frame_size
+    movi r1, 1514
+    st32 [r0+0], r1
+    movi r0, 0
+    ret
+  .func qh_mac_low
+    movi r1, 0x00AABBCC
+    st32 [r0+0], r1
+    movi r0, 0
+    ret
+  .func qh_mcast
+    la r1, adapter
+    ld32 r1, [r1+8]
+    st32 [r0+0], r1
+    movi r0, 0
+    ret
+  .func qh_link_state
+    movi r1, 1
+    st32 [r0+0], r1
+    movi r0, 0
+    ret
+  .func qh_speed
+    movi r1, 10
+    st32 [r0+0], r1
+    movi r0, 0
+    ret
+  .func qh_mtu
+    movi r1, 1500
+    st32 [r0+0], r1
+    movi r0, 0
+    ret
+  .func qh_vendor
+    movi r1, 0x10EC
+    st32 [r0+0], r1
+    movi r0, 0
+    ret
+  .func qh_stats
+    la r1, adapter
+    ld32 r1, [r1+16]
+    st32 [r0+0], r1
+    movi r0, 0
+    ret
+
+  ; ------------------------------------------------------------- SetInformation
+  .func ep_set_info              ; (oid, buf, len) -> status
+    push {r4, lr}
+    seqi r4, r0, 0x00010103      ; OID_GEN_MULTICAST_LIST
+    bz r4, set_unexpected
+    ; BUG 2: mcast_count comes straight from the registry; table has 16 slots
+    la r2, adapter
+    ld32 r3, [r2+8]
+    subi r3, r3, 1
+    shli r3, r3, 2
+    la r2, mcast_table
+    add r2, r2, r3
+    ld32 r3, [r1+0]
+    st32 [r2+0], r3              ; out-of-bounds write for count > 16 (or 0)
+    movi r0, 0
+    pop {r4, lr}
+    ret
+  set_unexpected:
+    ; BUG 5: assumes the request buffer begins with a parameter-block pointer
+    ld32 r3, [r1+0]
+    ld32 r3, [r3+0]              ; NULL dereference on zero-filled buffers
+    movi r0, 0xC0000010
+    pop {r4, lr}
+    ret
+
+  ; ------------------------------------------------------------------- Send
+  .func ep_send                  ; (packet, length) -> status
+    push {r4, r5, lr}
+    mov r4, r0
+    ld32 r5, [r4+0]              ; payload pointer
+    ld32 r1, [r5+0]              ; first payload word
+    la r2, adapter
+    ld32 r2, [r2+4]
+    st32 [r2+16], r1             ; tx FIFO register
+    la r0, lock
+    kcall MosAcquireSpinLock
+    la r2, adapter
+    ld32 r1, [r2+16]
+    addi r1, r1, 1
+    st32 [r2+16], r1             ; stats_tx under the lock
+    la r0, lock
+    kcall MosReleaseSpinLock
+    movi r0, 0
+    pop {r4, r5, lr}
+    ret
+
+  ; -------------------------------------------------------------------- ISR
+  .func isr                      ; (ctx = adapter)
+    push {r4, lr}
+    mov r4, r0
+    ld32 r1, [r4+4]              ; register base
+    ld32 r2, [r1+0]              ; interrupt status (device-controlled)
+    andi r3, r2, 1
+    bz r3, isr_done
+    ld32 r3, [r4+28]             ; ISR-private event counter
+    addi r3, r3, 1
+    st32 [r4+28], r3
+    ; BUG 3: re-arm the watchdog -- BSOD if the timer was never initialized
+    la r0, timer_block
+    movi r1, 50
+    kcall MosSetTimer
+  isr_done:
+    pop {r4, lr}
+    ret
+
+  ; ------------------------------------------------------------------ timer
+  .func watchdog                 ; (ctx = adapter)
+    push {r4, lr}
+    mov r4, r0
+    la r0, lock
+    kcall MosDprAcquireSpinLock
+    ld32 r1, [r4+16]
+    addi r1, r1, 1
+    st32 [r4+16], r1
+    la r0, lock
+    kcall MosDprReleaseSpinLock
+    pop {r4, lr}
+    ret
+
+  ; ------------------------------------------------------------------- Diag
+  .func ep_diag                  ; (code) -> status
+    push lr
+    call rtl_diag_dispatch
+    pop lr
+    ret
+)";
+  source += GenerateDiagDispatch("rtl_diag", 18);
+  source += GenerateFillerFunctions("rtl_diag", 18, 0x8029, 1, 3);
+  source += R"(
+  .data
+  adapter:                       ; +0 config, +4 mmio, +8 mcast_count,
+    .space 32                    ; +12 rx_buffer, +16 stats_tx, +28 isr events
+  lock:
+    .space 4
+  timer_block:
+    .space 16
+  name_mcast:
+    .asciiz "MaximumMulticastList"
+    .align 4
+  query_table:
+    .word qh_frame_size
+    .word qh_mac_low
+    .word qh_mcast
+    .word qh_link_state
+    .word qh_speed
+    .word qh_mtu
+    .word qh_vendor
+    .word qh_stats
+)";
+  source += EntryTable("ep_init", "ep_halt", "ep_query_info", "ep_set_info", "ep_send", "", "",
+                       "ep_diag");
+  source += R"(
+  mcast_table:                   ; 16 entries; deliberately last in .data
+    .space 64
+)";
+  return source;
+}
+
+}  // namespace ddt

@@ -1,0 +1,341 @@
+// The SDV comparison driver (§5.1).
+//
+// Base variant ("sample driver shipped with SDV"): eight seeded rule
+// violations, each in its own diagnostic handler — all eight are within the
+// static analyzer's rule automata AND dynamically reachable, so both tools
+// find them; the interesting comparison is time.
+//
+// Synthetic variant adds the paper's five injected bugs plus the pattern
+// that draws the static analyzer into its one false positive:
+//   sdv8/sdv9   deadlock      — AB/BA lock-order inversion across two
+//                               handlers (per-function analysis can't see it)
+//   sdv10       out-of-order  — non-LIFO release (the lock automaton only
+//                               checks balance)
+//   sdv11       extra release — the lock pointer is loaded from memory, so
+//                               the analyzer cannot tell which lock it is
+//   sdv12       forgotten     — lock held at return (both tools find it)
+//   sdv13       wrong IRQL    — allocation at DEVICE level (both find it)
+//   sdv14       FP pattern    — a release guarded by an arithmetic-derived
+//                               flag: infeasible path for execution, real
+//                               path for the condition-blind analyzer
+#include "src/drivers/asm_lib.h"
+#include "src/drivers/corpus.h"
+#include "src/support/check.h"
+
+namespace ddt {
+
+std::string SdvSampleSource(bool with_synthetic_bugs) {
+  std::string source = R"(
+  .driver "sdv_sample"
+  .entry driver_entry
+  .code
+
+  .func driver_entry
+    la r0, entry_table
+    kcall MosRegisterDriver
+    ret
+
+  .func ep_init
+    push {r4, lr}
+    la r4, adapter
+    ; publish the lock pointer used by the indirect-release bug
+    la r1, lockE
+    st32 [r4+0], r1
+    movi r0, 0
+    pop {r4, lr}
+    ret
+
+  .func ep_halt
+    movi r0, 0
+    ret
+
+  ; ---- the 8 sample bugs -------------------------------------------------
+  .func sdv0                     ; release of a lock that was never acquired
+    push lr
+    la r0, lockA
+    kcall MosReleaseSpinLock
+    movi r0, 0
+    pop lr
+    ret
+
+  .func sdv1                     ; double acquisition (self-deadlock)
+    push lr
+    la r0, lockA
+    kcall MosAcquireSpinLock
+    la r0, lockA
+    kcall MosAcquireSpinLock
+    la r0, lockA
+    kcall MosReleaseSpinLock
+    movi r0, 0
+    pop lr
+    ret
+
+  .func sdv2                     ; plain acquire, Dpr release
+    push lr
+    la r0, lockA
+    kcall MosAcquireSpinLock
+    la r0, lockA
+    kcall MosDprReleaseSpinLock
+    movi r0, 0
+    pop lr
+    ret
+
+  .func sdv3                     ; forgotten release
+    push lr
+    la r0, lockB
+    kcall MosAcquireSpinLock
+    movi r0, 0
+    pop lr
+    ret
+
+  .func sdv4                     ; pageable API while holding a spinlock
+    push lr
+    subi sp, sp, 8
+    la r0, lockA
+    kcall MosAcquireSpinLock
+    mov r0, sp
+    kcall MosOpenConfiguration
+    la r0, lockA
+    kcall MosReleaseSpinLock
+    addi sp, sp, 8
+    movi r0, 0
+    pop lr
+    ret
+
+  .func sdv5                     ; forgotten release (different lock)
+    push lr
+    la r0, lockC
+    kcall MosAcquireSpinLock
+    movi r0, 0
+    pop lr
+    ret
+
+  .func sdv6                     ; Dpr acquire (at DISPATCH), plain release
+    push lr
+    movi r0, 2
+    kcall MosRaiseIrql
+    la r0, lockD
+    kcall MosDprAcquireSpinLock
+    la r0, lockD
+    kcall MosReleaseSpinLock
+    movi r0, 0
+    kcall MosLowerIrql
+    movi r0, 0
+    pop lr
+    ret
+
+  .func sdv7                     ; pool allocation above DISPATCH
+    push lr
+    movi r0, 5
+    kcall MosRaiseIrql
+    movi r0, 64
+    kcall MosAllocatePool
+    movi r0, 0
+    kcall MosLowerIrql
+    movi r0, 0
+    pop lr
+    ret
+)";
+
+  if (with_synthetic_bugs) {
+    source += R"(
+  ; ---- the 5 injected synthetic bugs + the FP pattern ---------------------
+  .func sdv8                     ; deadlock, part 1: A then B
+    push lr
+    la r0, lockA
+    kcall MosAcquireSpinLock
+    la r0, lockB
+    kcall MosAcquireSpinLock
+    la r0, lockB
+    kcall MosReleaseSpinLock
+    la r0, lockA
+    kcall MosReleaseSpinLock
+    movi r0, 0
+    pop lr
+    ret
+
+  .func sdv9                     ; deadlock, part 2: B then A
+    push lr
+    la r0, lockB
+    kcall MosAcquireSpinLock
+    la r0, lockA
+    kcall MosAcquireSpinLock
+    la r0, lockA
+    kcall MosReleaseSpinLock
+    la r0, lockB
+    kcall MosReleaseSpinLock
+    movi r0, 0
+    pop lr
+    ret
+
+  .func sdv10                    ; out-of-order (non-LIFO) release
+    push lr
+    la r0, lockA
+    kcall MosAcquireSpinLock
+    la r0, lockB
+    kcall MosAcquireSpinLock
+    la r0, lockA
+    kcall MosReleaseSpinLock
+    la r0, lockB
+    kcall MosReleaseSpinLock
+    movi r0, 0
+    pop lr
+    ret
+
+  .func sdv11                    ; extra release through a memory-held pointer
+    push lr
+    la r1, adapter
+    ld32 r0, [r1+0]              ; lockE, but the analyzer can't know that
+    kcall MosReleaseSpinLock
+    movi r0, 0
+    pop lr
+    ret
+
+  .func sdv12                    ; forgotten release (injected)
+    push lr
+    la r0, lockF
+    kcall MosAcquireSpinLock
+    movi r0, 0
+    pop lr
+    ret
+
+  .func sdv13                    ; kernel call at wrong IRQ level (injected)
+    push lr
+    movi r0, 5
+    kcall MosRaiseIrql
+    movi r0, 128
+    kcall MosAllocatePoolWithTag
+    movi r0, 0
+    kcall MosLowerIrql
+    movi r0, 0
+    pop lr
+    ret
+
+  .func sdv14                    ; false-positive bait: guarded acquire
+    push lr
+    movi r3, 5
+    muli r3, r3, 3
+    seqi r3, r3, 15              ; always 1, but opaque to the analyzer
+    bz r3, sdv14_skip            ; never taken at run time
+    la r0, lockA
+    kcall MosAcquireSpinLock
+  sdv14_skip:
+    la r0, lockA
+    kcall MosReleaseSpinLock     ; infeasible "release unacquired" for SDV
+    movi r0, 0
+    pop lr
+    ret
+
+  .func sdv15
+    movi r0, 0
+    ret
+)";
+  } else {
+    source += R"(
+  ; ---- benign handlers in the base variant --------------------------------
+  .func sdv8
+    movi r0, 0
+    ret
+  .func sdv9
+    movi r0, 0
+    ret
+  .func sdv10
+    movi r0, 0
+    ret
+  .func sdv11
+    movi r0, 0
+    ret
+  .func sdv12
+    movi r0, 0
+    ret
+  .func sdv13
+    movi r0, 0
+    ret
+  .func sdv14
+    movi r0, 0
+    ret
+  .func sdv15
+    movi r0, 0
+    ret
+)";
+  }
+
+  source += R"(
+  .func ep_diag
+    push lr
+    call sdv_dispatch
+    pop lr
+    ret
+)";
+  source += GenerateDiagDispatch("sdv", 96);
+  source += GenerateFillerFunctions("sdv", 80, 0x5D5, 15, 19, /*first_index=*/16);
+  source += R"(
+  .data
+  adapter:
+    .space 16
+  lockA:
+    .space 4
+  lockB:
+    .space 4
+  lockC:
+    .space 4
+  lockD:
+    .space 4
+  lockE:
+    .space 4
+  lockF:
+    .space 4
+)";
+  source += EntryTable("ep_init", "ep_halt", "", "", "", "", "", "ep_diag");
+  return source;
+}
+
+DriverImage SdvSampleImage(bool with_synthetic_bugs) {
+  Result<AssembledDriver> assembled = Assemble(SdvSampleSource(with_synthetic_bugs));
+  DDT_CHECK_MSG(assembled.ok(), assembled.error().c_str());
+  return assembled.value().image;
+}
+
+PciDescriptor SdvSamplePci() {
+  PciDescriptor pci;
+  pci.vendor_id = 0x5D5;
+  pci.device_id = 0x0001;
+  pci.revision = 1;
+  pci.irq_line = 5;
+  pci.bars.push_back(PciBar{0x100});
+  pci.pretty_name = "SDV sample device";
+  return pci;
+}
+
+std::vector<ExpectedBug> SdvSampleExpected(bool with_synthetic_bugs) {
+  std::vector<ExpectedBug> expected = {
+      // The 8 sample bugs (dynamic signatures).
+      {BugType::kKernelCrash, "not held", "release of unacquired spinlock (sample)", true, false},
+      {BugType::kDeadlock, "recursive", "double acquisition (sample)", true, false},
+      {BugType::kKernelCrash, "wrong variant", "plain acquire / Dpr release (sample)", true,
+       false},
+      {BugType::kApiMisuse, "still held", "forgotten release lockB (sample)", true, false},
+      {BugType::kKernelCrash, "MosOpenConfiguration", "pageable API under spinlock (sample)",
+       true, false},
+      {BugType::kApiMisuse, "still held", "forgotten release lockC (sample)", true, false},
+      {BugType::kKernelCrash, "KeReleaseSpinLock", "Dpr acquire / plain release (sample)", true,
+       false},
+      {BugType::kKernelCrash, "MosAllocatePool called", "allocation above DISPATCH (sample)",
+       true, false},
+  };
+  if (with_synthetic_bugs) {
+    expected.push_back({BugType::kDeadlock, "lock-order inversion",
+                        "AB/BA deadlock (synthetic)", true, false});
+    expected.push_back({BugType::kApiMisuse, "out-of-order",
+                        "out-of-order release (synthetic)", true, false});
+    expected.push_back({BugType::kKernelCrash, "not held",
+                        "extra release of non-acquired spinlock (synthetic)", true, false});
+    expected.push_back({BugType::kApiMisuse, "still held",
+                        "forgotten release lockF (synthetic)", true, false});
+    expected.push_back({BugType::kKernelCrash, "MosAllocatePoolWithTag called",
+                        "kernel call at wrong IRQ level (synthetic)", true, false});
+  }
+  return expected;
+}
+
+}  // namespace ddt

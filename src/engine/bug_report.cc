@@ -1,0 +1,91 @@
+#include "src/engine/bug_report.h"
+
+#include "src/support/strings.h"
+
+namespace ddt {
+
+const char* BugTypeName(BugType type) {
+  switch (type) {
+    case BugType::kMemoryCorruption:
+      return "Memory corruption";
+    case BugType::kSegfault:
+      return "Segmentation fault";
+    case BugType::kResourceLeak:
+      return "Resource leak";
+    case BugType::kMemoryLeak:
+      return "Memory leak";
+    case BugType::kRaceCondition:
+      return "Race condition";
+    case BugType::kKernelCrash:
+      return "Kernel crash";
+    case BugType::kDeadlock:
+      return "Deadlock";
+    case BugType::kApiMisuse:
+      return "API misuse";
+    case BugType::kInfiniteLoop:
+      return "Infinite loop";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* OriginName(VarOrigin::Source source) {
+  switch (source) {
+    case VarOrigin::Source::kHardwareRead:
+      return "hardware-read";
+    case VarOrigin::Source::kInterruptSlot:
+      return "interrupt";
+    case VarOrigin::Source::kRegistry:
+      return "registry";
+    case VarOrigin::Source::kEntryArg:
+      return "entry-arg";
+    case VarOrigin::Source::kPacketData:
+      return "packet-data";
+    case VarOrigin::Source::kAnnotation:
+      return "annotation";
+    case VarOrigin::Source::kTest:
+      return "test";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Bug::Row() const {
+  return StrFormat("%-18s | %-18s | %s", driver.c_str(), BugTypeName(type), title.c_str());
+}
+
+std::string Bug::Format(size_t trace_lines, const TraceSymbolizer* symbolizer) const {
+  std::string out;
+  out += StrFormat("BUG [%s] in driver '%s'\n", BugTypeName(type), driver.c_str());
+  out += StrFormat("  %s\n", title.c_str());
+  if (!details.empty()) {
+    out += StrFormat("  details: %s\n", details.c_str());
+  }
+  out += StrFormat("  detected by: %s at pc=%08x (%s context), state %llu\n", checker.c_str(),
+                   pc, ExecContextName(context), static_cast<unsigned long long>(state_id));
+  if (!inputs.empty()) {
+    out += "  concrete inputs reproducing the bug:\n";
+    for (const SolvedInput& input : inputs) {
+      out += StrFormat("    %-28s [%s %s seq=%llu] = 0x%llx\n", input.var_name.c_str(),
+                       OriginName(input.origin.source), input.origin.label.c_str(),
+                       static_cast<unsigned long long>(input.origin.seq),
+                       static_cast<unsigned long long>(input.value));
+    }
+  }
+  if (!interrupt_schedule.empty()) {
+    out += "  interrupt schedule (boundary crossings): ";
+    for (size_t i = 0; i < interrupt_schedule.size(); ++i) {
+      out += StrFormat("%s%u", i == 0 ? "" : ", ", interrupt_schedule[i]);
+    }
+    out += "\n";
+  }
+  if (!trace.empty()) {
+    out += StrFormat("  trace (%zu events, tail):\n", trace.size());
+    out += FormatTrace(trace, trace_lines, symbolizer);
+  }
+  return out;
+}
+
+}  // namespace ddt

@@ -1,0 +1,81 @@
+// Bug reports: DDT's output (§3.5).
+//
+// A Bug couples the classification and human-readable description (the
+// Table-2 "Bug Type" / "Description" columns) with replayable evidence: the
+// execution trace, the concrete inputs derived from the path constraints by
+// the solver, and the interrupt schedule.
+#ifndef SRC_ENGINE_BUG_REPORT_H_
+#define SRC_ENGINE_BUG_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/expr/expr.h"
+#include "src/kernel/api.h"
+#include "src/trace/trace.h"
+
+namespace ddt {
+
+enum class BugType {
+  kMemoryCorruption,  // out-of-bounds write / wild write
+  kSegfault,          // invalid read / null dereference / bad jump
+  kResourceLeak,      // unfreed handles, packets, pools
+  kMemoryLeak,        // unfreed pool memory
+  kRaceCondition,     // interrupt-interleaving bug
+  kKernelCrash,       // bugcheck raised by kernel/verifier (API misuse)
+  kDeadlock,          // lock-order cycle or self-deadlock
+  kApiMisuse,         // non-crashing API contract violation
+  kInfiniteLoop,      // suspected hang
+};
+
+const char* BugTypeName(BugType type);
+
+// One concrete input that drives the driver down the buggy path: a solved
+// symbolic variable, mapped back to its origin (hardware read #n, registry
+// parameter, entry argument...).
+struct SolvedInput {
+  std::string var_name;
+  VarOrigin origin;
+  uint8_t width = 32;
+  uint64_t value = 0;
+  // True if this variable appears in the constraints added just before the
+  // bug fired — the proximate cause, as opposed to inputs that merely shaped
+  // the path earlier (bug analysis keys off this).
+  bool proximate = false;
+};
+
+struct Bug {
+  BugType type = BugType::kSegfault;
+  std::string title;    // one-line description (Table 2 style)
+  std::string details;  // longer explanation
+  std::string driver;
+  std::string checker;  // who detected it
+  uint32_t pc = 0;      // guest pc at detection
+  uint64_t state_id = 0;
+  ExecContextKind context = ExecContextKind::kNone;
+
+  // Replayable evidence.
+  std::vector<TraceEvent> trace;
+  std::vector<SolvedInput> inputs;
+  std::vector<uint32_t> interrupt_schedule;  // boundary-crossing indices
+  std::vector<uint32_t> workload_trail;      // entry slots invoked, in order
+  // Annotation alternatives taken on the path: (kernel call seq, label).
+  std::vector<std::pair<uint32_t, std::string>> alternatives;
+  // The path constraints at detection time (the satisfiability obligation
+  // behind `inputs`). Expression pointers are owned by the engine's
+  // ExprContext — valid while the Ddt/Engine instance lives; export with
+  // ToSmtLib for archival.
+  std::vector<ExprRef> constraints;
+
+  // Formats the Table-2 style row: "driver | type | title".
+  std::string Row() const;
+  // Full report including inputs and the tail of the trace. With a
+  // symbolizer, trace addresses render as symbol+offset (§3.5's source
+  // mapping, driven by the assembler's symbol table).
+  std::string Format(size_t trace_lines = 40, const TraceSymbolizer* symbolizer = nullptr) const;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_ENGINE_BUG_REPORT_H_

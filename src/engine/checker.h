@@ -1,0 +1,78 @@
+// The pluggable dynamic-checker interface (§3.1).
+//
+// Checkers are DDT's VM-level verification layer: they observe every driver
+// memory access, every kernel event, and every state termination, and report
+// bugs through the CheckerHost. They keep per-execution-state data in
+// CheckerState objects (cloned on fork) and may also keep engine-global data
+// in themselves (e.g. the cross-path lock-order graph).
+#ifndef SRC_ENGINE_CHECKER_H_
+#define SRC_ENGINE_CHECKER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/engine/bug_report.h"
+#include "src/expr/expr.h"
+#include "src/kernel/api.h"
+
+namespace ddt {
+
+class ExecutionState;
+
+// A driver-issued memory access, after address concretization.
+struct MemAccessEvent {
+  uint32_t pc = 0;
+  uint32_t addr = 0;
+  unsigned size = 4;
+  bool is_write = false;
+  bool value_symbolic = false;
+  bool addr_was_symbolic = false;  // the address came from a symbolic value
+  ExprRef addr_expr = nullptr;     // pre-concretization address expression
+};
+
+class Solver;
+
+class CheckerHost {
+ public:
+  virtual ~CheckerHost() = default;
+  virtual void ReportBug(ExecutionState& st, BugType type, const std::string& title,
+                         const std::string& details) = 0;
+  virtual ExprContext* expr() = 0;
+  // Constraint solving for checkers that reason about symbolic data (e.g.
+  // "can this symbolic address escape every accessible region?").
+  virtual Solver& checker_solver() = 0;
+};
+
+// Per-execution-state checker data; cloned when the state forks.
+class CheckerState {
+ public:
+  virtual ~CheckerState() = default;
+  virtual std::unique_ptr<CheckerState> Clone() const = 0;
+};
+
+class Checker {
+ public:
+  virtual ~Checker() = default;
+  virtual std::string name() const = 0;
+
+  // Called when a fresh initial state is created; return per-state data (or
+  // nullptr if the checker is stateless per path).
+  virtual std::unique_ptr<CheckerState> MakeState() const { return nullptr; }
+
+  // A driver memory access is about to be performed.
+  virtual void OnMemAccess(ExecutionState& st, const MemAccessEvent& access, CheckerHost& host) {}
+
+  // A kernel event was emitted (API call, lock op, entry transition, ...).
+  virtual void OnKernelEvent(ExecutionState& st, const KernelEvent& event, CheckerHost& host) {}
+
+  // One driver instruction is about to execute.
+  virtual void OnInstruction(ExecutionState& st, uint32_t pc, CheckerHost& host) {}
+
+  // The state is ending (workload complete / terminated); last chance to
+  // flag end-of-life conditions like still-held locks.
+  virtual void OnStateEnd(ExecutionState& st, CheckerHost& host) {}
+};
+
+}  // namespace ddt
+
+#endif  // SRC_ENGINE_CHECKER_H_

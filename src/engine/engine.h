@@ -1,0 +1,269 @@
+// The DDT engine: selective symbolic execution of a driver binary against a
+// concretely-executing MiniOS kernel and fully symbolic hardware.
+//
+// One Engine instance = one testing run of one driver. The engine owns the
+// state pool, the interpreter, the scheduler (workload steps, DPCs, timers),
+// symbolic interrupt injection at kernel/driver boundary crossings (§3.3),
+// annotation dispatch at API boundaries (§3.4), checker dispatch, coverage
+// accounting (Figures 2/3), and bug collection.
+//
+// The same engine also runs fully concretely (scripted device, no
+// annotations, no symbolic interrupts, forced interrupt schedule) — that
+// mode implements both trace replay (§3.5) and the Driver Verifier stress
+// baseline.
+#ifndef SRC_ENGINE_ENGINE_H_
+#define SRC_ENGINE_ENGINE_H_
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/annotations/annotation.h"
+#include "src/engine/bug_report.h"
+#include "src/engine/checker.h"
+#include "src/engine/execution_state.h"
+#include "src/engine/searcher.h"
+#include "src/hw/pci.h"
+#include "src/kernel/exerciser.h"
+#include "src/kernel/kernel_api.h"
+#include "src/solver/solver.h"
+#include "src/support/status.h"
+#include "src/vm/disasm.h"
+#include "src/vm/image.h"
+
+namespace ddt {
+
+struct EngineConfig {
+  // Budgets.
+  uint64_t max_instructions = 3'000'000;
+  uint64_t max_states = 512;
+  uint64_t max_wall_ms = 60'000;
+  uint32_t max_fork_depth = 64;
+  // Per-path symbolic interrupt budget (§3.3: simplified model injects at
+  // boundary crossings; one injection usually suffices to expose races).
+  uint32_t max_interrupts_per_path = 1;
+  // Concretization backtracking (§3.2): when a concretization performed
+  // during a kernel call later blocks a branch direction, revive a snapshot
+  // taken at the call boundary, constrain it toward the blocked direction,
+  // and re-execute the call with a compatible concrete value.
+  bool enable_concretization_backtracking = true;
+  uint32_t max_kcall_checkpoints_per_state = 4;
+  uint32_t max_concretization_backtracks = 32;  // engine-wide budget
+  bool enable_symbolic_interrupts = true;
+  // Forced concrete interrupt schedule (replay / stress modes): deliver the
+  // ISR at exactly these boundary-crossing indices.
+  std::vector<uint32_t> forced_interrupt_schedule;
+  // Terminate a path when an entry point returns failure (§4.3).
+  bool terminate_on_entry_failure = true;
+  SearchStrategy strategy = SearchStrategy::kCoverageGreedy;
+  uint64_t seed = 0xDD7;
+  // Memory-model ablation: eager full-copy forking instead of chained COW.
+  bool eager_cow = false;
+  // Stop the whole run at the first bug (Driver Verifier semantics; DDT's
+  // default keeps going and finds multiple bugs in one run, §5.1).
+  bool stop_after_first_bug = false;
+  size_t max_trace_tail_events = 1 << 18;
+  SolverConfig solver;
+
+  // --- Guided replay (§3.5): re-execute a recorded buggy path concretely ---
+  // When guided is true, every symbolic value is immediately resolved to a
+  // concrete one by looking up its origin in guided_inputs; no forking
+  // happens; annotation alternatives are applied in-place per the recorded
+  // schedule; interrupts fire per forced_interrupt_schedule.
+  bool guided = false;
+  std::map<std::string, uint64_t> guided_inputs;  // OriginKeyString -> value
+  std::vector<std::pair<uint32_t, std::string>> forced_alternatives;  // (kcall seq, label)
+};
+
+// Stable string key identifying a symbolic variable's origin across runs
+// (used to map solved inputs onto replay inputs).
+std::string OriginKeyString(const VarOrigin& origin);
+
+struct EngineStats {
+  uint64_t instructions = 0;
+  uint64_t forks = 0;
+  uint64_t dropped_forks = 0;  // suppressed by max_states
+  uint64_t states_created = 0;
+  uint64_t states_terminated = 0;
+  uint64_t max_live_states = 0;
+  uint64_t kernel_calls = 0;
+  uint64_t interrupts_injected = 0;
+  uint64_t entry_invocations = 0;
+  uint64_t concretizations = 0;
+  uint64_t concretization_backtracks = 0;
+  // Peak approximate working-set across live states: COW delta bytes plus
+  // path-constraint counts (the §5.2 "DDT used at most 4 GB" accounting,
+  // scaled to this reproduction).
+  uint64_t peak_state_bytes = 0;
+  double wall_ms = 0;
+};
+
+// One coverage datapoint, taken whenever a new basic block is first covered.
+struct CoverageSample {
+  uint64_t instructions = 0;
+  double wall_ms = 0;
+  size_t covered_blocks = 0;
+};
+
+class Engine : public CheckerHost, private BlockCountOracle {
+ public:
+  explicit Engine(const EngineConfig& config = EngineConfig());
+  ~Engine() override;
+
+  // --- setup ---
+  void AddChecker(std::unique_ptr<Checker> checker);
+  void SetAnnotations(AnnotationSet annotations) { annotations_ = std::move(annotations); }
+  // Registry contents the kernel serves to MosReadConfiguration.
+  void SetRegistry(std::map<std::string, uint32_t> registry) { registry_ = std::move(registry); }
+  void SetWorkload(std::vector<WorkloadStep> workload) { workload_ = std::move(workload); }
+  // Device model prototype for the initial state (SymbolicDevice by default).
+  void SetDevice(std::unique_ptr<DeviceModel> device) { device_proto_ = std::move(device); }
+
+  // Loads the driver image behind the PCI shell and prepares the initial
+  // state (but does not run). Fails on unresolvable imports or a bad image.
+  Status LoadDriver(const DriverImage& image, const PciDescriptor& descriptor);
+
+  // Explores until budgets are exhausted or every state terminated.
+  void Run();
+
+  // --- results ---
+  const std::vector<Bug>& bugs() const { return bugs_; }
+  const EngineStats& stats() const { return stats_; }
+  const std::vector<CoverageSample>& coverage_samples() const { return coverage_samples_; }
+  size_t covered_blocks() const { return covered_blocks_.size(); }
+  size_t total_blocks() const { return cfg_.NumBlocks(); }
+  const std::unordered_set<uint32_t>& covered_block_leaders() const { return covered_blocks_; }
+  const Cfg& cfg() const { return cfg_; }
+  const LoadedDriver& loaded_driver() const { return loaded_; }
+  const MemStats& mem_stats() const { return mem_stats_; }
+  Solver& solver() { return solver_; }
+  ExprContext* expr() override { return &ctx_; }
+
+  // --- CheckerHost ---
+  void ReportBug(ExecutionState& st, BugType type, const std::string& title,
+                 const std::string& details) override;
+  Solver& checker_solver() override { return solver_; }
+
+ private:
+  friend class EngineKernelContext;
+
+  // --- BlockCountOracle ---
+  uint64_t BlockCountAt(uint32_t pc) const override;
+
+  // State pool helpers.
+  void AddState(std::unique_ptr<ExecutionState> state);
+  std::unique_ptr<ExecutionState> CloneState(ExecutionState& st);
+
+  // One scheduling quantum for `st`: either execute driver code or let the
+  // scheduler pick the next workload item / pending callback.
+  void StepState(ExecutionState& st);
+  void ScheduleNext(ExecutionState& st);
+  void FinishState(ExecutionState& st, const std::string& why);
+
+  // Interpreter.
+  void ExecuteBlock(ExecutionState& st);
+  // Executes one instruction; returns false if the quantum must end
+  // (boundary, fault, fork preference, frame switch).
+  bool ExecuteInstruction(ExecutionState& st);
+  void HandleKCall(ExecutionState& st, const Instruction& insn);
+  void HandleMagicReturn(ExecutionState& st);
+  void HandleBranch(ExecutionState& st, ExprRef cond, uint32_t taken_pc, uint32_t fall_pc);
+  // A branch direction proved infeasible under the current constraints; if a
+  // kernel-call concretization caused that, revive the checkpoint constrained
+  // toward `blocked_cond` (§3.2 backtracking). Returns true if revived.
+  bool MaybeBacktrackConcretization(ExecutionState& st, ExprRef blocked_cond);
+
+  // Memory access paths (after address concretization).
+  Value ReadMem(ExecutionState& st, uint32_t addr, unsigned size, uint32_t pc, bool addr_was_sym,
+                ExprRef addr_expr, bool* ok);
+  bool WriteMem(ExecutionState& st, uint32_t addr, unsigned size, const Value& value, uint32_t pc,
+                bool addr_was_sym, ExprRef addr_expr);
+
+  // Driver invocation machinery.
+  void InvokeGuestFunction(ExecutionState& st, uint32_t fn, const std::vector<Value>& args,
+                           ExecContextKind kind, int entry_slot);
+  void RunEntryAnnotations(ExecutionState& st, int slot);
+
+  // Kernel/driver boundary crossing: counts the crossing and (maybe) injects
+  // a symbolic interrupt by forking.
+  void CrossBoundary(ExecutionState& st);
+  void DeliverIsr(ExecutionState& st, uint32_t crossing_index);
+
+  // Helpers shared with EngineKernelContext.
+  uint32_t ConcretizeValue(ExecutionState& st, const Value& value, const std::string& reason);
+  // Two-phase concretization for memory addresses: pick a feasible value
+  // WITHOUT binding it (so checkers can still reason about the symbolic
+  // address), then bind once the access is approved.
+  std::optional<uint32_t> PickValue(ExecutionState& st, ExprRef e);
+  void BindConcretization(ExecutionState& st, ExprRef e, uint32_t value,
+                          const std::string& reason);
+  // Resolves a symbolic memory address: if it can escape every region the
+  // driver may touch, fork a state taking that choice and report the bug
+  // there; constrain this state in-bounds; pick and bind a concrete address.
+  // Returns nullopt if this state terminated.
+  std::optional<uint32_t> ResolveSymbolicAddress(ExecutionState& st, ExprRef addr_expr,
+                                                 unsigned size, bool is_write);
+  // Guided replay: resolve a symbolic value to the recorded concrete input.
+  Value MaybeGuide(const Value& value);
+  uint32_t GuidedEval(ExprRef e);
+  Value ReadMemValueRaw(ExecutionState& st, uint32_t addr, unsigned size);
+  void WriteMemValueRaw(ExecutionState& st, uint32_t addr, const Value& value, unsigned size);
+  void EmitKernelEvent(ExecutionState& st, const KernelEvent& event);
+  void DoBugCheck(ExecutionState& st, uint32_t code, const std::string& message);
+  void AddConstraintChecked(ExecutionState& st, ExprRef constraint);
+
+  void NoteCoverage(ExecutionState& st, uint32_t pc);
+  bool BudgetExceeded() const;
+  double ElapsedMs() const;
+
+  std::vector<SolvedInput> SolveInputs(ExecutionState& st);
+
+  EngineConfig config_;
+  ExprContext ctx_;
+  Solver solver_;
+  Rng rng_;
+
+  // Driver under test.
+  DriverImage image_;
+  LoadedDriver loaded_;
+  PciDescriptor pci_;
+  Cfg cfg_;
+  std::vector<KernelApiFn> import_table_;  // resolved import handlers
+  std::map<std::string, uint32_t> registry_;
+  std::vector<WorkloadStep> workload_;
+  std::unique_ptr<DeviceModel> device_proto_;
+  AnnotationSet annotations_;
+
+  // State pool.
+  std::vector<std::unique_ptr<ExecutionState>> states_;
+  std::unique_ptr<Searcher> searcher_;
+  uint64_t next_state_id_ = 1;
+
+  // Checkers.
+  std::vector<std::unique_ptr<Checker>> checkers_;
+
+  // Results.
+  std::vector<Bug> bugs_;
+  std::set<std::string> bug_dedupe_;
+  // (snapshot id, blocked condition) pairs already revived once.
+  std::set<std::pair<uint64_t, ExprRef>> backtrack_memo_;
+  EngineStats stats_;
+  MemStats mem_stats_;
+
+  // Coverage.
+  std::unordered_map<uint32_t, uint64_t> block_counts_;  // leader -> executions
+  std::unordered_set<uint32_t> covered_blocks_;
+  std::vector<CoverageSample> coverage_samples_;
+
+  std::chrono::steady_clock::time_point run_start_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_ENGINE_ENGINE_H_

@@ -1,0 +1,43 @@
+#include "src/engine/execution_state.h"
+
+namespace ddt {
+
+int ExecutionState::CurrentEntrySlot() const {
+  for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+    if (it->kind == ExecContextKind::kEntryPoint) {
+      return it->entry_slot;
+    }
+  }
+  return -1;
+}
+
+std::unique_ptr<ExecutionState> ExecutionState::Clone(uint64_t new_id) {
+  auto clone = std::make_unique<ExecutionState>();
+  clone->id = new_id;
+  clone->parent_id = id;
+  clone->depth = depth + 1;
+  clone->regs = regs;
+  clone->pc = pc;
+  clone->mem = mem.Fork();
+  clone->kernel = kernel;
+  clone->device = device->Clone();
+  clone->constraints = constraints;
+  clone->concretizations = concretizations;
+  clone->trace = trace.Fork();
+  clone->interrupt_schedule = interrupt_schedule;
+  clone->workload_trail = workload_trail;
+  clone->alternatives_taken = alternatives_taken;
+  clone->kcall_checkpoints = kcall_checkpoints;  // snapshots are shared
+  clone->frames = frames;
+  clone->status = status;
+  clone->steps = steps;
+  clone->steps_in_frame = steps_in_frame;
+  // Derived RNG stream: diverges deterministically from the parent.
+  clone->rng = Rng(rng.Next() ^ (new_id * 0x9E3779B97F4A7C15ull));
+  for (const auto& [name, state] : checker_state) {
+    clone->checker_state.emplace(name, state != nullptr ? state->Clone() : nullptr);
+  }
+  return clone;
+}
+
+}  // namespace ddt

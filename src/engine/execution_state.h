@@ -1,0 +1,141 @@
+// ExecutionState: one explored path through the driver.
+//
+// Conceptually a complete system snapshot (§4.1.2): guest CPU registers,
+// guest memory (chained COW), kernel bookkeeping, the device model, the path
+// constraints, the execution trace, per-checker data, and the
+// scheduler/frame bookkeeping. Forking clones all of it — cheaply, because
+// the heavy parts (memory, trace) are chained-COW structures.
+#ifndef SRC_ENGINE_EXECUTION_STATE_H_
+#define SRC_ENGINE_EXECUTION_STATE_H_
+
+#include <array>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/checker.h"
+#include "src/hw/device.h"
+#include "src/kernel/kernel_state.h"
+#include "src/support/rng.h"
+#include "src/trace/trace.h"
+#include "src/vm/guest_memory.h"
+#include "src/vm/isa.h"
+#include "src/vm/value.h"
+
+namespace ddt {
+
+// Return address sentinel: driver callbacks return here, handing control back
+// to the engine's scheduler.
+inline constexpr uint32_t kMagicReturnAddress = 0xFFFF0000;
+// pc value meaning "no driver code active; scheduler decides".
+inline constexpr uint32_t kIdlePc = 0;
+
+class ExecutionState {
+ public:
+  // A driver invocation in progress (entry point, ISR, DPC, timer callback).
+  struct Frame {
+    ExecContextKind kind = ExecContextKind::kEntryPoint;
+    int entry_slot = -1;  // valid for kEntryPoint
+    std::array<Value, kNumRegisters> saved_regs;
+    uint32_t saved_pc = kIdlePc;
+    Irql saved_irql = Irql::kPassive;
+  };
+
+  struct ConcretizationRecord {
+    ExprRef expr = nullptr;
+    uint32_t chosen = 0;
+    uint32_t pc = 0;
+    std::string reason;
+  };
+
+  enum class LiveStatus { kRunning, kTerminated };
+
+  ExecutionState() = default;
+  ExecutionState(const ExecutionState&) = delete;
+  ExecutionState& operator=(const ExecutionState&) = delete;
+
+  // Forks this state; the clone gets a derived RNG stream and a fresh id.
+  std::unique_ptr<ExecutionState> Clone(uint64_t new_id);
+
+  // --- Registers (zr reads 0, ignores writes) ---
+  Value Reg(int index) const {
+    return index == kRegZero ? Value::Concrete(0) : regs[static_cast<size_t>(index)];
+  }
+  void SetReg(int index, const Value& value) {
+    if (index != kRegZero) {
+      regs[static_cast<size_t>(index)] = value;
+    }
+  }
+
+  bool InContext(ExecContextKind kind) const {
+    for (const Frame& frame : frames) {
+      if (frame.kind == kind) {
+        return true;
+      }
+    }
+    return false;
+  }
+  ExecContextKind CurrentContext() const {
+    return frames.empty() ? ExecContextKind::kNone : frames.back().kind;
+  }
+  int CurrentEntrySlot() const;
+
+  void Terminate(const std::string& why) {
+    status = LiveStatus::kTerminated;
+    termination_reason = why;
+  }
+  bool alive() const { return status == LiveStatus::kRunning; }
+
+  // --- identity / lineage ---
+  uint64_t id = 0;
+  uint64_t parent_id = 0;
+  uint32_t depth = 0;  // fork depth
+
+  // --- machine ---
+  std::array<Value, kNumRegisters> regs = {};
+  uint32_t pc = kIdlePc;
+  GuestMemory mem;
+  KernelState kernel;
+  std::unique_ptr<DeviceModel> device;
+
+  // --- symbolic path ---
+  std::vector<ExprRef> constraints;
+  std::vector<ConcretizationRecord> concretizations;
+
+  // Checkpoints taken at kernel-call boundaries (§3.2 backtracking): if a
+  // concretization made during a kernel call later blocks a branch
+  // direction, the engine revives the snapshot, constrains it toward the
+  // blocked direction, and re-executes the call with a compatible concrete
+  // value. Snapshots are immutable and shared between forks.
+  struct KCallCheckpoint {
+    // Mutable only because reviving (Clone) freezes COW tails; logically the
+    // snapshot is immutable. Shared between sibling forks.
+    std::shared_ptr<ExecutionState> snapshot;
+    uint32_t kcall_pc = 0;
+  };
+  std::vector<KCallCheckpoint> kcall_checkpoints;  // most recent last
+
+  // --- evidence ---
+  TraceRecorder trace;
+  std::vector<uint32_t> interrupt_schedule;  // crossings where ISR was injected
+  std::vector<uint32_t> workload_trail;      // entry slots invoked so far
+  // Annotation alternatives applied on this path: (kernel call seq, label).
+  std::vector<std::pair<uint32_t, std::string>> alternatives_taken;
+
+  // --- scheduling ---
+  std::vector<Frame> frames;
+  LiveStatus status = LiveStatus::kRunning;
+  std::string termination_reason;
+  bool bug_reported = false;   // a bug fired on this path
+  uint64_t steps = 0;          // instructions executed by this state
+  uint64_t steps_in_frame = 0; // instructions since last frame/boundary change
+  Rng rng{1};
+
+  // --- per-checker data ---
+  std::map<std::string, std::unique_ptr<CheckerState>> checker_state;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_ENGINE_EXECUTION_STATE_H_

@@ -1,0 +1,98 @@
+#include "src/engine/searcher.h"
+
+#include "src/support/check.h"
+
+namespace ddt {
+
+const char* SearchStrategyName(SearchStrategy strategy) {
+  switch (strategy) {
+    case SearchStrategy::kCoverageGreedy:
+      return "coverage-greedy";
+    case SearchStrategy::kDfs:
+      return "dfs";
+    case SearchStrategy::kBfs:
+      return "bfs";
+    case SearchStrategy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+class CoverageGreedySearcher : public Searcher {
+ public:
+  CoverageGreedySearcher(const BlockCountOracle* oracle, uint64_t seed)
+      : oracle_(oracle), rng_(seed) {}
+
+  size_t Select(const std::vector<ExecutionState*>& states) override {
+    uint64_t best_count = UINT64_MAX;
+    size_t best = 0;
+    size_t ties = 0;
+    for (size_t i = 0; i < states.size(); ++i) {
+      uint64_t count = oracle_->BlockCountAt(states[i]->pc);
+      if (count < best_count) {
+        best_count = count;
+        best = i;
+        ties = 1;
+      } else if (count == best_count) {
+        // Reservoir-style random tie-break keeps exploration fair among
+        // equally-fresh states.
+        ++ties;
+        if (rng_.NextBelow(ties) == 0) {
+          best = i;
+        }
+      }
+    }
+    return best;
+  }
+
+ private:
+  const BlockCountOracle* oracle_;
+  Rng rng_;
+};
+
+class DfsSearcher : public Searcher {
+ public:
+  size_t Select(const std::vector<ExecutionState*>& states) override {
+    return states.size() - 1;  // newest state first
+  }
+};
+
+class BfsSearcher : public Searcher {
+ public:
+  size_t Select(const std::vector<ExecutionState*>& states) override {
+    return 0;  // oldest state first
+  }
+};
+
+class RandomSearcher : public Searcher {
+ public:
+  explicit RandomSearcher(uint64_t seed) : rng_(seed) {}
+  size_t Select(const std::vector<ExecutionState*>& states) override {
+    return static_cast<size_t>(rng_.NextBelow(states.size()));
+  }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<Searcher> MakeSearcher(SearchStrategy strategy, const BlockCountOracle* oracle,
+                                       uint64_t seed) {
+  switch (strategy) {
+    case SearchStrategy::kCoverageGreedy:
+      DDT_CHECK(oracle != nullptr);
+      return std::make_unique<CoverageGreedySearcher>(oracle, seed);
+    case SearchStrategy::kDfs:
+      return std::make_unique<DfsSearcher>();
+    case SearchStrategy::kBfs:
+      return std::make_unique<BfsSearcher>();
+    case SearchStrategy::kRandom:
+      return std::make_unique<RandomSearcher>(seed);
+  }
+  DDT_UNREACHABLE("bad strategy");
+}
+
+}  // namespace ddt

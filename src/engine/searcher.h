@@ -1,0 +1,51 @@
+// State-selection strategies (§4.3).
+//
+// The default is the paper's coverage-greedy heuristic, modeled on EXE: a
+// global counter per basic block counts how often it has executed; the next
+// state to run is the one whose current block has the smallest counter. This
+// naturally starves states stuck in polling loops (their block counters grow
+// without bound) and pulls exploration toward unvisited code.
+#ifndef SRC_ENGINE_SEARCHER_H_
+#define SRC_ENGINE_SEARCHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/engine/execution_state.h"
+#include "src/support/rng.h"
+
+namespace ddt {
+
+enum class SearchStrategy {
+  kCoverageGreedy,  // paper default
+  kDfs,
+  kBfs,
+  kRandom,
+};
+
+const char* SearchStrategyName(SearchStrategy strategy);
+
+// Block-execution-count oracle the coverage-greedy searcher consults.
+class BlockCountOracle {
+ public:
+  virtual ~BlockCountOracle() = default;
+  // Execution count of the basic block containing `pc` (0 if never run or
+  // pc is outside driver code).
+  virtual uint64_t BlockCountAt(uint32_t pc) const = 0;
+};
+
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+  // Picks the index of the next state to run. `states` is non-empty and all
+  // entries are alive.
+  virtual size_t Select(const std::vector<ExecutionState*>& states) = 0;
+};
+
+std::unique_ptr<Searcher> MakeSearcher(SearchStrategy strategy, const BlockCountOracle* oracle,
+                                       uint64_t seed);
+
+}  // namespace ddt
+
+#endif  // SRC_ENGINE_SEARCHER_H_

@@ -1,0 +1,158 @@
+#include "src/expr/smtlib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
+#include "src/support/check.h"
+#include "src/support/strings.h"
+
+namespace ddt {
+
+namespace {
+
+class SmtEmitter {
+ public:
+  explicit SmtEmitter(const ExprContext& ctx) : ctx_(ctx) {}
+
+  std::string Run(const std::vector<ExprRef>& constraints) {
+    out_ += "(set-logic QF_BV)\n";
+    // Declarations first: collect all variables across constraints.
+    std::unordered_set<uint32_t> var_ids;
+    for (ExprRef c : constraints) {
+      CollectVars(c, &var_ids);
+    }
+    std::vector<uint32_t> sorted(var_ids.begin(), var_ids.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (uint32_t id : sorted) {
+      const VarInfo& info = ctx_.var_info(id);
+      out_ += StrFormat("(declare-const %s (_ BitVec %u))\n", VarName(id).c_str(), info.width);
+    }
+    for (ExprRef c : constraints) {
+      DDT_CHECK(c->width() == 1);
+      out_ += StrFormat("(assert (= %s #b1))\n", Emit(c).c_str());
+    }
+    out_ += "(check-sat)\n(get-model)\n";
+    return out_;
+  }
+
+ private:
+  std::string VarName(uint32_t id) const {
+    const VarInfo& info = ctx_.var_info(id);
+    std::string sanitized;
+    for (char c : info.name) {
+      sanitized.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+    }
+    return StrFormat("%s_v%u", sanitized.c_str(), id);
+  }
+
+  // Returns the name of a define-fun for `e`, emitting definitions for the
+  // whole subtree first (DAG sharing becomes term sharing).
+  std::string Emit(ExprRef e) {
+    auto it = names_.find(e);
+    if (it != names_.end()) {
+      return it->second;
+    }
+    std::string body = Body(e);
+    std::string name;
+    if (e->IsVar() || e->IsConst()) {
+      name = body;  // no definition needed for leaves
+    } else {
+      name = StrFormat("t%zu", names_.size());
+      out_ += StrFormat("(define-fun %s () (_ BitVec %u) %s)\n", name.c_str(), e->width(),
+                        body.c_str());
+    }
+    names_.emplace(e, name);
+    return name;
+  }
+
+  std::string Bool(ExprRef e) {
+    // Width-1 term as an SMT Bool.
+    return StrFormat("(= %s #b1)", Emit(e).c_str());
+  }
+
+  std::string Body(ExprRef e) {
+    switch (e->kind()) {
+      case ExprKind::kConst:
+        return StrFormat("(_ bv%llu %u)", static_cast<unsigned long long>(e->const_value()),
+                         e->width());
+      case ExprKind::kVar:
+        return VarName(e->var_id());
+      case ExprKind::kAdd:
+        return Binary("bvadd", e);
+      case ExprKind::kSub:
+        return Binary("bvsub", e);
+      case ExprKind::kMul:
+        return Binary("bvmul", e);
+      case ExprKind::kUDiv:
+        return Binary("bvudiv", e);
+      case ExprKind::kSDiv:
+        return Binary("bvsdiv", e);
+      case ExprKind::kURem:
+        return Binary("bvurem", e);
+      case ExprKind::kSRem:
+        return Binary("bvsrem", e);
+      case ExprKind::kAnd:
+        return Binary("bvand", e);
+      case ExprKind::kOr:
+        return Binary("bvor", e);
+      case ExprKind::kXor:
+        return Binary("bvxor", e);
+      case ExprKind::kNot:
+        return StrFormat("(bvnot %s)", Emit(e->op(0)).c_str());
+      case ExprKind::kShl:
+        return Binary("bvshl", e);
+      case ExprKind::kLShr:
+        return Binary("bvlshr", e);
+      case ExprKind::kAShr:
+        return Binary("bvashr", e);
+      case ExprKind::kEq:
+        return StrFormat("(ite (= %s %s) #b1 #b0)", Emit(e->op(0)).c_str(),
+                         Emit(e->op(1)).c_str());
+      case ExprKind::kUlt:
+        return Predicate("bvult", e);
+      case ExprKind::kUle:
+        return Predicate("bvule", e);
+      case ExprKind::kSlt:
+        return Predicate("bvslt", e);
+      case ExprKind::kSle:
+        return Predicate("bvsle", e);
+      case ExprKind::kIte:
+        return StrFormat("(ite %s %s %s)", Bool(e->op(0)).c_str(), Emit(e->op(1)).c_str(),
+                         Emit(e->op(2)).c_str());
+      case ExprKind::kExtract:
+        return StrFormat("((_ extract %u %u) %s)", e->extract_low() + e->width() - 1,
+                         e->extract_low(), Emit(e->op(0)).c_str());
+      case ExprKind::kConcat:
+        return StrFormat("(concat %s %s)", Emit(e->op(0)).c_str(), Emit(e->op(1)).c_str());
+      case ExprKind::kZExt:
+        return StrFormat("((_ zero_extend %u) %s)", e->width() - e->op(0)->width(),
+                         Emit(e->op(0)).c_str());
+      case ExprKind::kSExt:
+        return StrFormat("((_ sign_extend %u) %s)", e->width() - e->op(0)->width(),
+                         Emit(e->op(0)).c_str());
+    }
+    DDT_UNREACHABLE("bad expr kind");
+  }
+
+  std::string Binary(const char* op, ExprRef e) {
+    return StrFormat("(%s %s %s)", op, Emit(e->op(0)).c_str(), Emit(e->op(1)).c_str());
+  }
+  std::string Predicate(const char* op, ExprRef e) {
+    return StrFormat("(ite (%s %s %s) #b1 #b0)", op, Emit(e->op(0)).c_str(),
+                     Emit(e->op(1)).c_str());
+  }
+
+  const ExprContext& ctx_;
+  std::string out_;
+  std::unordered_map<ExprRef, std::string> names_;
+};
+
+}  // namespace
+
+std::string ToSmtLib(const std::vector<ExprRef>& constraints, const ExprContext& ctx) {
+  SmtEmitter emitter(ctx);
+  return emitter.Run(constraints);
+}
+
+}  // namespace ddt

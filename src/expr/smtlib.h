@@ -1,0 +1,27 @@
+// SMT-LIB2 (QF_BV) export of expressions and constraint sets.
+//
+// DDT's built-in bit-blasting solver answers all queries internally, but
+// path constraints are plain bitvector formulas — exporting them lets users
+// cross-check bugs with external solvers (Z3, cvc5, Boolector) or archive
+// the exact satisfiability obligation behind a bug's concrete inputs.
+//
+// The output defines one named term per DAG node (preserving sharing) and
+// asserts each constraint, followed by (check-sat) and (get-model).
+#ifndef SRC_EXPR_SMTLIB_H_
+#define SRC_EXPR_SMTLIB_H_
+
+#include <string>
+#include <vector>
+
+#include "src/expr/expr.h"
+
+namespace ddt {
+
+// Renders the conjunction of `constraints` as a self-contained SMT-LIB2
+// script. Variable names come from the context's VarInfo (sanitized and
+// uniquified by id).
+std::string ToSmtLib(const std::vector<ExprRef>& constraints, const ExprContext& ctx);
+
+}  // namespace ddt
+
+#endif  // SRC_EXPR_SMTLIB_H_

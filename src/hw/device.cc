@@ -1,0 +1,44 @@
+#include "src/hw/device.h"
+
+#include "src/hw/pci.h"
+#include "src/support/check.h"
+#include "src/support/strings.h"
+#include "src/vm/layout.h"
+
+namespace ddt {
+
+uint32_t PciDescriptor::BarBase(size_t index) const {
+  DDT_CHECK(index < bars.size());
+  uint32_t base = kMmioBase + static_cast<uint32_t>(index) * 0x1000;
+  DDT_CHECK(base + bars[index].size <= kMmioLimit);
+  return base;
+}
+
+Value SymbolicDevice::Read(uint32_t offset, unsigned size, ExprContext* ctx) {
+  DDT_CHECK(size == 1 || size == 2 || size == 4);
+  VarOrigin origin;
+  origin.source = VarOrigin::Source::kHardwareRead;
+  origin.label = name_;
+  origin.aux = offset;
+  origin.seq = read_seq_;
+  std::string var_name = StrFormat("hw_%s_%x_%llu", name_.c_str(), offset,
+                                   static_cast<unsigned long long>(read_seq_));
+  ++read_seq_;
+  ExprRef var = ctx->Var(static_cast<uint8_t>(size * 8), var_name, origin);
+  return Value::Symbolic(size == 4 ? var : ctx->ZExt(var, 32));
+}
+
+Value ScriptedDevice::Read(uint32_t offset, unsigned size, ExprContext* ctx) {
+  DDT_CHECK(size == 1 || size == 2 || size == 4);
+  uint32_t raw;
+  if (read_seq_ < script_.size()) {
+    raw = script_[read_seq_];
+  } else {
+    raw = fallback_rng_.Next32();
+  }
+  ++read_seq_;
+  uint32_t mask = size == 4 ? 0xFFFFFFFFu : ((1u << (size * 8)) - 1);
+  return Value::Concrete(raw & mask);
+}
+
+}  // namespace ddt

@@ -1,0 +1,91 @@
+// Device models behind the PCI shell.
+//
+// SymbolicDevice is the paper's fully symbolic hardware (§3.3): register
+// reads return fresh unconstrained symbolic values, writes are discarded,
+// and an interrupt can always (symbolically) arrive. ScriptedDevice replays
+// a fixed sequence of concrete read values — it is what the trace replayer
+// and the Driver Verifier stress baseline run against.
+//
+// A model is per-execution-state (the read sequence number is path-local so
+// solved inputs map 1:1 onto replay reads); Clone() is called on fork.
+#ifndef SRC_HW_DEVICE_H_
+#define SRC_HW_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/expr/expr.h"
+#include "src/support/rng.h"
+#include "src/vm/value.h"
+
+namespace ddt {
+
+class DeviceModel {
+ public:
+  virtual ~DeviceModel() = default;
+  virtual std::unique_ptr<DeviceModel> Clone() const = 0;
+
+  // Handles a driver read of `size` bytes (1/2/4) at BAR-relative `offset`.
+  virtual Value Read(uint32_t offset, unsigned size, ExprContext* ctx) = 0;
+  // Handles a driver write. Symbolic devices discard it.
+  virtual void Write(uint32_t offset, unsigned size, const Value& value) = 0;
+  // Whether the interrupt line can be asserted at this point.
+  virtual bool InterruptPossible() const = 0;
+
+  // Number of reads served so far on this path (the replay key space).
+  virtual uint64_t reads_served() const = 0;
+};
+
+// Fully symbolic hardware: every read is a fresh variable tagged with its
+// offset and sequence number (VarOrigin::kHardwareRead).
+class SymbolicDevice : public DeviceModel {
+ public:
+  explicit SymbolicDevice(std::string device_name) : name_(std::move(device_name)) {}
+
+  std::unique_ptr<DeviceModel> Clone() const override {
+    return std::make_unique<SymbolicDevice>(*this);
+  }
+
+  Value Read(uint32_t offset, unsigned size, ExprContext* ctx) override;
+  void Write(uint32_t offset, unsigned size, const Value& value) override {}
+  bool InterruptPossible() const override { return true; }
+  uint64_t reads_served() const override { return read_seq_; }
+
+ private:
+  std::string name_;
+  uint64_t read_seq_ = 0;
+};
+
+// Concrete device fed by a script: read k returns script[k] (or values from
+// an Rng once the script is exhausted, for stress testing). Interrupts fire
+// only when the harness schedules them, so InterruptPossible() is false —
+// delivery is driven externally during replay.
+class ScriptedDevice : public DeviceModel {
+ public:
+  ScriptedDevice(std::vector<uint32_t> script, uint64_t fallback_seed)
+      : script_(std::move(script)), fallback_rng_(fallback_seed) {}
+
+  std::unique_ptr<DeviceModel> Clone() const override {
+    return std::make_unique<ScriptedDevice>(*this);
+  }
+
+  Value Read(uint32_t offset, unsigned size, ExprContext* ctx) override;
+  void Write(uint32_t offset, unsigned size, const Value& value) override {
+    write_count_ += 1;
+  }
+  bool InterruptPossible() const override { return false; }
+  uint64_t reads_served() const override { return read_seq_; }
+  uint64_t write_count() const { return write_count_; }
+
+ private:
+  std::vector<uint32_t> script_;
+  Rng fallback_rng_;
+  uint64_t read_seq_ = 0;
+  uint64_t write_count_ = 0;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_HW_DEVICE_H_

@@ -1,0 +1,41 @@
+// PCI device descriptors (§4.2: the "empty shell" fake device).
+//
+// DDT fools the OS into loading a driver by presenting a descriptor with the
+// right vendor/device IDs and resource requirements; the device behind it
+// implements no logic beyond producing symbolic values. MiniOS's PnP path
+// allocates one MMIO window per BAR (at kMmioBase + 0x1000 * index) and
+// assigns the interrupt line before invoking the driver's load entry point.
+#ifndef SRC_HW_PCI_H_
+#define SRC_HW_PCI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddt {
+
+struct PciBar {
+  uint32_t size = 0x100;  // bytes of register space
+};
+
+struct PciDescriptor {
+  uint16_t vendor_id = 0;
+  uint16_t device_id = 0;
+  uint8_t revision = 0;
+  uint8_t irq_line = 10;
+  std::vector<PciBar> bars;
+  std::string pretty_name;
+
+  // Guest address where BAR `index` is mapped by the PnP path.
+  uint32_t BarBase(size_t index) const;
+};
+
+// Config-space offsets readable through MosReadPciConfig.
+inline constexpr uint32_t kPciCfgVendorId = 0x00;
+inline constexpr uint32_t kPciCfgDeviceId = 0x02;
+inline constexpr uint32_t kPciCfgRevision = 0x08;
+inline constexpr uint32_t kPciCfgIrqLine = 0x3C;
+
+}  // namespace ddt
+
+#endif  // SRC_HW_PCI_H_

@@ -1,0 +1,106 @@
+#include "src/kernel/api.h"
+
+namespace ddt {
+
+const char* IrqlName(Irql irql) {
+  switch (irql) {
+    case Irql::kPassive:
+      return "PASSIVE";
+    case Irql::kDispatch:
+      return "DISPATCH";
+    case Irql::kDevice:
+      return "DEVICE";
+  }
+  return "?";
+}
+
+const char* ExecContextName(ExecContextKind kind) {
+  switch (kind) {
+    case ExecContextKind::kNone:
+      return "none";
+    case ExecContextKind::kEntryPoint:
+      return "entry-point";
+    case ExecContextKind::kIsr:
+      return "ISR";
+    case ExecContextKind::kDpc:
+      return "DPC";
+    case ExecContextKind::kTimer:
+      return "timer";
+  }
+  return "?";
+}
+
+const char* EntrySlotName(int slot) {
+  switch (slot) {
+    case kEpInitialize:
+      return "Initialize";
+    case kEpHalt:
+      return "Halt";
+    case kEpQueryInfo:
+      return "QueryInformation";
+    case kEpSetInfo:
+      return "SetInformation";
+    case kEpSend:
+      return "Send";
+    case kEpWrite:
+      return "Write";
+    case kEpStop:
+      return "Stop";
+    case kEpDiag:
+      return "Diag";
+    default:
+      return "?";
+  }
+}
+
+const char* KernelEventKindName(KernelEvent::Kind kind) {
+  switch (kind) {
+    case KernelEvent::Kind::kApiEnter:
+      return "api-enter";
+    case KernelEvent::Kind::kApiExit:
+      return "api-exit";
+    case KernelEvent::Kind::kEntryEnter:
+      return "entry-enter";
+    case KernelEvent::Kind::kEntryExit:
+      return "entry-exit";
+    case KernelEvent::Kind::kInterruptInjected:
+      return "interrupt-injected";
+    case KernelEvent::Kind::kBugCheck:
+      return "bugcheck";
+    case KernelEvent::Kind::kAlloc:
+      return "alloc";
+    case KernelEvent::Kind::kFree:
+      return "free";
+    case KernelEvent::Kind::kConfigOpen:
+      return "config-open";
+    case KernelEvent::Kind::kConfigClose:
+      return "config-close";
+    case KernelEvent::Kind::kConfigRead:
+      return "config-read";
+    case KernelEvent::Kind::kLockAcquire:
+      return "lock-acquire";
+    case KernelEvent::Kind::kLockRelease:
+      return "lock-release";
+    case KernelEvent::Kind::kIrqlChange:
+      return "irql-change";
+    case KernelEvent::Kind::kTimerInit:
+      return "timer-init";
+    case KernelEvent::Kind::kTimerSet:
+      return "timer-set";
+    case KernelEvent::Kind::kIsrRegister:
+      return "isr-register";
+    case KernelEvent::Kind::kDpcQueue:
+      return "dpc-queue";
+    case KernelEvent::Kind::kPacketAlloc:
+      return "packet-alloc";
+    case KernelEvent::Kind::kPacketFree:
+      return "packet-free";
+    case KernelEvent::Kind::kPacketPoolAlloc:
+      return "packet-pool-alloc";
+    case KernelEvent::Kind::kPacketPoolFree:
+      return "packet-pool-free";
+  }
+  return "?";
+}
+
+}  // namespace ddt

@@ -1,0 +1,117 @@
+// MiniOS kernel API surface: status codes, IRQLs, driver entry-point slots,
+// OIDs, and the kernel event stream that DDT's VM-level checkers observe.
+//
+// The API is NDIS/WDM-flavored on purpose: every Table-2 bug class in the
+// paper involves one of these interfaces (configuration reads, tagged pool,
+// spinlocks + IRQL, timers, interrupt registration, packet pools, OID
+// query/set requests).
+#ifndef SRC_KERNEL_API_H_
+#define SRC_KERNEL_API_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ddt {
+
+// --- Status codes (NTSTATUS-flavored) ---
+inline constexpr uint32_t kStatusSuccess = 0x00000000;
+inline constexpr uint32_t kStatusUnsuccessful = 0xC0000001;
+inline constexpr uint32_t kStatusInsufficientResources = 0xC000009A;
+inline constexpr uint32_t kStatusInvalidDeviceRequest = 0xC0000010;
+inline constexpr uint32_t kStatusNotFound = 0xC0000225;
+inline constexpr uint32_t kStatusBufferTooSmall = 0xC0000023;
+
+// --- IRQLs ---
+enum class Irql : uint8_t {
+  kPassive = 0,
+  kDispatch = 2,
+  kDevice = 5,
+};
+
+const char* IrqlName(Irql irql);
+
+// Which driver-side context is currently executing.
+enum class ExecContextKind : uint8_t {
+  kNone = 0,       // no driver code on the (virtual) CPU
+  kEntryPoint = 1,
+  kIsr = 2,
+  kDpc = 3,
+  kTimer = 4,
+};
+
+const char* ExecContextName(ExecContextKind kind);
+
+// --- Driver entry-point slots ---
+// The driver's load routine fills a table of guest function pointers and
+// hands it to MosRegisterDriver. Slot 0 must be present.
+enum EntrySlot : int {
+  kEpInitialize = 0,  // () -> status
+  kEpHalt = 1,        // () -> void
+  kEpQueryInfo = 2,   // (oid, buf, len) -> status
+  kEpSetInfo = 3,     // (oid, buf, len) -> status
+  kEpSend = 4,        // (packet, length) -> status
+  kEpWrite = 5,       // (buf, len) -> status          (audio-style playback)
+  kEpStop = 6,        // () -> void                    (audio-style stop)
+  kEpDiag = 7,        // (code) -> status              (diagnostic dispatch)
+  kNumEntrySlots = 8,
+};
+
+const char* EntrySlotName(int slot);
+
+// --- Bugcheck codes (what the in-guest verifier / kernel raises) ---
+inline constexpr uint32_t kBugcheckIrqlNotLessOrEqual = 0x0A;
+inline constexpr uint32_t kBugcheckDriverIrqlViolation = 0xD1;
+inline constexpr uint32_t kBugcheckSpinLockMisuse = 0x81;
+inline constexpr uint32_t kBugcheckUninitializedTimer = 0xDE;
+inline constexpr uint32_t kBugcheckBadPointer = 0x50;
+inline constexpr uint32_t kBugcheckDeadlock = 0xE2;
+inline constexpr uint32_t kBugcheckDriverRequested = 0xCC;
+
+// --- OIDs the exerciser issues ---
+inline constexpr uint32_t kOidGenMaxFrameSize = 0x00010106;
+inline constexpr uint32_t kOidGenLinkSpeed = 0x00010107;
+inline constexpr uint32_t kOidGenCurrentAddress = 0x00010102;
+inline constexpr uint32_t kOidGenMulticastList = 0x00010103;
+inline constexpr uint32_t kOid802_3PermanentAddress = 0x01010101;
+
+// --- Kernel events -----------------------------------------------------------
+// Emitted by the kernel implementation as it services driver calls; the
+// engine forwards them to registered checkers (and records them in traces).
+struct KernelEvent {
+  enum class Kind {
+    kApiEnter,           // text = api name
+    kApiExit,            // text = api name, a = return value
+    kEntryEnter,         // a = slot
+    kEntryExit,          // a = slot, b = return value (r0)
+    kInterruptInjected,  // a = crossing index
+    kBugCheck,           // a = code, text = message
+    kAlloc,              // a = addr, b = size, c = tag
+    kFree,               // a = addr
+    kConfigOpen,         // a = handle
+    kConfigClose,        // a = handle
+    kConfigRead,         // text = parameter name
+    kLockAcquire,        // a = lock addr, b = 1 if Dpr variant
+    kLockRelease,        // a = lock addr, b = 1 if Dpr variant
+    kIrqlChange,         // a = new level, b = old level
+    kTimerInit,          // a = timer addr
+    kTimerSet,           // a = timer addr
+    kIsrRegister,        // a = isr fn
+    kDpcQueue,           // a = fn
+    kPacketAlloc,        // a = packet addr
+    kPacketFree,         // a = packet addr
+    kPacketPoolAlloc,    // a = pool handle
+    kPacketPoolFree,     // a = pool handle
+  };
+
+  Kind kind;
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint32_t c = 0;
+  std::string text;
+};
+
+const char* KernelEventKindName(KernelEvent::Kind kind);
+
+}  // namespace ddt
+
+#endif  // SRC_KERNEL_API_H_

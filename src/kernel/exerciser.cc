@@ -1,0 +1,56 @@
+#include "src/kernel/exerciser.h"
+
+namespace ddt {
+
+std::vector<WorkloadStep> BuildWorkload(DriverClass driver_class) {
+  std::vector<WorkloadStep> steps;
+
+  WorkloadStep init;
+  init.slot = kEpInitialize;
+  init.plan = WorkloadStep::ArgPlan::kNone;
+  steps.push_back(init);
+
+  auto add = [&steps](int slot, WorkloadStep::ArgPlan plan, uint32_t param = 0,
+                      uint32_t len = 64) {
+    WorkloadStep step;
+    step.slot = slot;
+    step.plan = plan;
+    step.param = param;
+    step.buffer_len = len;
+    step.only_if_init_ok = true;
+    steps.push_back(step);
+  };
+
+  switch (driver_class) {
+    case DriverClass::kNetwork:
+      add(kEpQueryInfo, WorkloadStep::ArgPlan::kOidRequest, kOidGenMaxFrameSize);
+      add(kEpQueryInfo, WorkloadStep::ArgPlan::kOidRequest, kOidGenCurrentAddress);
+      add(kEpSetInfo, WorkloadStep::ArgPlan::kOidRequest, kOidGenMulticastList);
+      add(kEpSend, WorkloadStep::ArgPlan::kSendPacket, 0, 128);
+      add(kEpDiag, WorkloadStep::ArgPlan::kDiagCode, 0);
+      break;
+    case DriverClass::kAudio:
+      add(kEpWrite, WorkloadStep::ArgPlan::kWriteBuffer, 0, 256);
+      add(kEpStop, WorkloadStep::ArgPlan::kNone);
+      add(kEpDiag, WorkloadStep::ArgPlan::kDiagCode, 0);
+      break;
+  }
+
+  WorkloadStep halt;
+  halt.slot = kEpHalt;
+  halt.plan = WorkloadStep::ArgPlan::kNone;
+  halt.only_if_init_ok = true;
+  steps.push_back(halt);
+  return steps;
+}
+
+DriverClass DriverClassFor(const std::string& driver_name) {
+  if (driver_name.find("audio") != std::string::npos ||
+      driver_name.find("ac97") != std::string::npos ||
+      driver_name.find("sound") != std::string::npos) {
+    return DriverClass::kAudio;
+  }
+  return DriverClass::kNetwork;
+}
+
+}  // namespace ddt

@@ -1,0 +1,34 @@
+// Concrete workload generator — the Device Path Exerciser analogue (§4.3).
+//
+// DDT "uses Microsoft's Device Path Exerciser as a concrete workload
+// generator to invoke the entry points of the drivers to be tested": this
+// module builds the per-driver-class scripts of entry-point invocations the
+// engine's scheduler walks. Symbolic execution then explores paths from each
+// exercised entry point; annotations (optionally) make the request arguments
+// symbolic.
+#ifndef SRC_KERNEL_EXERCISER_H_
+#define SRC_KERNEL_EXERCISER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel_state.h"
+
+namespace ddt {
+
+enum class DriverClass {
+  kNetwork,  // NDIS-miniport-flavored: Query/SetInformation, Send
+  kAudio,    // WDM-audio-flavored: Write (playback), Stop
+};
+
+// The paper's workloads: "for the network drivers, the workload consisted of
+// sending one packet; for the audio drivers, we played a small sound file" —
+// plus the error-mode OID pokes the Device Path Exerciser issues.
+std::vector<WorkloadStep> BuildWorkload(DriverClass driver_class);
+
+// Driver class by corpus name ("rtl8029" -> network, "audiopci" -> audio...).
+DriverClass DriverClassFor(const std::string& driver_name);
+
+}  // namespace ddt
+
+#endif  // SRC_KERNEL_EXERCISER_H_

@@ -1,0 +1,771 @@
+#include "src/kernel/kernel_api.h"
+
+#include <algorithm>
+
+#include "src/hw/device.h"
+#include "src/support/check.h"
+#include "src/support/log.h"
+#include "src/support/strings.h"
+#include "src/vm/layout.h"
+
+namespace ddt {
+
+namespace {
+
+// --- Shared helpers -----------------------------------------------------------
+
+uint32_t ArgU32(KernelContext& kc, int index, const char* what) {
+  return kc.Concretize(kc.Arg(index), what);
+}
+
+void ReturnU32(KernelContext& kc, uint32_t value) { kc.SetReturn(Value::Concrete(value)); }
+
+// Driver Verifier: pageable-path APIs must run at PASSIVE_LEVEL.
+bool RequirePassive(KernelContext& kc, const char* api) {
+  KernelState& ks = kc.kernel();
+  if (ks.verifier.enabled && ks.verifier.check_irql && ks.irql != Irql::kPassive) {
+    kc.BugCheck(kBugcheckDriverIrqlViolation,
+                StrFormat("%s called at IRQL %s (requires PASSIVE): pageable code touched at "
+                          "raised IRQL",
+                          api, IrqlName(ks.irql)));
+    return false;
+  }
+  return true;
+}
+
+bool RequireAtMostDispatch(KernelContext& kc, const char* api) {
+  KernelState& ks = kc.kernel();
+  if (ks.verifier.enabled && ks.verifier.check_irql && ks.irql > Irql::kDispatch) {
+    kc.BugCheck(kBugcheckDriverIrqlViolation,
+                StrFormat("%s called at IRQL %s (max DISPATCH)", api, IrqlName(ks.irql)));
+    return false;
+  }
+  return true;
+}
+
+void SetIrql(KernelContext& kc, Irql next) {
+  KernelState& ks = kc.kernel();
+  Irql old = ks.irql;
+  ks.irql = next;
+  KernelEvent event;
+  event.kind = KernelEvent::Kind::kIrqlChange;
+  event.a = static_cast<uint32_t>(next);
+  event.b = static_cast<uint32_t>(old);
+  kc.EmitEvent(event);
+}
+
+// --- Driver registration --------------------------------------------------------
+
+void MosRegisterDriver(KernelContext& kc) {
+  KernelState& ks = kc.kernel();
+  uint32_t table_ptr = ArgU32(kc, 0, "MosRegisterDriver.table");
+  for (int slot = 0; slot < kNumEntrySlots; ++slot) {
+    ks.entry_points[static_cast<size_t>(slot)] =
+        kc.ReadGuestU32(table_ptr + static_cast<uint32_t>(slot) * 4);
+  }
+  if (ks.entry_points[kEpInitialize] == 0) {
+    ReturnU32(kc, kStatusUnsuccessful);
+    return;
+  }
+  ks.driver_registered = true;
+  ReturnU32(kc, kStatusSuccess);
+}
+
+// --- Pool allocation -------------------------------------------------------------
+
+}  // namespace
+
+uint32_t KernelAllocate(KernelContext& kc, uint32_t size, uint32_t tag, const std::string& api) {
+  KernelState& ks = kc.kernel();
+  // 16-byte aligned bump allocation; never recycled, so use-after-free is
+  // detectable as access to a dead allocation.
+  uint32_t aligned = (size + 15u) & ~15u;
+  if (aligned == 0) {
+    aligned = 16;
+  }
+  if (ks.heap_cursor + aligned > kKernelHeapLimit) {
+    return 0;  // genuinely out of heap window
+  }
+  uint32_t addr = ks.heap_cursor;
+  ks.heap_cursor += aligned;
+  PoolAllocation alloc;
+  alloc.addr = addr;
+  alloc.size = size;
+  alloc.tag = tag;
+  alloc.alive = true;
+  alloc.seq = ks.alloc_seq++;
+  alloc.alloc_entry_slot = ks.current_entry_slot;
+  alloc.api = api;
+  ks.pool.emplace(addr, alloc);
+
+  KernelEvent event;
+  event.kind = KernelEvent::Kind::kAlloc;
+  event.a = addr;
+  event.b = size;
+  event.c = tag;
+  event.text = api;
+  kc.EmitEvent(event);
+  return addr;
+}
+
+void RemoveGrant(KernelState& ks, uint32_t begin) {
+  ks.grants.erase(std::remove_if(ks.grants.begin(), ks.grants.end(),
+                                 [begin](const MemoryGrant& g) { return g.begin == begin; }),
+                  ks.grants.end());
+}
+
+namespace {
+
+bool FreeAllocation(KernelContext& kc, uint32_t addr, const char* api) {
+  KernelState& ks = kc.kernel();
+  auto it = ks.pool.find(addr);
+  if (it == ks.pool.end() || !it->second.alive) {
+    if (ks.verifier.enabled && ks.verifier.check_pool) {
+      kc.BugCheck(kBugcheckBadPointer,
+                  StrFormat("%s: freeing invalid or already-freed pool pointer 0x%x", api, addr));
+    }
+    return false;
+  }
+  it->second.alive = false;
+  KernelEvent event;
+  event.kind = KernelEvent::Kind::kFree;
+  event.a = addr;
+  kc.EmitEvent(event);
+  return true;
+}
+
+void MosAllocatePool(KernelContext& kc) {
+  if (!RequireAtMostDispatch(kc, "MosAllocatePool")) {
+    return;
+  }
+  uint32_t size = ArgU32(kc, 0, "MosAllocatePool.size");
+  ReturnU32(kc, KernelAllocate(kc, size, 0, "MosAllocatePool"));
+}
+
+void MosAllocatePoolWithTag(KernelContext& kc) {
+  if (!RequireAtMostDispatch(kc, "MosAllocatePoolWithTag")) {
+    return;
+  }
+  uint32_t size = ArgU32(kc, 0, "MosAllocatePoolWithTag.size");
+  uint32_t tag = ArgU32(kc, 1, "MosAllocatePoolWithTag.tag");
+  ReturnU32(kc, KernelAllocate(kc, size, tag, "MosAllocatePoolWithTag"));
+}
+
+void MosFreePool(KernelContext& kc) {
+  if (!RequireAtMostDispatch(kc, "MosFreePool")) {
+    return;
+  }
+  uint32_t addr = ArgU32(kc, 0, "MosFreePool.ptr");
+  FreeAllocation(kc, addr, "MosFreePool");
+  ReturnU32(kc, kStatusSuccess);
+}
+
+// NDIS-style: status return, pointer through an out-parameter.
+void MosAllocateMemoryWithTag(KernelContext& kc) {
+  if (!RequireAtMostDispatch(kc, "MosAllocateMemoryWithTag")) {
+    return;
+  }
+  uint32_t out_ptr = ArgU32(kc, 0, "MosAllocateMemoryWithTag.out");
+  uint32_t size = ArgU32(kc, 1, "MosAllocateMemoryWithTag.size");
+  uint32_t tag = ArgU32(kc, 2, "MosAllocateMemoryWithTag.tag");
+  uint32_t addr = KernelAllocate(kc, size, tag, "MosAllocateMemoryWithTag");
+  if (addr == 0) {
+    ReturnU32(kc, kStatusInsufficientResources);
+    return;
+  }
+  kc.WriteGuestU32(out_ptr, addr);
+  ReturnU32(kc, kStatusSuccess);
+}
+
+void MosFreeMemory(KernelContext& kc) {
+  if (!RequireAtMostDispatch(kc, "MosFreeMemory")) {
+    return;
+  }
+  uint32_t addr = ArgU32(kc, 0, "MosFreeMemory.ptr");
+  FreeAllocation(kc, addr, "MosFreeMemory");
+  ReturnU32(kc, kStatusSuccess);
+}
+
+void MosZeroMemory(KernelContext& kc) {
+  uint32_t addr = ArgU32(kc, 0, "MosZeroMemory.ptr");
+  uint32_t len = ArgU32(kc, 1, "MosZeroMemory.len");
+  len = std::min<uint32_t>(len, 1u << 20);
+  for (uint32_t i = 0; i < len; ++i) {
+    kc.WriteGuestU8(addr + i, 0);
+  }
+  ReturnU32(kc, kStatusSuccess);
+}
+
+void MosMoveMemory(KernelContext& kc) {
+  uint32_t dst = ArgU32(kc, 0, "MosMoveMemory.dst");
+  uint32_t src = ArgU32(kc, 1, "MosMoveMemory.src");
+  uint32_t len = ArgU32(kc, 2, "MosMoveMemory.len");
+  len = std::min<uint32_t>(len, 1u << 20);
+  // Byte-wise, preserving symbolic bytes (the kernel treats driver buffers as
+  // opaque; copying must not concretize them — §3.2 "private driver state ...
+  // preserved in symbolic form").
+  if (dst <= src) {
+    for (uint32_t i = 0; i < len; ++i) {
+      kc.WriteGuestValue(dst + i, kc.ReadGuestValue(src + i, 1), 1);
+    }
+  } else {
+    for (uint32_t i = len; i > 0; --i) {
+      kc.WriteGuestValue(dst + i - 1, kc.ReadGuestValue(src + i - 1, 1), 1);
+    }
+  }
+  ReturnU32(kc, kStatusSuccess);
+}
+
+// --- Configuration (registry) -----------------------------------------------------
+
+void MosOpenConfiguration(KernelContext& kc) {
+  if (!RequirePassive(kc, "MosOpenConfiguration")) {
+    return;
+  }
+  KernelState& ks = kc.kernel();
+  uint32_t out_handle_ptr = ArgU32(kc, 0, "MosOpenConfiguration.out");
+  uint32_t handle = ks.next_config_handle++;
+  ConfigHandleState state;
+  state.open = true;
+  state.opened_in_slot = ks.current_entry_slot;
+  ks.config_handles.emplace(handle, state);
+  kc.WriteGuestU32(out_handle_ptr, handle);
+
+  KernelEvent event;
+  event.kind = KernelEvent::Kind::kConfigOpen;
+  event.a = handle;
+  kc.EmitEvent(event);
+  ReturnU32(kc, kStatusSuccess);
+}
+
+void MosReadConfiguration(KernelContext& kc) {
+  if (!RequirePassive(kc, "MosReadConfiguration")) {
+    return;
+  }
+  KernelState& ks = kc.kernel();
+  uint32_t handle = ArgU32(kc, 0, "MosReadConfiguration.handle");
+  uint32_t name_ptr = ArgU32(kc, 1, "MosReadConfiguration.name");
+  uint32_t param_ptr = ArgU32(kc, 2, "MosReadConfiguration.param");
+
+  auto it = ks.config_handles.find(handle);
+  if (it == ks.config_handles.end() || !it->second.open) {
+    ReturnU32(kc, kStatusUnsuccessful);
+    return;
+  }
+  std::string name = kc.ReadGuestCString(name_ptr, 64);
+  KernelEvent event;
+  event.kind = KernelEvent::Kind::kConfigRead;
+  event.text = name;
+  kc.EmitEvent(event);
+
+  auto reg_it = ks.registry.find(name);
+  if (reg_it == ks.registry.end()) {
+    ReturnU32(kc, kStatusNotFound);
+    return;
+  }
+  // Parameter block: { u32 type (1 = integer); u32 value }.
+  kc.WriteGuestU32(param_ptr, 1);
+  kc.WriteGuestU32(param_ptr + 4, reg_it->second);
+  ReturnU32(kc, kStatusSuccess);
+}
+
+void MosCloseConfiguration(KernelContext& kc) {
+  if (!RequirePassive(kc, "MosCloseConfiguration")) {
+    return;
+  }
+  KernelState& ks = kc.kernel();
+  uint32_t handle = ArgU32(kc, 0, "MosCloseConfiguration.handle");
+  auto it = ks.config_handles.find(handle);
+  if (it == ks.config_handles.end() || !it->second.open) {
+    if (ks.verifier.enabled) {
+      kc.BugCheck(kBugcheckBadPointer,
+                  StrFormat("MosCloseConfiguration: invalid handle 0x%x", handle));
+    }
+    return;
+  }
+  it->second.open = false;
+  KernelEvent event;
+  event.kind = KernelEvent::Kind::kConfigClose;
+  event.a = handle;
+  kc.EmitEvent(event);
+  ReturnU32(kc, kStatusSuccess);
+}
+
+// --- Spinlocks and IRQL -------------------------------------------------------------
+
+void AcquireLockCommon(KernelContext& kc, bool dpr) {
+  KernelState& ks = kc.kernel();
+  const char* api = dpr ? "MosDprAcquireSpinLock" : "MosAcquireSpinLock";
+  uint32_t lock_addr = ArgU32(kc, 0, "SpinLock.addr");
+  SpinLockState& lock = ks.locks[lock_addr];
+
+  if (ks.verifier.enabled && ks.verifier.check_spinlocks) {
+    if (lock.held) {
+      // Re-acquiring a spinlock you hold deadlocks the CPU.
+      kc.BugCheck(kBugcheckDeadlock,
+                  StrFormat("%s: recursive acquisition of spinlock 0x%x (self-deadlock)", api,
+                            lock_addr));
+      return;
+    }
+    if (dpr && ks.irql < Irql::kDispatch) {
+      kc.BugCheck(kBugcheckDriverIrqlViolation,
+                  StrFormat("%s requires IRQL >= DISPATCH (current %s)", api, IrqlName(ks.irql)));
+      return;
+    }
+  }
+  lock.held = true;
+  lock.dpr_acquired = dpr;
+  lock.holder = kc.CurrentContext();
+  lock.acquire_order = ks.lock_order_counter++;
+  if (!dpr) {
+    lock.saved_irql = ks.irql;
+    SetIrql(kc, Irql::kDispatch);
+  }
+  ks.lock_stack.push_back(lock_addr);
+
+  KernelEvent event;
+  event.kind = KernelEvent::Kind::kLockAcquire;
+  event.a = lock_addr;
+  event.b = dpr ? 1 : 0;
+  kc.EmitEvent(event);
+  ReturnU32(kc, kStatusSuccess);
+}
+
+void ReleaseLockCommon(KernelContext& kc, bool dpr) {
+  KernelState& ks = kc.kernel();
+  const char* api = dpr ? "MosDprReleaseSpinLock" : "MosReleaseSpinLock";
+  uint32_t lock_addr = ArgU32(kc, 0, "SpinLock.addr");
+  auto it = ks.locks.find(lock_addr);
+
+  if (it == ks.locks.end() || !it->second.held) {
+    if (ks.verifier.enabled && ks.verifier.check_spinlocks) {
+      kc.BugCheck(kBugcheckSpinLockMisuse,
+                  StrFormat("%s: releasing spinlock 0x%x that is not held", api, lock_addr));
+    }
+    return;
+  }
+  SpinLockState& lock = it->second;
+  if (ks.verifier.enabled && ks.verifier.check_spinlocks && lock.dpr_acquired != dpr) {
+    // The Intel Pro/100 bug class: NdisReleaseSpinLock instead of
+    // NdisDprReleaseSpinLock (or vice versa) corrupts the IRQL.
+    kc.BugCheck(kBugcheckIrqlNotLessOrEqual,
+                StrFormat("%s: spinlock 0x%x was acquired with the %s variant; releasing with "
+                          "the wrong variant corrupts the IRQL (KeReleaseSpinLock from DPC)",
+                          api, lock_addr, lock.dpr_acquired ? "Dpr" : "non-Dpr"));
+    return;
+  }
+  lock.held = false;
+  // Out-of-order release is legal-but-suspect; the DDT lock checker flags
+  // cross-path cycles. Here we just maintain the stack.
+  auto stack_it = std::find(ks.lock_stack.rbegin(), ks.lock_stack.rend(), lock_addr);
+  if (stack_it != ks.lock_stack.rend()) {
+    ks.lock_stack.erase(std::next(stack_it).base());
+  }
+  if (!dpr) {
+    SetIrql(kc, lock.saved_irql);
+  }
+
+  KernelEvent event;
+  event.kind = KernelEvent::Kind::kLockRelease;
+  event.a = lock_addr;
+  event.b = dpr ? 1 : 0;
+  kc.EmitEvent(event);
+  ReturnU32(kc, kStatusSuccess);
+}
+
+void MosAcquireSpinLock(KernelContext& kc) { AcquireLockCommon(kc, false); }
+void MosReleaseSpinLock(KernelContext& kc) { ReleaseLockCommon(kc, false); }
+void MosDprAcquireSpinLock(KernelContext& kc) { AcquireLockCommon(kc, true); }
+void MosDprReleaseSpinLock(KernelContext& kc) { ReleaseLockCommon(kc, true); }
+
+void MosGetCurrentIrql(KernelContext& kc) {
+  ReturnU32(kc, static_cast<uint32_t>(kc.kernel().irql));
+}
+
+void MosRaiseIrql(KernelContext& kc) {
+  KernelState& ks = kc.kernel();
+  uint32_t level = ArgU32(kc, 0, "MosRaiseIrql.level");
+  uint32_t old = static_cast<uint32_t>(ks.irql);
+  if (level < old || level > static_cast<uint32_t>(Irql::kDevice)) {
+    if (ks.verifier.enabled && ks.verifier.check_irql) {
+      kc.BugCheck(kBugcheckDriverIrqlViolation,
+                  StrFormat("MosRaiseIrql: invalid target level %u (current %u)", level, old));
+      return;
+    }
+  }
+  SetIrql(kc, static_cast<Irql>(level));
+  ReturnU32(kc, old);
+}
+
+void MosLowerIrql(KernelContext& kc) {
+  KernelState& ks = kc.kernel();
+  uint32_t level = ArgU32(kc, 0, "MosLowerIrql.level");
+  if (level > static_cast<uint32_t>(ks.irql)) {
+    if (ks.verifier.enabled && ks.verifier.check_irql) {
+      kc.BugCheck(kBugcheckDriverIrqlViolation,
+                  StrFormat("MosLowerIrql: target level %u above current %u", level,
+                            static_cast<uint32_t>(ks.irql)));
+      return;
+    }
+  }
+  SetIrql(kc, static_cast<Irql>(level));
+  ReturnU32(kc, kStatusSuccess);
+}
+
+// --- Interrupts ---------------------------------------------------------------------
+
+void MosRegisterInterrupt(KernelContext& kc) {
+  KernelState& ks = kc.kernel();
+  uint32_t fn = ArgU32(kc, 0, "MosRegisterInterrupt.fn");
+  uint32_t ctx = ArgU32(kc, 1, "MosRegisterInterrupt.ctx");
+  if (fn == 0 || !ks.driver.ContainsCode(fn)) {
+    ReturnU32(kc, kStatusUnsuccessful);
+    return;
+  }
+  ks.isr_fn = fn;
+  ks.isr_ctx = ctx;
+  ks.isr_registered = true;
+  ks.isr_deregistered = false;
+
+  KernelEvent event;
+  event.kind = KernelEvent::Kind::kIsrRegister;
+  event.a = fn;
+  kc.EmitEvent(event);
+  ReturnU32(kc, kStatusSuccess);
+}
+
+void MosDeregisterInterrupt(KernelContext& kc) {
+  KernelState& ks = kc.kernel();
+  ks.isr_registered = false;
+  ks.isr_deregistered = true;
+  ReturnU32(kc, kStatusSuccess);
+}
+
+// Audio-style interrupt synchronization object (PcNewInterruptSync analogue).
+void MosNewInterruptSync(KernelContext& kc) {
+  uint32_t out_ptr = ArgU32(kc, 0, "MosNewInterruptSync.out");
+  // The sync object is an opaque kernel allocation.
+  uint32_t handle = KernelAllocate(kc, 32, 0x53594E49 /* 'INYS' */, "MosNewInterruptSync");
+  if (handle == 0) {
+    ReturnU32(kc, kStatusInsufficientResources);
+    return;
+  }
+  kc.WriteGuestU32(out_ptr, handle);
+  ReturnU32(kc, kStatusSuccess);
+}
+
+// --- Timers -----------------------------------------------------------------------
+
+void MosInitializeTimer(KernelContext& kc) {
+  KernelState& ks = kc.kernel();
+  uint32_t timer_addr = ArgU32(kc, 0, "MosInitializeTimer.timer");
+  uint32_t fn = ArgU32(kc, 1, "MosInitializeTimer.fn");
+  uint32_t ctx = ArgU32(kc, 2, "MosInitializeTimer.ctx");
+  TimerState& timer = ks.timers[timer_addr];
+  timer.initialized = true;
+  timer.fn = fn;
+  timer.ctx_arg = ctx;
+
+  KernelEvent event;
+  event.kind = KernelEvent::Kind::kTimerInit;
+  event.a = timer_addr;
+  kc.EmitEvent(event);
+  ReturnU32(kc, kStatusSuccess);
+}
+
+void MosSetTimer(KernelContext& kc) {
+  KernelState& ks = kc.kernel();
+  uint32_t timer_addr = ArgU32(kc, 0, "MosSetTimer.timer");
+  auto it = ks.timers.find(timer_addr);
+  if (it == ks.timers.end() || !it->second.initialized || it->second.fn == 0) {
+    // Passing an uninitialized timer descriptor dereferences garbage inside
+    // the kernel — this is the RTL8029 interrupt-before-timer-init BSOD.
+    if (ks.verifier.enabled && ks.verifier.check_timers) {
+      kc.BugCheck(kBugcheckUninitializedTimer,
+                  StrFormat("MosSetTimer: timer descriptor 0x%x was never initialized "
+                            "(uninitialized timer passed to kernel)",
+                            timer_addr));
+    }
+    return;
+  }
+  it->second.armed = true;
+  KernelEvent event;
+  event.kind = KernelEvent::Kind::kTimerSet;
+  event.a = timer_addr;
+  kc.EmitEvent(event);
+  ReturnU32(kc, kStatusSuccess);
+}
+
+void MosCancelTimer(KernelContext& kc) {
+  KernelState& ks = kc.kernel();
+  uint32_t timer_addr = ArgU32(kc, 0, "MosCancelTimer.timer");
+  auto it = ks.timers.find(timer_addr);
+  bool was_armed = false;
+  if (it != ks.timers.end()) {
+    was_armed = it->second.armed;
+    it->second.armed = false;
+  }
+  ReturnU32(kc, was_armed ? 1 : 0);
+}
+
+// --- DPCs --------------------------------------------------------------------------
+
+void MosQueueDpc(KernelContext& kc) {
+  KernelState& ks = kc.kernel();
+  uint32_t fn = ArgU32(kc, 0, "MosQueueDpc.fn");
+  uint32_t ctx = ArgU32(kc, 1, "MosQueueDpc.ctx");
+  if (fn == 0 || !ks.driver.ContainsCode(fn)) {
+    ReturnU32(kc, kStatusUnsuccessful);
+    return;
+  }
+  ks.dpc_queue.emplace_back(fn, ctx);
+  KernelEvent event;
+  event.kind = KernelEvent::Kind::kDpcQueue;
+  event.a = fn;
+  kc.EmitEvent(event);
+  ReturnU32(kc, kStatusSuccess);
+}
+
+// --- Packets -----------------------------------------------------------------------
+
+void MosAllocatePacketPool(KernelContext& kc) {
+  KernelState& ks = kc.kernel();
+  uint32_t out_ptr = ArgU32(kc, 0, "MosAllocatePacketPool.out");
+  uint32_t count = ArgU32(kc, 1, "MosAllocatePacketPool.count");
+  uint32_t handle = ks.next_pool_handle++;
+  PacketPoolState pool;
+  pool.alive = true;
+  pool.capacity = count;
+  ks.packet_pools.emplace(handle, pool);
+  kc.WriteGuestU32(out_ptr, handle);
+
+  KernelEvent event;
+  event.kind = KernelEvent::Kind::kPacketPoolAlloc;
+  event.a = handle;
+  kc.EmitEvent(event);
+  ReturnU32(kc, kStatusSuccess);
+}
+
+void MosFreePacketPool(KernelContext& kc) {
+  KernelState& ks = kc.kernel();
+  uint32_t handle = ArgU32(kc, 0, "MosFreePacketPool.pool");
+  auto it = ks.packet_pools.find(handle);
+  if (it == ks.packet_pools.end() || !it->second.alive) {
+    if (ks.verifier.enabled) {
+      kc.BugCheck(kBugcheckBadPointer,
+                  StrFormat("MosFreePacketPool: invalid pool handle 0x%x", handle));
+    }
+    return;
+  }
+  it->second.alive = false;
+  KernelEvent event;
+  event.kind = KernelEvent::Kind::kPacketPoolFree;
+  event.a = handle;
+  kc.EmitEvent(event);
+  ReturnU32(kc, kStatusSuccess);
+}
+
+void MosAllocatePacket(KernelContext& kc) {
+  KernelState& ks = kc.kernel();
+  uint32_t out_ptr = ArgU32(kc, 0, "MosAllocatePacket.out");
+  uint32_t pool_handle = ArgU32(kc, 1, "MosAllocatePacket.pool");
+  auto pool_it = ks.packet_pools.find(pool_handle);
+  if (pool_it == ks.packet_pools.end() || !pool_it->second.alive) {
+    ReturnU32(kc, kStatusUnsuccessful);
+    return;
+  }
+  if (pool_it->second.outstanding >= pool_it->second.capacity) {
+    ReturnU32(kc, kStatusInsufficientResources);
+    return;
+  }
+  constexpr uint32_t kPayloadSize = 1600;
+  if (ks.packet_arena_cursor + kPayloadSize + 16 > kPacketArenaLimit) {
+    ReturnU32(kc, kStatusInsufficientResources);
+    return;
+  }
+  // Packet descriptor: { u32 payload_ptr; u32 payload_len; u32 pool; u32 flags }.
+  uint32_t desc = ks.packet_arena_cursor;
+  uint32_t payload = desc + 16;
+  ks.packet_arena_cursor += 16 + kPayloadSize;
+  kc.WriteGuestU32(desc + 0, payload);
+  kc.WriteGuestU32(desc + 4, kPayloadSize);
+  kc.WriteGuestU32(desc + 8, pool_handle);
+  kc.WriteGuestU32(desc + 12, 0);
+  PacketState pkt;
+  pkt.alive = true;
+  pkt.pool = pool_handle;
+  pkt.payload_addr = payload;
+  pkt.payload_len = kPayloadSize;
+  ks.packets.emplace(desc, pkt);
+  pool_it->second.outstanding += 1;
+  // Grant the driver access to the descriptor + payload until freed.
+  MemoryGrant grant;
+  grant.begin = desc;
+  grant.end = payload + kPayloadSize;
+  grant.revoke_on_entry_exit = false;
+  grant.granted_in_slot = ks.current_entry_slot;
+  ks.grants.push_back(grant);
+  kc.WriteGuestU32(out_ptr, desc);
+
+  KernelEvent event;
+  event.kind = KernelEvent::Kind::kPacketAlloc;
+  event.a = desc;
+  kc.EmitEvent(event);
+  ReturnU32(kc, kStatusSuccess);
+}
+
+void MosFreePacket(KernelContext& kc) {
+  KernelState& ks = kc.kernel();
+  uint32_t desc = ArgU32(kc, 0, "MosFreePacket.pkt");
+  auto it = ks.packets.find(desc);
+  if (it == ks.packets.end() || !it->second.alive) {
+    if (ks.verifier.enabled) {
+      kc.BugCheck(kBugcheckBadPointer, StrFormat("MosFreePacket: invalid packet 0x%x", desc));
+    }
+    return;
+  }
+  it->second.alive = false;
+  auto pool_it = ks.packet_pools.find(it->second.pool);
+  if (pool_it != ks.packet_pools.end() && pool_it->second.outstanding > 0) {
+    pool_it->second.outstanding -= 1;
+  }
+  RemoveGrant(ks, desc);
+  KernelEvent event;
+  event.kind = KernelEvent::Kind::kPacketFree;
+  event.a = desc;
+  kc.EmitEvent(event);
+  ReturnU32(kc, kStatusSuccess);
+}
+
+void MosIndicateReceive(KernelContext& kc) {
+  // The driver hands a received packet up the stack; MiniOS just validates it.
+  KernelState& ks = kc.kernel();
+  uint32_t desc = ArgU32(kc, 0, "MosIndicateReceive.pkt");
+  auto it = ks.packets.find(desc);
+  if (it == ks.packets.end() || !it->second.alive) {
+    if (ks.verifier.enabled) {
+      kc.BugCheck(kBugcheckBadPointer,
+                  StrFormat("MosIndicateReceive: indicating invalid packet 0x%x", desc));
+    }
+    return;
+  }
+  ReturnU32(kc, kStatusSuccess);
+}
+
+// --- PCI / hardware ------------------------------------------------------------------
+
+void MosReadPciConfig(KernelContext& kc) {
+  KernelState& ks = kc.kernel();
+  uint32_t offset = ArgU32(kc, 0, "MosReadPciConfig.offset");
+  uint32_t out_ptr = ArgU32(kc, 1, "MosReadPciConfig.out");
+  uint32_t len = ArgU32(kc, 2, "MosReadPciConfig.len");
+  // Serve from the (concrete) device descriptor. Annotations overlay
+  // symbolic values for descriptor fields like the hardware revision
+  // (§4.1.4).
+  uint32_t value = 0;
+  switch (offset) {
+    case kPciCfgVendorId:
+      value = ks.pci.vendor_id;
+      break;
+    case kPciCfgDeviceId:
+      value = ks.pci.device_id;
+      break;
+    case kPciCfgRevision:
+      value = ks.pci.revision;
+      break;
+    case kPciCfgIrqLine:
+      value = ks.pci.irq_line;
+      break;
+    default:
+      value = 0;
+      break;
+  }
+  for (uint32_t i = 0; i < len && i < 4; ++i) {
+    kc.WriteGuestU8(out_ptr + i, static_cast<uint8_t>((value >> (8 * i)) & 0xFF));
+  }
+  ReturnU32(kc, std::min<uint32_t>(len, 4));
+}
+
+void MosMapIoSpace(KernelContext& kc) {
+  KernelState& ks = kc.kernel();
+  uint32_t bar = ArgU32(kc, 0, "MosMapIoSpace.bar");
+  if (bar >= ks.pci.bars.size()) {
+    ReturnU32(kc, 0);
+    return;
+  }
+  ReturnU32(kc, ks.pci.BarBase(bar));
+}
+
+// --- Misc --------------------------------------------------------------------------
+
+void MosStallExecution(KernelContext& kc) {
+  // Busy-wait; only effect is the boundary crossing itself (an interrupt
+  // injection opportunity).
+  ReturnU32(kc, kStatusSuccess);
+}
+
+void MosLog(KernelContext& kc) {
+  uint32_t msg_ptr = ArgU32(kc, 0, "MosLog.msg");
+  std::string message = kc.ReadGuestCString(msg_ptr, 128);
+  DDT_LOG_DEBUG("guest driver: %s", message.c_str());
+  ReturnU32(kc, kStatusSuccess);
+}
+
+void MosBugCheck(KernelContext& kc) {
+  uint32_t code = ArgU32(kc, 0, "MosBugCheck.code");
+  kc.BugCheck(code != 0 ? code : kBugcheckDriverRequested, "driver-requested bugcheck");
+}
+
+}  // namespace
+
+const std::map<std::string, KernelApiFn>& KernelApiTable() {
+  static const std::map<std::string, KernelApiFn>* table = [] {
+    auto* map = new std::map<std::string, KernelApiFn>{
+        {"MosRegisterDriver", &MosRegisterDriver},
+        {"MosAllocatePool", &MosAllocatePool},
+        {"MosAllocatePoolWithTag", &MosAllocatePoolWithTag},
+        {"MosFreePool", &MosFreePool},
+        {"MosAllocateMemoryWithTag", &MosAllocateMemoryWithTag},
+        {"MosFreeMemory", &MosFreeMemory},
+        {"MosZeroMemory", &MosZeroMemory},
+        {"MosMoveMemory", &MosMoveMemory},
+        {"MosOpenConfiguration", &MosOpenConfiguration},
+        {"MosReadConfiguration", &MosReadConfiguration},
+        {"MosCloseConfiguration", &MosCloseConfiguration},
+        {"MosAcquireSpinLock", &MosAcquireSpinLock},
+        {"MosReleaseSpinLock", &MosReleaseSpinLock},
+        {"MosDprAcquireSpinLock", &MosDprAcquireSpinLock},
+        {"MosDprReleaseSpinLock", &MosDprReleaseSpinLock},
+        {"MosGetCurrentIrql", &MosGetCurrentIrql},
+        {"MosRaiseIrql", &MosRaiseIrql},
+        {"MosLowerIrql", &MosLowerIrql},
+        {"MosRegisterInterrupt", &MosRegisterInterrupt},
+        {"MosDeregisterInterrupt", &MosDeregisterInterrupt},
+        {"MosNewInterruptSync", &MosNewInterruptSync},
+        {"MosInitializeTimer", &MosInitializeTimer},
+        {"MosSetTimer", &MosSetTimer},
+        {"MosCancelTimer", &MosCancelTimer},
+        {"MosQueueDpc", &MosQueueDpc},
+        {"MosAllocatePacketPool", &MosAllocatePacketPool},
+        {"MosFreePacketPool", &MosFreePacketPool},
+        {"MosAllocatePacket", &MosAllocatePacket},
+        {"MosFreePacket", &MosFreePacket},
+        {"MosIndicateReceive", &MosIndicateReceive},
+        {"MosReadPciConfig", &MosReadPciConfig},
+        {"MosMapIoSpace", &MosMapIoSpace},
+        {"MosStallExecution", &MosStallExecution},
+        {"MosLog", &MosLog},
+        {"MosBugCheck", &MosBugCheck},
+    };
+    return map;
+  }();
+  return *table;
+}
+
+KernelApiFn FindKernelApi(const std::string& name) {
+  const auto& table = KernelApiTable();
+  auto it = table.find(name);
+  return it == table.end() ? nullptr : it->second;
+}
+
+}  // namespace ddt

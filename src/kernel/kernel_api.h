@@ -1,0 +1,36 @@
+// The MiniOS kernel API: name -> implementation table.
+//
+// Every function a driver can import lives here. Implementations run
+// concretely against the KernelContext capability surface, concretizing
+// symbolic arguments on demand. In-guest Driver Verifier checks (§3.1.2) are
+// woven into the implementations and raise bugchecks on API misuse — DDT
+// intercepts those via its crash-handler hook, exactly as the paper
+// cooperates with Microsoft's Driver Verifier.
+#ifndef SRC_KERNEL_KERNEL_API_H_
+#define SRC_KERNEL_KERNEL_API_H_
+
+#include <map>
+#include <string>
+
+#include "src/kernel/kernel_context.h"
+
+namespace ddt {
+
+using KernelApiFn = void (*)(KernelContext&);
+
+// All registered kernel API functions, keyed by import name.
+const std::map<std::string, KernelApiFn>& KernelApiTable();
+
+// Lookup; nullptr if the name is unknown (an unresolved driver import).
+KernelApiFn FindKernelApi(const std::string& name);
+
+// Internal allocation helper shared by the pool APIs and the packet pool
+// (exposed for the exerciser, which allocates request buffers).
+uint32_t KernelAllocate(KernelContext& kc, uint32_t size, uint32_t tag, const std::string& api);
+
+// Removes a grant starting at `begin` (used when kernel objects are freed).
+void RemoveGrant(KernelState& ks, uint32_t begin);
+
+}  // namespace ddt
+
+#endif  // SRC_KERNEL_KERNEL_API_H_

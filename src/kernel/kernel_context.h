@@ -1,0 +1,85 @@
+// KernelContext: the capability surface kernel API implementations and
+// annotations run against.
+//
+// The engine implements this interface on top of its ExecutionState; the
+// kernel module stays independent of the engine. Everything a kernel
+// function can do — read driver arguments, touch guest memory (with
+// on-demand concretization of symbolic bytes, §3.2), create symbolic values,
+// raise a bugcheck, request a driver callback — goes through here, which is
+// also what makes the whole kernel replayable and forkable.
+#ifndef SRC_KERNEL_KERNEL_CONTEXT_H_
+#define SRC_KERNEL_KERNEL_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/expr/expr.h"
+#include "src/kernel/api.h"
+#include "src/kernel/kernel_state.h"
+#include "src/support/rng.h"
+#include "src/vm/value.h"
+
+namespace ddt {
+
+class DeviceModel;
+
+class KernelContext {
+ public:
+  virtual ~KernelContext() = default;
+
+  virtual ExprContext* expr() = 0;
+  virtual KernelState& kernel() = 0;
+  virtual Rng& rng() = 0;
+  virtual DeviceModel& device() = 0;
+
+  // --- Driver call arguments (calling convention: r0..r3, stack beyond) ---
+  virtual Value Arg(int index) = 0;
+  virtual void SetReturn(const Value& value) = 0;
+  // Current return value (annotations inspect/rewrite it on the return path).
+  virtual Value GetReturn() = 0;
+  // Overwrites an argument register (entry-point annotations use this to
+  // inject symbolic arguments before the entry point runs).
+  virtual void SetArg(int index, const Value& value) = 0;
+
+  // Concretizes a value under the current path constraints, recording the
+  // constraint (value == chosen) on the path. The choice is "random feasible"
+  // per §3.2; the concretization site is logged so DDT can backtrack and
+  // retry other feasible values if this one disables paths later.
+  virtual uint32_t Concretize(const Value& value, const std::string& reason) = 0;
+
+  // Concrete convenience accessors over guest memory; symbolic bytes are
+  // concretized on demand (this is exactly "delays concretization as long as
+  // possible ... concretizing them only when they are actually read").
+  virtual uint32_t ReadGuestU32(uint32_t addr) = 0;
+  virtual uint8_t ReadGuestU8(uint32_t addr) = 0;
+  virtual void WriteGuestU32(uint32_t addr, uint32_t value) = 0;
+  virtual void WriteGuestU8(uint32_t addr, uint8_t value) = 0;
+  virtual std::string ReadGuestCString(uint32_t addr, size_t max_len) = 0;
+
+  // Symbolic-aware guest memory access (annotations plant symbolic values
+  // with these; size is 1, 2, or 4 bytes).
+  virtual Value ReadGuestValue(uint32_t addr, unsigned size) = 0;
+  virtual void WriteGuestValue(uint32_t addr, const Value& value, unsigned size) = 0;
+
+  // Adds a path constraint (must be satisfiable together with the existing
+  // ones — the caller checks with MayBeTrue via annotations helpers, or
+  // knows it by construction). Kills the state if it contradicts.
+  virtual void AddConstraint(ExprRef constraint) = 0;
+
+  // The context the driver code that issued this call runs in.
+  virtual ExecContextKind CurrentContext() const = 0;
+
+  // Raises a kernel panic (BSOD). The current path terminates; DDT's crash
+  // interceptor turns it into a bug report.
+  virtual void BugCheck(uint32_t code, const std::string& message) = 0;
+
+  // Emits a kernel event to the checker pipeline and trace.
+  virtual void EmitEvent(const KernelEvent& event) = 0;
+
+  // Current guest program counter of the driver call site (for reports).
+  virtual uint32_t CallSitePc() const = 0;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_KERNEL_KERNEL_CONTEXT_H_

@@ -1,0 +1,61 @@
+#include "src/kernel/kernel_state.h"
+
+namespace ddt {
+
+const PoolAllocation* KernelState::FindAllocation(uint32_t addr) const {
+  // Largest base <= addr, then bounds check.
+  auto it = pool.upper_bound(addr);
+  if (it == pool.begin()) {
+    return nullptr;
+  }
+  --it;
+  const PoolAllocation& alloc = it->second;
+  if (addr >= alloc.addr && addr < alloc.addr + alloc.size) {
+    return &alloc;
+  }
+  return nullptr;
+}
+
+bool KernelState::IsGranted(uint32_t addr) const { return FindGrant(addr) != nullptr; }
+
+const MemoryGrant* KernelState::FindGrant(uint32_t addr) const {
+  for (const MemoryGrant& grant : grants) {
+    if (addr >= grant.begin && addr < grant.end) {
+      return &grant;
+    }
+  }
+  return nullptr;
+}
+
+void KernelState::RevokeGrantsForSlot(int slot) {
+  std::vector<MemoryGrant> kept;
+  kept.reserve(grants.size());
+  for (const MemoryGrant& grant : grants) {
+    if (!(grant.revoke_on_entry_exit && grant.granted_in_slot == slot)) {
+      kept.push_back(grant);
+    }
+  }
+  grants = std::move(kept);
+}
+
+std::vector<const PoolAllocation*> KernelState::LiveAllocations(int slot) const {
+  std::vector<const PoolAllocation*> out;
+  for (const auto& [addr, alloc] : pool) {
+    if (alloc.alive && (slot < 0 || alloc.alloc_entry_slot == slot)) {
+      out.push_back(&alloc);
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> KernelState::OpenConfigHandles(int slot) const {
+  std::vector<uint32_t> out;
+  for (const auto& [handle, state] : config_handles) {
+    if (state.open && (slot < 0 || state.opened_in_slot == slot)) {
+      out.push_back(handle);
+    }
+  }
+  return out;
+}
+
+}  // namespace ddt

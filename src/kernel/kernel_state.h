@@ -1,0 +1,204 @@
+// Per-execution-state kernel bookkeeping.
+//
+// MiniOS itself runs *concretely* (it is the concrete side of selective
+// symbolic execution), but its bookkeeping must fork with the driver's
+// symbolic paths: a path where an allocation failed has different kernel
+// state than one where it succeeded. KernelState is therefore a plain value
+// type copied on every state fork — it is kept deliberately small and
+// copyable (the heavyweight guest memory forks via chained COW separately).
+#ifndef SRC_KERNEL_KERNEL_STATE_H_
+#define SRC_KERNEL_KERNEL_STATE_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/hw/pci.h"
+#include "src/kernel/api.h"
+#include "src/vm/image.h"
+#include "src/vm/layout.h"
+
+namespace ddt {
+
+struct PoolAllocation {
+  uint32_t addr = 0;
+  uint32_t size = 0;
+  uint32_t tag = 0;
+  bool alive = true;
+  uint32_t seq = 0;                 // allocation order
+  int alloc_entry_slot = -1;        // entry point during which it was made
+  std::string api;                  // allocating API name
+};
+
+struct SpinLockState {
+  bool held = false;
+  bool dpr_acquired = false;        // acquired with the Dpr variant
+  Irql saved_irql = Irql::kPassive; // only meaningful for non-Dpr acquire
+  ExecContextKind holder = ExecContextKind::kNone;
+  uint32_t acquire_order = 0;       // position in the acquisition stack
+};
+
+struct TimerState {
+  bool initialized = false;
+  bool armed = false;
+  uint32_t fn = 0;
+  uint32_t ctx_arg = 0;
+};
+
+struct ConfigHandleState {
+  bool open = false;
+  int opened_in_slot = -1;
+};
+
+struct PacketPoolState {
+  bool alive = true;
+  uint32_t capacity = 0;
+  uint32_t outstanding = 0;
+};
+
+struct PacketState {
+  bool alive = true;
+  uint32_t pool = 0;
+  uint32_t payload_addr = 0;
+  uint32_t payload_len = 0;
+};
+
+// A memory range the kernel has granted the driver access to (buffers passed
+// into entry points, configuration parameter blocks). Grants issued for one
+// entry invocation are revoked when it returns.
+struct MemoryGrant {
+  uint32_t begin = 0;
+  uint32_t end = 0;  // exclusive
+  bool revoke_on_entry_exit = false;
+  int granted_in_slot = -1;
+  // Pageable buffers (request buffers handed down from user space) may only
+  // be touched at PASSIVE_LEVEL: at DISPATCH or above a page fault cannot be
+  // serviced and the machine bugchecks (the paper's "accesses to pageable
+  // memory when page faults are not allowed" checker keys off this).
+  bool pageable = false;
+};
+
+// The exerciser workload: which entry point to poke next (§4.3, Device Path
+// Exerciser). Each forked path continues its own copy of the script. The
+// ArgPlan tells the scheduler how to conjure arguments at invocation time
+// (request buffers are allocated from kernel scratch and granted per-call).
+struct WorkloadStep {
+  enum class ArgPlan {
+    kNone,        // no arguments
+    kOidRequest,  // (oid = param, scratch buffer, length) for Query/SetInfo
+    kSendPacket,  // (packet descriptor, length) for Send
+    kWriteBuffer, // (scratch buffer, length) for audio Write
+    kDiagCode,    // (code = param)
+  };
+
+  int slot = kEpInitialize;
+  ArgPlan plan = ArgPlan::kNone;
+  uint32_t param = 0;
+  uint32_t buffer_len = 64;
+  bool only_if_init_ok = false;
+};
+
+// In-guest Driver Verifier toggles (§3.1.2). On by default; the stress
+// baseline runs with the same checks but concrete inputs.
+struct VerifierConfig {
+  bool enabled = true;
+  bool check_irql = true;
+  bool check_spinlocks = true;
+  bool check_timers = true;
+  bool check_pool = true;
+};
+
+struct KernelState {
+  // Driver + device.
+  LoadedDriver driver;
+  PciDescriptor pci;
+  std::array<uint32_t, kNumEntrySlots> entry_points = {};
+  bool driver_registered = false;
+
+  // Interrupts.
+  uint32_t isr_fn = 0;
+  uint32_t isr_ctx = 0;
+  bool isr_registered = false;
+  bool isr_deregistered = false;
+
+  // IRQL.
+  Irql irql = Irql::kPassive;
+
+  // Pool allocator (bump; frees never recycle so stale pointers stay
+  // detectable).
+  uint32_t heap_cursor = kKernelHeapBase;
+  std::map<uint32_t, PoolAllocation> pool;  // keyed by base address
+  uint32_t alloc_seq = 0;
+
+  // Spinlocks (keyed by the guest address of the driver's lock variable).
+  std::map<uint32_t, SpinLockState> locks;
+  std::vector<uint32_t> lock_stack;  // acquisition order (addresses)
+  uint32_t lock_order_counter = 0;
+
+  // Configuration (registry) handles.
+  std::map<uint32_t, ConfigHandleState> config_handles;
+  uint32_t next_config_handle = 0x7000;
+
+  // Timers (keyed by guest timer-struct address).
+  std::map<uint32_t, TimerState> timers;
+
+  // Packet pools and packets.
+  std::map<uint32_t, PacketPoolState> packet_pools;
+  std::map<uint32_t, PacketState> packets;
+  uint32_t next_pool_handle = 0x9000;
+  uint32_t packet_arena_cursor = kPacketArenaBase;
+
+  // Kernel scratch allocator (request buffers handed to entry points).
+  uint32_t scratch_cursor = kKernelScratchBase;
+
+  // Memory grants.
+  std::vector<MemoryGrant> grants;
+
+  // Pending DPCs: (function, context).
+  std::vector<std::pair<uint32_t, uint32_t>> dpc_queue;
+
+  // Crash state.
+  bool crashed = false;
+  uint32_t bugcheck_code = 0;
+  std::string bugcheck_message;
+
+  // Exerciser progress.
+  std::vector<WorkloadStep> workload;
+  size_t workload_pos = 0;
+  bool init_succeeded = false;
+  int current_entry_slot = -1;
+  uint32_t last_entry_status = 0;
+
+  // Symbolic interrupt budget already spent on this path.
+  uint32_t interrupts_injected = 0;
+  uint32_t boundary_crossings = 0;
+  // Sequence number of kernel API calls on this path (keys the annotation
+  // alternative schedule during guided replay).
+  uint32_t kcall_seq = 0;
+  bool driver_entry_invoked = false;
+
+  VerifierConfig verifier;
+
+  // Registry contents (concrete defaults; annotations overlay symbolic
+  // values on the return path).
+  std::map<std::string, uint32_t> registry;
+
+  // --- helpers ---
+  // The allocation containing `addr`, or nullptr.
+  const PoolAllocation* FindAllocation(uint32_t addr) const;
+  // True if `addr` lies in any live grant.
+  bool IsGranted(uint32_t addr) const;
+  // The grant containing `addr`, or nullptr.
+  const MemoryGrant* FindGrant(uint32_t addr) const;
+  void RevokeGrantsForSlot(int slot);
+  // Live (unfreed) allocations made during `slot` (-1 = any).
+  std::vector<const PoolAllocation*> LiveAllocations(int slot) const;
+  // Open config handles opened during `slot` (-1 = any).
+  std::vector<uint32_t> OpenConfigHandles(int slot) const;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_KERNEL_KERNEL_STATE_H_

@@ -1,0 +1,237 @@
+#include "src/solver/intervals.h"
+
+#include <algorithm>
+
+#include "src/solver/known_bits.h"
+#include "src/support/check.h"
+
+namespace ddt {
+
+namespace {
+
+// Addition with wraparound detection: if the sum can wrap, fall back to full.
+Interval AddIntervals(Interval a, Interval b, uint8_t width) {
+  uint64_t max = MaskToWidth(~0ull, width);
+  // Check hi + hi for overflow beyond the width.
+  if (a.hi > max - b.hi) {
+    return Interval::Full(width);
+  }
+  return {a.lo + b.lo, a.hi + b.hi};
+}
+
+Interval MulIntervals(Interval a, Interval b, uint8_t width) {
+  uint64_t max = MaskToWidth(~0ull, width);
+  // Guard against 64-bit overflow in the bound computation itself.
+  if (b.hi != 0 && a.hi > UINT64_MAX / b.hi) {
+    return Interval::Full(width);
+  }
+  uint64_t hi = a.hi * b.hi;
+  if (hi > max) {
+    return Interval::Full(width);
+  }
+  return {a.lo * b.lo, hi};
+}
+
+}  // namespace
+
+Interval ComputeInterval(ExprRef e, std::unordered_map<ExprRef, Interval>* memo) {
+  auto it = memo->find(e);
+  if (it != memo->end()) {
+    return it->second;
+  }
+  uint8_t w = e->width();
+  Interval result = Interval::Full(w);
+  switch (e->kind()) {
+    case ExprKind::kConst:
+      result = Interval::Exact(e->const_value());
+      break;
+    case ExprKind::kVar:
+      result = Interval::Full(w);
+      break;
+    case ExprKind::kAdd:
+      result = AddIntervals(ComputeInterval(e->op(0), memo), ComputeInterval(e->op(1), memo), w);
+      break;
+    case ExprKind::kMul:
+      result = MulIntervals(ComputeInterval(e->op(0), memo), ComputeInterval(e->op(1), memo), w);
+      break;
+    case ExprKind::kUDiv: {
+      Interval a = ComputeInterval(e->op(0), memo);
+      Interval b = ComputeInterval(e->op(1), memo);
+      if (b.lo > 0) {
+        result = {a.lo / b.hi, a.hi / b.lo};
+      }
+      break;
+    }
+    case ExprKind::kURem: {
+      Interval b = ComputeInterval(e->op(1), memo);
+      if (b.hi > 0) {
+        // Remainder is at most hi(b)-1, unless b can be 0 (then result can be a).
+        Interval a = ComputeInterval(e->op(0), memo);
+        uint64_t bound = b.lo == 0 ? std::max(a.hi, b.hi - 1) : b.hi - 1;
+        result = {0, std::min(bound, a.hi)};
+      }
+      break;
+    }
+    case ExprKind::kAnd: {
+      Interval a = ComputeInterval(e->op(0), memo);
+      Interval b = ComputeInterval(e->op(1), memo);
+      result = {0, std::min(a.hi, b.hi)};
+      break;
+    }
+    case ExprKind::kOr: {
+      Interval a = ComputeInterval(e->op(0), memo);
+      Interval b = ComputeInterval(e->op(1), memo);
+      // Upper bound: next power-of-two envelope of hi(a)|hi(b).
+      uint64_t envelope = a.hi | b.hi;
+      envelope |= envelope >> 1;
+      envelope |= envelope >> 2;
+      envelope |= envelope >> 4;
+      envelope |= envelope >> 8;
+      envelope |= envelope >> 16;
+      envelope |= envelope >> 32;
+      result = {std::max(a.lo, b.lo), std::min(envelope, MaskToWidth(~0ull, w))};
+      break;
+    }
+    case ExprKind::kXor: {
+      Interval a = ComputeInterval(e->op(0), memo);
+      Interval b = ComputeInterval(e->op(1), memo);
+      uint64_t envelope = a.hi | b.hi;
+      envelope |= envelope >> 1;
+      envelope |= envelope >> 2;
+      envelope |= envelope >> 4;
+      envelope |= envelope >> 8;
+      envelope |= envelope >> 16;
+      envelope |= envelope >> 32;
+      result = {0, std::min(envelope, MaskToWidth(~0ull, w))};
+      break;
+    }
+    case ExprKind::kShl: {
+      if (e->op(1)->IsConst()) {
+        uint64_t s = e->op(1)->const_value();
+        Interval a = ComputeInterval(e->op(0), memo);
+        if (s < w && a.hi <= (MaskToWidth(~0ull, w) >> s)) {
+          result = {a.lo << s, a.hi << s};
+        }
+      }
+      break;
+    }
+    case ExprKind::kLShr: {
+      if (e->op(1)->IsConst()) {
+        uint64_t s = e->op(1)->const_value();
+        if (s >= w) {
+          result = Interval::Exact(0);
+        } else {
+          Interval a = ComputeInterval(e->op(0), memo);
+          result = {a.lo >> s, a.hi >> s};
+        }
+      }
+      break;
+    }
+    case ExprKind::kEq: {
+      Interval a = ComputeInterval(e->op(0), memo);
+      Interval b = ComputeInterval(e->op(1), memo);
+      if (a.IsSingleton() && b.IsSingleton()) {
+        result = Interval::Exact(a.lo == b.lo ? 1 : 0);
+      } else if (a.hi < b.lo || b.hi < a.lo) {
+        result = Interval::Exact(0);  // disjoint ranges can never be equal
+      } else {
+        result = {0, 1};
+      }
+      break;
+    }
+    case ExprKind::kUlt: {
+      Interval a = ComputeInterval(e->op(0), memo);
+      Interval b = ComputeInterval(e->op(1), memo);
+      if (a.hi < b.lo) {
+        result = Interval::Exact(1);
+      } else if (a.lo >= b.hi) {
+        result = Interval::Exact(0);
+      } else {
+        result = {0, 1};
+      }
+      break;
+    }
+    case ExprKind::kUle: {
+      Interval a = ComputeInterval(e->op(0), memo);
+      Interval b = ComputeInterval(e->op(1), memo);
+      if (a.hi <= b.lo) {
+        result = Interval::Exact(1);
+      } else if (a.lo > b.hi) {
+        result = Interval::Exact(0);
+      } else {
+        result = {0, 1};
+      }
+      break;
+    }
+    case ExprKind::kIte: {
+      Interval c = ComputeInterval(e->op(0), memo);
+      Interval t = ComputeInterval(e->op(1), memo);
+      Interval f = ComputeInterval(e->op(2), memo);
+      if (c.IsSingleton()) {
+        result = c.lo != 0 ? t : f;
+      } else {
+        result = {std::min(t.lo, f.lo), std::max(t.hi, f.hi)};
+      }
+      break;
+    }
+    case ExprKind::kExtract: {
+      Interval a = ComputeInterval(e->op(0), memo);
+      if (e->extract_low() == 0 && a.hi <= MaskToWidth(~0ull, w)) {
+        result = a;  // low extract of a small value preserves the range
+      }
+      break;
+    }
+    case ExprKind::kConcat: {
+      Interval high = ComputeInterval(e->op(0), memo);
+      Interval low = ComputeInterval(e->op(1), memo);
+      uint8_t low_w = e->op(1)->width();
+      uint64_t low_max = MaskToWidth(~0ull, low_w);
+      result = {(high.lo << low_w), (high.hi << low_w) | low_max};
+      if (high.IsSingleton()) {
+        result = {(high.lo << low_w) | low.lo, (high.lo << low_w) | low.hi};
+      }
+      break;
+    }
+    case ExprKind::kZExt:
+      result = ComputeInterval(e->op(0), memo);
+      break;
+    case ExprKind::kNot: {
+      if (w == 1) {
+        Interval a = ComputeInterval(e->op(0), memo);
+        if (a.IsSingleton()) {
+          result = Interval::Exact(a.lo == 0 ? 1 : 0);
+        } else {
+          result = {0, 1};
+        }
+      }
+      break;
+    }
+    default:
+      // Sub, signed ops, AShr, SExt, Slt, Sle, SRem, SDiv: full range.
+      break;
+  }
+  memo->emplace(e, result);
+  return result;
+}
+
+QuickAnswer QuickCheck(ExprRef cond) {
+  DDT_CHECK(cond->width() == 1);
+  if (cond->IsConst()) {
+    return cond->const_value() != 0 ? QuickAnswer::kAlwaysTrue : QuickAnswer::kAlwaysFalse;
+  }
+  std::unordered_map<ExprRef, Interval> memo;
+  Interval iv = ComputeInterval(cond, &memo);
+  if (iv.IsSingleton()) {
+    return iv.lo != 0 ? QuickAnswer::kAlwaysTrue : QuickAnswer::kAlwaysFalse;
+  }
+  // Second fast path: bit-level reasoning decides mask/flag conditions the
+  // ranges cannot.
+  std::unordered_map<ExprRef, KnownBits> kb_memo;
+  KnownBits kb = ComputeKnownBits(cond, &kb_memo);
+  if (kb.IsExact()) {
+    return kb.ExactValue() != 0 ? QuickAnswer::kAlwaysTrue : QuickAnswer::kAlwaysFalse;
+  }
+  return QuickAnswer::kUnknown;
+}
+
+}  // namespace ddt

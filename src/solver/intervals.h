@@ -1,0 +1,41 @@
+// Unsigned interval analysis over expression DAGs.
+//
+// This is the solver's fast path: a sound over-approximation of each
+// expression's value range, computed without touching SAT. The engine asks
+// "may this branch condition be true?" thousands of times; most conditions
+// are decided here (the condition's interval collapses to {0} or {1}),
+// leaving the expensive bit-blast + CDCL path for genuinely hard queries.
+#ifndef SRC_SOLVER_INTERVALS_H_
+#define SRC_SOLVER_INTERVALS_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/expr/expr.h"
+
+namespace ddt {
+
+// Unsigned range [lo, hi], inclusive. Invalid (lo > hi) never escapes the
+// analysis. The full range of a width-w expression is [0, 2^w - 1].
+struct Interval {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool IsSingleton() const { return lo == hi; }
+  bool Contains(uint64_t v) const { return v >= lo && v <= hi; }
+
+  static Interval Exact(uint64_t v) { return {v, v}; }
+  static Interval Full(uint8_t width) { return {0, MaskToWidth(~0ull, width)}; }
+};
+
+// Computes an over-approximating interval for `e`, memoizing in `memo`.
+Interval ComputeInterval(ExprRef e, std::unordered_map<ExprRef, Interval>* memo);
+
+// Tri-state quick answer about a width-1 condition, ignoring path constraints
+// (sound for the "maybe" direction: kUnknown means SAT must decide).
+enum class QuickAnswer { kAlwaysTrue, kAlwaysFalse, kUnknown };
+QuickAnswer QuickCheck(ExprRef cond);
+
+}  // namespace ddt
+
+#endif  // SRC_SOLVER_INTERVALS_H_

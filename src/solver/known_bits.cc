@@ -1,0 +1,177 @@
+#include "src/solver/known_bits.h"
+
+#include <algorithm>
+
+namespace ddt {
+
+namespace {
+
+// Carry-aware addition: low bits stay known until the first position where
+// either operand bit (or an incoming carry) is unknown.
+KnownBits AddBits(const KnownBits& a, const KnownBits& b, uint8_t width, bool carry_in) {
+  KnownBits out = KnownBits::Top(width);
+  int carry = carry_in ? 1 : 0;  // 0/1 known, -1 unknown
+  for (uint8_t i = 0; i < width; ++i) {
+    uint64_t bit = 1ull << i;
+    int abit = (a.known_one & bit) != 0 ? 1 : ((a.known_zero & bit) != 0 ? 0 : -1);
+    int bbit = (b.known_one & bit) != 0 ? 1 : ((b.known_zero & bit) != 0 ? 0 : -1);
+    if (abit < 0 || bbit < 0 || carry < 0) {
+      // From here on, sums and carries are unknown.
+      break;
+    }
+    int sum = abit + bbit + carry;
+    if ((sum & 1) != 0) {
+      out.known_one |= bit;
+    } else {
+      out.known_zero |= bit;
+    }
+    carry = sum >> 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+KnownBits ComputeKnownBits(ExprRef e, std::unordered_map<ExprRef, KnownBits>* memo) {
+  auto it = memo->find(e);
+  if (it != memo->end()) {
+    return it->second;
+  }
+  uint8_t w = e->width();
+  uint64_t mask = MaskToWidth(~0ull, w);
+  KnownBits result = KnownBits::Top(w);
+
+  switch (e->kind()) {
+    case ExprKind::kConst:
+      result = KnownBits::Exact(e->const_value(), w);
+      break;
+    case ExprKind::kAnd: {
+      KnownBits a = ComputeKnownBits(e->op(0), memo);
+      KnownBits b = ComputeKnownBits(e->op(1), memo);
+      result.known_one = a.known_one & b.known_one;
+      result.known_zero = (a.known_zero | b.known_zero) & mask;
+      result.width = w;
+      break;
+    }
+    case ExprKind::kOr: {
+      KnownBits a = ComputeKnownBits(e->op(0), memo);
+      KnownBits b = ComputeKnownBits(e->op(1), memo);
+      result.known_one = (a.known_one | b.known_one) & mask;
+      result.known_zero = a.known_zero & b.known_zero;
+      result.width = w;
+      break;
+    }
+    case ExprKind::kXor: {
+      KnownBits a = ComputeKnownBits(e->op(0), memo);
+      KnownBits b = ComputeKnownBits(e->op(1), memo);
+      uint64_t both = a.Determined() & b.Determined();
+      uint64_t value = (a.known_one ^ b.known_one) & both;
+      result.known_one = value & mask;
+      result.known_zero = (~value & both) & mask;
+      result.width = w;
+      break;
+    }
+    case ExprKind::kNot: {
+      KnownBits a = ComputeKnownBits(e->op(0), memo);
+      result.known_one = a.known_zero & mask;
+      result.known_zero = a.known_one & mask;
+      result.width = w;
+      break;
+    }
+    case ExprKind::kAdd:
+      result = AddBits(ComputeKnownBits(e->op(0), memo), ComputeKnownBits(e->op(1), memo), w,
+                       /*carry_in=*/false);
+      break;
+    case ExprKind::kShl: {
+      if (e->op(1)->IsConst()) {
+        uint64_t s = e->op(1)->const_value();
+        if (s >= w) {
+          result = KnownBits::Exact(0, w);
+        } else {
+          KnownBits a = ComputeKnownBits(e->op(0), memo);
+          result.known_one = (a.known_one << s) & mask;
+          result.known_zero = ((a.known_zero << s) | ((1ull << s) - 1)) & mask;
+          result.width = w;
+        }
+      }
+      break;
+    }
+    case ExprKind::kLShr: {
+      if (e->op(1)->IsConst()) {
+        uint64_t s = e->op(1)->const_value();
+        if (s >= w) {
+          result = KnownBits::Exact(0, w);
+        } else {
+          KnownBits a = ComputeKnownBits(e->op(0), memo);
+          uint64_t high_zeros = s == 0 ? 0 : (~((mask >> s))) & mask;
+          result.known_one = (a.known_one & mask) >> s;
+          result.known_zero = (((a.known_zero & mask) >> s) | high_zeros) & mask;
+          result.width = w;
+        }
+      }
+      break;
+    }
+    case ExprKind::kZExt: {
+      KnownBits a = ComputeKnownBits(e->op(0), memo);
+      uint64_t inner_mask = MaskToWidth(~0ull, e->op(0)->width());
+      result.known_one = a.known_one & inner_mask;
+      result.known_zero = (a.known_zero & inner_mask) | (mask & ~inner_mask);
+      result.width = w;
+      break;
+    }
+    case ExprKind::kConcat: {
+      KnownBits high = ComputeKnownBits(e->op(0), memo);
+      KnownBits low = ComputeKnownBits(e->op(1), memo);
+      uint8_t low_w = e->op(1)->width();
+      uint64_t low_mask = MaskToWidth(~0ull, low_w);
+      result.known_one = ((high.known_one << low_w) | (low.known_one & low_mask)) & mask;
+      result.known_zero = ((high.known_zero << low_w) | (low.known_zero & low_mask)) & mask;
+      result.width = w;
+      break;
+    }
+    case ExprKind::kExtract: {
+      KnownBits a = ComputeKnownBits(e->op(0), memo);
+      uint32_t low = e->extract_low();
+      result.known_one = (a.known_one >> low) & mask;
+      result.known_zero = (a.known_zero >> low) & mask;
+      result.width = w;
+      break;
+    }
+    case ExprKind::kIte: {
+      KnownBits c = ComputeKnownBits(e->op(0), memo);
+      KnownBits t = ComputeKnownBits(e->op(1), memo);
+      KnownBits f = ComputeKnownBits(e->op(2), memo);
+      if (c.IsExact()) {
+        result = c.ExactValue() != 0 ? t : f;
+      } else {
+        result.known_one = t.known_one & f.known_one;
+        result.known_zero = t.known_zero & f.known_zero;
+        result.width = w;
+      }
+      break;
+    }
+    case ExprKind::kEq: {
+      KnownBits a = ComputeKnownBits(e->op(0), memo);
+      KnownBits b = ComputeKnownBits(e->op(1), memo);
+      // Disagreement on any mutually-determined bit makes equality impossible.
+      uint64_t both = a.Determined() & b.Determined();
+      if (((a.known_one ^ b.known_one) & both) != 0) {
+        result = KnownBits::Exact(0, 1);
+      } else if (a.IsExact() && b.IsExact()) {
+        result = KnownBits::Exact(a.ExactValue() == b.ExactValue() ? 1 : 0, 1);
+      } else {
+        result = KnownBits::Top(1);
+      }
+      break;
+    }
+    default:
+      // Vars, Sub, Mul, divisions, variable shifts, signed comparisons,
+      // SExt: no bit-level information tracked.
+      break;
+  }
+  result.width = w;
+  memo->emplace(e, result);
+  return result;
+}
+
+}  // namespace ddt

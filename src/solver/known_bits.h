@@ -1,0 +1,42 @@
+// Known-bits analysis: tracks, per expression, which bits are provably 0 and
+// which are provably 1 under EVERY assignment. Complements the unsigned
+// interval analysis as a second SAT-free fast path: bitwise-heavy driver
+// code (masking, flag tests) is exactly where intervals are weakest.
+//
+// Soundness contract: (value & known_zero) == 0 and (value & known_one) ==
+// known_one for every assignment. The analysis is an over-approximation —
+// unknown bits may still be fixed in reality.
+#ifndef SRC_SOLVER_KNOWN_BITS_H_
+#define SRC_SOLVER_KNOWN_BITS_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/expr/expr.h"
+
+namespace ddt {
+
+struct KnownBits {
+  uint64_t known_one = 0;   // bits that are 1 in every assignment
+  uint64_t known_zero = 0;  // bits that are 0 in every assignment
+  uint8_t width = 0;
+
+  static KnownBits Top(uint8_t width) { return KnownBits{0, 0, width}; }
+  static KnownBits Exact(uint64_t value, uint8_t width) {
+    uint64_t mask = MaskToWidth(~0ull, width);
+    return KnownBits{value & mask, ~value & mask, width};
+  }
+
+  bool IsExact() const {
+    return (known_one | known_zero) == MaskToWidth(~0ull, width);
+  }
+  uint64_t ExactValue() const { return known_one; }
+  // Bits we know anything about.
+  uint64_t Determined() const { return known_one | known_zero; }
+};
+
+KnownBits ComputeKnownBits(ExprRef e, std::unordered_map<ExprRef, KnownBits>* memo);
+
+}  // namespace ddt
+
+#endif  // SRC_SOLVER_KNOWN_BITS_H_

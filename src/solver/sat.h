@@ -1,0 +1,106 @@
+// CDCL SAT solver (MiniSat-style): two-watched-literal propagation, 1UIP
+// conflict analysis with clause learning, VSIDS-like activity ordering with
+// phase saving, and Luby restarts. This is the back-end the bit-blaster
+// targets; DDT uses it the way KLEE uses STP.
+#ifndef SRC_SOLVER_SAT_H_
+#define SRC_SOLVER_SAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ddt {
+
+// A literal encodes variable v with polarity: positive = 2v, negated = 2v+1.
+using SatLit = uint32_t;
+
+inline SatLit MakeLit(uint32_t var, bool negated) { return (var << 1) | (negated ? 1u : 0u); }
+inline uint32_t LitVar(SatLit lit) { return lit >> 1; }
+inline bool LitNegated(SatLit lit) { return (lit & 1u) != 0; }
+inline SatLit NegateLit(SatLit lit) { return lit ^ 1u; }
+
+enum class SatResult { kSat, kUnsat, kUnknown };
+
+class SatSolver {
+ public:
+  SatSolver();
+
+  // Allocates a fresh variable; returns its index.
+  uint32_t NewVar();
+  uint32_t num_vars() const { return static_cast<uint32_t>(assign_.size()); }
+
+  // Adds a clause (disjunction of literals). Empty clause makes the instance
+  // trivially unsat. Returns false if the solver is already known-unsat.
+  bool AddClause(std::vector<SatLit> lits);
+  void AddUnit(SatLit lit) { AddClause({lit}); }
+  void AddBinary(SatLit a, SatLit b) { AddClause({a, b}); }
+  void AddTernary(SatLit a, SatLit b, SatLit c) { AddClause({a, b, c}); }
+
+  // Solves under the given assumptions. kUnknown only if conflict_budget
+  // (when nonzero) is exhausted.
+  SatResult Solve(const std::vector<SatLit>& assumptions = {}, uint64_t conflict_budget = 0);
+
+  // Model access after kSat.
+  bool ModelValue(uint32_t var) const;
+
+  uint64_t conflicts() const { return conflicts_; }
+  uint64_t decisions() const { return decisions_; }
+  uint64_t propagations() const { return propagations_; }
+  size_t num_clauses() const { return clauses_.size(); }
+
+ private:
+  enum : uint8_t { kUndef = 2 };  // assign_ values: 0 = false, 1 = true, 2 = unassigned
+
+  struct Clause {
+    std::vector<SatLit> lits;
+    bool learned = false;
+    double activity = 0.0;
+  };
+
+  using ClauseIdx = uint32_t;
+  static constexpr ClauseIdx kNoReason = 0xFFFFFFFF;
+
+  bool LitValueIsTrue(SatLit lit) const {
+    uint8_t v = assign_[LitVar(lit)];
+    return v != kUndef && (v == 1) != LitNegated(lit);
+  }
+  bool LitValueIsFalse(SatLit lit) const {
+    uint8_t v = assign_[LitVar(lit)];
+    return v != kUndef && (v == 1) == LitNegated(lit);
+  }
+  bool LitUnassigned(SatLit lit) const { return assign_[LitVar(lit)] == kUndef; }
+
+  void Enqueue(SatLit lit, ClauseIdx reason);
+  // Returns the index of a conflicting clause, or kNoReason if no conflict.
+  ClauseIdx Propagate();
+  void Analyze(ClauseIdx conflict, std::vector<SatLit>* learned, uint32_t* backtrack_level);
+  void Backtrack(uint32_t level);
+  void BumpVar(uint32_t var);
+  void DecayActivities();
+  SatLit PickBranchLit();
+  void AttachClause(ClauseIdx idx);
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<ClauseIdx>> watches_;  // indexed by literal
+  std::vector<uint8_t> assign_;
+  std::vector<uint8_t> saved_phase_;
+  std::vector<uint32_t> level_;
+  std::vector<ClauseIdx> reason_;
+  std::vector<SatLit> trail_;
+  std::vector<uint32_t> trail_limits_;  // decision level boundaries
+  size_t propagate_head_ = 0;
+
+  std::vector<double> activity_;
+  double activity_inc_ = 1.0;
+
+  bool known_unsat_ = false;
+  uint64_t conflicts_ = 0;
+  uint64_t decisions_ = 0;
+  uint64_t propagations_ = 0;
+
+  std::vector<uint8_t> seen_;  // scratch for Analyze
+};
+
+}  // namespace ddt
+
+#endif  // SRC_SOLVER_SAT_H_

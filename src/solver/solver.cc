@@ -1,0 +1,257 @@
+#include "src/solver/solver.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/solver/bitblast.h"
+#include "src/solver/intervals.h"
+#include "src/solver/sat.h"
+#include "src/support/check.h"
+#include "src/support/log.h"
+
+namespace ddt {
+
+Solver::Solver(ExprContext* ctx, const SolverConfig& config) : ctx_(ctx), config_(config) {}
+
+std::vector<ExprRef> Solver::Slice(const std::vector<ExprRef>& constraints,
+                                   const std::vector<uint32_t>& seed_vars) const {
+  // Fixpoint: pull in every constraint sharing a variable with the working
+  // set. Constraint var sets are computed once.
+  std::unordered_set<uint32_t> live(seed_vars.begin(), seed_vars.end());
+  std::vector<std::unordered_set<uint32_t>> cvars(constraints.size());
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    CollectVars(constraints[i], &cvars[i]);
+  }
+  std::vector<bool> included(constraints.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < constraints.size(); ++i) {
+      if (included[i]) {
+        continue;
+      }
+      bool intersects = false;
+      for (uint32_t v : cvars[i]) {
+        if (live.count(v) != 0) {
+          intersects = true;
+          break;
+        }
+      }
+      if (intersects) {
+        included[i] = true;
+        changed = true;
+        for (uint32_t v : cvars[i]) {
+          live.insert(v);
+        }
+      }
+    }
+  }
+  std::vector<ExprRef> out;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    if (included[i]) {
+      out.push_back(constraints[i]);
+    }
+  }
+  return out;
+}
+
+uint64_t Solver::CacheKey(const std::vector<ExprRef>& exprs) const {
+  std::vector<ExprRef> sorted = exprs;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (ExprRef e : sorted) {
+    h ^= reinterpret_cast<uint64_t>(e);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+bool Solver::SolveExprs(const std::vector<ExprRef>& exprs, Assignment* model, bool* unknown) {
+  *unknown = false;
+  ++stats_.sat_calls;
+  SatSolver sat;
+  Bitblaster blaster(&sat);
+  for (ExprRef e : exprs) {
+    blaster.AssertTrue(e);
+  }
+  SatResult result = sat.Solve({}, config_.conflict_budget);
+  stats_.total_conflicts += sat.conflicts();
+  stats_.total_sat_vars += sat.num_vars();
+  stats_.total_sat_clauses += sat.num_clauses();
+  if (result == SatResult::kUnknown) {
+    *unknown = true;
+    ++stats_.unknown_results;
+    return true;  // conservative
+  }
+  if (result == SatResult::kUnsat) {
+    ++stats_.unsat_results;
+    return false;
+  }
+  ++stats_.sat_results;
+  Assignment extracted = blaster.ExtractModel();
+  if (config_.verify_models) {
+    for (ExprRef e : exprs) {
+      DDT_CHECK_MSG(EvalBool(e, extracted), "SAT model fails to satisfy constraint");
+    }
+  }
+  if (model != nullptr) {
+    *model = std::move(extracted);
+  }
+  return true;
+}
+
+bool Solver::IsSatisfiable(const std::vector<ExprRef>& constraints, ExprRef extra,
+                           Assignment* model) {
+  ++stats_.queries;
+
+  // Quick path: an always-false conjunct kills the query; an always-true
+  // `extra` reduces to the constraint set.
+  if (extra != nullptr) {
+    QuickAnswer qa = QuickCheck(extra);
+    if (qa == QuickAnswer::kAlwaysFalse) {
+      ++stats_.quick_decides;
+      return false;
+    }
+    if (qa == QuickAnswer::kAlwaysTrue) {
+      extra = nullptr;  // no information
+    }
+  }
+  if (extra == nullptr && constraints.empty()) {
+    ++stats_.quick_decides;
+    if (model != nullptr) {
+      *model = Assignment();
+    }
+    return true;
+  }
+
+  std::vector<ExprRef> query;
+  if (config_.enable_slicing && extra != nullptr) {
+    std::vector<uint32_t> seed;
+    CollectVars(extra, &seed);
+    query = Slice(constraints, seed);
+    query.push_back(extra);
+  } else {
+    query = constraints;
+    if (extra != nullptr) {
+      query.push_back(extra);
+    }
+  }
+  // Drop literal-true conjuncts; a literal-false conjunct decides it.
+  std::vector<ExprRef> filtered;
+  for (ExprRef e : query) {
+    if (e->IsTrue()) {
+      continue;
+    }
+    if (e->IsFalse()) {
+      ++stats_.quick_decides;
+      return false;
+    }
+    filtered.push_back(e);
+  }
+  if (filtered.empty()) {
+    ++stats_.quick_decides;
+    if (model != nullptr) {
+      *model = Assignment();
+    }
+    return true;
+  }
+
+  uint64_t key = 0;
+  if (config_.enable_cache) {
+    key = CacheKey(filtered);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++stats_.cache_hits;
+      if (it->second.sat && model != nullptr) {
+        *model = it->second.model;
+      }
+      return it->second.sat;
+    }
+  }
+
+  Assignment local_model;
+  bool unknown = false;
+  bool sat = SolveExprs(filtered, &local_model, &unknown);
+  if (config_.enable_cache && !unknown) {
+    cache_[key] = CacheEntry{sat, local_model};
+  }
+  if (sat && model != nullptr) {
+    *model = std::move(local_model);
+  }
+  return sat;
+}
+
+bool Solver::MayBeTrue(const std::vector<ExprRef>& constraints, ExprRef cond) {
+  return IsSatisfiable(constraints, cond);
+}
+
+bool Solver::MayBeFalse(const std::vector<ExprRef>& constraints, ExprRef cond) {
+  return IsSatisfiable(constraints, ctx_->Not(cond));
+}
+
+bool Solver::MustBeTrue(const std::vector<ExprRef>& constraints, ExprRef cond) {
+  return !MayBeFalse(constraints, cond);
+}
+
+bool Solver::MustBeFalse(const std::vector<ExprRef>& constraints, ExprRef cond) {
+  return !MayBeTrue(constraints, cond);
+}
+
+std::optional<uint64_t> Solver::GetValue(const std::vector<ExprRef>& constraints, ExprRef expr) {
+  if (expr->IsConst()) {
+    return expr->const_value();
+  }
+  // Slice to the constraints relevant to this expression, solve, evaluate.
+  std::vector<uint32_t> seed;
+  CollectVars(expr, &seed);
+  std::vector<ExprRef> relevant =
+      config_.enable_slicing ? Slice(constraints, seed) : constraints;
+  Assignment model;
+  if (!IsSatisfiable(relevant, nullptr, &model)) {
+    return std::nullopt;
+  }
+  return EvalExpr(expr, model);
+}
+
+bool Solver::GetInitialValues(const std::vector<ExprRef>& constraints, Assignment* out) {
+  // Solve the whole set (sliced into independent components for tractability)
+  // and merge the models. Variables in no constraint default to zero, which
+  // Assignment::Get already provides.
+  *out = Assignment();
+  if (constraints.empty()) {
+    return true;
+  }
+  // Union-find over constraints via shared variables would be neater; a
+  // simple repeated-slice partition is clear and fast enough.
+  std::vector<ExprRef> remaining = constraints;
+  while (!remaining.empty()) {
+    std::vector<uint32_t> seed;
+    CollectVars(remaining[0], &seed);
+    std::vector<ExprRef> component = Slice(remaining, seed);
+    if (component.empty()) {
+      component.push_back(remaining[0]);
+    }
+    Assignment model;
+    if (!IsSatisfiable(component, nullptr, &model)) {
+      return false;
+    }
+    for (const auto& [var, value] : model.values()) {
+      out->Set(var, value);
+    }
+    std::unordered_set<ExprRef> in_component(component.begin(), component.end());
+    std::vector<ExprRef> next;
+    for (ExprRef e : remaining) {
+      if (in_component.count(e) == 0) {
+        next.push_back(e);
+      }
+    }
+    // Guard against no progress (shouldn't happen: component contains
+    // remaining[0]).
+    DDT_CHECK(next.size() < remaining.size());
+    remaining = std::move(next);
+  }
+  return true;
+}
+
+}  // namespace ddt

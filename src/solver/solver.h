@@ -1,0 +1,105 @@
+// Solver facade: the engine-facing query interface.
+//
+// Layered like KLEE's solver chain:
+//   1. expression-level constant folding (already done by ExprContext),
+//   2. interval quick checks (solver/intervals.h),
+//   3. independent-constraint slicing: only constraints transitively sharing
+//      variables with the query are sent to SAT,
+//   4. query cache keyed on the sliced constraint set,
+//   5. bit-blasting + CDCL SAT.
+//
+// Every SAT model is re-verified with the concrete evaluator before being
+// trusted — an end-to-end check on the encoder.
+#ifndef SRC_SOLVER_SOLVER_H_
+#define SRC_SOLVER_SOLVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/expr/eval.h"
+#include "src/expr/expr.h"
+
+namespace ddt {
+
+struct SolverConfig {
+  // CDCL conflict budget per query; 0 = unlimited. Exhaustion yields a
+  // conservative "maybe" answer.
+  uint64_t conflict_budget = 500000;
+  bool verify_models = true;
+  bool enable_cache = true;
+  bool enable_slicing = true;
+};
+
+struct SolverStats {
+  uint64_t queries = 0;
+  uint64_t quick_decides = 0;   // answered by interval analysis
+  uint64_t cache_hits = 0;
+  uint64_t sat_calls = 0;
+  uint64_t sat_results = 0;
+  uint64_t unsat_results = 0;
+  uint64_t unknown_results = 0;
+  uint64_t total_conflicts = 0;
+  uint64_t total_sat_vars = 0;
+  uint64_t total_sat_clauses = 0;
+};
+
+class Solver {
+ public:
+  Solver(ExprContext* ctx, const SolverConfig& config = SolverConfig());
+
+  // True iff (AND of constraints) AND extra is satisfiable. `extra` may be
+  // null (checks the constraint set alone). On SAT with `model` non-null,
+  // fills a verified satisfying assignment for all variables in the sliced
+  // query. Unknown (budget exhausted) is reported as satisfiable (sound for
+  // exploration: we may explore an infeasible path but never drop a feasible
+  // one) and counted in stats.
+  bool IsSatisfiable(const std::vector<ExprRef>& constraints, ExprRef extra,
+                     Assignment* model = nullptr);
+
+  // May/Must queries used at branches. Precondition held by the engine: the
+  // constraint set itself is satisfiable.
+  bool MayBeTrue(const std::vector<ExprRef>& constraints, ExprRef cond);
+  bool MayBeFalse(const std::vector<ExprRef>& constraints, ExprRef cond);
+  bool MustBeTrue(const std::vector<ExprRef>& constraints, ExprRef cond);
+  bool MustBeFalse(const std::vector<ExprRef>& constraints, ExprRef cond);
+
+  // Picks one feasible concrete value for `expr` under the constraints
+  // (random-ish: whatever model the solver lands on). nullopt if the
+  // constraint set is unsatisfiable or the budget ran out.
+  std::optional<uint64_t> GetValue(const std::vector<ExprRef>& constraints, ExprRef expr);
+
+  // Solves the full constraint set and returns values for every variable it
+  // mentions — the "concrete inputs and system events" attached to a bug
+  // trace (§3.5). Solves independent components separately and merges.
+  bool GetInitialValues(const std::vector<ExprRef>& constraints, Assignment* out);
+
+  const SolverStats& stats() const { return stats_; }
+  ExprContext* context() { return ctx_; }
+
+ private:
+  struct CacheEntry {
+    bool sat = false;
+    Assignment model;
+  };
+
+  // Returns the subset of constraints transitively sharing variables with
+  // `seed_vars`.
+  std::vector<ExprRef> Slice(const std::vector<ExprRef>& constraints,
+                             const std::vector<uint32_t>& seed_vars) const;
+
+  // Uncached SAT query over an explicit expression list.
+  bool SolveExprs(const std::vector<ExprRef>& exprs, Assignment* model, bool* unknown);
+
+  uint64_t CacheKey(const std::vector<ExprRef>& exprs) const;
+
+  ExprContext* ctx_;
+  SolverConfig config_;
+  SolverStats stats_;
+  std::unordered_map<uint64_t, CacheEntry> cache_;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_SOLVER_SOLVER_H_

@@ -1,0 +1,14 @@
+#include "src/support/check.h"
+
+namespace ddt {
+
+void CheckFailed(const char* file, int line, const char* expr, const char* msg) {
+  if (msg != nullptr) {
+    std::fprintf(stderr, "DDT_CHECK failed at %s:%d: %s (%s)\n", file, line, expr, msg);
+  } else {
+    std::fprintf(stderr, "DDT_CHECK failed at %s:%d: %s\n", file, line, expr);
+  }
+  std::abort();
+}
+
+}  // namespace ddt

@@ -1,0 +1,35 @@
+// Internal invariant checking.
+//
+// DDT_CHECK is for programmer errors: violations abort the process with a
+// source location. It is always on (including release builds) because the
+// engine's correctness claims (soundness of path constraints, COW memory
+// integrity) are exactly the kind of thing that must never silently degrade.
+#ifndef SRC_SUPPORT_CHECK_H_
+#define SRC_SUPPORT_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ddt {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr, const char* msg);
+
+}  // namespace ddt
+
+#define DDT_CHECK(cond)                                        \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::ddt::CheckFailed(__FILE__, __LINE__, #cond, nullptr);  \
+    }                                                          \
+  } while (0)
+
+#define DDT_CHECK_MSG(cond, msg)                            \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::ddt::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                       \
+  } while (0)
+
+#define DDT_UNREACHABLE(msg) ::ddt::CheckFailed(__FILE__, __LINE__, "unreachable", (msg))
+
+#endif  // SRC_SUPPORT_CHECK_H_

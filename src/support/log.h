@@ -1,0 +1,32 @@
+// Leveled logging to stderr. The engine is chatty at kDebug when tracing path
+// exploration; default level is kWarn so tests and benches stay quiet.
+#ifndef SRC_SUPPORT_LOG_H_
+#define SRC_SUPPORT_LOG_H_
+
+#include <cstdarg>
+
+namespace ddt {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style. Cheap early-out when the level is filtered.
+void Logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace ddt
+
+#define DDT_LOG_DEBUG(...) ::ddt::Logf(::ddt::LogLevel::kDebug, __VA_ARGS__)
+#define DDT_LOG_INFO(...) ::ddt::Logf(::ddt::LogLevel::kInfo, __VA_ARGS__)
+#define DDT_LOG_WARN(...) ::ddt::Logf(::ddt::LogLevel::kWarn, __VA_ARGS__)
+#define DDT_LOG_ERROR(...) ::ddt::Logf(::ddt::LogLevel::kError, __VA_ARGS__)
+
+#endif  // SRC_SUPPORT_LOG_H_

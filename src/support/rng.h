@@ -1,0 +1,41 @@
+// Deterministic PRNG (xorshift64*). Every stochastic decision in DDT — random
+// concretization choices (§3.2 "selects feasible values at random"), searcher
+// tie-breaking, Driver Verifier stress inputs — draws from a seeded Rng so
+// whole runs are reproducible, which the trace/replay machinery depends on.
+#ifndef SRC_SUPPORT_RNG_H_
+#define SRC_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace ddt {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed != 0 ? seed : 1) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  uint32_t Next32() { return static_cast<uint32_t>(Next() >> 32); }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) { return lo + NextBelow(hi - lo + 1); }
+
+  double NextDouble() { return static_cast<double>(Next() >> 11) / 9007199254740992.0; }
+
+  uint64_t state() const { return state_; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_SUPPORT_RNG_H_

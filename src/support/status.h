@@ -1,0 +1,64 @@
+// Lightweight error propagation for fallible library boundaries (assembler,
+// binary loading, trace deserialization). Guest-level failures (driver bugs,
+// kernel panics) are *events*, not statuses — they flow through the checker
+// pipeline instead.
+#ifndef SRC_SUPPORT_STATUS_H_
+#define SRC_SUPPORT_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/support/check.h"
+
+namespace ddt {
+
+class Status {
+ public:
+  Status() = default;  // OK
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const { return message_.empty(); }
+  const std::string& message() const { return message_; }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::string message_;  // empty == OK
+};
+
+// Minimal StatusOr: holds either a value or an error message.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}                       // NOLINT(runtime/explicit)
+  Result(Status status) : value_(std::move(status)) {                 // NOLINT(runtime/explicit)
+    DDT_CHECK_MSG(!std::get<Status>(value_).ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  const std::string& error() const { return std::get<Status>(value_).message(); }
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(value_);
+  }
+
+  T& value() {
+    DDT_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(value_);
+  }
+  const T& value() const {
+    DDT_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(value_);
+  }
+  T&& take() {
+    DDT_CHECK_MSG(ok(), "Result::take() on error");
+    return std::move(std::get<T>(value_));
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_SUPPORT_STATUS_H_

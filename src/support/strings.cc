@@ -1,0 +1,126 @@
+#include "src/support/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace ddt {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int size = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string result(static_cast<size_t>(size), '\0');
+  std::vsnprintf(result.data(), result.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return result;
+}
+
+std::vector<std::string_view> SplitAny(std::string_view text, std::string_view delims) {
+  std::vector<std::string_view> pieces;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || delims.find(text[i]) != std::string_view::npos) {
+      if (i > start) {
+        pieces.push_back(text.substr(start, i - start));
+      }
+      start = i + 1;
+    }
+  }
+  return pieces;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() && std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ParseInt(std::string_view text, int64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  bool negative = false;
+  size_t pos = 0;
+  if (text[0] == '-') {
+    negative = true;
+    pos = 1;
+  } else if (text[0] == '+') {
+    pos = 1;
+  }
+  if (pos >= text.size()) {
+    return false;
+  }
+  int base = 10;
+  if (text.size() - pos > 2 && text[pos] == '0' && (text[pos + 1] == 'x' || text[pos + 1] == 'X')) {
+    base = 16;
+    pos += 2;
+  } else if (text.size() - pos > 2 && text[pos] == '0' &&
+             (text[pos + 1] == 'b' || text[pos + 1] == 'B')) {
+    base = 2;
+    pos += 2;
+  }
+  uint64_t value = 0;
+  for (; pos < text.size(); ++pos) {
+    char c = text[pos];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else if (c == '_') {
+      continue;  // digit separator
+    } else {
+      return false;
+    }
+    if (digit >= base) {
+      return false;
+    }
+    uint64_t next = value * static_cast<uint64_t>(base) + static_cast<uint64_t>(digit);
+    if (next < value) {
+      return false;  // overflow
+    }
+    value = next;
+  }
+  if (negative) {
+    if (value > 0x8000000000000000ull) {
+      return false;
+    }
+    *out = -static_cast<int64_t>(value);
+  } else {
+    if (value > 0x7FFFFFFFFFFFFFFFull) {
+      return false;
+    }
+    *out = static_cast<int64_t>(value);
+  }
+  return true;
+}
+
+std::string HexBytes(const uint8_t* data, size_t size) {
+  std::string out;
+  out.reserve(size * 3);
+  for (size_t i = 0; i < size; ++i) {
+    if (i != 0) {
+      out.push_back(' ');
+    }
+    out += StrFormat("%02x", data[i]);
+  }
+  return out;
+}
+
+}  // namespace ddt

@@ -1,0 +1,33 @@
+// Small string helpers shared by the assembler, report formatter, and tests.
+#ifndef SRC_SUPPORT_STRINGS_H_
+#define SRC_SUPPORT_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ddt {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Splits on any char in `delims`, dropping empty pieces.
+std::vector<std::string_view> SplitAny(std::string_view text, std::string_view delims);
+
+// Strips leading/trailing whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Parses a signed integer literal: decimal, 0x hex, or 0b binary, with
+// optional leading '-'. Returns false on malformed input or overflow of
+// int64_t.
+bool ParseInt(std::string_view text, int64_t* out);
+
+// Hex dump helper for diagnostics: "de ad be ef".
+std::string HexBytes(const uint8_t* data, size_t size);
+
+}  // namespace ddt
+
+#endif  // SRC_SUPPORT_STRINGS_H_

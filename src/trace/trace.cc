@@ -1,0 +1,161 @@
+#include "src/trace/trace.h"
+
+#include "src/support/strings.h"
+
+namespace ddt {
+
+const char* TraceEventKindName(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kExec:
+      return "exec";
+    case TraceEvent::Kind::kMemRead:
+      return "read";
+    case TraceEvent::Kind::kMemWrite:
+      return "write";
+    case TraceEvent::Kind::kBranch:
+      return "branch";
+    case TraceEvent::Kind::kSymCreate:
+      return "sym-create";
+    case TraceEvent::Kind::kKCall:
+      return "kcall";
+    case TraceEvent::Kind::kKRet:
+      return "kret";
+    case TraceEvent::Kind::kEntryEnter:
+      return "entry-enter";
+    case TraceEvent::Kind::kEntryExit:
+      return "entry-exit";
+    case TraceEvent::Kind::kInterrupt:
+      return "interrupt";
+    case TraceEvent::Kind::kConstraint:
+      return "constraint";
+    case TraceEvent::Kind::kConcretize:
+      return "concretize";
+    case TraceEvent::Kind::kBugMark:
+      return "BUG";
+  }
+  return "?";
+}
+
+void TraceRecorder::Append(const TraceEvent& event) {
+  if (tail_.size() >= max_tail_events_) {
+    // Drop the oldest half of the tail; keep recency (the bug site is at the
+    // end of a trace).
+    size_t half = tail_.size() / 2;
+    dropped_ += half;
+    tail_.erase(tail_.begin(), tail_.begin() + static_cast<ptrdiff_t>(half));
+  }
+  tail_.push_back(event);
+}
+
+TraceRecorder TraceRecorder::Fork() {
+  if (!tail_.empty()) {
+    auto frozen = std::make_shared<Segment>();
+    frozen->events = std::move(tail_);
+    frozen->parent = parent_;
+    frozen->dropped = dropped_;
+    parent_ = frozen;
+    tail_.clear();
+  }
+  TraceRecorder sibling;
+  sibling.parent_ = parent_;
+  sibling.dropped_ = dropped_;
+  sibling.max_tail_events_ = max_tail_events_;
+  return sibling;
+}
+
+size_t TraceRecorder::TotalEvents() const {
+  size_t total = tail_.size();
+  for (const Segment* seg = parent_.get(); seg != nullptr; seg = seg->parent.get()) {
+    total += seg->events.size();
+  }
+  return total;
+}
+
+std::vector<TraceEvent> TraceRecorder::Reconstruct() const {
+  std::vector<const Segment*> chain;
+  for (const Segment* seg = parent_.get(); seg != nullptr; seg = seg->parent.get()) {
+    chain.push_back(seg);
+  }
+  std::vector<TraceEvent> out;
+  out.reserve(TotalEvents());
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    out.insert(out.end(), (*it)->events.begin(), (*it)->events.end());
+  }
+  out.insert(out.end(), tail_.begin(), tail_.end());
+  return out;
+}
+
+std::string TraceSymbolizer::Label(uint32_t addr) const {
+  auto it = symbols_.upper_bound(addr);
+  if (it == symbols_.begin()) {
+    return StrFormat("0x%08x", addr);
+  }
+  --it;
+  uint32_t offset = addr - it->first;
+  if (offset == 0) {
+    return it->second;
+  }
+  return StrFormat("%s+0x%x", it->second.c_str(), offset);
+}
+
+std::string FormatTrace(const std::vector<TraceEvent>& events, size_t max_lines,
+                        const TraceSymbolizer* symbolizer) {
+  auto pc_label = [&](uint32_t pc) {
+    return symbolizer != nullptr ? symbolizer->Label(pc) : StrFormat("%08x", pc);
+  };
+  std::string out;
+  size_t start = events.size() > max_lines ? events.size() - max_lines : 0;
+  if (start > 0) {
+    out += StrFormat("... (%zu earlier events elided)\n", start);
+  }
+  for (size_t i = start; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    switch (e.kind) {
+      case TraceEvent::Kind::kExec:
+        out += StrFormat("  exec  pc=%s\n", pc_label(e.pc).c_str());
+        break;
+      case TraceEvent::Kind::kMemRead:
+      case TraceEvent::Kind::kMemWrite:
+        out += StrFormat("  %-5s pc=%s addr=%08x size=%u value=%08x%s\n",
+                         TraceEventKindName(e.kind), pc_label(e.pc).c_str(), e.addr, e.size,
+                         e.value, e.value_symbolic ? " (symbolic)" : "");
+        break;
+      case TraceEvent::Kind::kBranch:
+        out += StrFormat("  branch pc=%s -> %s%s\n", pc_label(e.pc).c_str(),
+                         pc_label(e.a).c_str(), e.b != 0 ? " [forked]" : "");
+        break;
+      case TraceEvent::Kind::kSymCreate:
+        out += StrFormat("  sym-create v%u at pc=%08x\n", e.a, e.pc);
+        break;
+      case TraceEvent::Kind::kKCall:
+        out += StrFormat("  kcall #%u pc=%08x\n", e.a, e.pc);
+        break;
+      case TraceEvent::Kind::kKRet:
+        out += StrFormat("  kret  #%u -> 0x%x\n", e.a, e.b);
+        break;
+      case TraceEvent::Kind::kEntryEnter:
+        out += StrFormat("  >>> entry slot %u\n", e.a);
+        break;
+      case TraceEvent::Kind::kEntryExit:
+        out += StrFormat("  <<< entry slot %u status 0x%x\n", e.a, e.b);
+        break;
+      case TraceEvent::Kind::kInterrupt:
+        out += StrFormat("  *** symbolic interrupt injected (crossing %u)\n", e.a);
+        break;
+      case TraceEvent::Kind::kConstraint:
+        out += StrFormat("  constraint: %s\n",
+                         e.expr != nullptr ? ExprToString(e.expr).c_str() : "?");
+        break;
+      case TraceEvent::Kind::kConcretize:
+        out += StrFormat("  concretize -> 0x%x (%s)\n", e.a,
+                         e.expr != nullptr ? ExprToString(e.expr).c_str() : "?");
+        break;
+      case TraceEvent::Kind::kBugMark:
+        out += StrFormat("  !!! BUG #%u fired here (pc=%08x)\n", e.a, e.pc);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ddt

@@ -1,0 +1,118 @@
+// Execution traces (§3.5).
+//
+// Every execution state carries a trace: the program counters of executed
+// instructions, all memory accesses (address, value, size, read/write,
+// whether the value was symbolic), creation of symbolic values, branch
+// decisions with a fork flag, kernel API calls/returns, entry-point
+// transitions, and injected interrupts. Traces are what makes a DDT bug
+// report *replayable evidence* rather than a claim.
+//
+// Like guest memory, traces fork cheaply: a TraceRecorder is a mutable tail
+// over a chain of frozen parent segments, so a fork shares its prefix with
+// its sibling. Reconstructing the full trace walks the chain once.
+#ifndef SRC_TRACE_TRACE_H_
+#define SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/expr/expr.h"
+
+namespace ddt {
+
+struct TraceEvent {
+  enum class Kind : uint8_t {
+    kExec,          // pc executed
+    kMemRead,       // addr/value/size; value_symbolic if the byte(s) were
+    kMemWrite,
+    kBranch,        // pc = branch site, a = taken target, b = forked (0/1)
+    kSymCreate,     // a = variable id
+    kKCall,         // a = import index
+    kKRet,          // a = import index, b = concrete return (if concrete)
+    kEntryEnter,    // a = slot
+    kEntryExit,     // a = slot, b = status
+    kInterrupt,     // a = boundary-crossing index the ISR was injected at
+    kConstraint,    // expr = the added path constraint
+    kConcretize,    // a = chosen value; expr = the concretized expression
+    kBugMark,       // a = bug index; marks where on the path the bug fired
+  };
+
+  Kind kind = Kind::kExec;
+  uint32_t pc = 0;
+  uint32_t addr = 0;
+  uint32_t value = 0;
+  uint8_t size = 0;
+  bool value_symbolic = false;
+  uint32_t a = 0;
+  uint32_t b = 0;
+  ExprRef expr = nullptr;
+};
+
+const char* TraceEventKindName(TraceEvent::Kind kind);
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+
+  void Append(const TraceEvent& event);
+
+  // Freezes the current tail and returns a sibling recorder sharing the whole
+  // prefix. `this` keeps recording into a fresh tail.
+  TraceRecorder Fork();
+
+  // Total events on this path (chain + tail).
+  size_t TotalEvents() const;
+
+  // Reconstructs the full event sequence, oldest first.
+  std::vector<TraceEvent> Reconstruct() const;
+
+  // Caps the number of *local tail* events; on overflow the oldest local
+  // events are dropped and dropped_events() counts them. Bug traces "rarely
+  // exceed 1 MB" in the paper; the cap keeps worst-case paths bounded.
+  void set_max_tail_events(size_t cap) { max_tail_events_ = cap; }
+  uint64_t dropped_events() const { return dropped_; }
+
+ private:
+  struct Segment {
+    std::vector<TraceEvent> events;
+    std::shared_ptr<const Segment> parent;
+    uint64_t dropped = 0;
+  };
+
+  std::shared_ptr<const Segment> parent_;
+  std::vector<TraceEvent> tail_;
+  uint64_t dropped_ = 0;
+  size_t max_tail_events_ = 1 << 20;
+};
+
+// Maps guest addresses to human labels for trace rendering — §3.5: "when
+// driver source code is available, DDT-produced execution paths can be
+// automatically mapped to source code lines and variables". With an
+// assembler symbol table, every pc renders as "symbol+0xoff".
+class TraceSymbolizer {
+ public:
+  // `symbols` maps addresses to names (e.g. AssembledDriver::symbols
+  // inverted). Addresses between symbols attribute to the closest preceding
+  // one.
+  explicit TraceSymbolizer(std::map<uint32_t, std::string> symbols)
+      : symbols_(std::move(symbols)) {}
+
+  // "ep_init+0x18", or "0x00010018" if no symbol precedes the address.
+  std::string Label(uint32_t addr) const;
+
+ private:
+  std::map<uint32_t, std::string> symbols_;
+};
+
+// Renders a human-readable listing of a reconstructed trace (bug reports and
+// the example binaries use this). With a symbolizer, code addresses are
+// rendered as symbol+offset.
+std::string FormatTrace(const std::vector<TraceEvent>& events, size_t max_lines = 10000,
+                        const TraceSymbolizer* symbolizer = nullptr);
+
+}  // namespace ddt
+
+#endif  // SRC_TRACE_TRACE_H_

@@ -1,0 +1,787 @@
+#include "src/vm/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <unordered_map>
+
+#include "src/support/strings.h"
+#include "src/vm/isa.h"
+
+namespace ddt {
+
+namespace {
+
+enum class Section { kCode, kData };
+
+// One unresolved instruction: the immediate may reference a label.
+struct PendingInstruction {
+  Instruction insn;
+  std::string imm_label;  // empty if imm already resolved
+  int32_t imm_addend = 0;
+  int line = 0;
+  uint32_t code_offset = 0;
+};
+
+struct Operand {
+  enum class Kind { kRegister, kImmediate, kLabel, kMemory } kind;
+  int reg = 0;           // kRegister / kMemory base
+  int64_t imm = 0;       // kImmediate / kMemory displacement
+  std::string label;     // kLabel
+};
+
+class Assembler {
+ public:
+  explicit Assembler(uint32_t load_base) : load_base_(load_base) {}
+
+  Result<AssembledDriver> Run(const std::string& source);
+
+ private:
+  Status ProcessLine(std::string_view raw, int line);
+  Status ProcessDirective(const std::vector<std::string>& tokens, int line);
+  Status ProcessInstruction(const std::string& mnemonic, const std::vector<Operand>& operands,
+                            int line);
+  Status DefineLabel(const std::string& name, int line);
+  uint32_t ImportIndex(const std::string& name);
+  Status Resolve(AssembledDriver* out);
+
+  // Tokenizes the operand list (after the mnemonic), honoring {} groups,
+  // [] memory operands, and "" strings.
+  static Result<std::vector<std::string>> SplitOperands(std::string_view text);
+  Result<Operand> ParseOperand(const std::string& token, int line) const;
+
+  Status ErrorAt(int line, const std::string& message) const {
+    return Status::Error(StrFormat("line %d: %s", line, message.c_str()));
+  }
+
+  uint32_t load_base_;
+  Section section_ = Section::kCode;
+  std::string driver_name_ = "driver";
+  std::string entry_label_;
+
+  struct DataFixup {
+    uint32_t offset;
+    std::string label;
+    int line;
+  };
+
+  std::vector<PendingInstruction> pending_;
+  std::vector<uint8_t> data_;
+  std::vector<DataFixup> data_fixups_;
+  uint32_t bss_size_ = 0;
+
+  // Label -> (section, offset). Resolved to absolute addresses at the end.
+  struct LabelDef {
+    Section section;
+    uint32_t offset;
+  };
+  std::map<std::string, LabelDef> labels_;
+  std::vector<std::string> function_labels_;
+  std::vector<std::string> imports_;
+  std::unordered_map<std::string, uint32_t> import_index_;
+};
+
+Result<std::vector<std::string>> Assembler::SplitOperands(std::string_view text) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_string) {
+      current.push_back(c);
+      if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        current.push_back(c);
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        current.push_back(c);
+        break;
+      case '}':
+      case ']':
+        --depth;
+        current.push_back(c);
+        break;
+      case ',':
+        if (depth == 0) {
+          std::string_view stripped = StripWhitespace(current);
+          if (stripped.empty()) {
+            return Status::Error("empty operand");
+          }
+          out.emplace_back(stripped);
+          current.clear();
+        } else {
+          current.push_back(c);
+        }
+        break;
+      default:
+        current.push_back(c);
+    }
+  }
+  if (in_string || depth != 0) {
+    return Status::Error("unterminated operand");
+  }
+  std::string_view stripped = StripWhitespace(current);
+  if (!stripped.empty()) {
+    out.emplace_back(stripped);
+  }
+  return out;
+}
+
+Result<Operand> Assembler::ParseOperand(const std::string& token, int line) const {
+  if (token.empty()) {
+    return ErrorAt(line, "empty operand");
+  }
+  // Memory operand [reg], [reg+imm], [reg-imm].
+  if (token.front() == '[') {
+    if (token.back() != ']') {
+      return ErrorAt(line, "malformed memory operand: " + token);
+    }
+    std::string inner(StripWhitespace(std::string_view(token).substr(1, token.size() - 2)));
+    size_t sign_pos = inner.find_first_of("+-", 1);
+    Operand op;
+    op.kind = Operand::Kind::kMemory;
+    std::string reg_part = inner;
+    if (sign_pos != std::string::npos) {
+      reg_part = std::string(StripWhitespace(std::string_view(inner).substr(0, sign_pos)));
+      std::string disp(StripWhitespace(std::string_view(inner).substr(sign_pos)));
+      if (!ParseInt(disp, &op.imm)) {
+        return ErrorAt(line, "bad displacement: " + disp);
+      }
+    }
+    op.reg = RegisterFromName(reg_part);
+    if (op.reg < 0) {
+      return ErrorAt(line, "bad base register: " + reg_part);
+    }
+    return op;
+  }
+  // Register.
+  int reg = RegisterFromName(token);
+  if (reg >= 0) {
+    Operand op;
+    op.kind = Operand::Kind::kRegister;
+    op.reg = reg;
+    return op;
+  }
+  // Number.
+  int64_t value;
+  if (ParseInt(token, &value)) {
+    Operand op;
+    op.kind = Operand::Kind::kImmediate;
+    op.imm = value;
+    return op;
+  }
+  // Label (optionally label+N / label-N).
+  Operand op;
+  op.kind = Operand::Kind::kLabel;
+  size_t sign_pos = token.find_first_of("+-", 1);
+  if (sign_pos != std::string::npos) {
+    std::string disp(StripWhitespace(std::string_view(token).substr(sign_pos)));
+    if (!ParseInt(disp, &op.imm)) {
+      return ErrorAt(line, "bad label displacement: " + token);
+    }
+    op.label = std::string(StripWhitespace(std::string_view(token).substr(0, sign_pos)));
+  } else {
+    op.label = token;
+  }
+  if (op.label.empty()) {
+    return ErrorAt(line, "bad operand: " + token);
+  }
+  return op;
+}
+
+Status Assembler::DefineLabel(const std::string& name, int line) {
+  if (labels_.count(name) != 0) {
+    return ErrorAt(line, "duplicate label: " + name);
+  }
+  uint32_t offset = section_ == Section::kCode
+                        ? static_cast<uint32_t>(pending_.size()) * kInstructionSize
+                        : static_cast<uint32_t>(data_.size());
+  labels_[name] = LabelDef{section_, offset};
+  return Status::Ok();
+}
+
+uint32_t Assembler::ImportIndex(const std::string& name) {
+  auto it = import_index_.find(name);
+  if (it != import_index_.end()) {
+    return it->second;
+  }
+  uint32_t index = static_cast<uint32_t>(imports_.size());
+  imports_.push_back(name);
+  import_index_.emplace(name, index);
+  return index;
+}
+
+Status Assembler::ProcessDirective(const std::vector<std::string>& tokens, int line) {
+  const std::string& directive = tokens[0];
+  auto need_args = [&](size_t n) { return tokens.size() == n + 1; };
+
+  if (directive == ".code") {
+    section_ = Section::kCode;
+    return Status::Ok();
+  }
+  if (directive == ".data") {
+    section_ = Section::kData;
+    return Status::Ok();
+  }
+  if (directive == ".driver") {
+    if (!need_args(1)) {
+      return ErrorAt(line, ".driver takes one argument");
+    }
+    std::string name = tokens[1];
+    if (name.size() >= 2 && name.front() == '"' && name.back() == '"') {
+      name = name.substr(1, name.size() - 2);
+    }
+    driver_name_ = name;
+    return Status::Ok();
+  }
+  if (directive == ".entry") {
+    if (!need_args(1)) {
+      return ErrorAt(line, ".entry takes one argument");
+    }
+    entry_label_ = tokens[1];
+    return Status::Ok();
+  }
+  if (directive == ".import") {
+    if (!need_args(1)) {
+      return ErrorAt(line, ".import takes one argument");
+    }
+    ImportIndex(tokens[1]);
+    return Status::Ok();
+  }
+  if (directive == ".func") {
+    if (!need_args(1)) {
+      return ErrorAt(line, ".func takes one argument");
+    }
+    if (section_ != Section::kCode) {
+      return ErrorAt(line, ".func outside .code");
+    }
+    Status s = DefineLabel(tokens[1], line);
+    if (!s.ok()) {
+      return s;
+    }
+    function_labels_.push_back(tokens[1]);
+    return Status::Ok();
+  }
+  if (directive == ".endfunc") {
+    return Status::Ok();  // documentation only
+  }
+  if (directive == ".word" || directive == ".half" || directive == ".byte") {
+    if (section_ != Section::kData) {
+      return ErrorAt(line, directive + " outside .data");
+    }
+    size_t width = directive == ".word" ? 4 : (directive == ".half" ? 2 : 1);
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      int64_t value;
+      if (!ParseInt(tokens[i], &value)) {
+        // A .word may reference a label (function tables); fixed up in
+        // Resolve once addresses are known.
+        if (width == 4) {
+          data_fixups_.push_back(DataFixup{static_cast<uint32_t>(data_.size()), tokens[i], line});
+          value = 0;
+        } else {
+          return ErrorAt(line, "bad numeric literal: " + tokens[i]);
+        }
+      }
+      for (size_t b = 0; b < width; ++b) {
+        data_.push_back(static_cast<uint8_t>((static_cast<uint64_t>(value) >> (8 * b)) & 0xFF));
+      }
+    }
+    return Status::Ok();
+  }
+  if (directive == ".asciiz") {
+    if (section_ != Section::kData) {
+      return ErrorAt(line, ".asciiz outside .data");
+    }
+    if (tokens.size() < 2 || tokens[1].size() < 2 || tokens[1].front() != '"' ||
+        tokens[1].back() != '"') {
+      return ErrorAt(line, ".asciiz takes a quoted string");
+    }
+    std::string content = tokens[1].substr(1, tokens[1].size() - 2);
+    for (char c : content) {
+      data_.push_back(static_cast<uint8_t>(c));
+    }
+    data_.push_back(0);
+    return Status::Ok();
+  }
+  if (directive == ".space") {
+    if (section_ != Section::kData) {
+      return ErrorAt(line, ".space outside .data");
+    }
+    int64_t count;
+    if (!need_args(1) || !ParseInt(tokens[1], &count) || count < 0 || count > (1 << 24)) {
+      return ErrorAt(line, ".space takes a reasonable size");
+    }
+    data_.insert(data_.end(), static_cast<size_t>(count), 0);
+    return Status::Ok();
+  }
+  if (directive == ".align") {
+    if (section_ != Section::kData) {
+      return ErrorAt(line, ".align outside .data");
+    }
+    int64_t alignment;
+    if (!need_args(1) || !ParseInt(tokens[1], &alignment) || alignment <= 0 ||
+        (alignment & (alignment - 1)) != 0) {
+      return ErrorAt(line, ".align takes a power of two");
+    }
+    while (data_.size() % static_cast<size_t>(alignment) != 0) {
+      data_.push_back(0);
+    }
+    return Status::Ok();
+  }
+  return ErrorAt(line, "unknown directive: " + directive);
+}
+
+Status Assembler::ProcessInstruction(const std::string& mnemonic,
+                                     const std::vector<Operand>& operands, int line) {
+  if (section_ != Section::kCode) {
+    return ErrorAt(line, "instruction outside .code");
+  }
+  auto emit = [&](Instruction insn, const std::string& label = "", int32_t addend = 0) {
+    pending_.push_back(PendingInstruction{
+        insn, label, addend, line, static_cast<uint32_t>(pending_.size()) * kInstructionSize});
+  };
+  auto want = [&](size_t n) { return operands.size() == n; };
+  auto reg_of = [&](size_t i) -> std::optional<uint8_t> {
+    if (operands[i].kind != Operand::Kind::kRegister) {
+      return std::nullopt;
+    }
+    return static_cast<uint8_t>(operands[i].reg);
+  };
+  auto imm_or_label = [&](size_t i, Instruction* insn, std::string* label,
+                          int32_t* addend) -> bool {
+    const Operand& op = operands[i];
+    if (op.kind == Operand::Kind::kImmediate) {
+      insn->imm = static_cast<uint32_t>(op.imm);
+      return true;
+    }
+    if (op.kind == Operand::Kind::kLabel) {
+      *label = op.label;
+      *addend = static_cast<int32_t>(op.imm);
+      return true;
+    }
+    return false;
+  };
+
+  // `la` is an alias for movi with a label operand.
+  std::string m = mnemonic == "la" ? "movi" : mnemonic;
+  std::optional<Opcode> opcode = OpcodeFromMnemonic(m);
+  if (!opcode.has_value()) {
+    return ErrorAt(line, "unknown mnemonic: " + mnemonic);
+  }
+
+  Instruction insn;
+  insn.opcode = *opcode;
+  std::string label;
+  int32_t addend = 0;
+
+  switch (*opcode) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kRet:
+      if (!want(0)) {
+        return ErrorAt(line, mnemonic + " takes no operands");
+      }
+      emit(insn);
+      return Status::Ok();
+
+    case Opcode::kMov:
+    case Opcode::kNot:
+    case Opcode::kNeg: {
+      auto rd = want(2) ? reg_of(0) : std::nullopt;
+      auto ra = want(2) ? reg_of(1) : std::nullopt;
+      if (!rd || !ra) {
+        return ErrorAt(line, mnemonic + " rd, ra");
+      }
+      insn.rd = *rd;
+      insn.ra = *ra;
+      emit(insn);
+      return Status::Ok();
+    }
+
+    case Opcode::kMovI: {
+      auto rd = want(2) ? reg_of(0) : std::nullopt;
+      if (!rd || !imm_or_label(1, &insn, &label, &addend)) {
+        return ErrorAt(line, "movi rd, imm|label");
+      }
+      insn.rd = *rd;
+      emit(insn, label, addend);
+      return Status::Ok();
+    }
+
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kUDiv:
+    case Opcode::kSDiv:
+    case Opcode::kURem:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kLShr:
+    case Opcode::kAShr:
+    case Opcode::kSeq:
+    case Opcode::kSne:
+    case Opcode::kSltU:
+    case Opcode::kSltS:
+    case Opcode::kSleU:
+    case Opcode::kSleS: {
+      auto rd = want(3) ? reg_of(0) : std::nullopt;
+      auto ra = want(3) ? reg_of(1) : std::nullopt;
+      auto rb = want(3) ? reg_of(2) : std::nullopt;
+      if (!rd || !ra || !rb) {
+        return ErrorAt(line, mnemonic + " rd, ra, rb");
+      }
+      insn.rd = *rd;
+      insn.ra = *ra;
+      insn.rb = *rb;
+      emit(insn);
+      return Status::Ok();
+    }
+
+    case Opcode::kAddI:
+    case Opcode::kSubI:
+    case Opcode::kMulI:
+    case Opcode::kUDivI:
+    case Opcode::kAndI:
+    case Opcode::kOrI:
+    case Opcode::kXorI:
+    case Opcode::kShlI:
+    case Opcode::kLShrI:
+    case Opcode::kAShrI:
+    case Opcode::kSeqI:
+    case Opcode::kSneI:
+    case Opcode::kSltUI:
+    case Opcode::kSltSI:
+    case Opcode::kSleUI:
+    case Opcode::kSleSI: {
+      auto rd = want(3) ? reg_of(0) : std::nullopt;
+      auto ra = want(3) ? reg_of(1) : std::nullopt;
+      if (!rd || !ra || !imm_or_label(2, &insn, &label, &addend)) {
+        return ErrorAt(line, mnemonic + " rd, ra, imm");
+      }
+      insn.rd = *rd;
+      insn.ra = *ra;
+      emit(insn, label, addend);
+      return Status::Ok();
+    }
+
+    case Opcode::kLd8U:
+    case Opcode::kLd8S:
+    case Opcode::kLd16U:
+    case Opcode::kLd16S:
+    case Opcode::kLd32: {
+      auto rd = want(2) ? reg_of(0) : std::nullopt;
+      if (!rd || operands[1].kind != Operand::Kind::kMemory) {
+        return ErrorAt(line, mnemonic + " rd, [ra+imm]");
+      }
+      insn.rd = *rd;
+      insn.ra = static_cast<uint8_t>(operands[1].reg);
+      insn.imm = static_cast<uint32_t>(operands[1].imm);
+      emit(insn);
+      return Status::Ok();
+    }
+
+    case Opcode::kSt8:
+    case Opcode::kSt16:
+    case Opcode::kSt32: {
+      if (!want(2) || operands[0].kind != Operand::Kind::kMemory) {
+        return ErrorAt(line, mnemonic + " [ra+imm], rb");
+      }
+      auto rb = reg_of(1);
+      if (!rb) {
+        return ErrorAt(line, mnemonic + " [ra+imm], rb");
+      }
+      insn.ra = static_cast<uint8_t>(operands[0].reg);
+      insn.imm = static_cast<uint32_t>(operands[0].imm);
+      insn.rb = *rb;
+      emit(insn);
+      return Status::Ok();
+    }
+
+    case Opcode::kBr:
+    case Opcode::kCall: {
+      if (!want(1) || !imm_or_label(0, &insn, &label, &addend)) {
+        return ErrorAt(line, mnemonic + " target");
+      }
+      emit(insn, label, addend);
+      return Status::Ok();
+    }
+
+    case Opcode::kBz:
+    case Opcode::kBnz: {
+      auto ra = want(2) ? reg_of(0) : std::nullopt;
+      if (!ra || !imm_or_label(1, &insn, &label, &addend)) {
+        return ErrorAt(line, mnemonic + " ra, target");
+      }
+      insn.ra = *ra;
+      emit(insn, label, addend);
+      return Status::Ok();
+    }
+
+    case Opcode::kJr:
+    case Opcode::kCallR: {
+      auto ra = want(1) ? reg_of(0) : std::nullopt;
+      if (!ra) {
+        return ErrorAt(line, mnemonic + " ra");
+      }
+      insn.ra = *ra;
+      emit(insn);
+      return Status::Ok();
+    }
+
+    case Opcode::kPush:
+    case Opcode::kPop: {
+      if (!want(1)) {
+        return ErrorAt(line, mnemonic + " reg or {regs}");
+      }
+      // Single register or a {list}. The operand parser treats "{...}" as a
+      // label, so unpack it here.
+      std::vector<uint8_t> regs;
+      if (operands[0].kind == Operand::Kind::kRegister) {
+        regs.push_back(static_cast<uint8_t>(operands[0].reg));
+      } else if (operands[0].kind == Operand::Kind::kLabel && !operands[0].label.empty() &&
+                 operands[0].label.front() == '{' && operands[0].label.back() == '}') {
+        std::string inner = operands[0].label.substr(1, operands[0].label.size() - 2);
+        for (std::string_view piece : SplitAny(inner, ", \t")) {
+          int reg = RegisterFromName(std::string(piece));
+          if (reg < 0) {
+            return ErrorAt(line, "bad register in list: " + std::string(piece));
+          }
+          regs.push_back(static_cast<uint8_t>(reg));
+        }
+        if (regs.empty()) {
+          return ErrorAt(line, "empty register list");
+        }
+      } else {
+        return ErrorAt(line, mnemonic + " reg or {regs}");
+      }
+      if (*opcode == Opcode::kPop) {
+        // pop {a, b, c} restores in reverse push order.
+        std::reverse(regs.begin(), regs.end());
+      }
+      for (uint8_t reg : regs) {
+        Instruction one = insn;
+        if (*opcode == Opcode::kPush) {
+          one.rb = reg;
+        } else {
+          one.rd = reg;
+        }
+        emit(one);
+      }
+      return Status::Ok();
+    }
+
+    case Opcode::kKCall: {
+      if (!want(1)) {
+        return ErrorAt(line, "kcall FunctionName");
+      }
+      if (operands[0].kind == Operand::Kind::kLabel) {
+        insn.imm = ImportIndex(operands[0].label);
+      } else if (operands[0].kind == Operand::Kind::kImmediate) {
+        insn.imm = static_cast<uint32_t>(operands[0].imm);
+      } else {
+        return ErrorAt(line, "kcall FunctionName");
+      }
+      emit(insn);
+      return Status::Ok();
+    }
+
+    default:
+      return ErrorAt(line, "unsupported mnemonic: " + mnemonic);
+  }
+}
+
+Status Assembler::ProcessLine(std::string_view raw, int line) {
+  // Strip comments (';' or '#'), respecting string literals.
+  std::string text;
+  bool in_string = false;
+  for (char c : raw) {
+    if (c == '"') {
+      in_string = !in_string;
+    }
+    if (!in_string && (c == ';' || c == '#')) {
+      break;
+    }
+    text.push_back(c);
+  }
+  std::string_view stripped = StripWhitespace(text);
+  if (stripped.empty()) {
+    return Status::Ok();
+  }
+
+  // Leading labels: "name:".
+  while (true) {
+    size_t colon = stripped.find(':');
+    if (colon == std::string_view::npos) {
+      break;
+    }
+    std::string_view candidate = StripWhitespace(stripped.substr(0, colon));
+    bool is_identifier = !candidate.empty();
+    for (char c : candidate) {
+      if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' && c != '.') {
+        is_identifier = false;
+        break;
+      }
+    }
+    if (!is_identifier || candidate.front() == '.') {
+      break;
+    }
+    Status s = DefineLabel(std::string(candidate), line);
+    if (!s.ok()) {
+      return s;
+    }
+    stripped = StripWhitespace(stripped.substr(colon + 1));
+    if (stripped.empty()) {
+      return Status::Ok();
+    }
+  }
+
+  // Directive or instruction: first token is the keyword.
+  size_t space = stripped.find_first_of(" \t");
+  std::string keyword(stripped.substr(0, space));
+  std::string_view rest =
+      space == std::string_view::npos ? std::string_view() : StripWhitespace(stripped.substr(space));
+
+  if (keyword[0] == '.') {
+    // Directives take space/comma separated tokens, except quoted strings.
+    std::vector<std::string> tokens{keyword};
+    if (!rest.empty()) {
+      if (rest.front() == '"') {
+        tokens.emplace_back(rest);
+      } else {
+        for (std::string_view piece : SplitAny(rest, ", \t")) {
+          tokens.emplace_back(piece);
+        }
+      }
+    }
+    return ProcessDirective(tokens, line);
+  }
+
+  Result<std::vector<std::string>> operand_tokens = SplitOperands(rest);
+  if (!operand_tokens.ok()) {
+    return ErrorAt(line, operand_tokens.error());
+  }
+  std::vector<Operand> operands;
+  for (const std::string& token : operand_tokens.value()) {
+    Result<Operand> op = ParseOperand(token, line);
+    if (!op.ok()) {
+      return op.status();
+    }
+    operands.push_back(op.take());
+  }
+  return ProcessInstruction(keyword, operands, line);
+}
+
+Status Assembler::Resolve(AssembledDriver* out) {
+  uint32_t code_size = static_cast<uint32_t>(pending_.size()) * kInstructionSize;
+  uint32_t data_base = load_base_ + code_size;
+
+  auto label_address = [&](const std::string& name, uint32_t* addr) -> bool {
+    auto it = labels_.find(name);
+    if (it == labels_.end()) {
+      return false;
+    }
+    *addr = it->second.section == Section::kCode ? load_base_ + it->second.offset
+                                                 : data_base + it->second.offset;
+    return true;
+  };
+
+  for (PendingInstruction& p : pending_) {
+    if (!p.imm_label.empty()) {
+      uint32_t addr;
+      if (!label_address(p.imm_label, &addr)) {
+        return Status::Error(
+            StrFormat("line %d: undefined label: %s", p.line, p.imm_label.c_str()));
+      }
+      p.insn.imm = addr + static_cast<uint32_t>(p.imm_addend);
+    }
+  }
+
+  for (const DataFixup& fixup : data_fixups_) {
+    uint32_t addr;
+    if (!label_address(fixup.label, &addr)) {
+      return Status::Error(
+          StrFormat("line %d: undefined label in .word: %s", fixup.line, fixup.label.c_str()));
+    }
+    for (size_t b = 0; b < 4; ++b) {
+      data_[fixup.offset + b] = static_cast<uint8_t>((addr >> (8 * b)) & 0xFF);
+    }
+  }
+
+  if (entry_label_.empty()) {
+    return Status::Error("missing .entry directive");
+  }
+  auto entry_it = labels_.find(entry_label_);
+  if (entry_it == labels_.end() || entry_it->second.section != Section::kCode) {
+    return Status::Error("entry label not defined in .code: " + entry_label_);
+  }
+
+  DriverImage image;
+  image.name = driver_name_;
+  image.entry_offset = entry_it->second.offset;
+  image.code.resize(code_size);
+  for (const PendingInstruction& p : pending_) {
+    EncodeInstruction(p.insn, image.code.data() + p.code_offset);
+  }
+  image.data = data_;
+  image.bss_size = bss_size_;
+  image.imports = imports_;
+
+  out->image = std::move(image);
+  out->load_base = load_base_;
+  for (const auto& [name, def] : labels_) {
+    uint32_t addr = 0;
+    // Every entry in labels_ resolves by construction.
+    label_address(name, &addr);
+    out->symbols[name] = addr;
+  }
+  for (const std::string& fn : function_labels_) {
+    uint32_t addr;
+    if (label_address(fn, &addr)) {
+      out->functions.push_back(addr);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<AssembledDriver> Assembler::Run(const std::string& source) {
+  int line = 0;
+  size_t start = 0;
+  while (start <= source.size()) {
+    size_t end = source.find('\n', start);
+    if (end == std::string::npos) {
+      end = source.size();
+    }
+    ++line;
+    Status s = ProcessLine(std::string_view(source).substr(start, end - start), line);
+    if (!s.ok()) {
+      return s;
+    }
+    start = end + 1;
+  }
+  AssembledDriver out;
+  Status s = Resolve(&out);
+  if (!s.ok()) {
+    return s;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<AssembledDriver> Assemble(const std::string& source, uint32_t load_base) {
+  Assembler assembler(load_base);
+  return assembler.Run(source);
+}
+
+}  // namespace ddt

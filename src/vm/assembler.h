@@ -1,0 +1,50 @@
+// Two-pass assembler for DVM32 assembly, producing DDF driver images.
+//
+// The driver corpus is written in this assembly dialect and assembled to
+// opaque binary images at startup — DDT proper never sees the source, which
+// keeps the "closed-source binary driver" premise honest.
+//
+// Dialect summary:
+//   ; comment          # comment
+//   .driver "rtl8029"        image name
+//   .entry main              load entry point (label in .code)
+//   .import MosAllocatePool  explicit import (kcall also auto-imports)
+//   .code / .data            section switch
+//   .word 123  .half 5  .byte 7  .asciiz "s"  .space 64  .align 4
+//   .func name               label + marks a function start (Table 1 counts)
+//   label:                   labels (absolute addresses after layout)
+//   movi r0, 0x10            instructions; immediates may be label refs
+//   ld32 r1, [r0+4]          memory operands: [reg], [reg+imm], [reg-imm]
+//   push {r4, r5, lr}        multi-register push/pop (pop reverses order)
+//   la r0, buffer            pseudo: movi with a label
+//   kcall MosAllocatePool    kernel call; name resolved via import table
+#ifndef SRC_VM_ASSEMBLER_H_
+#define SRC_VM_ASSEMBLER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+#include "src/vm/image.h"
+
+namespace ddt {
+
+struct AssembledDriver {
+  DriverImage image;
+  // Label -> absolute guest address (given the load base).
+  std::map<std::string, uint32_t> symbols;
+  // Absolute addresses of .func-declared functions, in declaration order.
+  std::vector<uint32_t> functions;
+  uint32_t load_base = 0;
+};
+
+// Assembles `source` for a driver loaded at `load_base`. Returns a detailed
+// error (with line number) on malformed input.
+Result<AssembledDriver> Assemble(const std::string& source,
+                                 uint32_t load_base = 0x00010000);
+
+}  // namespace ddt
+
+#endif  // SRC_VM_ASSEMBLER_H_

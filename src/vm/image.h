@@ -1,0 +1,75 @@
+// DDF ("DDT Driver Format"): the binary container for guest drivers.
+//
+// This plays the role of a PE/SYS file: a header, an import table naming the
+// kernel API functions the driver links against, a code segment, and an
+// initialized-data segment (plus a bss size). DDT treats the payload as
+// opaque bytes — everything it learns about the driver it learns by decoding
+// and executing them.
+//
+// On-disk layout (all little-endian):
+//   DdfHeader
+//   import_count * 32-byte zero-padded import names
+//   code bytes
+//   data bytes
+#ifndef SRC_VM_IMAGE_H_
+#define SRC_VM_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace ddt {
+
+inline constexpr uint32_t kDdfMagic = 0x31464444;  // "DDF1"
+inline constexpr size_t kImportNameSize = 32;
+
+struct DriverImage {
+  std::string name;
+  uint32_t entry_offset = 0;  // offset of the load entry point within code
+  std::vector<uint8_t> code;
+  std::vector<uint8_t> data;
+  uint32_t bss_size = 0;
+  std::vector<std::string> imports;
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<DriverImage> Parse(const std::vector<uint8_t>& bytes);
+
+  // File round-trip: a .ddf on disk is exactly the Serialize() bytes.
+  Status SaveFile(const std::string& path) const;
+  static Result<DriverImage> LoadFile(const std::string& path);
+
+  // "Size of driver binary file" for Table 1.
+  size_t BinaryFileSize() const;
+  // "Size of driver code segment" for Table 1.
+  size_t CodeSegmentSize() const { return code.size(); }
+  // Total in-memory footprint when loaded.
+  size_t LoadedSize() const { return code.size() + data.size() + bss_size; }
+};
+
+// Where a loaded driver lives in guest memory.
+struct LoadedDriver {
+  uint32_t base = 0;         // code starts here
+  uint32_t code_begin = 0;
+  uint32_t code_end = 0;     // exclusive
+  uint32_t data_begin = 0;
+  uint32_t data_end = 0;     // exclusive, includes bss
+  uint32_t entry_point = 0;  // absolute address
+  std::vector<std::string> imports;
+  std::string name;
+
+  bool ContainsCode(uint32_t addr) const { return addr >= code_begin && addr < code_end; }
+  bool ContainsData(uint32_t addr) const { return addr >= data_begin && addr < data_end; }
+};
+
+class GuestMemory;
+
+// Copies the image's segments into guest memory at `base` (code, then data,
+// then zeroed bss) and returns the loaded layout. Must run before the first
+// memory fork.
+LoadedDriver InstallImage(GuestMemory* mem, const DriverImage& image, uint32_t base);
+
+}  // namespace ddt
+
+#endif  // SRC_VM_IMAGE_H_

@@ -1,0 +1,145 @@
+#include "src/vm/isa.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "src/support/check.h"
+#include "src/support/strings.h"
+
+namespace ddt {
+
+namespace {
+
+struct MnemonicEntry {
+  Opcode opcode;
+  const char* name;
+};
+
+constexpr MnemonicEntry kMnemonics[] = {
+    {Opcode::kNop, "nop"},       {Opcode::kHalt, "halt"},    {Opcode::kMov, "mov"},
+    {Opcode::kMovI, "movi"},     {Opcode::kAdd, "add"},      {Opcode::kSub, "sub"},
+    {Opcode::kMul, "mul"},       {Opcode::kUDiv, "udiv"},    {Opcode::kSDiv, "sdiv"},
+    {Opcode::kURem, "urem"},     {Opcode::kAnd, "and"},      {Opcode::kOr, "or"},
+    {Opcode::kXor, "xor"},       {Opcode::kShl, "shl"},      {Opcode::kLShr, "lshr"},
+    {Opcode::kAShr, "ashr"},     {Opcode::kAddI, "addi"},    {Opcode::kSubI, "subi"},
+    {Opcode::kMulI, "muli"},     {Opcode::kUDivI, "udivi"},  {Opcode::kAndI, "andi"},
+    {Opcode::kOrI, "ori"},       {Opcode::kXorI, "xori"},    {Opcode::kShlI, "shli"},
+    {Opcode::kLShrI, "lshri"},   {Opcode::kAShrI, "ashri"},  {Opcode::kNot, "not"},
+    {Opcode::kNeg, "neg"},       {Opcode::kSeq, "seq"},      {Opcode::kSne, "sne"},
+    {Opcode::kSltU, "sltu"},     {Opcode::kSltS, "slts"},    {Opcode::kSleU, "sleu"},
+    {Opcode::kSleS, "sles"},     {Opcode::kSeqI, "seqi"},    {Opcode::kSneI, "snei"},
+    {Opcode::kSltUI, "sltui"},   {Opcode::kSltSI, "sltsi"},  {Opcode::kSleUI, "sleui"},
+    {Opcode::kSleSI, "slesi"},   {Opcode::kLd8U, "ld8u"},    {Opcode::kLd8S, "ld8s"},
+    {Opcode::kLd16U, "ld16u"},   {Opcode::kLd16S, "ld16s"},  {Opcode::kLd32, "ld32"},
+    {Opcode::kSt8, "st8"},       {Opcode::kSt16, "st16"},    {Opcode::kSt32, "st32"},
+    {Opcode::kBr, "br"},         {Opcode::kBz, "bz"},        {Opcode::kBnz, "bnz"},
+    {Opcode::kJr, "jr"},         {Opcode::kCall, "call"},    {Opcode::kCallR, "callr"},
+    {Opcode::kRet, "ret"},       {Opcode::kPush, "push"},    {Opcode::kPop, "pop"},
+    {Opcode::kKCall, "kcall"},
+};
+
+static_assert(sizeof(kMnemonics) / sizeof(kMnemonics[0]) ==
+                  static_cast<size_t>(Opcode::kOpcodeCount),
+              "mnemonic table out of sync with Opcode enum");
+
+}  // namespace
+
+void EncodeInstruction(const Instruction& insn, uint8_t* out) {
+  out[0] = static_cast<uint8_t>(insn.opcode);
+  out[1] = insn.rd;
+  out[2] = insn.ra;
+  out[3] = insn.rb;
+  out[4] = static_cast<uint8_t>(insn.imm & 0xFF);
+  out[5] = static_cast<uint8_t>((insn.imm >> 8) & 0xFF);
+  out[6] = static_cast<uint8_t>((insn.imm >> 16) & 0xFF);
+  out[7] = static_cast<uint8_t>((insn.imm >> 24) & 0xFF);
+}
+
+std::optional<Instruction> DecodeInstruction(const uint8_t* bytes) {
+  if (bytes[0] >= static_cast<uint8_t>(Opcode::kOpcodeCount)) {
+    return std::nullopt;
+  }
+  if (bytes[1] >= kNumRegisters || bytes[2] >= kNumRegisters || bytes[3] >= kNumRegisters) {
+    return std::nullopt;
+  }
+  Instruction insn;
+  insn.opcode = static_cast<Opcode>(bytes[0]);
+  insn.rd = bytes[1];
+  insn.ra = bytes[2];
+  insn.rb = bytes[3];
+  insn.imm = static_cast<uint32_t>(bytes[4]) | (static_cast<uint32_t>(bytes[5]) << 8) |
+             (static_cast<uint32_t>(bytes[6]) << 16) | (static_cast<uint32_t>(bytes[7]) << 24);
+  return insn;
+}
+
+bool IsTerminator(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kBr:
+    case Opcode::kBz:
+    case Opcode::kBnz:
+    case Opcode::kJr:
+    case Opcode::kCall:
+    case Opcode::kCallR:
+    case Opcode::kRet:
+    case Opcode::kHalt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* OpcodeMnemonic(Opcode opcode) {
+  size_t index = static_cast<size_t>(opcode);
+  DDT_CHECK(index < static_cast<size_t>(Opcode::kOpcodeCount));
+  return kMnemonics[index].name;
+}
+
+std::optional<Opcode> OpcodeFromMnemonic(const std::string& mnemonic) {
+  static const std::unordered_map<std::string, Opcode>* table = [] {
+    auto* map = new std::unordered_map<std::string, Opcode>();
+    for (const MnemonicEntry& entry : kMnemonics) {
+      map->emplace(entry.name, entry.opcode);
+    }
+    return map;
+  }();
+  auto it = table->find(mnemonic);
+  if (it == table->end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string RegisterName(int reg) {
+  DDT_CHECK(reg >= 0 && reg < kNumRegisters);
+  if (reg == kRegSp) {
+    return "sp";
+  }
+  if (reg == kRegLr) {
+    return "lr";
+  }
+  if (reg == kRegZero) {
+    return "zr";
+  }
+  return StrFormat("r%d", reg);
+}
+
+int RegisterFromName(const std::string& name) {
+  if (name == "sp") {
+    return kRegSp;
+  }
+  if (name == "lr") {
+    return kRegLr;
+  }
+  if (name == "zr") {
+    return kRegZero;
+  }
+  if (name.size() >= 2 && name.size() <= 3 && name[0] == 'r') {
+    int64_t value;
+    if (ParseInt(name.substr(1), &value) && value >= 0 && value < kNumRegisters) {
+      return static_cast<int>(value);
+    }
+  }
+  return -1;
+}
+
+}  // namespace ddt

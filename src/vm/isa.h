@@ -1,0 +1,135 @@
+// DVM32: the guest instruction set.
+//
+// A 32-bit load/store RISC with a fixed 8-byte instruction encoding:
+//   byte 0: opcode    byte 1: rd    byte 2: ra    byte 3: rb
+//   bytes 4..7: 32-bit little-endian immediate
+//
+// 16 general registers. r13 is the stack pointer (sp), r14 the link register
+// (lr), r15 reads as zero and ignores writes (zr). Calling convention:
+// arguments in r0..r3 (extras on the stack), return value in r0, r4..r12
+// callee-saved.
+//
+// Driver binaries are genuinely opaque to DDT: the tester only ever sees the
+// encoded bytes, exactly as the paper's DDT only sees x86 driver images.
+#ifndef SRC_VM_ISA_H_
+#define SRC_VM_ISA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ddt {
+
+inline constexpr uint32_t kInstructionSize = 8;
+inline constexpr int kNumRegisters = 16;
+inline constexpr int kRegSp = 13;
+inline constexpr int kRegLr = 14;
+inline constexpr int kRegZero = 15;
+
+enum class Opcode : uint8_t {
+  kNop = 0,
+  kHalt,
+  // Moves.
+  kMov,   // rd = ra
+  kMovI,  // rd = imm
+  // Three-register ALU.
+  kAdd,
+  kSub,
+  kMul,
+  kUDiv,
+  kSDiv,
+  kURem,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kLShr,
+  kAShr,
+  // Register-immediate ALU (rd = ra OP imm).
+  kAddI,
+  kSubI,
+  kMulI,
+  kUDivI,
+  kAndI,
+  kOrI,
+  kXorI,
+  kShlI,
+  kLShrI,
+  kAShrI,
+  // Unary.
+  kNot,  // rd = ~ra
+  kNeg,  // rd = -ra
+  // Comparison set (rd = (ra OP rb) ? 1 : 0).
+  kSeq,
+  kSne,
+  kSltU,
+  kSltS,
+  kSleU,
+  kSleS,
+  // Comparison set vs. immediate (rd = (ra OP imm) ? 1 : 0).
+  kSeqI,
+  kSneI,
+  kSltUI,
+  kSltSI,
+  kSleUI,
+  kSleSI,
+  // Loads: rd = mem[ra + imm], zero/sign extended.
+  kLd8U,
+  kLd8S,
+  kLd16U,
+  kLd16S,
+  kLd32,
+  // Stores: mem[ra + imm] = rb (low bits).
+  kSt8,
+  kSt16,
+  kSt32,
+  // Control flow. Branch targets are absolute addresses in imm.
+  kBr,     // pc = imm
+  kBz,     // if (ra == 0) pc = imm
+  kBnz,    // if (ra != 0) pc = imm
+  kJr,     // pc = ra
+  kCall,   // lr = pc + 8; pc = imm
+  kCallR,  // lr = pc + 8; pc = ra
+  kRet,    // pc = lr
+  // Stack.
+  kPush,  // sp -= 4; mem[sp] = rb
+  kPop,   // rd = mem[sp]; sp += 4
+  // Kernel API call through the import table: imm = import index.
+  kKCall,
+
+  kOpcodeCount,
+};
+
+struct Instruction {
+  Opcode opcode = Opcode::kNop;
+  uint8_t rd = 0;
+  uint8_t ra = 0;
+  uint8_t rb = 0;
+  uint32_t imm = 0;
+};
+
+// Encodes into exactly kInstructionSize bytes at `out`.
+void EncodeInstruction(const Instruction& insn, uint8_t* out);
+
+// Decodes from `bytes`; nullopt if the opcode byte is invalid or a register
+// field is out of range.
+std::optional<Instruction> DecodeInstruction(const uint8_t* bytes);
+
+// True if the instruction ends a basic block (any control transfer).
+bool IsTerminator(Opcode opcode);
+
+// Mnemonic for an opcode ("add", "kcall", ...).
+const char* OpcodeMnemonic(Opcode opcode);
+
+// Opcode for a mnemonic; nullopt if unknown.
+std::optional<Opcode> OpcodeFromMnemonic(const std::string& mnemonic);
+
+// Register name: "r0".."r12", "sp", "lr", "zr".
+std::string RegisterName(int reg);
+
+// Parses a register name; -1 if invalid.
+int RegisterFromName(const std::string& name);
+
+}  // namespace ddt
+
+#endif  // SRC_VM_ISA_H_

@@ -1,0 +1,53 @@
+// Guest physical memory layout for the DVM32 machine.
+//
+// The guest address space is a flat 32-bit space carved into fixed windows,
+// mirroring a simple PC-style map: a trapping null page, the driver image,
+// the kernel heap, the driver stack, a device MMIO window, and a packet
+// buffer arena. The memory-access checker keys its region permissions off
+// these constants.
+#ifndef SRC_VM_LAYOUT_H_
+#define SRC_VM_LAYOUT_H_
+
+#include <cstdint>
+
+namespace ddt {
+
+// [0, kNullGuardEnd): never mapped; dereferences here are null-pointer bugs.
+inline constexpr uint32_t kNullGuardEnd = 0x0000'1000;
+
+// Driver image (code, data, bss) is loaded here.
+inline constexpr uint32_t kDriverImageBase = 0x0001'0000;
+inline constexpr uint32_t kDriverImageLimit = 0x000F'0000;
+
+// Kernel pool allocations handed to the driver.
+inline constexpr uint32_t kKernelHeapBase = 0x0010'0000;
+inline constexpr uint32_t kKernelHeapLimit = 0x0070'0000;
+
+// Kernel-owned scratch structures passed to entry points (request buffers,
+// configuration parameter blocks). Grants are issued per-call.
+inline constexpr uint32_t kKernelScratchBase = 0x0070'0000;
+inline constexpr uint32_t kKernelScratchLimit = 0x0080'0000;
+
+// Driver stack: grows down from kDriverStackTop.
+inline constexpr uint32_t kDriverStackBottom = 0x0080'0000;
+inline constexpr uint32_t kDriverStackTop = 0x0081'0000;
+
+// Device MMIO window (BAR mappings returned by MosMapIoSpace).
+inline constexpr uint32_t kMmioBase = 0x0100'0000;
+inline constexpr uint32_t kMmioLimit = 0x0101'0000;
+
+// Packet payload arena.
+inline constexpr uint32_t kPacketArenaBase = 0x0200'0000;
+inline constexpr uint32_t kPacketArenaLimit = 0x0210'0000;
+
+inline constexpr uint32_t kPageSize = 4096;
+
+inline constexpr bool InRange(uint32_t addr, uint32_t base, uint32_t limit) {
+  return addr >= base && addr < limit;
+}
+
+inline constexpr bool IsMmioAddr(uint32_t addr) { return InRange(addr, kMmioBase, kMmioLimit); }
+
+}  // namespace ddt
+
+#endif  // SRC_VM_LAYOUT_H_

@@ -1,0 +1,61 @@
+// A guest machine word: either a concrete 32-bit value (fast path) or a
+// symbolic expression. This is the currency of the interpreter — registers,
+// operands, and memory words are all Values.
+#ifndef SRC_VM_VALUE_H_
+#define SRC_VM_VALUE_H_
+
+#include <cstdint>
+
+#include "src/expr/expr.h"
+#include "src/support/check.h"
+
+namespace ddt {
+
+class Value {
+ public:
+  Value() : conc_(0), sym_(nullptr) {}
+  explicit Value(uint32_t concrete) : conc_(concrete), sym_(nullptr) {}
+
+  static Value Concrete(uint32_t v) { return Value(v); }
+  static Value Symbolic(ExprRef e) {
+    DDT_CHECK(e != nullptr);
+    Value v;
+    if (e->IsConst()) {
+      // Collapse constant expressions back into the fast path.
+      v.conc_ = static_cast<uint32_t>(e->const_value());
+    } else {
+      v.sym_ = e;
+    }
+    return v;
+  }
+
+  bool IsConcrete() const { return sym_ == nullptr; }
+  bool IsSymbolic() const { return sym_ != nullptr; }
+
+  uint32_t concrete() const {
+    DDT_CHECK(IsConcrete());
+    return conc_;
+  }
+
+  ExprRef symbolic() const {
+    DDT_CHECK(IsSymbolic());
+    return sym_;
+  }
+
+  // Expression view regardless of representation (builds a Const on demand).
+  ExprRef AsExpr(ExprContext* ctx) const {
+    return IsSymbolic() ? sym_ : ctx->Const(conc_, 32);
+  }
+
+  bool operator==(const Value& other) const {
+    return sym_ == other.sym_ && (sym_ != nullptr || conc_ == other.conc_);
+  }
+
+ private:
+  uint32_t conc_;
+  ExprRef sym_;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_VM_VALUE_H_

@@ -1,0 +1,181 @@
+// Tests for the two comparison baselines: the SDV-style static analyzer and
+// the Driver Verifier stress harness, including the §5.1 experiment shapes
+// (SDV finds 8/8 sample bugs; on the synthetic variant it finds 2/5 plus one
+// false positive, while DDT finds 5/5 with none).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/baselines/driver_verifier.h"
+#include "src/baselines/sdv.h"
+#include "src/core/ddt.h"
+#include "src/drivers/corpus.h"
+#include "src/vm/assembler.h"
+
+namespace ddt {
+namespace {
+
+AssembledDriver AssembleSample(bool synthetic) {
+  Result<AssembledDriver> result = Assemble(SdvSampleSource(synthetic));
+  EXPECT_TRUE(result.ok()) << result.error();
+  return result.take();
+}
+
+std::map<std::string, int> RuleCounts(const SdvResult& result) {
+  std::map<std::string, int> counts;
+  for (const SdvFinding& finding : result.findings) {
+    counts[finding.rule] += 1;
+  }
+  return counts;
+}
+
+TEST(SdvBaselineTest, FindsTheEightSampleBugs) {
+  AssembledDriver driver = AssembleSample(/*synthetic=*/false);
+  SdvResult result = RunSdvAnalysis(driver.image, driver.functions);
+  std::map<std::string, int> counts = RuleCounts(result);
+  EXPECT_EQ(counts["release-unacquired"], 1);
+  EXPECT_EQ(counts["double-acquire"], 1);
+  EXPECT_EQ(counts["wrong-release-variant"], 2);
+  EXPECT_EQ(counts["lock-held-at-return"], 2);
+  EXPECT_EQ(counts["pageable-at-raised-irql"], 1);
+  EXPECT_EQ(counts["alloc-above-dispatch"], 1);
+  EXPECT_EQ(result.findings.size(), 8u) << [&] {
+    std::string all;
+    for (const SdvFinding& f : result.findings) {
+      all += f.rule + ": " + f.message + "\n";
+    }
+    return all;
+  }();
+}
+
+TEST(SdvBaselineTest, SyntheticVariantTwoOfFivePlusOneFalsePositive) {
+  AssembledDriver driver = AssembleSample(/*synthetic=*/true);
+  SdvResult result = RunSdvAnalysis(driver.image, driver.functions);
+  std::map<std::string, int> counts = RuleCounts(result);
+  // Found synthetic bugs: the forgotten release (3rd lock-held-at-return)
+  // and the wrong-IRQL allocation (2nd alloc-above-dispatch).
+  EXPECT_EQ(counts["lock-held-at-return"], 3);
+  EXPECT_EQ(counts["alloc-above-dispatch"], 2);
+  // The false positive: sdv14's guarded acquire yields a spurious
+  // release-unacquired (in addition to sdv0's genuine one).
+  EXPECT_EQ(counts["release-unacquired"], 2);
+  // Missed: AB/BA deadlock, out-of-order release, extra release through a
+  // memory-held lock pointer — no rules fire for them.
+  EXPECT_EQ(result.findings.size(), 11u);
+}
+
+TEST(SdvBaselineTest, PathEnumerationIsExpensive) {
+  AssembledDriver driver = AssembleSample(/*synthetic=*/true);
+  SdvResult result = RunSdvAnalysis(driver.image, driver.functions);
+  // The branchy helper farm forces exhaustive path enumeration (this is the
+  // §5.1 cost asymmetry against DDT's one-concrete-path-per-input dynamic
+  // execution).
+  EXPECT_GT(result.paths_explored, 10000u);
+  EXPECT_GT(result.abstract_steps, 100000u);
+}
+
+DdtResult RunDdtOnSample(bool synthetic) {
+  DdtConfig config;
+  config.engine.max_instructions = 3'000'000;
+  config.engine.max_states = 1024;
+  Ddt ddt(config);
+  Result<DdtResult> result = ddt.TestDriver(SdvSampleImage(synthetic), SdvSamplePci());
+  EXPECT_TRUE(result.ok()) << result.status().message();
+  return result.take();
+}
+
+TEST(SdvBaselineTest, DdtFindsAllEightSampleBugs) {
+  DdtResult result = RunDdtOnSample(/*synthetic=*/false);
+  std::vector<ExpectedBug> expected = SdvSampleExpected(/*synthetic=*/false);
+  std::set<size_t> used;
+  for (const ExpectedBug& want : expected) {
+    bool matched = false;
+    for (size_t i = 0; i < result.bugs.size(); ++i) {
+      if (used.count(i) == 0 && result.bugs[i].type == want.type &&
+          result.bugs[i].title.find(want.keyword) != std::string::npos) {
+        used.insert(i);
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "missing: " << want.description << "\n"
+                         << result.FormatReport("sdv_sample");
+  }
+  EXPECT_EQ(used.size(), result.bugs.size()) << "unexpected extra findings";
+}
+
+TEST(SdvBaselineTest, DdtFindsAllFiveSyntheticBugsWithNoFalsePositive) {
+  DdtResult result = RunDdtOnSample(/*synthetic=*/true);
+  std::vector<ExpectedBug> expected = SdvSampleExpected(/*synthetic=*/true);
+  ASSERT_EQ(expected.size(), 13u);
+  std::set<size_t> used;
+  for (const ExpectedBug& want : expected) {
+    bool matched = false;
+    for (size_t i = 0; i < result.bugs.size(); ++i) {
+      if (used.count(i) == 0 && result.bugs[i].type == want.type &&
+          result.bugs[i].title.find(want.keyword) != std::string::npos) {
+        used.insert(i);
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "missing: " << want.description << "\n"
+                         << result.FormatReport("sdv_sample");
+  }
+  for (size_t i = 0; i < result.bugs.size(); ++i) {
+    EXPECT_TRUE(used.count(i) != 0)
+        << "false positive from DDT: " << result.bugs[i].Format(8);
+  }
+}
+
+TEST(DriverVerifierBaselineTest, ConcreteStressMissesTheTable2Bugs) {
+  // §5.1: the Driver Verifier running concretely found none of the 14 bugs.
+  // Detection power is identical; reachability is not. With a modest stress
+  // budget the concrete runs find strictly fewer bugs than DDT on every
+  // driver, and none of the annotation-dependent ones.
+  size_t stress_total = 0;
+  size_t ddt_total = 0;
+  for (const CorpusDriver& driver : Corpus()) {
+    StressConfig stress;
+    stress.iterations = 5;
+    StressResult stress_result = RunDriverVerifierStress(driver.image, driver.pci, stress);
+    stress_total += stress_result.bugs.size();
+    ddt_total += driver.expected.size();
+    EXPECT_LT(stress_result.bugs.size(), driver.expected.size())
+        << driver.name << ": stress found as many bugs as DDT?";
+  }
+  EXPECT_LT(stress_total, ddt_total / 2)
+      << "stress testing should find far fewer than DDT's 14";
+}
+
+TEST(DriverVerifierBaselineTest, StressRunsAreDeterministicPerSeed) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+  StressConfig config;
+  config.iterations = 3;
+  StressResult a = RunDriverVerifierStress(driver.image, driver.pci, config);
+  StressResult b = RunDriverVerifierStress(driver.image, driver.pci, config);
+  EXPECT_EQ(a.bugs.size(), b.bugs.size());
+  EXPECT_EQ(a.total_instructions, b.total_instructions);
+}
+
+
+TEST(DriverVerifierBaselineTest, LowResourcesSimulationFindsSomeAllocationBugs) {
+  // The real Driver Verifier has a "low resources simulation" mode that
+  // randomly fails allocations. With it, concrete stress CAN stumble into
+  // allocation-failure bugs — but only samples failure points, while DDT
+  // enumerates them. The pcnet driver has two failure-path leaks.
+  const ddt::CorpusDriver& driver = ddt::CorpusDriverByName("pcnet");
+  ddt::StressConfig config;
+  config.iterations = 40;
+  config.simulate_low_resources = true;
+  ddt::StressResult result = ddt::RunDriverVerifierStress(driver.image, driver.pci, config);
+  EXPECT_GE(result.bugs.size(), 1u)
+      << "low-resources simulation should hit at least one failure-path leak";
+  // Still strictly weaker than DDT on the same driver (2 seeded bugs, and
+  // DV stops at the first bug per run while sampling randomly).
+  EXPECT_LE(result.bugs.size(), driver.expected.size());
+}
+
+}  // namespace
+}  // namespace ddt

@@ -1,0 +1,140 @@
+// A stand-alone KernelContext for unit tests: concrete values only, guest
+// memory backed by a plain GuestMemory, bugchecks recorded instead of
+// terminating anything. Lets kernel APIs and annotations be tested without
+// the engine.
+#ifndef TESTS_FAKE_KERNEL_CONTEXT_H_
+#define TESTS_FAKE_KERNEL_CONTEXT_H_
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/hw/device.h"
+#include "src/kernel/kernel_api.h"
+#include "src/kernel/kernel_context.h"
+#include "src/vm/guest_memory.h"
+#include "src/vm/layout.h"
+
+namespace ddt {
+
+class FakeKernelContext : public KernelContext {
+ public:
+  FakeKernelContext() : device_("fake") {
+    state_.driver.code_begin = kDriverImageBase;
+    state_.driver.code_end = kDriverImageBase + 0x1000;
+    state_.driver.data_begin = state_.driver.code_end;
+    state_.driver.data_end = state_.driver.data_begin + 0x1000;
+  }
+
+  // --- test harness controls ---
+  void SetArgs(std::initializer_list<uint32_t> args) {
+    int i = 0;
+    for (uint32_t arg : args) {
+      args_[i++] = Value::Concrete(arg);
+    }
+  }
+  uint32_t ReturnedU32() {
+    Value v = return_value_;
+    EXPECT_TRUE(v.IsConcrete());
+    return v.IsConcrete() ? v.concrete() : 0;
+  }
+  bool crashed() const { return crashed_; }
+  uint32_t bugcheck_code() const { return bugcheck_code_; }
+  const std::string& bugcheck_message() const { return bugcheck_message_; }
+  const std::vector<KernelEvent>& events() const { return events_; }
+  void SetContext(ExecContextKind kind) { context_ = kind; }
+
+  // --- KernelContext ---
+  ExprContext* expr() override { return &ctx_; }
+  KernelState& kernel() override { return state_; }
+  Rng& rng() override { return rng_; }
+  DeviceModel& device() override { return device_; }
+  Value Arg(int index) override { return args_[index]; }
+  void SetArg(int index, const Value& value) override { args_[index] = value; }
+  void SetReturn(const Value& value) override { return_value_ = value; }
+  Value GetReturn() override { return return_value_; }
+  uint32_t Concretize(const Value& value, const std::string&) override {
+    return value.IsConcrete() ? value.concrete() : 0;
+  }
+  uint32_t ReadGuestU32(uint32_t addr) override {
+    uint8_t bytes[4];
+    mem_.TryReadConcrete(addr, bytes, 4);
+    return static_cast<uint32_t>(bytes[0]) | (bytes[1] << 8) | (bytes[2] << 16) |
+           (static_cast<uint32_t>(bytes[3]) << 24);
+  }
+  uint8_t ReadGuestU8(uint32_t addr) override {
+    uint8_t byte;
+    mem_.TryReadConcrete(addr, &byte, 1);
+    return byte;
+  }
+  void WriteGuestU32(uint32_t addr, uint32_t value) override {
+    uint8_t bytes[4] = {static_cast<uint8_t>(value), static_cast<uint8_t>(value >> 8),
+                        static_cast<uint8_t>(value >> 16), static_cast<uint8_t>(value >> 24)};
+    mem_.WriteConcrete(addr, bytes, 4);
+  }
+  void WriteGuestU8(uint32_t addr, uint8_t value) override {
+    mem_.WriteConcrete(addr, &value, 1);
+  }
+  std::string ReadGuestCString(uint32_t addr, size_t max_len) override {
+    std::string out;
+    for (size_t i = 0; i < max_len; ++i) {
+      uint8_t c = ReadGuestU8(addr + static_cast<uint32_t>(i));
+      if (c == 0) {
+        break;
+      }
+      out.push_back(static_cast<char>(c));
+    }
+    return out;
+  }
+  Value ReadGuestValue(uint32_t addr, unsigned size) override {
+    uint32_t v = 0;
+    for (unsigned i = 0; i < size; ++i) {
+      v |= static_cast<uint32_t>(ReadGuestU8(addr + i)) << (8 * i);
+    }
+    return Value::Concrete(v);
+  }
+  void WriteGuestValue(uint32_t addr, const Value& value, unsigned size) override {
+    uint32_t v = value.IsConcrete() ? value.concrete() : 0;
+    for (unsigned i = 0; i < size; ++i) {
+      WriteGuestU8(addr + i, static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void AddConstraint(ExprRef) override {}
+  ExecContextKind CurrentContext() const override { return context_; }
+  void BugCheck(uint32_t code, const std::string& message) override {
+    crashed_ = true;
+    bugcheck_code_ = code;
+    bugcheck_message_ = message;
+    state_.crashed = true;
+  }
+  void EmitEvent(const KernelEvent& event) override { events_.push_back(event); }
+  uint32_t CallSitePc() const override { return 0x1234; }
+
+  // Convenience: invoke an API by name.
+  void Call(const std::string& name, std::initializer_list<uint32_t> args) {
+    SetArgs(args);
+    KernelApiFn fn = FindKernelApi(name);
+    ASSERT_NE(fn, nullptr) << name;
+    fn(*this);
+  }
+
+ private:
+  ExprContext ctx_;
+  KernelState state_;
+  Rng rng_{42};
+  SymbolicDevice device_;
+  GuestMemory mem_;
+  std::array<Value, 6> args_ = {};
+  Value return_value_;
+  bool crashed_ = false;
+  uint32_t bugcheck_code_ = 0;
+  std::string bugcheck_message_;
+  ExecContextKind context_ = ExecContextKind::kEntryPoint;
+  std::vector<KernelEvent> events_;
+};
+
+}  // namespace ddt
+
+#endif  // TESTS_FAKE_KERNEL_CONTEXT_H_

@@ -1,0 +1,365 @@
+// Unit tests for the MiniOS kernel API implementations and their in-guest
+// Driver Verifier checks, driven through a fake KernelContext (no engine, no
+// symbolic execution — pure kernel semantics).
+#include "src/kernel/kernel_api.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/device.h"
+#include "src/kernel/exerciser.h"
+#include "src/vm/guest_memory.h"
+#include "src/vm/layout.h"
+#include "tests/fake_kernel_context.h"
+
+namespace ddt {
+namespace {
+
+
+
+// --- pool -----------------------------------------------------------------
+
+TEST(KernelApiTest, AllocateAndFreePool) {
+  FakeKernelContext kc;
+  kc.Call("MosAllocatePool", {64});
+  uint32_t addr = kc.ReturnedU32();
+  ASSERT_NE(addr, 0u);
+  EXPECT_GE(addr, kKernelHeapBase);
+  const PoolAllocation* alloc = kc.kernel().FindAllocation(addr + 10);
+  ASSERT_NE(alloc, nullptr);
+  EXPECT_TRUE(alloc->alive);
+  EXPECT_EQ(alloc->size, 64u);
+
+  kc.Call("MosFreePool", {addr});
+  EXPECT_FALSE(kc.crashed());
+  EXPECT_FALSE(kc.kernel().FindAllocation(addr)->alive);
+}
+
+TEST(KernelApiTest, DoubleFreeBugchecks) {
+  FakeKernelContext kc;
+  kc.Call("MosAllocatePool", {64});
+  uint32_t addr = kc.ReturnedU32();
+  kc.Call("MosFreePool", {addr});
+  kc.Call("MosFreePool", {addr});
+  EXPECT_TRUE(kc.crashed());
+  EXPECT_EQ(kc.bugcheck_code(), kBugcheckBadPointer);
+}
+
+TEST(KernelApiTest, FreeOfWildPointerBugchecks) {
+  FakeKernelContext kc;
+  kc.Call("MosFreePool", {0xDEAD0000});
+  EXPECT_TRUE(kc.crashed());
+}
+
+TEST(KernelApiTest, AllocationsNeverOverlap) {
+  FakeKernelContext kc;
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+  for (int i = 0; i < 50; ++i) {
+    kc.Call("MosAllocatePool", {static_cast<uint32_t>(1 + i * 7)});
+    uint32_t addr = kc.ReturnedU32();
+    ASSERT_NE(addr, 0u);
+    for (const auto& [begin, end] : ranges) {
+      EXPECT_TRUE(addr >= end || addr + 1 + i * 7 <= begin);
+    }
+    ranges.emplace_back(addr, addr + 1 + static_cast<uint32_t>(i) * 7);
+  }
+}
+
+TEST(KernelApiTest, TaggedNdisAllocationUsesOutParam) {
+  FakeKernelContext kc;
+  uint32_t out_ptr = kDriverImageBase + 0x1100;  // driver data
+  kc.Call("MosAllocateMemoryWithTag", {out_ptr, 128, 0x41414141});
+  EXPECT_EQ(kc.ReturnedU32(), kStatusSuccess);
+  uint32_t addr = kc.ReadGuestU32(out_ptr);
+  ASSERT_NE(addr, 0u);
+  EXPECT_EQ(kc.kernel().FindAllocation(addr)->tag, 0x41414141u);
+}
+
+// --- configuration -----------------------------------------------------------
+
+TEST(KernelApiTest, ConfigurationLifecycle) {
+  FakeKernelContext kc;
+  kc.kernel().registry["Knob"] = 77;
+  uint32_t out_ptr = kDriverImageBase + 0x1100;
+  kc.Call("MosOpenConfiguration", {out_ptr});
+  EXPECT_EQ(kc.ReturnedU32(), kStatusSuccess);
+  uint32_t handle = kc.ReadGuestU32(out_ptr);
+  ASSERT_NE(handle, 0u);
+  EXPECT_EQ(kc.kernel().OpenConfigHandles(-1).size(), 1u);
+
+  uint32_t name_ptr = kDriverImageBase + 0x1200;
+  const char* name = "Knob";
+  for (int i = 0; i <= 4; ++i) {
+    kc.WriteGuestU8(name_ptr + static_cast<uint32_t>(i), static_cast<uint8_t>(name[i]));
+  }
+  uint32_t param_ptr = kDriverImageBase + 0x1300;
+  kc.Call("MosReadConfiguration", {handle, name_ptr, param_ptr});
+  EXPECT_EQ(kc.ReturnedU32(), kStatusSuccess);
+  EXPECT_EQ(kc.ReadGuestU32(param_ptr), 1u);       // type: integer
+  EXPECT_EQ(kc.ReadGuestU32(param_ptr + 4), 77u);  // value
+
+  kc.Call("MosCloseConfiguration", {handle});
+  EXPECT_EQ(kc.kernel().OpenConfigHandles(-1).size(), 0u);
+}
+
+TEST(KernelApiTest, ReadUnknownParameterReturnsNotFound) {
+  FakeKernelContext kc;
+  uint32_t out_ptr = kDriverImageBase + 0x1100;
+  kc.Call("MosOpenConfiguration", {out_ptr});
+  uint32_t handle = kc.ReadGuestU32(out_ptr);
+  uint32_t name_ptr = kDriverImageBase + 0x1200;
+  kc.WriteGuestU8(name_ptr, 'X');
+  kc.WriteGuestU8(name_ptr + 1, 0);
+  kc.Call("MosReadConfiguration", {handle, name_ptr, kDriverImageBase + 0x1300});
+  EXPECT_EQ(kc.ReturnedU32(), kStatusNotFound);
+}
+
+TEST(KernelApiTest, CloseInvalidHandleBugchecks) {
+  FakeKernelContext kc;
+  kc.Call("MosCloseConfiguration", {0xBEEF});
+  EXPECT_TRUE(kc.crashed());
+}
+
+// --- spinlocks + IRQL ----------------------------------------------------------
+
+TEST(KernelApiTest, SpinLockRaisesAndRestoresIrql) {
+  FakeKernelContext kc;
+  EXPECT_EQ(kc.kernel().irql, Irql::kPassive);
+  kc.Call("MosAcquireSpinLock", {0x2000});
+  EXPECT_EQ(kc.kernel().irql, Irql::kDispatch);
+  EXPECT_TRUE(kc.kernel().locks.at(0x2000).held);
+  kc.Call("MosReleaseSpinLock", {0x2000});
+  EXPECT_EQ(kc.kernel().irql, Irql::kPassive);
+  EXPECT_FALSE(kc.kernel().locks.at(0x2000).held);
+}
+
+TEST(KernelApiTest, RecursiveAcquireIsDeadlock) {
+  FakeKernelContext kc;
+  kc.Call("MosAcquireSpinLock", {0x2000});
+  kc.Call("MosAcquireSpinLock", {0x2000});
+  EXPECT_TRUE(kc.crashed());
+  EXPECT_EQ(kc.bugcheck_code(), kBugcheckDeadlock);
+}
+
+TEST(KernelApiTest, ReleaseUnheldLockBugchecks) {
+  FakeKernelContext kc;
+  kc.Call("MosReleaseSpinLock", {0x2000});
+  EXPECT_TRUE(kc.crashed());
+  EXPECT_EQ(kc.bugcheck_code(), kBugcheckSpinLockMisuse);
+}
+
+TEST(KernelApiTest, WrongVariantReleaseIsTheIntelPro100Bug) {
+  FakeKernelContext kc;
+  // In a DPC (IRQL already DISPATCH), Dpr-acquire then plain release.
+  kc.SetContext(ExecContextKind::kDpc);
+  kc.kernel().irql = Irql::kDispatch;
+  kc.Call("MosDprAcquireSpinLock", {0x2000});
+  ASSERT_FALSE(kc.crashed());
+  kc.Call("MosReleaseSpinLock", {0x2000});
+  EXPECT_TRUE(kc.crashed());
+  EXPECT_EQ(kc.bugcheck_code(), kBugcheckIrqlNotLessOrEqual);
+  EXPECT_NE(kc.bugcheck_message().find("KeReleaseSpinLock"), std::string::npos);
+}
+
+TEST(KernelApiTest, DprAcquireAtPassiveBugchecks) {
+  FakeKernelContext kc;
+  kc.Call("MosDprAcquireSpinLock", {0x2000});
+  EXPECT_TRUE(kc.crashed());
+}
+
+TEST(KernelApiTest, ConfigAtDispatchIsPageableViolation) {
+  FakeKernelContext kc;
+  kc.kernel().irql = Irql::kDispatch;
+  kc.Call("MosOpenConfiguration", {kDriverImageBase + 0x1100});
+  EXPECT_TRUE(kc.crashed());
+  EXPECT_EQ(kc.bugcheck_code(), kBugcheckDriverIrqlViolation);
+}
+
+TEST(KernelApiTest, AllocAboveDispatchBugchecks) {
+  FakeKernelContext kc;
+  kc.kernel().irql = Irql::kDevice;
+  kc.Call("MosAllocatePool", {64});
+  EXPECT_TRUE(kc.crashed());
+}
+
+TEST(KernelApiTest, RaiseAndLowerIrql) {
+  FakeKernelContext kc;
+  kc.Call("MosRaiseIrql", {5});
+  EXPECT_EQ(kc.ReturnedU32(), 0u);  // old level
+  EXPECT_EQ(kc.kernel().irql, Irql::kDevice);
+  kc.Call("MosLowerIrql", {0});
+  EXPECT_EQ(kc.kernel().irql, Irql::kPassive);
+}
+
+// --- timers --------------------------------------------------------------------
+
+TEST(KernelApiTest, SetUninitializedTimerIsTheRtl8029Crash) {
+  FakeKernelContext kc;
+  kc.Call("MosSetTimer", {0x3000, 100});
+  EXPECT_TRUE(kc.crashed());
+  EXPECT_EQ(kc.bugcheck_code(), kBugcheckUninitializedTimer);
+}
+
+TEST(KernelApiTest, TimerLifecycle) {
+  FakeKernelContext kc;
+  kc.Call("MosInitializeTimer", {0x3000, kDriverImageBase + 8, 0});
+  kc.Call("MosSetTimer", {0x3000, 100});
+  EXPECT_FALSE(kc.crashed());
+  EXPECT_TRUE(kc.kernel().timers.at(0x3000).armed);
+  kc.Call("MosCancelTimer", {0x3000});
+  EXPECT_EQ(kc.ReturnedU32(), 1u);  // was armed
+  EXPECT_FALSE(kc.kernel().timers.at(0x3000).armed);
+}
+
+// --- packets -------------------------------------------------------------------
+
+TEST(KernelApiTest, PacketPoolLifecycle) {
+  FakeKernelContext kc;
+  uint32_t out_ptr = kDriverImageBase + 0x1100;
+  kc.Call("MosAllocatePacketPool", {out_ptr, 2});
+  uint32_t pool = kc.ReadGuestU32(out_ptr);
+  ASSERT_NE(pool, 0u);
+
+  kc.Call("MosAllocatePacket", {out_ptr, pool});
+  EXPECT_EQ(kc.ReturnedU32(), kStatusSuccess);
+  uint32_t pkt1 = kc.ReadGuestU32(out_ptr);
+  // Descriptor layout: payload pointer + length.
+  uint32_t payload = kc.ReadGuestU32(pkt1);
+  EXPECT_GE(payload, kPacketArenaBase);
+  EXPECT_GT(kc.ReadGuestU32(pkt1 + 4), 0u);
+  // The driver is granted the descriptor + payload.
+  EXPECT_TRUE(kc.kernel().IsGranted(pkt1));
+  EXPECT_TRUE(kc.kernel().IsGranted(payload + 100));
+
+  kc.Call("MosAllocatePacket", {out_ptr, pool});
+  uint32_t pkt2 = kc.ReadGuestU32(out_ptr);
+  // Pool capacity 2: the third allocation fails.
+  kc.Call("MosAllocatePacket", {out_ptr, pool});
+  EXPECT_EQ(kc.ReturnedU32(), kStatusInsufficientResources);
+
+  kc.Call("MosFreePacket", {pkt1});
+  EXPECT_FALSE(kc.kernel().IsGranted(pkt1));
+  kc.Call("MosFreePacket", {pkt2});
+  kc.Call("MosFreePacketPool", {pool});
+  EXPECT_FALSE(kc.crashed());
+}
+
+TEST(KernelApiTest, FreeInvalidPacketBugchecks) {
+  FakeKernelContext kc;
+  kc.Call("MosFreePacket", {0x1234});
+  EXPECT_TRUE(kc.crashed());
+}
+
+// --- PCI / misc -----------------------------------------------------------------
+
+TEST(KernelApiTest, ReadPciConfigServesDescriptor) {
+  FakeKernelContext kc;
+  kc.kernel().pci.vendor_id = 0x8086;
+  kc.kernel().pci.revision = 3;
+  uint32_t out_ptr = kDriverImageBase + 0x1100;
+  kc.Call("MosReadPciConfig", {kPciCfgVendorId, out_ptr, 2});
+  EXPECT_EQ(kc.ReadGuestU32(out_ptr) & 0xFFFF, 0x8086u);
+  kc.Call("MosReadPciConfig", {kPciCfgRevision, out_ptr, 1});
+  EXPECT_EQ(kc.ReadGuestU8(out_ptr), 3u);
+}
+
+TEST(KernelApiTest, MapIoSpaceReturnsBarWindow) {
+  FakeKernelContext kc;
+  kc.kernel().pci.bars.push_back(PciBar{0x100});
+  kc.kernel().pci.bars.push_back(PciBar{0x80});
+  kc.Call("MosMapIoSpace", {0});
+  EXPECT_EQ(kc.ReturnedU32(), kMmioBase);
+  kc.Call("MosMapIoSpace", {1});
+  EXPECT_EQ(kc.ReturnedU32(), kMmioBase + 0x1000u);
+  kc.Call("MosMapIoSpace", {7});
+  EXPECT_EQ(kc.ReturnedU32(), 0u);  // no such BAR
+}
+
+TEST(KernelApiTest, RegisterDriverReadsEntryTable) {
+  FakeKernelContext kc;
+  uint32_t table = kDriverImageBase + 0x1100;
+  kc.WriteGuestU32(table, kDriverImageBase + 0x10);  // Initialize
+  kc.WriteGuestU32(table + 4, kDriverImageBase + 0x20);
+  kc.Call("MosRegisterDriver", {table});
+  EXPECT_EQ(kc.ReturnedU32(), kStatusSuccess);
+  EXPECT_TRUE(kc.kernel().driver_registered);
+  EXPECT_EQ(kc.kernel().entry_points[kEpInitialize], kDriverImageBase + 0x10);
+}
+
+TEST(KernelApiTest, RegisterDriverWithoutInitFails) {
+  FakeKernelContext kc;
+  uint32_t table = kDriverImageBase + 0x1100;  // all zero
+  kc.Call("MosRegisterDriver", {table});
+  EXPECT_EQ(kc.ReturnedU32(), kStatusUnsuccessful);
+  EXPECT_FALSE(kc.kernel().driver_registered);
+}
+
+TEST(KernelApiTest, MoveMemoryHandlesOverlap) {
+  FakeKernelContext kc;
+  uint32_t base = kDriverImageBase + 0x1100;
+  for (int i = 0; i < 8; ++i) {
+    kc.WriteGuestU8(base + static_cast<uint32_t>(i), static_cast<uint8_t>(i));
+  }
+  kc.Call("MosMoveMemory", {base + 2, base, 6});  // overlapping forward copy
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(kc.ReadGuestU8(base + 2 + static_cast<uint32_t>(i)), i);
+  }
+}
+
+// --- workload builder -------------------------------------------------------------
+
+TEST(ExerciserTest, NetworkWorkloadShape) {
+  std::vector<WorkloadStep> steps = BuildWorkload(DriverClass::kNetwork);
+  ASSERT_GE(steps.size(), 4u);
+  EXPECT_EQ(steps.front().slot, kEpInitialize);
+  EXPECT_EQ(steps.back().slot, kEpHalt);
+  bool has_send = false;
+  for (const WorkloadStep& step : steps) {
+    has_send |= step.slot == kEpSend;
+    if (step.slot != kEpInitialize) {
+      EXPECT_TRUE(step.only_if_init_ok);
+    }
+  }
+  EXPECT_TRUE(has_send);
+}
+
+TEST(ExerciserTest, AudioWorkloadShape) {
+  std::vector<WorkloadStep> steps = BuildWorkload(DriverClass::kAudio);
+  bool has_write = false;
+  for (const WorkloadStep& step : steps) {
+    has_write |= step.slot == kEpWrite;
+  }
+  EXPECT_TRUE(has_write);
+}
+
+TEST(ExerciserTest, DriverClassHeuristics) {
+  EXPECT_EQ(DriverClassFor("audiopci"), DriverClass::kAudio);
+  EXPECT_EQ(DriverClassFor("ac97"), DriverClass::kAudio);
+  EXPECT_EQ(DriverClassFor("rtl8029"), DriverClass::kNetwork);
+}
+
+// --- kernel state forking consistency -----------------------------------------------
+
+TEST(KernelStateTest, CopyIsIndependent) {
+  FakeKernelContext kc;
+  kc.Call("MosAllocatePool", {64});
+  uint32_t addr = kc.ReturnedU32();
+  KernelState copy = kc.kernel();
+  kc.Call("MosFreePool", {addr});
+  EXPECT_FALSE(kc.kernel().FindAllocation(addr)->alive);
+  EXPECT_TRUE(copy.FindAllocation(addr)->alive);  // the copy kept its world
+}
+
+TEST(KernelStateTest, GrantRevocationBySlot) {
+  KernelState ks;
+  MemoryGrant g1{100, 200, true, kEpQueryInfo};
+  MemoryGrant g2{300, 400, true, kEpSetInfo};
+  MemoryGrant g3{500, 600, false, kEpQueryInfo};
+  ks.grants = {g1, g2, g3};
+  ks.RevokeGrantsForSlot(kEpQueryInfo);
+  EXPECT_FALSE(ks.IsGranted(150));  // revoked
+  EXPECT_TRUE(ks.IsGranted(350));   // other slot
+  EXPECT_TRUE(ks.IsGranted(550));   // not revoke-on-exit
+}
+
+}  // namespace
+}  // namespace ddt

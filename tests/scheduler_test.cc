@@ -1,0 +1,227 @@
+// Tests for the engine's scheduler: DPC and timer callback delivery, entry
+// ordering, guided-replay determinism, and the eager-COW mode's behavioral
+// equivalence.
+#include <gtest/gtest.h>
+
+#include "src/core/ddt.h"
+#include "src/drivers/corpus.h"
+#include "src/vm/assembler.h"
+
+namespace ddt {
+namespace {
+
+PciDescriptor SchedPci() {
+  PciDescriptor pci;
+  pci.vendor_id = 2;
+  pci.device_id = 2;
+  pci.bars.push_back(PciBar{0x100});
+  return pci;
+}
+
+DdtResult RunSchedToy(const std::string& source, DdtConfig config = DdtConfig()) {
+  Result<AssembledDriver> assembled = Assemble(source);
+  EXPECT_TRUE(assembled.ok()) << assembled.error();
+  config.engine.max_instructions = 300000;
+  Ddt ddt(config);
+  Result<DdtResult> result = ddt.TestDriver(assembled.value().image, SchedPci());
+  EXPECT_TRUE(result.ok()) << result.status().message();
+  return result.take();
+}
+
+// A DPC queued by the ISR must run (at DISPATCH, outside the interrupted
+// entry point). The DPC null-derefs, so "the bug fired with kDpc context"
+// proves both delivery and context bookkeeping.
+TEST(SchedulerTest, DpcQueuedFromIsrRuns) {
+  DdtResult result = RunSchedToy(R"(
+  .driver "toy_dpc"
+  .entry driver_entry
+  .code
+  .func driver_entry
+    la r0, entry_table
+    kcall MosRegisterDriver
+    ret
+  .func ep_init
+    push lr
+    la r0, isr
+    movi r1, 0
+    kcall MosRegisterInterrupt
+    movi r0, 10
+    kcall MosStallExecution
+    movi r0, 0
+    pop lr
+    ret
+  .func isr
+    push lr
+    la r0, the_dpc
+    movi r1, 0
+    kcall MosQueueDpc
+    pop lr
+    ret
+  .func the_dpc
+    movi r1, 0
+    ld32 r2, [r1+0]          ; null deref inside the DPC
+    ret
+  .data
+  entry_table:
+    .word ep_init
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+)");
+  ASSERT_FALSE(result.bugs.empty());
+  bool dpc_bug = false;
+  for (const Bug& bug : result.bugs) {
+    dpc_bug |= bug.context == ExecContextKind::kDpc;
+  }
+  EXPECT_TRUE(dpc_bug) << result.bugs.front().Format(8);
+}
+
+// A timer armed during Initialize fires after the entry returns; the timer
+// context is tracked.
+TEST(SchedulerTest, ArmedTimerFiresOnce) {
+  DdtResult result = RunSchedToy(R"(
+  .driver "toy_timer"
+  .entry driver_entry
+  .code
+  .func driver_entry
+    la r0, entry_table
+    kcall MosRegisterDriver
+    ret
+  .func ep_init
+    push lr
+    la r0, timer_block
+    la r1, tick
+    movi r2, 0
+    kcall MosInitializeTimer
+    la r0, timer_block
+    movi r1, 50
+    kcall MosSetTimer
+    movi r0, 0
+    pop lr
+    ret
+  .func tick
+    movi r1, 0
+    ld32 r2, [r1+0]          ; null deref inside the timer callback
+    ret
+  .data
+  timer_block:
+    .space 16
+  entry_table:
+    .word ep_init
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+)");
+  ASSERT_FALSE(result.bugs.empty());
+  bool timer_bug = false;
+  for (const Bug& bug : result.bugs) {
+    timer_bug |= bug.context == ExecContextKind::kTimer;
+  }
+  EXPECT_TRUE(timer_bug) << result.bugs.front().Format(8);
+}
+
+// A cancelled timer must NOT fire.
+TEST(SchedulerTest, CancelledTimerDoesNotFire) {
+  DdtResult result = RunSchedToy(R"(
+  .driver "toy_timer2"
+  .entry driver_entry
+  .code
+  .func driver_entry
+    la r0, entry_table
+    kcall MosRegisterDriver
+    ret
+  .func ep_init
+    push lr
+    la r0, timer_block
+    la r1, tick
+    movi r2, 0
+    kcall MosInitializeTimer
+    la r0, timer_block
+    movi r1, 50
+    kcall MosSetTimer
+    la r0, timer_block
+    kcall MosCancelTimer
+    movi r0, 0
+    pop lr
+    ret
+  .func tick
+    movi r1, 0
+    ld32 r2, [r1+0]          ; would crash if the timer ever fired
+    ret
+  .data
+  timer_block:
+    .space 16
+  entry_table:
+    .word ep_init
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+)");
+  EXPECT_TRUE(result.bugs.empty()) << result.bugs.front().Format(8);
+}
+
+// The eager-copy forking ablation must be behaviorally identical: same bugs,
+// same coverage on a full corpus driver.
+TEST(SchedulerTest, EagerCowModeFindsTheSameBugs) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+  DdtConfig chained;
+  chained.engine.max_instructions = 2'000'000;
+  chained.engine.max_states = 512;
+  DdtConfig eager = chained;
+  eager.engine.eager_cow = true;
+
+  Ddt a(chained);
+  DdtResult ra = a.TestDriver(driver.image, driver.pci).take();
+  Ddt b(eager);
+  DdtResult rb = b.TestDriver(driver.image, driver.pci).take();
+
+  ASSERT_EQ(ra.bugs.size(), rb.bugs.size());
+  for (size_t i = 0; i < ra.bugs.size(); ++i) {
+    EXPECT_EQ(ra.bugs[i].title, rb.bugs[i].title);
+  }
+  EXPECT_EQ(ra.covered_blocks, rb.covered_blocks);
+  EXPECT_EQ(ra.stats.instructions, rb.stats.instructions);
+  EXPECT_GT(rb.mem_stats.bytes_copied, 0u);  // eager mode really copied
+  EXPECT_EQ(ra.mem_stats.bytes_copied, 0u);  // chained mode never did
+}
+
+// Guided replay explores exactly one path: no forks, no extra states.
+TEST(SchedulerTest, GuidedReplayIsSinglePath) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+  DdtConfig config;
+  config.engine.max_instructions = 2'000'000;
+  config.engine.max_states = 512;
+  Ddt ddt(config);
+  DdtResult found = ddt.TestDriver(driver.image, driver.pci).take();
+  ASSERT_FALSE(found.bugs.empty());
+
+  DdtConfig replay_config = config;
+  EngineConfig& ec = replay_config.engine;
+  ec.guided = true;
+  ec.enable_symbolic_interrupts = false;
+  const Bug& bug = found.bugs.front();
+  ec.forced_interrupt_schedule = bug.interrupt_schedule;
+  ec.forced_alternatives = bug.alternatives;
+  for (const SolvedInput& input : bug.inputs) {
+    ec.guided_inputs[OriginKeyString(input.origin)] = input.value;
+  }
+  Ddt replay(replay_config);
+  DdtResult replayed = replay.TestDriver(driver.image, driver.pci).take();
+  EXPECT_EQ(replayed.stats.forks, 0u);
+  EXPECT_LE(replayed.stats.states_created, 1u);
+}
+
+}  // namespace
+}  // namespace ddt

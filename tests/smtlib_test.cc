@@ -1,0 +1,106 @@
+// SMT-LIB2 export tests: structural validity (balanced s-expressions, one
+// declaration per variable, topologically ordered definitions) and an
+// end-to-end export of a real bug's path constraints.
+#include "src/expr/smtlib.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/ddt.h"
+#include "src/drivers/corpus.h"
+
+namespace ddt {
+namespace {
+
+bool BalancedParens(const std::string& text) {
+  int depth = 0;
+  for (char c : text) {
+    if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      --depth;
+      if (depth < 0) {
+        return false;
+      }
+    }
+  }
+  return depth == 0;
+}
+
+size_t CountOccurrences(const std::string& text, const std::string& needle) {
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(SmtLibTest, SimpleConstraintStructure) {
+  ExprContext ctx;
+  ExprRef x = ctx.Var(32, "hw_reg");
+  std::vector<ExprRef> constraints = {ctx.Ult(x, ctx.Const(100, 32)),
+                                      ctx.Eq(ctx.And(x, ctx.Const(3, 32)), ctx.Const(1, 32))};
+  std::string smt = ToSmtLib(constraints, ctx);
+  EXPECT_TRUE(BalancedParens(smt)) << smt;
+  EXPECT_NE(smt.find("(set-logic QF_BV)"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(smt, "declare-const"), 1u);  // one variable
+  EXPECT_EQ(CountOccurrences(smt, "(assert "), 2u);
+  EXPECT_NE(smt.find("bvult"), std::string::npos);
+  EXPECT_NE(smt.find("bvand"), std::string::npos);
+  EXPECT_NE(smt.find("(check-sat)"), std::string::npos);
+  // Variable names are sanitized + uniquified.
+  EXPECT_NE(smt.find("hw_reg_v0"), std::string::npos);
+}
+
+TEST(SmtLibTest, SharedSubtermsDefinedOnce) {
+  ExprContext ctx;
+  ExprRef x = ctx.Var(32, "x");
+  ExprRef shared = ctx.Mul(x, ctx.Const(7, 32));
+  std::vector<ExprRef> constraints = {ctx.Ult(shared, ctx.Const(100, 32)),
+                                      ctx.Ult(ctx.Const(5, 32), shared)};
+  std::string smt = ToSmtLib(constraints, ctx);
+  EXPECT_TRUE(BalancedParens(smt));
+  // The multiply appears in exactly one define-fun body.
+  EXPECT_EQ(CountOccurrences(smt, "bvmul"), 1u) << smt;
+}
+
+TEST(SmtLibTest, AllOperatorsRender) {
+  ExprContext ctx;
+  ExprRef x = ctx.Var(32, "x");
+  ExprRef y = ctx.Var(32, "y");
+  ExprRef b = ctx.Var(8, "b");
+  std::vector<ExprRef> constraints = {
+      ctx.Eq(ctx.UDiv(x, y), ctx.URem(x, y)),
+      ctx.Slt(ctx.Shl(x, y), ctx.AShr(x, y)),
+      ctx.Ule(ctx.ZExt(b, 32), ctx.SExt(b, 32)),
+      ctx.Eq(ctx.Extract(x, 8, 8), ctx.ExtractByte(y, 0)),
+      ctx.Eq(ctx.Ite(ctx.Ult(x, y), x, y), ctx.Const(0, 32)),
+  };
+  std::string smt = ToSmtLib(constraints, ctx);
+  EXPECT_TRUE(BalancedParens(smt)) << smt;
+  for (const char* op : {"bvudiv", "bvurem", "bvshl", "bvashr", "bvslt", "zero_extend",
+                         "sign_extend", "extract", "ite"}) {
+    EXPECT_NE(smt.find(op), std::string::npos) << "missing " << op;
+  }
+}
+
+TEST(SmtLibTest, RealBugConstraintsExport) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+  DdtConfig config;
+  config.engine.max_instructions = 2'000'000;
+  config.engine.max_states = 512;
+  Ddt ddt(config);
+  Result<DdtResult> result = ddt.TestDriver(driver.image, driver.pci);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().bugs.empty());
+  const Bug& bug = result.value().bugs.front();
+  ASSERT_FALSE(bug.constraints.empty());
+  std::string smt = ToSmtLib(bug.constraints, *ddt.engine().expr());
+  EXPECT_TRUE(BalancedParens(smt)) << smt.substr(0, 1000);
+  EXPECT_GE(CountOccurrences(smt, "declare-const"), 1u);
+  EXPECT_NE(smt.find("(check-sat)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddt

@@ -1,0 +1,127 @@
+// Unit tests for the support layer: string helpers, integer parsing, the
+// deterministic PRNG, and Status/Result semantics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/support/rng.h"
+#include "src/support/status.h"
+#include "src/support/strings.h"
+
+namespace ddt {
+namespace {
+
+TEST(StringsTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("x=%d", 42), "x=42");
+  EXPECT_EQ(StrFormat("%s/%s", "a", "b"), "a/b");
+  EXPECT_EQ(StrFormat("%08x", 0x1234), "00001234");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, StrFormatLongOutput) {
+  std::string big(5000, 'y');
+  EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(StringsTest, SplitAny) {
+  auto pieces = SplitAny("a, b\tc  d", ", \t");
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[3], "d");
+  EXPECT_TRUE(SplitAny("", ",").empty());
+  EXPECT_TRUE(SplitAny(",,,", ",").empty());
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripWhitespace("\t\n"), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(StringsTest, ParseIntFormats) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt("123", &v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(ParseInt("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(ParseInt("0x1F", &v));
+  EXPECT_EQ(v, 31);
+  EXPECT_TRUE(ParseInt("0b101", &v));
+  EXPECT_EQ(v, 5);
+  EXPECT_TRUE(ParseInt("1_000", &v));
+  EXPECT_EQ(v, 1000);
+}
+
+TEST(StringsTest, ParseIntRejectsGarbage) {
+  int64_t v = 0;
+  EXPECT_FALSE(ParseInt("", &v));
+  EXPECT_FALSE(ParseInt("abc", &v));
+  EXPECT_FALSE(ParseInt("12x", &v));
+  EXPECT_FALSE(ParseInt("-", &v));
+  EXPECT_FALSE(ParseInt("0x", &v));
+  EXPECT_FALSE(ParseInt("99999999999999999999999", &v));  // overflow
+}
+
+TEST(StringsTest, HexBytes) {
+  uint8_t data[] = {0xDE, 0xAD, 0x01};
+  EXPECT_EQ(HexBytes(data, 3), "de ad 01");
+  EXPECT_EQ(HexBytes(data, 0), "");
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng c(8);
+  EXPECT_NE(Rng(7).Next(), c.Next());
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+    uint64_t r = rng.NextInRange(5, 9);
+    EXPECT_GE(r, 5u);
+    EXPECT_LE(r, 9u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ReasonableSpread) {
+  Rng rng(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    seen.insert(rng.NextBelow(1u << 20));
+  }
+  EXPECT_GT(seen.size(), 60u);  // essentially no collisions
+}
+
+TEST(StatusTest, OkAndError) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status err = Status::Error("boom");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.message(), "boom");
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> good(41);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 41);
+  Result<int> bad(Status::Error("nope"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), "nope");
+  EXPECT_FALSE(bad.status().ok());
+}
+
+TEST(ResultTest, TakeMoves) {
+  Result<std::string> r(std::string("payload"));
+  std::string taken = r.take();
+  EXPECT_EQ(taken, "payload");
+}
+
+}  // namespace
+}  // namespace ddt

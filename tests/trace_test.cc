@@ -1,0 +1,172 @@
+// Unit tests for the trace module: chained-segment recording, fork sharing,
+// reconstruction order, the tail cap, and formatting.
+#include "src/trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.h"
+
+namespace ddt {
+namespace {
+
+TraceEvent Exec(uint32_t pc) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kExec;
+  e.pc = pc;
+  return e;
+}
+
+TEST(TraceTest, RecordAndReconstructInOrder) {
+  TraceRecorder recorder;
+  for (uint32_t i = 0; i < 10; ++i) {
+    recorder.Append(Exec(i));
+  }
+  std::vector<TraceEvent> events = recorder.Reconstruct();
+  ASSERT_EQ(events.size(), 10u);
+  for (uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(events[i].pc, i);
+  }
+}
+
+TEST(TraceTest, ForkSharesPrefixAndDivergesAfter) {
+  TraceRecorder parent;
+  parent.Append(Exec(1));
+  parent.Append(Exec(2));
+  TraceRecorder child = parent.Fork();
+  parent.Append(Exec(3));
+  child.Append(Exec(100));
+  child.Append(Exec(101));
+
+  std::vector<TraceEvent> p = parent.Reconstruct();
+  std::vector<TraceEvent> c = child.Reconstruct();
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[2].pc, 3u);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c[0].pc, 1u);
+  EXPECT_EQ(c[1].pc, 2u);
+  EXPECT_EQ(c[2].pc, 100u);
+  EXPECT_EQ(c[3].pc, 101u);
+}
+
+TEST(TraceTest, DeepForkChains) {
+  TraceRecorder recorder;
+  std::vector<TraceRecorder> generations;
+  for (uint32_t g = 0; g < 50; ++g) {
+    recorder.Append(Exec(g));
+    generations.push_back(recorder.Fork());
+  }
+  // The original accumulated everything.
+  EXPECT_EQ(recorder.TotalEvents(), 50u);
+  // Generation k saw exactly the first k+1 events.
+  EXPECT_EQ(generations[10].Reconstruct().size(), 11u);
+  EXPECT_EQ(generations[49].Reconstruct().back().pc, 49u);
+}
+
+TEST(TraceTest, TailCapDropsOldestKeepsNewest) {
+  TraceRecorder recorder;
+  recorder.set_max_tail_events(100);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    recorder.Append(Exec(i));
+  }
+  EXPECT_GT(recorder.dropped_events(), 0u);
+  std::vector<TraceEvent> events = recorder.Reconstruct();
+  ASSERT_FALSE(events.empty());
+  // The newest event always survives (bug sites live at the end of traces).
+  EXPECT_EQ(events.back().pc, 999u);
+}
+
+TEST(TraceTest, RandomizedForkTreeMatchesReferenceModel) {
+  Rng rng(99);
+  struct Node {
+    TraceRecorder recorder;
+    std::vector<uint32_t> reference;
+  };
+  std::vector<Node> nodes(1);
+  uint32_t next_pc = 0;
+  for (int step = 0; step < 2000; ++step) {
+    size_t idx = rng.NextBelow(nodes.size());
+    if (rng.NextBelow(4) == 0 && nodes.size() < 32) {
+      Node forked;
+      forked.recorder = nodes[idx].recorder.Fork();
+      forked.reference = nodes[idx].reference;
+      nodes.push_back(std::move(forked));
+    } else {
+      nodes[idx].recorder.Append(Exec(next_pc));
+      nodes[idx].reference.push_back(next_pc);
+      ++next_pc;
+    }
+  }
+  for (Node& node : nodes) {
+    std::vector<TraceEvent> events = node.recorder.Reconstruct();
+    ASSERT_EQ(events.size(), node.reference.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+      ASSERT_EQ(events[i].pc, node.reference[i]);
+    }
+  }
+}
+
+TEST(TraceTest, FormatContainsKeyEvents) {
+  TraceRecorder recorder;
+  recorder.Append(Exec(0x10000));
+  TraceEvent mem;
+  mem.kind = TraceEvent::Kind::kMemWrite;
+  mem.pc = 0x10008;
+  mem.addr = 0x2000;
+  mem.size = 4;
+  mem.value = 0xABCD;
+  recorder.Append(mem);
+  TraceEvent intr;
+  intr.kind = TraceEvent::Kind::kInterrupt;
+  intr.a = 7;
+  recorder.Append(intr);
+  TraceEvent bug;
+  bug.kind = TraceEvent::Kind::kBugMark;
+  bug.pc = 0x10010;
+  bug.a = 0;
+  recorder.Append(bug);
+
+  std::string text = FormatTrace(recorder.Reconstruct());
+  EXPECT_NE(text.find("exec  pc=00010000"), std::string::npos);
+  EXPECT_NE(text.find("write"), std::string::npos);
+  EXPECT_NE(text.find("symbolic interrupt injected (crossing 7)"), std::string::npos);
+  EXPECT_NE(text.find("BUG #0"), std::string::npos);
+}
+
+TEST(TraceTest, FormatElidesLongTraces) {
+  TraceRecorder recorder;
+  for (uint32_t i = 0; i < 100; ++i) {
+    recorder.Append(Exec(i));
+  }
+  std::string text = FormatTrace(recorder.Reconstruct(), 10);
+  EXPECT_NE(text.find("earlier events elided"), std::string::npos);
+}
+
+TEST(TraceTest, EventKindNamesAreComplete) {
+  // Every kind renders to a non-placeholder name.
+  for (int k = 0; k <= static_cast<int>(TraceEvent::Kind::kBugMark); ++k) {
+    EXPECT_STRNE(TraceEventKindName(static_cast<TraceEvent::Kind>(k)), "?");
+  }
+}
+
+
+TEST(TraceTest, SymbolizedRendering) {
+  TraceSymbolizer symbolizer({{0x10000, "ep_init"}, {0x10040, "isr"}});
+  EXPECT_EQ(symbolizer.Label(0x10000), "ep_init");
+  EXPECT_EQ(symbolizer.Label(0x10008), "ep_init+0x8");
+  EXPECT_EQ(symbolizer.Label(0x10040), "isr");
+  EXPECT_EQ(symbolizer.Label(0x9000), "0x00009000");  // before every symbol
+
+  TraceRecorder recorder;
+  recorder.Append(Exec(0x10008));
+  TraceEvent branch;
+  branch.kind = TraceEvent::Kind::kBranch;
+  branch.pc = 0x10010;
+  branch.a = 0x10048;
+  recorder.Append(branch);
+  std::string text = FormatTrace(recorder.Reconstruct(), 100, &symbolizer);
+  EXPECT_NE(text.find("exec  pc=ep_init+0x8"), std::string::npos) << text;
+  EXPECT_NE(text.find("branch pc=ep_init+0x10 -> isr+0x8"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace ddt
