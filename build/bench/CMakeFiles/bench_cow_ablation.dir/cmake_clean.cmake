@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cow_ablation.dir/bench_cow_ablation.cc.o"
+  "CMakeFiles/bench_cow_ablation.dir/bench_cow_ablation.cc.o.d"
+  "bench_cow_ablation"
+  "bench_cow_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cow_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sdv_compare.dir/bench_sdv_compare.cc.o"
+  "CMakeFiles/bench_sdv_compare.dir/bench_sdv_compare.cc.o.d"
+  "bench_sdv_compare"
+  "bench_sdv_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sdv_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_bugs.dir/analyze_bugs.cpp.o"
+  "CMakeFiles/analyze_bugs.dir/analyze_bugs.cpp.o.d"
+  "analyze_bugs"
+  "analyze_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_checker.dir/custom_checker.cpp.o"
+  "CMakeFiles/custom_checker.dir/custom_checker.cpp.o.d"
+  "custom_checker"
+  "custom_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddt_cli.dir/ddt_cli.cpp.o"
+  "CMakeFiles/ddt_cli.dir/ddt_cli.cpp.o.d"
+  "ddt_cli"
+  "ddt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

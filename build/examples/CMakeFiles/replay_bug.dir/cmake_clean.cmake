@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_bug.dir/replay_bug.cpp.o"
+  "CMakeFiles/replay_bug.dir/replay_bug.cpp.o.d"
+  "replay_bug"
+  "replay_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

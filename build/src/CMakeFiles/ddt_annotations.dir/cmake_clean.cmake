@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddt_annotations.dir/annotations/annotation.cc.o"
+  "CMakeFiles/ddt_annotations.dir/annotations/annotation.cc.o.d"
+  "CMakeFiles/ddt_annotations.dir/annotations/standard_annotations.cc.o"
+  "CMakeFiles/ddt_annotations.dir/annotations/standard_annotations.cc.o.d"
+  "libddt_annotations.a"
+  "libddt_annotations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddt_annotations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddt_baselines.dir/baselines/driver_verifier.cc.o"
+  "CMakeFiles/ddt_baselines.dir/baselines/driver_verifier.cc.o.d"
+  "CMakeFiles/ddt_baselines.dir/baselines/sdv.cc.o"
+  "CMakeFiles/ddt_baselines.dir/baselines/sdv.cc.o.d"
+  "libddt_baselines.a"
+  "libddt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libddt_baselines.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checkers/default_checkers.cc" "src/CMakeFiles/ddt_checkers.dir/checkers/default_checkers.cc.o" "gcc" "src/CMakeFiles/ddt_checkers.dir/checkers/default_checkers.cc.o.d"
+  "/root/repo/src/checkers/leak_checker.cc" "src/CMakeFiles/ddt_checkers.dir/checkers/leak_checker.cc.o" "gcc" "src/CMakeFiles/ddt_checkers.dir/checkers/leak_checker.cc.o.d"
+  "/root/repo/src/checkers/lock_checker.cc" "src/CMakeFiles/ddt_checkers.dir/checkers/lock_checker.cc.o" "gcc" "src/CMakeFiles/ddt_checkers.dir/checkers/lock_checker.cc.o.d"
+  "/root/repo/src/checkers/loop_checker.cc" "src/CMakeFiles/ddt_checkers.dir/checkers/loop_checker.cc.o" "gcc" "src/CMakeFiles/ddt_checkers.dir/checkers/loop_checker.cc.o.d"
+  "/root/repo/src/checkers/memory_checker.cc" "src/CMakeFiles/ddt_checkers.dir/checkers/memory_checker.cc.o" "gcc" "src/CMakeFiles/ddt_checkers.dir/checkers/memory_checker.cc.o.d"
+  "/root/repo/src/checkers/race_checker.cc" "src/CMakeFiles/ddt_checkers.dir/checkers/race_checker.cc.o" "gcc" "src/CMakeFiles/ddt_checkers.dir/checkers/race_checker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ddt_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ddt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ddt_annotations.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ddt_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ddt_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ddt_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ddt_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ddt_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ddt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddt_checkers.dir/checkers/default_checkers.cc.o"
+  "CMakeFiles/ddt_checkers.dir/checkers/default_checkers.cc.o.d"
+  "CMakeFiles/ddt_checkers.dir/checkers/leak_checker.cc.o"
+  "CMakeFiles/ddt_checkers.dir/checkers/leak_checker.cc.o.d"
+  "CMakeFiles/ddt_checkers.dir/checkers/lock_checker.cc.o"
+  "CMakeFiles/ddt_checkers.dir/checkers/lock_checker.cc.o.d"
+  "CMakeFiles/ddt_checkers.dir/checkers/loop_checker.cc.o"
+  "CMakeFiles/ddt_checkers.dir/checkers/loop_checker.cc.o.d"
+  "CMakeFiles/ddt_checkers.dir/checkers/memory_checker.cc.o"
+  "CMakeFiles/ddt_checkers.dir/checkers/memory_checker.cc.o.d"
+  "CMakeFiles/ddt_checkers.dir/checkers/race_checker.cc.o"
+  "CMakeFiles/ddt_checkers.dir/checkers/race_checker.cc.o.d"
+  "libddt_checkers.a"
+  "libddt_checkers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddt_checkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

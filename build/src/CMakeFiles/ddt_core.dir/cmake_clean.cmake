@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddt_core.dir/core/analysis.cc.o"
+  "CMakeFiles/ddt_core.dir/core/analysis.cc.o.d"
+  "CMakeFiles/ddt_core.dir/core/bug_io.cc.o"
+  "CMakeFiles/ddt_core.dir/core/bug_io.cc.o.d"
+  "CMakeFiles/ddt_core.dir/core/coverage_report.cc.o"
+  "CMakeFiles/ddt_core.dir/core/coverage_report.cc.o.d"
+  "CMakeFiles/ddt_core.dir/core/ddt.cc.o"
+  "CMakeFiles/ddt_core.dir/core/ddt.cc.o.d"
+  "CMakeFiles/ddt_core.dir/core/replay.cc.o"
+  "CMakeFiles/ddt_core.dir/core/replay.cc.o.d"
+  "libddt_core.a"
+  "libddt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

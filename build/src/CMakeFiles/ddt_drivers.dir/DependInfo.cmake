@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drivers/ac97.cc" "src/CMakeFiles/ddt_drivers.dir/drivers/ac97.cc.o" "gcc" "src/CMakeFiles/ddt_drivers.dir/drivers/ac97.cc.o.d"
+  "/root/repo/src/drivers/asm_lib.cc" "src/CMakeFiles/ddt_drivers.dir/drivers/asm_lib.cc.o" "gcc" "src/CMakeFiles/ddt_drivers.dir/drivers/asm_lib.cc.o.d"
+  "/root/repo/src/drivers/audiopci.cc" "src/CMakeFiles/ddt_drivers.dir/drivers/audiopci.cc.o" "gcc" "src/CMakeFiles/ddt_drivers.dir/drivers/audiopci.cc.o.d"
+  "/root/repo/src/drivers/corpus.cc" "src/CMakeFiles/ddt_drivers.dir/drivers/corpus.cc.o" "gcc" "src/CMakeFiles/ddt_drivers.dir/drivers/corpus.cc.o.d"
+  "/root/repo/src/drivers/pcnet.cc" "src/CMakeFiles/ddt_drivers.dir/drivers/pcnet.cc.o" "gcc" "src/CMakeFiles/ddt_drivers.dir/drivers/pcnet.cc.o.d"
+  "/root/repo/src/drivers/pro100.cc" "src/CMakeFiles/ddt_drivers.dir/drivers/pro100.cc.o" "gcc" "src/CMakeFiles/ddt_drivers.dir/drivers/pro100.cc.o.d"
+  "/root/repo/src/drivers/pro1000.cc" "src/CMakeFiles/ddt_drivers.dir/drivers/pro1000.cc.o" "gcc" "src/CMakeFiles/ddt_drivers.dir/drivers/pro1000.cc.o.d"
+  "/root/repo/src/drivers/rtl8029.cc" "src/CMakeFiles/ddt_drivers.dir/drivers/rtl8029.cc.o" "gcc" "src/CMakeFiles/ddt_drivers.dir/drivers/rtl8029.cc.o.d"
+  "/root/repo/src/drivers/sdv_sample.cc" "src/CMakeFiles/ddt_drivers.dir/drivers/sdv_sample.cc.o" "gcc" "src/CMakeFiles/ddt_drivers.dir/drivers/sdv_sample.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ddt_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ddt_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ddt_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ddt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddt_drivers.dir/drivers/ac97.cc.o"
+  "CMakeFiles/ddt_drivers.dir/drivers/ac97.cc.o.d"
+  "CMakeFiles/ddt_drivers.dir/drivers/asm_lib.cc.o"
+  "CMakeFiles/ddt_drivers.dir/drivers/asm_lib.cc.o.d"
+  "CMakeFiles/ddt_drivers.dir/drivers/audiopci.cc.o"
+  "CMakeFiles/ddt_drivers.dir/drivers/audiopci.cc.o.d"
+  "CMakeFiles/ddt_drivers.dir/drivers/corpus.cc.o"
+  "CMakeFiles/ddt_drivers.dir/drivers/corpus.cc.o.d"
+  "CMakeFiles/ddt_drivers.dir/drivers/pcnet.cc.o"
+  "CMakeFiles/ddt_drivers.dir/drivers/pcnet.cc.o.d"
+  "CMakeFiles/ddt_drivers.dir/drivers/pro100.cc.o"
+  "CMakeFiles/ddt_drivers.dir/drivers/pro100.cc.o.d"
+  "CMakeFiles/ddt_drivers.dir/drivers/pro1000.cc.o"
+  "CMakeFiles/ddt_drivers.dir/drivers/pro1000.cc.o.d"
+  "CMakeFiles/ddt_drivers.dir/drivers/rtl8029.cc.o"
+  "CMakeFiles/ddt_drivers.dir/drivers/rtl8029.cc.o.d"
+  "CMakeFiles/ddt_drivers.dir/drivers/sdv_sample.cc.o"
+  "CMakeFiles/ddt_drivers.dir/drivers/sdv_sample.cc.o.d"
+  "libddt_drivers.a"
+  "libddt_drivers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddt_drivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

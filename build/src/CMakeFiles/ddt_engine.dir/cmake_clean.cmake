@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddt_engine.dir/engine/bug_report.cc.o"
+  "CMakeFiles/ddt_engine.dir/engine/bug_report.cc.o.d"
+  "CMakeFiles/ddt_engine.dir/engine/engine.cc.o"
+  "CMakeFiles/ddt_engine.dir/engine/engine.cc.o.d"
+  "CMakeFiles/ddt_engine.dir/engine/execution_state.cc.o"
+  "CMakeFiles/ddt_engine.dir/engine/execution_state.cc.o.d"
+  "CMakeFiles/ddt_engine.dir/engine/searcher.cc.o"
+  "CMakeFiles/ddt_engine.dir/engine/searcher.cc.o.d"
+  "libddt_engine.a"
+  "libddt_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddt_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddt_expr.dir/expr/eval.cc.o"
+  "CMakeFiles/ddt_expr.dir/expr/eval.cc.o.d"
+  "CMakeFiles/ddt_expr.dir/expr/expr.cc.o"
+  "CMakeFiles/ddt_expr.dir/expr/expr.cc.o.d"
+  "CMakeFiles/ddt_expr.dir/expr/smtlib.cc.o"
+  "CMakeFiles/ddt_expr.dir/expr/smtlib.cc.o.d"
+  "libddt_expr.a"
+  "libddt_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddt_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

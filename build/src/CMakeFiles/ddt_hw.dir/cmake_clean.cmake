@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddt_hw.dir/hw/device.cc.o"
+  "CMakeFiles/ddt_hw.dir/hw/device.cc.o.d"
+  "libddt_hw.a"
+  "libddt_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddt_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

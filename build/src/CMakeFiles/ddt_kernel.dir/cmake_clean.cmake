@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddt_kernel.dir/kernel/api.cc.o"
+  "CMakeFiles/ddt_kernel.dir/kernel/api.cc.o.d"
+  "CMakeFiles/ddt_kernel.dir/kernel/exerciser.cc.o"
+  "CMakeFiles/ddt_kernel.dir/kernel/exerciser.cc.o.d"
+  "CMakeFiles/ddt_kernel.dir/kernel/kernel_api.cc.o"
+  "CMakeFiles/ddt_kernel.dir/kernel/kernel_api.cc.o.d"
+  "CMakeFiles/ddt_kernel.dir/kernel/kernel_state.cc.o"
+  "CMakeFiles/ddt_kernel.dir/kernel/kernel_state.cc.o.d"
+  "libddt_kernel.a"
+  "libddt_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddt_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/bitblast.cc" "src/CMakeFiles/ddt_solver.dir/solver/bitblast.cc.o" "gcc" "src/CMakeFiles/ddt_solver.dir/solver/bitblast.cc.o.d"
+  "/root/repo/src/solver/intervals.cc" "src/CMakeFiles/ddt_solver.dir/solver/intervals.cc.o" "gcc" "src/CMakeFiles/ddt_solver.dir/solver/intervals.cc.o.d"
+  "/root/repo/src/solver/known_bits.cc" "src/CMakeFiles/ddt_solver.dir/solver/known_bits.cc.o" "gcc" "src/CMakeFiles/ddt_solver.dir/solver/known_bits.cc.o.d"
+  "/root/repo/src/solver/sat.cc" "src/CMakeFiles/ddt_solver.dir/solver/sat.cc.o" "gcc" "src/CMakeFiles/ddt_solver.dir/solver/sat.cc.o.d"
+  "/root/repo/src/solver/solver.cc" "src/CMakeFiles/ddt_solver.dir/solver/solver.cc.o" "gcc" "src/CMakeFiles/ddt_solver.dir/solver/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ddt_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ddt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

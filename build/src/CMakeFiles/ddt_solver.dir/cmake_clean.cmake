@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddt_solver.dir/solver/bitblast.cc.o"
+  "CMakeFiles/ddt_solver.dir/solver/bitblast.cc.o.d"
+  "CMakeFiles/ddt_solver.dir/solver/intervals.cc.o"
+  "CMakeFiles/ddt_solver.dir/solver/intervals.cc.o.d"
+  "CMakeFiles/ddt_solver.dir/solver/known_bits.cc.o"
+  "CMakeFiles/ddt_solver.dir/solver/known_bits.cc.o.d"
+  "CMakeFiles/ddt_solver.dir/solver/sat.cc.o"
+  "CMakeFiles/ddt_solver.dir/solver/sat.cc.o.d"
+  "CMakeFiles/ddt_solver.dir/solver/solver.cc.o"
+  "CMakeFiles/ddt_solver.dir/solver/solver.cc.o.d"
+  "libddt_solver.a"
+  "libddt_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddt_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddt_support.dir/support/check.cc.o"
+  "CMakeFiles/ddt_support.dir/support/check.cc.o.d"
+  "CMakeFiles/ddt_support.dir/support/log.cc.o"
+  "CMakeFiles/ddt_support.dir/support/log.cc.o.d"
+  "CMakeFiles/ddt_support.dir/support/strings.cc.o"
+  "CMakeFiles/ddt_support.dir/support/strings.cc.o.d"
+  "libddt_support.a"
+  "libddt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libddt_support.a"
+)

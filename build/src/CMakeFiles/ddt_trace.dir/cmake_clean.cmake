@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddt_trace.dir/trace/trace.cc.o"
+  "CMakeFiles/ddt_trace.dir/trace/trace.cc.o.d"
+  "libddt_trace.a"
+  "libddt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

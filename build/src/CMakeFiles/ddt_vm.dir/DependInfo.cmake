@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/assembler.cc" "src/CMakeFiles/ddt_vm.dir/vm/assembler.cc.o" "gcc" "src/CMakeFiles/ddt_vm.dir/vm/assembler.cc.o.d"
+  "/root/repo/src/vm/disasm.cc" "src/CMakeFiles/ddt_vm.dir/vm/disasm.cc.o" "gcc" "src/CMakeFiles/ddt_vm.dir/vm/disasm.cc.o.d"
+  "/root/repo/src/vm/guest_memory.cc" "src/CMakeFiles/ddt_vm.dir/vm/guest_memory.cc.o" "gcc" "src/CMakeFiles/ddt_vm.dir/vm/guest_memory.cc.o.d"
+  "/root/repo/src/vm/image.cc" "src/CMakeFiles/ddt_vm.dir/vm/image.cc.o" "gcc" "src/CMakeFiles/ddt_vm.dir/vm/image.cc.o.d"
+  "/root/repo/src/vm/isa.cc" "src/CMakeFiles/ddt_vm.dir/vm/isa.cc.o" "gcc" "src/CMakeFiles/ddt_vm.dir/vm/isa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ddt_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ddt_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ddt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddt_vm.dir/vm/assembler.cc.o"
+  "CMakeFiles/ddt_vm.dir/vm/assembler.cc.o.d"
+  "CMakeFiles/ddt_vm.dir/vm/disasm.cc.o"
+  "CMakeFiles/ddt_vm.dir/vm/disasm.cc.o.d"
+  "CMakeFiles/ddt_vm.dir/vm/guest_memory.cc.o"
+  "CMakeFiles/ddt_vm.dir/vm/guest_memory.cc.o.d"
+  "CMakeFiles/ddt_vm.dir/vm/image.cc.o"
+  "CMakeFiles/ddt_vm.dir/vm/image.cc.o.d"
+  "CMakeFiles/ddt_vm.dir/vm/isa.cc.o"
+  "CMakeFiles/ddt_vm.dir/vm/isa.cc.o.d"
+  "libddt_vm.a"
+  "libddt_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddt_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

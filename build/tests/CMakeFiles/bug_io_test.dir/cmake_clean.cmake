@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bug_io_test.dir/bug_io_test.cc.o"
+  "CMakeFiles/bug_io_test.dir/bug_io_test.cc.o.d"
+  "bug_io_test"
+  "bug_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bug_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

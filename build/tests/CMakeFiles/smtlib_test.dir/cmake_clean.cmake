@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtlib_test.dir/smtlib_test.cc.o"
+  "CMakeFiles/smtlib_test.dir/smtlib_test.cc.o.d"
+  "smtlib_test"
+  "smtlib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtlib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
