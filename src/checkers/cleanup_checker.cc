@@ -1,0 +1,76 @@
+#include "src/checkers/cleanup_checker.h"
+
+#include "src/engine/execution_state.h"
+#include "src/engine/fault_injection.h"
+#include "src/support/strings.h"
+
+namespace ddt {
+
+void CleanupChecker::OnKernelEvent(ExecutionState& st, const KernelEvent& event,
+                                   CheckerHost& host) {
+  if (event.kind != KernelEvent::Kind::kEntryExit) {
+    return;
+  }
+  const KernelState& ks = st.kernel;
+  if (ks.faults_injected.empty()) {
+    return;  // plain run or fault-free path: LeakChecker's territory
+  }
+  int slot = static_cast<int>(event.a);
+  uint32_t status = event.b;
+  if (status == kStatusSuccess) {
+    return;  // the driver absorbed the fault; nothing to verify here
+  }
+
+  // The entry point reported failure under an injected fault. The kernel
+  // will not call back to clean up, so anything acquired during this entry
+  // must already be gone.
+  std::string schedule = FormatFaultSchedule(ks.faults_injected);
+
+  for (const PoolAllocation* alloc : ks.LiveAllocations(slot)) {
+    if (alloc->api == "MosNewInterruptSync") {
+      continue;  // kernel-owned helper, freed by the kernel at teardown
+    }
+    host.ReportBug(st, BugType::kResourceLeak,
+                   StrFormat("%s leaks %u bytes from %s when %s fails", EntrySlotName(slot),
+                             alloc->size, alloc->api.c_str(), schedule.c_str()),
+                   StrFormat("entry returned status 0x%x under injected fault(s) [%s] but "
+                             "allocation 0x%x (tag 0x%x) is still live",
+                             status, schedule.c_str(), alloc->addr, alloc->tag));
+    return;  // one report per checkpoint; the path terminates anyway
+  }
+
+  for (uint32_t handle : ks.OpenConfigHandles(slot)) {
+    host.ReportBug(st, BugType::kResourceLeak,
+                   StrFormat("%s leaks a configuration handle when %s fails",
+                             EntrySlotName(slot), schedule.c_str()),
+                   StrFormat("entry returned status 0x%x under injected fault(s) [%s] but "
+                             "configuration handle 0x%x is still open",
+                             status, schedule.c_str(), handle));
+    return;
+  }
+
+  for (const auto& [desc, packet] : ks.packets) {
+    if (packet.alive) {
+      host.ReportBug(st, BugType::kResourceLeak,
+                     StrFormat("%s leaks a packet when %s fails", EntrySlotName(slot),
+                               schedule.c_str()),
+                     StrFormat("entry returned status 0x%x under injected fault(s) [%s] but "
+                               "packet 0x%x from pool 0x%x is still outstanding",
+                               status, schedule.c_str(), desc, packet.pool));
+      return;
+    }
+  }
+  for (const auto& [handle, pool] : ks.packet_pools) {
+    if (pool.alive) {
+      host.ReportBug(st, BugType::kResourceLeak,
+                     StrFormat("%s leaks its packet pool when %s fails", EntrySlotName(slot),
+                               schedule.c_str()),
+                     StrFormat("entry returned status 0x%x under injected fault(s) [%s] but "
+                               "packet pool 0x%x is still live",
+                               status, schedule.c_str(), handle));
+      return;
+    }
+  }
+}
+
+}  // namespace ddt

@@ -1,0 +1,29 @@
+// Fault-path cleanup verification (§3.4 campaigns).
+//
+// When a FaultPlan deliberately fails a kernel API call and the entry point
+// then (correctly) reports failure, every resource acquired before the
+// injected fault must already have been released — the caller will never
+// invoke Halt after a failed Initialize. LeakChecker covers the generic
+// failed-init checkpoint; this checker runs only on paths where faults were
+// actually injected and names the exact failure schedule in its report, so a
+// campaign's merged bug list distinguishes "leaks on the ordinary failure
+// path" from "leaks only when the n-th allocation fails".
+//
+// Inert on plain (no-plan) runs by construction: it keys off
+// KernelState::faults_injected, which stays empty without an active plan.
+#ifndef SRC_CHECKERS_CLEANUP_CHECKER_H_
+#define SRC_CHECKERS_CLEANUP_CHECKER_H_
+
+#include "src/engine/checker.h"
+
+namespace ddt {
+
+class CleanupChecker : public Checker {
+ public:
+  std::string name() const override { return "fault-cleanup"; }
+  void OnKernelEvent(ExecutionState& st, const KernelEvent& event, CheckerHost& host) override;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_CHECKERS_CLEANUP_CHECKER_H_

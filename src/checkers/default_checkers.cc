@@ -1,5 +1,6 @@
 #include "src/checkers/default_checkers.h"
 
+#include "src/checkers/cleanup_checker.h"
 #include "src/checkers/leak_checker.h"
 #include "src/checkers/lock_checker.h"
 #include "src/checkers/loop_checker.h"
@@ -11,6 +12,11 @@ namespace ddt {
 std::vector<std::unique_ptr<Checker>> MakeDefaultCheckers() {
   std::vector<std::unique_ptr<Checker>> checkers;
   checkers.push_back(std::make_unique<MemoryChecker>());
+  // CleanupChecker must precede LeakChecker: both fire on the same
+  // entry-exit event, the first report terminates the path, and the
+  // fault-specific report (with its failure schedule) is the one a campaign
+  // needs to distinguish from the generic failed-init leak.
+  checkers.push_back(std::make_unique<CleanupChecker>());
   checkers.push_back(std::make_unique<LeakChecker>());
   checkers.push_back(std::make_unique<LockChecker>());
   checkers.push_back(std::make_unique<RaceChecker>());

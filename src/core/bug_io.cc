@@ -67,6 +67,16 @@ std::string SerializeBugs(const std::vector<Bug>& bugs) {
     for (uint32_t slot : bug.workload_trail) {
       out += StrFormat("workload %u\n", slot);
     }
+    if (!bug.fault_plan.label.empty()) {
+      out += "fault-label " + Escape(bug.fault_plan.label) + "\n";
+    }
+    for (const FaultPoint& point : bug.fault_plan.points) {
+      out += StrFormat("fault-point %d %u\n", static_cast<int>(point.cls), point.occurrence);
+    }
+    for (const InjectedFault& fault : bug.fault_schedule) {
+      out += StrFormat("fault-injected %d %u %s\n", static_cast<int>(fault.cls), fault.occurrence,
+                       Escape(fault.api).c_str());
+    }
     out += "trace " + Escape(FormatTrace(bug.trace, 60)) + "\n";
     out += "end\n";
   }
@@ -173,6 +183,28 @@ Result<std::vector<Bug>> DeserializeBugs(const std::string& text) {
     } else if (key == "workload") {
       current.workload_trail.push_back(
           static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10)));
+    } else if (key == "fault-label") {
+      current.fault_plan.label = Unescape(value);
+    } else if (key == "fault-point") {
+      int cls;
+      unsigned occurrence;
+      if (std::sscanf(value.c_str(), "%d %u", &cls, &occurrence) != 2) {
+        return Status::Error("bug report: bad fault-point line");
+      }
+      current.fault_plan.points.push_back(
+          FaultPoint{static_cast<FaultClass>(cls), occurrence});
+    } else if (key == "fault-injected") {
+      int cls;
+      unsigned occurrence;
+      int consumed = 0;
+      if (std::sscanf(value.c_str(), "%d %u %n", &cls, &occurrence, &consumed) != 2) {
+        return Status::Error("bug report: bad fault-injected line");
+      }
+      InjectedFault fault;
+      fault.cls = static_cast<FaultClass>(cls);
+      fault.occurrence = occurrence;
+      fault.api = Unescape(value.substr(static_cast<size_t>(consumed)));
+      current.fault_schedule.push_back(fault);
     } else if (key == "trace") {
       // Stored as rendered text; kept in `details` addendum rather than as
       // structured events (expression pointers cannot cross processes).

@@ -1,5 +1,7 @@
 #include "src/core/ddt.h"
 
+#include <set>
+
 #include "src/checkers/default_checkers.h"
 #include "src/support/check.h"
 #include "src/support/strings.h"
@@ -119,7 +121,108 @@ std::string DdtResult::FormatReport(const std::string& driver_name) const {
                    static_cast<unsigned long long>(solver_stats.sat_calls));
   out += StrFormat("peak state working set: ~%llu KiB across live states\n",
                    static_cast<unsigned long long>(stats.peak_state_bytes / 1024));
+  if (stats.faults_injected != 0) {
+    out += StrFormat("faults injected: %llu\n",
+                     static_cast<unsigned long long>(stats.faults_injected));
+  }
+  if (solver_stats.query_timeouts != 0 || stats.states_evicted != 0) {
+    out += StrFormat("governor: %llu query timeouts, %llu states evicted\n",
+                     static_cast<unsigned long long>(solver_stats.query_timeouts),
+                     static_cast<unsigned long long>(stats.states_evicted));
+  }
   out += StrFormat("wall time: %.1f ms\n", stats.wall_ms);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection campaigns (§3.4)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string BugKey(const Bug& bug) {
+  return StrFormat("%d|%s", static_cast<int>(bug.type), bug.title.c_str());
+}
+
+}  // namespace
+
+Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
+                                             const DriverImage& image,
+                                             const PciDescriptor& descriptor) {
+  FaultCampaignResult result;
+  std::set<std::string> seen;
+
+  // Pass 0: plain baseline. Besides its own bugs, it measures the fault-site
+  // profile every later plan is generated from.
+  auto run_pass = [&](const FaultPlan& plan) -> Result<DdtResult> {
+    DdtConfig pass_config = config.base;
+    pass_config.engine.fault_plan = plan;
+    auto ddt = std::make_shared<Ddt>(pass_config);
+    Result<DdtResult> r = ddt->TestDriver(image, descriptor);
+    if (!r.ok()) {
+      return r;
+    }
+    FaultCampaignPass pass;
+    pass.plan = plan;
+    pass.stats = r.value().stats;
+    pass.bugs_found = r.value().bugs.size();
+    for (const Bug& bug : r.value().bugs) {
+      if (seen.insert(BugKey(bug)).second) {
+        ++pass.bugs_new;
+        result.bugs.push_back(bug);
+      }
+    }
+    result.total_faults_injected += r.value().stats.faults_injected;
+    result.total_wall_ms += r.value().stats.wall_ms;
+    result.passes.push_back(std::move(pass));
+    // Bugs hold ExprRefs owned by this instance's ExprContext.
+    result.keepalive.push_back(std::move(ddt));
+    return r;
+  };
+
+  Result<DdtResult> baseline = run_pass(FaultPlan{});
+  if (!baseline.ok()) {
+    return baseline.status();
+  }
+  FaultSiteProfile profile = result.keepalive.back()->engine().fault_site_profile();
+
+  size_t plan_budget = config.max_passes > 0 ? config.max_passes - 1 : 0;
+  std::vector<FaultPlan> plans =
+      GenerateCampaignPlans(profile, config.seed, config.max_occurrences_per_class,
+                            config.escalation_rounds, plan_budget);
+  for (const FaultPlan& plan : plans) {
+    Result<DdtResult> r = run_pass(plan);
+    if (!r.ok()) {
+      return r.status();
+    }
+  }
+  return result;
+}
+
+std::string FaultCampaignResult::FormatReport(const std::string& driver_name) const {
+  std::string out;
+  out += StrFormat("=== DDT fault campaign for driver '%s' ===\n", driver_name.c_str());
+  out += StrFormat("passes: %zu (1 baseline + %zu fault plans)\n", passes.size(),
+                   passes.empty() ? 0 : passes.size() - 1);
+  out += StrFormat("total faults injected: %llu\n",
+                   static_cast<unsigned long long>(total_faults_injected));
+  out += StrFormat("merged bugs: %zu\n", bugs.size());
+  for (const Bug& bug : bugs) {
+    out += "  " + bug.Row();
+    if (!bug.fault_plan.empty()) {
+      out += StrFormat("  [plan: %s]", bug.fault_plan.ToString().c_str());
+    }
+    out += "\n";
+  }
+  for (size_t i = 0; i < passes.size(); ++i) {
+    const FaultCampaignPass& pass = passes[i];
+    out += StrFormat("  pass %zu: %s -> %zu bugs (%zu new), %llu faults, %.1f ms\n", i,
+                     pass.plan.empty() ? "baseline" : pass.plan.ToString().c_str(),
+                     pass.bugs_found, pass.bugs_new,
+                     static_cast<unsigned long long>(pass.stats.faults_injected),
+                     pass.stats.wall_ms);
+  }
+  out += StrFormat("total wall time: %.1f ms\n", total_wall_ms);
   return out;
 }
 

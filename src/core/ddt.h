@@ -87,6 +87,58 @@ class Ddt {
   bool ran_ = false;
 };
 
+// --- Fault-injection campaigns (§3.4 error-path testing) ------------------
+//
+// A campaign runs the engine multiple times over the same driver: first a
+// plain baseline pass, then one pass per FaultPlan generated from the
+// baseline's fault-site profile (every single failure point, then escalating
+// multi-point combinations). Bugs are merged and deduplicated across passes;
+// each Bug carries the plan that exposed it, so ReplayBug reproduces the
+// exact failure schedule.
+
+struct FaultCampaignConfig {
+  // Base configuration for every pass (the campaign overwrites
+  // engine.fault_plan per pass).
+  DdtConfig base;
+  // Seeds plan generation (escalation combos); independent of engine.seed.
+  uint64_t seed = 0xFA117;
+  // Cap on total engine passes, including the baseline.
+  size_t max_passes = 32;
+  // Per class, only the first N occurrences are considered as single-point
+  // plans (most init-path cleanup bugs hide in the first few).
+  uint32_t max_occurrences_per_class = 8;
+  // Rounds of multi-point escalation after the singles (round r combines
+  // r + 2 points).
+  uint32_t escalation_rounds = 1;
+};
+
+// One engine pass of a campaign.
+struct FaultCampaignPass {
+  FaultPlan plan;  // empty for the baseline
+  EngineStats stats;
+  size_t bugs_found = 0;  // bugs this pass reported (pre-merge)
+  size_t bugs_new = 0;    // of those, how many no earlier pass had found
+};
+
+struct FaultCampaignResult {
+  // Merged, deduplicated bugs across all passes (baseline bugs first).
+  std::vector<Bug> bugs;
+  std::vector<FaultCampaignPass> passes;
+  // Aggregate counters across passes.
+  uint64_t total_faults_injected = 0;
+  double total_wall_ms = 0;
+  // Bug objects reference expression storage owned by the per-pass Ddt
+  // instances; they are kept alive here so the result is self-contained.
+  std::vector<std::shared_ptr<Ddt>> keepalive;
+
+  std::string FormatReport(const std::string& driver_name) const;
+};
+
+// Runs a full campaign over one driver. Deterministic in (config, driver).
+Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
+                                             const DriverImage& image,
+                                             const PciDescriptor& descriptor);
+
 }  // namespace ddt
 
 #endif  // SRC_CORE_DDT_H_

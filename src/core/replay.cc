@@ -16,6 +16,10 @@ ReplayResult ReplayBug(const DriverImage& image, const PciDescriptor& descriptor
   for (const SolvedInput& input : bug.inputs) {
     ec.guided_inputs[OriginKeyString(input.origin)] = input.value;
   }
+  // Re-apply the fault plan that exposed the bug: occurrence counters are
+  // deterministic per path, so the same (class, occurrence) points fail at
+  // the same calls and the recorded failure schedule reproduces exactly.
+  ec.fault_plan = bug.fault_plan;
   // A single concrete path: budgets can be tight. Run the whole path (the
   // target bug may be preceded by non-fatal warnings like lockset races).
   ec.max_states = 4;

@@ -11,6 +11,11 @@
 //                        OID's low byte, unchecked
 //   5. segfault        — SetInformation dereferences the (null) pointer at
 //                        the head of the request buffer for unexpected OIDs
+//
+// Plus one *latent* defect only fault-injection campaigns reach (not part of
+// the Table-2 set, invisible to plain runs): the MosMapIoSpace failure path
+// also skips MosCloseConfiguration, and MosMapIoSpace never fails unless a
+// FaultPlan makes it (§3.4).
 #include "src/drivers/asm_lib.h"
 #include "src/drivers/corpus.h"
 
@@ -47,6 +52,7 @@ std::string Rtl8029Source() {
   init_no_param:
     movi r0, 0
     kcall MosMapIoSpace
+    bz r0, init_map_failed     ; dead in plain runs: BAR0 always maps
     st32 [r5+4], r0            ; adapter.mmio = BAR0
     ; receive buffer
     movi r0, 256
@@ -78,6 +84,13 @@ std::string Rtl8029Source() {
     ret
   init_alloc_failed:
     ; BUG 1: bail out without MosCloseConfiguration
+    addi sp, sp, 16
+    movi r0, 0xC000009A
+    pop {r4, r5, r6, lr}
+    ret
+  init_map_failed:
+    ; BUG 6 (latent): also skips MosCloseConfiguration, but this path is
+    ; unreachable without injecting a MosMapIoSpace failure (§3.4 campaign)
     addi sp, sp, 16
     movi r0, 0xC000009A
     pop {r4, r5, r6, lr}

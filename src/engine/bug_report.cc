@@ -74,6 +74,13 @@ std::string Bug::Format(size_t trace_lines, const TraceSymbolizer* symbolizer) c
                        static_cast<unsigned long long>(input.value));
     }
   }
+  if (!fault_plan.empty()) {
+    out += StrFormat("  fault plan: %s\n", fault_plan.ToString().c_str());
+  }
+  if (!fault_schedule.empty()) {
+    out += StrFormat("  faults injected on path: %s\n",
+                     FormatFaultSchedule(fault_schedule).c_str());
+  }
   if (!interrupt_schedule.empty()) {
     out += "  interrupt schedule (boundary crossings): ";
     for (size_t i = 0; i < interrupt_schedule.size(); ++i) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/engine/fault_injection.h"
 #include "src/expr/expr.h"
 #include "src/kernel/api.h"
 #include "src/trace/trace.h"
@@ -62,6 +63,11 @@ struct Bug {
   std::vector<uint32_t> workload_trail;      // entry slots invoked, in order
   // Annotation alternatives taken on the path: (kernel call seq, label).
   std::vector<std::pair<uint32_t, std::string>> alternatives;
+  // Fault plan active during the run that found this bug, and the faults
+  // actually injected on the buggy path (§3.4 campaigns). Replay re-applies
+  // the plan; deterministic occurrence counters reproduce the schedule.
+  FaultPlan fault_plan;
+  std::vector<InjectedFault> fault_schedule;
   // The path constraints at detection time (the satisfiability obligation
   // behind `inputs`). Expression pointers are owned by the engine's
   // ExprContext — valid while the Ddt/Engine instance lives; export with

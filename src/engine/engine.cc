@@ -103,6 +103,10 @@ class EngineKernelContext : public KernelContext {
 
   void EmitEvent(const KernelEvent& event) override { engine_->EmitKernelEvent(*st_, event); }
 
+  bool ShouldInjectFault(FaultClass cls, const char* api) override {
+    return engine_->ShouldInjectFault(*st_, cls, api);
+  }
+
   uint32_t CallSitePc() const override { return st_->pc; }
 
  private:
@@ -125,6 +129,18 @@ void Engine::AddChecker(std::unique_ptr<Checker> checker) {
 }
 
 Status Engine::LoadDriver(const DriverImage& image, const PciDescriptor& descriptor) {
+  // A zero budget would silently run forever (or not at all, depending on
+  // the check's direction) — reject it up front rather than guess intent.
+  if (config_.max_states == 0) {
+    return Status::Error("EngineConfig.max_states must be nonzero");
+  }
+  if (config_.max_instructions == 0) {
+    return Status::Error("EngineConfig.max_instructions must be nonzero");
+  }
+  if (config_.max_wall_ms == 0) {
+    return Status::Error("EngineConfig.max_wall_ms must be nonzero");
+  }
+
   image_ = image;
   pci_ = descriptor;
 
@@ -223,6 +239,9 @@ void Engine::Run() {
                  + sizeof(ExecutionState);
       }
       stats_.peak_state_bytes = std::max(stats_.peak_state_bytes, bytes);
+      if (config_.max_state_bytes != 0 && bytes > config_.max_state_bytes) {
+        EvictStatesOverMemoryBudget(bytes);
+      }
     }
 
     // Prune terminated states (bugs and stats already captured).
@@ -241,6 +260,13 @@ void Engine::StepState(ExecutionState& st) {
   if (!st.alive()) {
     return;
   }
+  // Per-state instruction fuel: one runaway path must not starve the rest of
+  // the exploration (or the whole run, under stop_after_first_bug).
+  if (config_.max_instructions_per_state != 0 && st.steps >= config_.max_instructions_per_state) {
+    ++stats_.states_evicted;
+    FinishState(st, "per-state instruction fuel exhausted");
+    return;
+  }
   if (st.frames.empty() || st.pc == kIdlePc) {
     ScheduleNext(st);
     return;
@@ -255,6 +281,59 @@ void Engine::FinishState(ExecutionState& st, const std::string& why) {
   if (st.alive()) {
     st.Terminate(why);
   }
+}
+
+void Engine::EvictStatesOverMemoryBudget(uint64_t current_bytes) {
+  // Evict largest-delta states first; they are the most expensive to keep and
+  // (being the deepest-forked) the most redundant with surviving siblings.
+  // Always keep at least one live state so the run can still make progress.
+  std::vector<ExecutionState*> alive;
+  for (const auto& state : states_) {
+    if (state->alive()) {
+      alive.push_back(state.get());
+    }
+  }
+  std::sort(alive.begin(), alive.end(), [](const ExecutionState* a, const ExecutionState* b) {
+    return a->mem.DeltaSize() > b->mem.DeltaSize();
+  });
+  size_t remaining = alive.size();
+  for (ExecutionState* st : alive) {
+    if (remaining <= 1 || current_bytes <= config_.max_state_bytes) {
+      break;
+    }
+    uint64_t bytes = st->mem.DeltaSize() * 16 + st->constraints.size() * 8 +
+                     sizeof(ExecutionState);
+    ++stats_.states_evicted;
+    FinishState(*st, "evicted under memory pressure");
+    --remaining;
+    current_bytes -= std::min(current_bytes, bytes);
+  }
+}
+
+bool Engine::ShouldInjectFault(ExecutionState& st, FaultClass cls, const char* api) {
+  size_t idx = static_cast<size_t>(cls);
+  // The occurrence index advances on EVERY query, injected or not — that is
+  // what makes (class, occurrence) a stable coordinate across passes and
+  // guided replay.
+  uint32_t occurrence = st.kernel.fault_occurrences[idx]++;
+  fault_site_profile_.max_occurrences[idx] =
+      std::max(fault_site_profile_.max_occurrences[idx], occurrence + 1);
+  if (!config_.fault_plan.ShouldFail(cls, occurrence)) {
+    return false;
+  }
+  ++stats_.faults_injected;
+  InjectedFault fault;
+  fault.cls = cls;
+  fault.occurrence = occurrence;
+  fault.api = api;
+  st.kernel.faults_injected.push_back(fault);
+  KernelEvent ev;
+  ev.kind = KernelEvent::Kind::kFaultInjected;
+  ev.a = static_cast<uint32_t>(cls);
+  ev.b = occurrence;
+  ev.text = api;
+  EmitKernelEvent(st, ev);
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -545,6 +624,12 @@ constexpr int kQuantumInstructions = 64;
 void Engine::ExecuteBlock(ExecutionState& st) {
   for (int i = 0; i < kQuantumInstructions; ++i) {
     if (!st.alive() || stop_requested_) {
+      return;
+    }
+    // Re-check the wall budget inside the quantum: a single instruction can
+    // hide arbitrarily slow solver queries, and the governor promises the
+    // run ends within a small factor of max_wall_ms.
+    if ((i & 7) == 7 && BudgetExceeded()) {
       return;
     }
     if (st.pc == kMagicReturnAddress) {
@@ -1743,6 +1828,8 @@ void Engine::ReportBug(ExecutionState& st, BugType type, const std::string& titl
     bug.interrupt_schedule = st.interrupt_schedule;
     bug.workload_trail = st.workload_trail;
     bug.alternatives = st.alternatives_taken;
+    bug.fault_plan = config_.fault_plan;
+    bug.fault_schedule = st.kernel.faults_injected;
     bug.constraints = st.constraints;
     bugs_.push_back(std::move(bug));
     DDT_LOG_INFO("bug found: %s", bugs_.back().Row().c_str());

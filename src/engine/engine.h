@@ -27,6 +27,7 @@
 #include "src/engine/bug_report.h"
 #include "src/engine/checker.h"
 #include "src/engine/execution_state.h"
+#include "src/engine/fault_injection.h"
 #include "src/engine/searcher.h"
 #include "src/hw/pci.h"
 #include "src/kernel/exerciser.h"
@@ -44,6 +45,16 @@ struct EngineConfig {
   uint64_t max_states = 512;
   uint64_t max_wall_ms = 60'000;
   uint32_t max_fork_depth = 64;
+  // --- Resource governor ---
+  // Per-state instruction fuel: a single path exceeding this is evicted
+  // (counted in EngineStats::states_evicted) so one runaway loop cannot
+  // starve the rest of the exploration. 0 = unlimited.
+  uint64_t max_instructions_per_state = 0;
+  // Soft ceiling on the approximate working set across live states (same
+  // accounting as EngineStats::peak_state_bytes). When exceeded, the engine
+  // evicts the largest states until back under the ceiling, always keeping
+  // at least one state alive. 0 = unlimited.
+  uint64_t max_state_bytes = 0;
   // Per-path symbolic interrupt budget (§3.3: simplified model injects at
   // boundary crossings; one injection usually suffices to expose races).
   uint32_t max_interrupts_per_path = 1;
@@ -69,6 +80,12 @@ struct EngineConfig {
   bool stop_after_first_bug = false;
   size_t max_trace_tail_events = 1 << 18;
   SolverConfig solver;
+
+  // Fault-injection plan for this pass (§3.4 campaigns). Empty = plain run.
+  // Kernel API handlers consult the plan through the engine at each
+  // fault-eligible site; matching (class, occurrence) points fail
+  // deterministically on every path. Recorded into bugs for replay.
+  FaultPlan fault_plan;
 
   // --- Guided replay (§3.5): re-execute a recorded buggy path concretely ---
   // When guided is true, every symbolic value is immediately resolved to a
@@ -96,6 +113,11 @@ struct EngineStats {
   uint64_t entry_invocations = 0;
   uint64_t concretizations = 0;
   uint64_t concretization_backtracks = 0;
+  // Deliberate kernel-API failures delivered by the active FaultPlan.
+  uint64_t faults_injected = 0;
+  // States killed by the resource governor (per-state fuel or memory
+  // pressure), as opposed to normal termination.
+  uint64_t states_evicted = 0;
   // Peak approximate working-set across live states: COW delta bytes plus
   // path-constraint counts (the §5.2 "DDT used at most 4 GB" accounting,
   // scaled to this reproduction).
@@ -141,6 +163,9 @@ class Engine : public CheckerHost, private BlockCountOracle {
   const Cfg& cfg() const { return cfg_; }
   const LoadedDriver& loaded_driver() const { return loaded_; }
   const MemStats& mem_stats() const { return mem_stats_; }
+  // Fault-eligible call sites observed across all paths of this run; a
+  // campaign uses the baseline pass's profile to enumerate injection plans.
+  const FaultSiteProfile& fault_site_profile() const { return fault_site_profile_; }
   Solver& solver() { return solver_; }
   ExprContext* expr() override { return &ctx_; }
 
@@ -214,6 +239,14 @@ class Engine : public CheckerHost, private BlockCountOracle {
   Value ReadMemValueRaw(ExecutionState& st, uint32_t addr, unsigned size);
   void WriteMemValueRaw(ExecutionState& st, uint32_t addr, const Value& value, unsigned size);
   void EmitKernelEvent(ExecutionState& st, const KernelEvent& event);
+  // Fault-eligible site hit in `st`: bumps the per-path occurrence counter
+  // (always — occurrence indices must be deterministic whether or not a plan
+  // is active), updates the engine-wide site profile, and consults the
+  // configured FaultPlan. True = the kernel call must fail now.
+  bool ShouldInjectFault(ExecutionState& st, FaultClass cls, const char* api);
+  // Memory-pressure eviction: terminates the largest states until the
+  // approximate working set is back under max_state_bytes.
+  void EvictStatesOverMemoryBudget(uint64_t current_bytes);
   void DoBugCheck(ExecutionState& st, uint32_t code, const std::string& message);
   void AddConstraintChecked(ExecutionState& st, ExprRef constraint);
 
@@ -254,6 +287,7 @@ class Engine : public CheckerHost, private BlockCountOracle {
   std::set<std::pair<uint64_t, ExprRef>> backtrack_memo_;
   EngineStats stats_;
   MemStats mem_stats_;
+  FaultSiteProfile fault_site_profile_;
 
   // Coverage.
   std::unordered_map<uint32_t, uint64_t> block_counts_;  // leader -> executions

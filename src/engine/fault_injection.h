@@ -1,0 +1,71 @@
+// Fault-injection plans (§3.4 error-path campaigns).
+//
+// Annotations make kernel-API failures *possible* — each allocator return
+// forks an alternative where the call failed. A FaultPlan makes failures
+// *systematic*: it names (class, occurrence) injection points that MUST fail
+// on every path of an engine pass. A campaign (src/core/ddt.h) runs many
+// passes with escalating plans generated from the baseline pass's observed
+// fault-site profile, merging bugs across passes. Because injection decisions
+// key off deterministic per-path occurrence counters (KernelState), recording
+// the active plan in a Bug is sufficient to replay the exact failure
+// schedule (§3.5).
+#ifndef SRC_ENGINE_FAULT_INJECTION_H_
+#define SRC_ENGINE_FAULT_INJECTION_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kernel/api.h"
+
+namespace ddt {
+
+// One injection point: the occurrence-th fault-eligible call of this class
+// on a path fails.
+struct FaultPoint {
+  FaultClass cls = FaultClass::kAllocation;
+  uint32_t occurrence = 0;
+
+  bool operator==(const FaultPoint& other) const {
+    return cls == other.cls && occurrence == other.occurrence;
+  }
+};
+
+// A deterministic, seed-derived set of injection points driving one engine
+// pass. Empty plan = plain run (no injection).
+struct FaultPlan {
+  // Provenance label shown in reports ("alloc#1", "escalation r2 seed=...").
+  std::string label;
+  std::vector<FaultPoint> points;
+
+  bool empty() const { return points.empty(); }
+  bool ShouldFail(FaultClass cls, uint32_t occurrence) const;
+  std::string ToString() const;
+};
+
+// Per-class count of fault-eligible call sites observed across all paths of
+// a pass (the max occurrence counter any path reached). The campaign uses
+// the baseline pass's profile to enumerate single-point plans and to bound
+// escalation combos.
+struct FaultSiteProfile {
+  std::array<uint32_t, kNumFaultClasses> max_occurrences = {};
+
+  bool Empty() const;
+};
+
+// Generates the campaign schedule: first every single-point plan (class-major
+// order, occurrence capped at `max_occurrences_per_class`), then
+// `escalation_rounds` rounds of seed-derived multi-point combinations. The
+// result is deterministic in (profile, seed, caps) and truncated to
+// `max_plans`.
+std::vector<FaultPlan> GenerateCampaignPlans(const FaultSiteProfile& profile, uint64_t seed,
+                                             uint32_t max_occurrences_per_class,
+                                             uint32_t escalation_rounds, size_t max_plans);
+
+// Human-readable failure schedule ("MosAllocatePoolWithTag[allocation#0], ...").
+std::string FormatFaultSchedule(const std::vector<InjectedFault>& faults);
+
+}  // namespace ddt
+
+#endif  // SRC_ENGINE_FAULT_INJECTION_H_

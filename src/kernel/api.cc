@@ -99,6 +99,24 @@ const char* KernelEventKindName(KernelEvent::Kind kind) {
       return "packet-pool-alloc";
     case KernelEvent::Kind::kPacketPoolFree:
       return "packet-pool-free";
+    case KernelEvent::Kind::kFaultInjected:
+      return "fault-injected";
+  }
+  return "?";
+}
+
+const char* FaultClassName(FaultClass cls) {
+  switch (cls) {
+    case FaultClass::kAllocation:
+      return "allocation";
+    case FaultClass::kMapIoSpace:
+      return "map-io-space";
+    case FaultClass::kRegistryRead:
+      return "registry-read";
+    case FaultClass::kDeviceNotPresent:
+      return "device-not-present";
+    case FaultClass::kNumFaultClasses:
+      break;
   }
   return "?";
 }

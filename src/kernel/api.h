@@ -8,6 +8,7 @@
 #ifndef SRC_KERNEL_API_H_
 #define SRC_KERNEL_API_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -20,6 +21,35 @@ inline constexpr uint32_t kStatusInsufficientResources = 0xC000009A;
 inline constexpr uint32_t kStatusInvalidDeviceRequest = 0xC0000010;
 inline constexpr uint32_t kStatusNotFound = 0xC0000225;
 inline constexpr uint32_t kStatusBufferTooSmall = 0xC0000023;
+inline constexpr uint32_t kStatusDeviceNotConnected = 0xC000009D;
+
+// --- Fault-injection classes (§3.4 error-path campaigns) ---------------------
+// Kernel API handlers ask their KernelContext whether the current call should
+// fail deliberately. Annotations make error returns *possible* (forked
+// alternatives); fault classes make them *systematic*: a FaultPlan names
+// (class, occurrence) pairs that must fail on every path, which is what makes
+// a failure schedule replayable.
+enum class FaultClass : uint8_t {
+  kAllocation = 0,       // pool/memory/packet allocators return failure
+  kMapIoSpace = 1,       // BAR mapping fails (DMA/MMIO window unavailable)
+  kRegistryRead = 2,     // configuration parameter lookup fails
+  kDeviceNotPresent = 3, // interrupt registration / PCI config access fails
+  kNumFaultClasses = 4,
+};
+
+inline constexpr size_t kNumFaultClasses =
+    static_cast<size_t>(FaultClass::kNumFaultClasses);
+
+const char* FaultClassName(FaultClass cls);
+
+// One fault actually injected on a path: which class, the per-path occurrence
+// index of the eligible call site, and the API that failed. The sequence of
+// these is the bug's concrete failure schedule.
+struct InjectedFault {
+  FaultClass cls = FaultClass::kAllocation;
+  uint32_t occurrence = 0;
+  std::string api;
+};
 
 // --- IRQLs ---
 enum class Irql : uint8_t {
@@ -101,6 +131,7 @@ struct KernelEvent {
     kPacketFree,         // a = packet addr
     kPacketPoolAlloc,    // a = pool handle
     kPacketPoolFree,     // a = pool handle
+    kFaultInjected,      // a = fault class, b = occurrence, text = api name
   };
 
   Kind kind;

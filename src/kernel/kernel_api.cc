@@ -77,6 +77,9 @@ void MosRegisterDriver(KernelContext& kc) {
 
 uint32_t KernelAllocate(KernelContext& kc, uint32_t size, uint32_t tag, const std::string& api) {
   KernelState& ks = kc.kernel();
+  if (kc.ShouldInjectFault(FaultClass::kAllocation, api.c_str())) {
+    return 0;
+  }
   // 16-byte aligned bump allocation; never recycled, so use-after-free is
   // detectable as access to a dead allocation.
   uint32_t aligned = (size + 15u) & ~15u;
@@ -259,7 +262,8 @@ void MosReadConfiguration(KernelContext& kc) {
   kc.EmitEvent(event);
 
   auto reg_it = ks.registry.find(name);
-  if (reg_it == ks.registry.end()) {
+  if (reg_it == ks.registry.end() ||
+      kc.ShouldInjectFault(FaultClass::kRegistryRead, "MosReadConfiguration")) {
     ReturnU32(kc, kStatusNotFound);
     return;
   }
@@ -422,6 +426,10 @@ void MosRegisterInterrupt(KernelContext& kc) {
     ReturnU32(kc, kStatusUnsuccessful);
     return;
   }
+  if (kc.ShouldInjectFault(FaultClass::kDeviceNotPresent, "MosRegisterInterrupt")) {
+    ReturnU32(kc, kStatusDeviceNotConnected);
+    return;
+  }
   ks.isr_fn = fn;
   ks.isr_ctx = ctx;
   ks.isr_registered = true;
@@ -532,6 +540,10 @@ void MosAllocatePacketPool(KernelContext& kc) {
   KernelState& ks = kc.kernel();
   uint32_t out_ptr = ArgU32(kc, 0, "MosAllocatePacketPool.out");
   uint32_t count = ArgU32(kc, 1, "MosAllocatePacketPool.count");
+  if (kc.ShouldInjectFault(FaultClass::kAllocation, "MosAllocatePacketPool")) {
+    ReturnU32(kc, kStatusInsufficientResources);
+    return;
+  }
   uint32_t handle = ks.next_pool_handle++;
   PacketPoolState pool;
   pool.alive = true;
@@ -575,6 +587,10 @@ void MosAllocatePacket(KernelContext& kc) {
     return;
   }
   if (pool_it->second.outstanding >= pool_it->second.capacity) {
+    ReturnU32(kc, kStatusInsufficientResources);
+    return;
+  }
+  if (kc.ShouldInjectFault(FaultClass::kAllocation, "MosAllocatePacket")) {
     ReturnU32(kc, kStatusInsufficientResources);
     return;
   }
@@ -659,6 +675,15 @@ void MosReadPciConfig(KernelContext& kc) {
   uint32_t offset = ArgU32(kc, 0, "MosReadPciConfig.offset");
   uint32_t out_ptr = ArgU32(kc, 1, "MosReadPciConfig.out");
   uint32_t len = ArgU32(kc, 2, "MosReadPciConfig.len");
+  if (kc.ShouldInjectFault(FaultClass::kDeviceNotPresent, "MosReadPciConfig")) {
+    // An absent device floats the bus: config reads return all-ones and the
+    // API reports zero bytes transferred.
+    for (uint32_t i = 0; i < len && i < 4; ++i) {
+      kc.WriteGuestU8(out_ptr + i, 0xFF);
+    }
+    ReturnU32(kc, 0);
+    return;
+  }
   // Serve from the (concrete) device descriptor. Annotations overlay
   // symbolic values for descriptor fields like the hardware revision
   // (§4.1.4).
@@ -690,6 +715,10 @@ void MosMapIoSpace(KernelContext& kc) {
   KernelState& ks = kc.kernel();
   uint32_t bar = ArgU32(kc, 0, "MosMapIoSpace.bar");
   if (bar >= ks.pci.bars.size()) {
+    ReturnU32(kc, 0);
+    return;
+  }
+  if (kc.ShouldInjectFault(FaultClass::kMapIoSpace, "MosMapIoSpace")) {
     ReturnU32(kc, 0);
     return;
   }

@@ -76,6 +76,13 @@ class KernelContext {
   // Emits a kernel event to the checker pipeline and trace.
   virtual void EmitEvent(const KernelEvent& event) = 0;
 
+  // Fault injection (§3.4 campaigns): kernel API handlers call this at each
+  // fault-eligible site; true means the call must fail deliberately. The
+  // default never injects — only the engine's context, driven by an active
+  // FaultPlan, does (and it also counts occurrences and records the
+  // injection so the schedule replays).
+  virtual bool ShouldInjectFault(FaultClass /*cls*/, const char* /*api*/) { return false; }
+
   // Current guest program counter of the driver call site (for reports).
   virtual uint32_t CallSitePc() const = 0;
 };

@@ -179,6 +179,15 @@ struct KernelState {
   uint32_t kcall_seq = 0;
   bool driver_entry_invoked = false;
 
+  // Fault injection (§3.4 campaigns): per-path count of fault-eligible call
+  // sites seen so far, per class — the occurrence index a FaultPlan keys on.
+  // Forks copy the counters, so the schedule is deterministic per path and
+  // identical under guided replay.
+  std::array<uint32_t, kNumFaultClasses> fault_occurrences = {};
+  // Faults actually injected on this path, in order (the failure schedule
+  // recorded into bug reports).
+  std::vector<InjectedFault> faults_injected;
+
   VerifierConfig verifier;
 
   // Registry contents (concrete defaults; annotations overlay symbolic

@@ -273,7 +273,9 @@ SatLit SatSolver::PickBranchLit() {
   return MakeLit(best_var, negate);
 }
 
-SatResult SatSolver::Solve(const std::vector<SatLit>& assumptions, uint64_t conflict_budget) {
+SatResult SatSolver::Solve(const std::vector<SatLit>& assumptions, uint64_t conflict_budget,
+                           const std::chrono::steady_clock::time_point* deadline) {
+  hit_deadline_ = false;
   if (known_unsat_) {
     return SatResult::kUnsat;
   }
@@ -327,6 +329,11 @@ SatResult SatSolver::Solve(const std::vector<SatLit>& assumptions, uint64_t conf
         Backtrack(0);
         return SatResult::kUnknown;
       }
+      if (deadline != nullptr && std::chrono::steady_clock::now() >= *deadline) {
+        hit_deadline_ = true;
+        Backtrack(0);
+        return SatResult::kUnknown;
+      }
       if (conflicts_since_restart >= restart_limit) {
         ++restarts;
         conflicts_since_restart = 0;
@@ -352,6 +359,14 @@ SatResult SatSolver::Solve(const std::vector<SatLit>& assumptions, uint64_t conf
     SatLit decision = PickBranchLit();
     if (decision == UINT32_MAX) {
       return SatResult::kSat;  // full assignment
+    }
+    // Conflict-free instances never reach the conflict-side deadline check;
+    // poll it here too, cheaply (every 128 decisions).
+    if (deadline != nullptr && (decisions_ & 0x7F) == 0 &&
+        std::chrono::steady_clock::now() >= *deadline) {
+      hit_deadline_ = true;
+      Backtrack(0);
+      return SatResult::kUnknown;
     }
     ++decisions_;
     trail_limits_.push_back(static_cast<uint32_t>(trail_.size()));

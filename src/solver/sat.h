@@ -5,6 +5,7 @@
 #ifndef SRC_SOLVER_SAT_H_
 #define SRC_SOLVER_SAT_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -37,11 +38,18 @@ class SatSolver {
   void AddTernary(SatLit a, SatLit b, SatLit c) { AddClause({a, b, c}); }
 
   // Solves under the given assumptions. kUnknown only if conflict_budget
-  // (when nonzero) is exhausted.
-  SatResult Solve(const std::vector<SatLit>& assumptions = {}, uint64_t conflict_budget = 0);
+  // (when nonzero) is exhausted or `deadline` (when non-null) passes; the
+  // deadline is checked at conflicts and periodically at decisions, so
+  // overshoot is bounded by one propagation.
+  SatResult Solve(const std::vector<SatLit>& assumptions = {}, uint64_t conflict_budget = 0,
+                  const std::chrono::steady_clock::time_point* deadline = nullptr);
 
   // Model access after kSat.
   bool ModelValue(uint32_t var) const;
+
+  // True if the last Solve returned kUnknown because of the deadline (as
+  // opposed to conflict-budget exhaustion).
+  bool hit_deadline() const { return hit_deadline_; }
 
   uint64_t conflicts() const { return conflicts_; }
   uint64_t decisions() const { return decisions_; }
@@ -94,6 +102,7 @@ class SatSolver {
   double activity_inc_ = 1.0;
 
   bool known_unsat_ = false;
+  bool hit_deadline_ = false;
   uint64_t conflicts_ = 0;
   uint64_t decisions_ = 0;
   uint64_t propagations_ = 0;

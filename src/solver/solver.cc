@@ -1,6 +1,7 @@
 #include "src/solver/solver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_set>
 
 #include "src/solver/bitblast.h"
@@ -70,18 +71,30 @@ uint64_t Solver::CacheKey(const std::vector<ExprRef>& exprs) const {
 bool Solver::SolveExprs(const std::vector<ExprRef>& exprs, Assignment* model, bool* unknown) {
   *unknown = false;
   ++stats_.sat_calls;
+  // Per-query wall deadline (resource governor): the clock starts here, so
+  // bit-blasting time counts against the budget too via the first check.
+  std::chrono::steady_clock::time_point deadline;
+  bool have_deadline = config_.max_query_ms != 0;
+  if (have_deadline) {
+    deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(config_.max_query_ms);
+  }
   SatSolver sat;
   Bitblaster blaster(&sat);
   for (ExprRef e : exprs) {
     blaster.AssertTrue(e);
   }
-  SatResult result = sat.Solve({}, config_.conflict_budget);
+  SatResult result =
+      sat.Solve({}, config_.conflict_budget, have_deadline ? &deadline : nullptr);
   stats_.total_conflicts += sat.conflicts();
   stats_.total_sat_vars += sat.num_vars();
   stats_.total_sat_clauses += sat.num_clauses();
   if (result == SatResult::kUnknown) {
     *unknown = true;
     ++stats_.unknown_results;
+    if (sat.hit_deadline() ||
+        (have_deadline && std::chrono::steady_clock::now() >= deadline)) {
+      ++stats_.query_timeouts;
+    }
     return true;  // conservative
   }
   if (result == SatResult::kUnsat) {

@@ -27,6 +27,12 @@ struct SolverConfig {
   // CDCL conflict budget per query; 0 = unlimited. Exhaustion yields a
   // conservative "maybe" answer.
   uint64_t conflict_budget = 500000;
+  // Per-query wall deadline in milliseconds; 0 = unlimited. A query that
+  // exceeds it returns the same conservative "maybe" as budget exhaustion
+  // (counted in SolverStats::query_timeouts); callers degrade gracefully —
+  // branch exploration over-approximates, GetValue falls back to
+  // concretization under a partial model.
+  uint64_t max_query_ms = 0;
   bool verify_models = true;
   bool enable_cache = true;
   bool enable_slicing = true;
@@ -40,6 +46,9 @@ struct SolverStats {
   uint64_t sat_results = 0;
   uint64_t unsat_results = 0;
   uint64_t unknown_results = 0;
+  // Queries abandoned because they hit SolverConfig::max_query_ms (a subset
+  // of unknown_results).
+  uint64_t query_timeouts = 0;
   uint64_t total_conflicts = 0;
   uint64_t total_sat_vars = 0;
   uint64_t total_sat_clauses = 0;

@@ -584,5 +584,121 @@ TEST(EngineTest, InstructionBudgetIsHonored) {
   EXPECT_LE(result.value().stats.instructions, 50u + 64u);
 }
 
+// --- 13. Config validation ----------------------------------------------------
+
+TEST(EngineTest, ZeroBudgetsAreRejectedAtLoad) {
+  auto expect_rejected = [](DdtConfig config, const char* what) {
+    Ddt ddt(config);
+    Result<DdtResult> result = ddt.TestDriver(AssembleToy(kCleanDriver), ToyPci());
+    ASSERT_FALSE(result.ok()) << what << " = 0 should be rejected";
+    EXPECT_NE(result.status().message().find(what), std::string::npos)
+        << result.status().message();
+  };
+  DdtConfig zero_states;
+  zero_states.engine.max_states = 0;
+  expect_rejected(zero_states, "max_states");
+  DdtConfig zero_instructions;
+  zero_instructions.engine.max_instructions = 0;
+  expect_rejected(zero_instructions, "max_instructions");
+  DdtConfig zero_wall;
+  zero_wall.engine.max_wall_ms = 0;
+  expect_rejected(zero_wall, "max_wall_ms");
+}
+
+// --- 14. Resource governor ----------------------------------------------------
+
+// Pathological driver: a runaway polling loop whose every iteration reads a
+// fresh symbolic device register, builds a multiplication chain out of it
+// (solver-hostile), and branches on the product — unbounded forking plus
+// expensive queries. The governor must keep the run inside its wall budget.
+constexpr const char* kPathologicalDriver = R"(
+  .driver "toy_hostile"
+  .entry driver_entry
+  .code
+  .func driver_entry
+    la r0, entry_table
+    kcall MosRegisterDriver
+    ret
+
+  .func ep_init
+    movi r0, 0
+    kcall MosMapIoSpace
+    mov r4, r0
+  poll:
+    ld32 r1, [r4+0]        ; fresh symbolic values every read
+    ld32 r6, [r4+4]
+    mul r2, r1, r6
+    mul r2, r2, r1
+    mul r2, r2, r6
+    mul r2, r2, r1
+    mul r2, r2, r6
+    mul r2, r2, r1
+    mul r2, r2, r6
+    mul r2, r2, r1
+    mul r2, r2, r6
+    mul r2, r2, r1
+    mul r2, r2, r6
+    mul r2, r2, r1
+    seqi r3, r2, 12345     ; solver-hostile branch condition
+    bz r3, poll
+    movi r5, 1
+    br poll                ; never terminates on its own
+
+  .data
+  entry_table:
+    .word ep_init
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+)";
+
+TEST(EngineTest, GovernorKeepsPathologicalDriverInsideWallBudget) {
+  DdtConfig config;
+  config.use_default_checkers = false;  // isolate the governor from checkers
+  config.engine.max_wall_ms = 1500;
+  config.engine.max_instructions = 100'000'000;  // wall is the binding budget
+  config.engine.solver.max_query_ms = 10;
+  config.engine.solver.conflict_budget = 0;  // only the deadline limits queries
+  Ddt ddt(config);
+  Result<DdtResult> result = ddt.TestDriver(AssembleToy(kPathologicalDriver), ToyPci());
+  ASSERT_TRUE(result.ok());
+  const DdtResult& r = result.value();
+  // Graceful degradation, not a hang: the run ends within 2x the wall budget
+  // even though single queries could otherwise run unboundedly.
+  EXPECT_LE(r.stats.wall_ms, 2.0 * 1500);
+  EXPECT_GT(r.solver_stats.query_timeouts, 0u);
+}
+
+TEST(EngineTest, PerStateFuelEvictsRunawayState) {
+  DdtConfig config;
+  config.use_default_checkers = false;
+  config.engine.max_instructions_per_state = 2000;
+  config.engine.max_instructions = 500'000;
+  Ddt ddt(config);
+  Result<DdtResult> result = ddt.TestDriver(AssembleToy(kSpinDriver), ToyPci());
+  ASSERT_TRUE(result.ok());
+  const DdtResult& r = result.value();
+  EXPECT_GT(r.stats.states_evicted, 0u);
+  // The spinning state was evicted at its fuel limit; the run did not burn
+  // the whole global budget on it.
+  EXPECT_LT(r.stats.instructions, 500'000u);
+}
+
+TEST(EngineTest, MemoryPressureEvictionKeepsRunAlive) {
+  std::string source = std::string(kHwIndexDriver) + kHwIndexTable;
+  DdtConfig config;
+  config.engine.max_state_bytes = 1;  // absurdly tight: every sample evicts
+  config.engine.max_instructions = 200'000;
+  Ddt ddt(config);
+  Result<DdtResult> result = ddt.TestDriver(AssembleToy(source), ToyPci());
+  ASSERT_TRUE(result.ok());
+  // At least one state always survives eviction, so the run still covers code.
+  EXPECT_GT(result.value().covered_blocks, 0u);
+}
+
 }  // namespace
 }  // namespace ddt

@@ -1,0 +1,201 @@
+// Fault-injection campaign tests (§3.4 error-path testing):
+//   - plan generation is deterministic and well-formed;
+//   - a campaign over the RTL8029 corpus driver finds the latent
+//     MosMapIoSpace-failure cleanup bug that a plain TestDriver run misses;
+//   - the same campaign run twice produces the identical bug set (same seed,
+//     same driver => same injection schedule);
+//   - a fault-found bug replays concretely, with the recorded failure
+//     schedule reproduced exactly.
+#include "src/engine/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/ddt.h"
+#include "src/core/replay.h"
+#include "src/drivers/corpus.h"
+
+namespace ddt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultPlan / GenerateCampaignPlans units
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanTest, ShouldFailMatchesExactPoints) {
+  FaultPlan plan;
+  plan.points.push_back({FaultClass::kAllocation, 1});
+  plan.points.push_back({FaultClass::kMapIoSpace, 0});
+  EXPECT_TRUE(plan.ShouldFail(FaultClass::kAllocation, 1));
+  EXPECT_TRUE(plan.ShouldFail(FaultClass::kMapIoSpace, 0));
+  EXPECT_FALSE(plan.ShouldFail(FaultClass::kAllocation, 0));
+  EXPECT_FALSE(plan.ShouldFail(FaultClass::kMapIoSpace, 1));
+  EXPECT_FALSE(plan.ShouldFail(FaultClass::kRegistryRead, 0));
+  EXPECT_FALSE(FaultPlan{}.ShouldFail(FaultClass::kAllocation, 0));
+}
+
+TEST(FaultPlanTest, EmptyProfileYieldsNoPlans) {
+  EXPECT_TRUE(GenerateCampaignPlans(FaultSiteProfile{}, 1, 8, 2, 64).empty());
+}
+
+TEST(FaultPlanTest, SinglesComeFirstAndCoverTheProfile) {
+  FaultSiteProfile profile;
+  profile.max_occurrences[static_cast<size_t>(FaultClass::kAllocation)] = 3;
+  profile.max_occurrences[static_cast<size_t>(FaultClass::kMapIoSpace)] = 1;
+  std::vector<FaultPlan> plans = GenerateCampaignPlans(profile, 42, 8, 0, 64);
+  ASSERT_EQ(plans.size(), 4u);  // 3 allocation singles + 1 map single
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(plans[i].points.size(), 1u);
+    EXPECT_EQ(plans[i].points[0].cls, FaultClass::kAllocation);
+    EXPECT_EQ(plans[i].points[0].occurrence, static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(plans[3].points[0].cls, FaultClass::kMapIoSpace);
+}
+
+TEST(FaultPlanTest, OccurrenceCapLimitsSingles) {
+  FaultSiteProfile profile;
+  profile.max_occurrences[static_cast<size_t>(FaultClass::kAllocation)] = 100;
+  std::vector<FaultPlan> plans = GenerateCampaignPlans(profile, 42, 4, 0, 64);
+  EXPECT_EQ(plans.size(), 4u);
+}
+
+TEST(FaultPlanTest, GenerationIsDeterministicInSeed) {
+  FaultSiteProfile profile;
+  profile.max_occurrences[static_cast<size_t>(FaultClass::kAllocation)] = 4;
+  profile.max_occurrences[static_cast<size_t>(FaultClass::kRegistryRead)] = 2;
+  std::vector<FaultPlan> a = GenerateCampaignPlans(profile, 7, 8, 3, 64);
+  std::vector<FaultPlan> b = GenerateCampaignPlans(profile, 7, 8, 3, 64);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].points.size(), b[i].points.size());
+    for (size_t j = 0; j < a[i].points.size(); ++j) {
+      EXPECT_TRUE(a[i].points[j] == b[i].points[j]);
+    }
+  }
+  // Escalation rounds added multi-point combos past the 6 singles.
+  EXPECT_GT(a.size(), 6u);
+  for (size_t i = 6; i < a.size(); ++i) {
+    EXPECT_GE(a[i].points.size(), 2u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign over the RTL8029 corpus driver
+// ---------------------------------------------------------------------------
+
+DdtConfig QuickConfig() {
+  DdtConfig config;
+  config.engine.max_instructions = 2'000'000;
+  config.engine.max_wall_ms = 120'000;
+  config.engine.max_states = 512;
+  return config;
+}
+
+FaultCampaignConfig QuickCampaign() {
+  FaultCampaignConfig config;
+  config.base = QuickConfig();
+  config.max_passes = 12;
+  config.max_occurrences_per_class = 4;
+  config.escalation_rounds = 0;
+  return config;
+}
+
+bool IsMapFailureCleanupBug(const Bug& bug) {
+  return bug.type == BugType::kResourceLeak &&
+         bug.title.find("map-io-space") != std::string::npos;
+}
+
+TEST(FaultCampaignTest, FindsLatentCleanupBugPlainRunMisses) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+
+  // Plain run: the MosMapIoSpace failure path is dead code (BAR0 always
+  // maps), so no bug mentions the map fault class.
+  Ddt plain(QuickConfig());
+  Result<DdtResult> plain_result = plain.TestDriver(driver.image, driver.pci);
+  ASSERT_TRUE(plain_result.ok()) << plain_result.status().message();
+  for (const Bug& bug : plain_result.value().bugs) {
+    EXPECT_FALSE(IsMapFailureCleanupBug(bug)) << bug.Format(12);
+  }
+
+  // Campaign: the map-io-space#0 plan drives the driver down that path and
+  // the cleanup checker flags the still-open configuration handle.
+  Result<FaultCampaignResult> campaign =
+      RunFaultCampaign(QuickCampaign(), driver.image, driver.pci);
+  ASSERT_TRUE(campaign.ok()) << campaign.status().message();
+  const FaultCampaignResult& r = campaign.value();
+  EXPECT_GT(r.total_faults_injected, 0u);
+  EXPECT_GT(r.passes.size(), 1u);
+
+  const Bug* latent = nullptr;
+  for (const Bug& bug : r.bugs) {
+    if (IsMapFailureCleanupBug(bug)) {
+      latent = &bug;
+      break;
+    }
+  }
+  ASSERT_NE(latent, nullptr) << r.FormatReport(driver.name);
+  // The bug records both the plan that exposed it and the concrete schedule.
+  EXPECT_FALSE(latent->fault_plan.empty());
+  ASSERT_FALSE(latent->fault_schedule.empty());
+  EXPECT_EQ(latent->fault_schedule[0].cls, FaultClass::kMapIoSpace);
+  EXPECT_EQ(latent->fault_schedule[0].api, "MosMapIoSpace");
+  // The campaign also retains every baseline bug (merge keeps pass-0 output).
+  EXPECT_GE(r.bugs.size(), plain_result.value().bugs.size());
+}
+
+TEST(FaultCampaignTest, CampaignIsDeterministic) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+  auto run = [&] {
+    Result<FaultCampaignResult> r = RunFaultCampaign(QuickCampaign(), driver.image, driver.pci);
+    EXPECT_TRUE(r.ok());
+    std::vector<std::string> keys;
+    for (const Bug& bug : r.value().bugs) {
+      keys.push_back(std::string(BugTypeName(bug.type)) + "|" + bug.title + "|" +
+                     bug.fault_plan.ToString());
+    }
+    return keys;
+  };
+  std::vector<std::string> first = run();
+  std::vector<std::string> second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(FaultCampaignTest, FaultFoundBugReplaysConcretely) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+  DdtConfig config = QuickConfig();
+  Result<FaultCampaignResult> campaign =
+      RunFaultCampaign(QuickCampaign(), driver.image, driver.pci);
+  ASSERT_TRUE(campaign.ok());
+
+  const Bug* latent = nullptr;
+  for (const Bug& bug : campaign.value().bugs) {
+    if (IsMapFailureCleanupBug(bug)) {
+      latent = &bug;
+      break;
+    }
+  }
+  ASSERT_NE(latent, nullptr);
+  ReplayResult replay = ReplayBug(driver.image, driver.pci, *latent, config);
+  EXPECT_TRUE(replay.reproduced) << replay.detail;
+}
+
+// ---------------------------------------------------------------------------
+// Plain runs stay fault-free
+// ---------------------------------------------------------------------------
+
+TEST(FaultCampaignTest, NoPlanMeansNoInjections) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+  Ddt ddt(QuickConfig());
+  Result<DdtResult> result = ddt.TestDriver(driver.image, driver.pci);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().stats.faults_injected, 0u);
+  for (const Bug& bug : result.value().bugs) {
+    EXPECT_TRUE(bug.fault_schedule.empty());
+    EXPECT_TRUE(bug.fault_plan.empty());
+  }
+  // The baseline still profiles fault-eligible sites for the campaign.
+  EXPECT_FALSE(ddt.engine().fault_site_profile().Empty());
+}
+
+}  // namespace
+}  // namespace ddt

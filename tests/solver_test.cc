@@ -583,5 +583,58 @@ TEST(KnownBitsTest, RandomizedSoundness) {
   }
 }
 
+// --- Per-query deadline (resource governor) ---------------------------------
+
+// A chain of 32-bit multiplications equated to an unlikely constant: no
+// interval/known-bits shortcut applies, and bit-blasted multiplier circuits
+// make the SAT instance expensive enough that a ~zero deadline always trips.
+std::vector<ExprRef> HostileConstraints(ExprContext* ctx, int chain) {
+  ExprRef x = ctx->Var(32, "hostile_x");
+  ExprRef y = ctx->Var(32, "hostile_y");
+  ExprRef acc = x;
+  for (int i = 0; i < chain; ++i) {
+    acc = ctx->Mul(acc, i % 2 == 0 ? y : x);
+  }
+  return {ctx->Eq(acc, ctx->Const(0xDEADBEEF, 32)), ctx->Ne(x, ctx->Const(0, 32)),
+          ctx->Ne(y, ctx->Const(0, 32))};
+}
+
+TEST(SolverDeadlineTest, TimedOutQueryDegradesToConservativeSat) {
+  ExprContext ctx;
+  SolverConfig config;
+  config.max_query_ms = 1;
+  config.conflict_budget = 0;  // only the deadline can stop it
+  config.enable_cache = false;
+  Solver solver(&ctx, config);
+  // Conservative degradation: timeout answers "satisfiable" (never drops a
+  // feasible path) and is counted.
+  EXPECT_TRUE(solver.IsSatisfiable(HostileConstraints(&ctx, 24), nullptr));
+  EXPECT_GT(solver.stats().query_timeouts, 0u);
+  EXPECT_EQ(solver.stats().query_timeouts, solver.stats().unknown_results);
+}
+
+TEST(SolverDeadlineTest, GetValueStillProducesAValueOnTimeout) {
+  ExprContext ctx;
+  SolverConfig config;
+  config.max_query_ms = 1;
+  config.conflict_budget = 0;
+  config.enable_cache = false;
+  Solver solver(&ctx, config);
+  std::vector<ExprRef> constraints = HostileConstraints(&ctx, 24);
+  // GetValue degrades to evaluation under the partial/empty model: still a
+  // concrete value (the engine concretizes with it), never a hang.
+  std::optional<uint64_t> v = solver.GetValue(constraints, constraints[0]);
+  EXPECT_TRUE(v.has_value());
+}
+
+TEST(SolverDeadlineTest, NoDeadlineMeansNoTimeouts) {
+  ExprContext ctx;
+  SolverConfig config;  // max_query_ms = 0
+  Solver solver(&ctx, config);
+  ExprRef x = ctx.Var(8, "x");
+  EXPECT_TRUE(solver.IsSatisfiable({ctx.Eq(x, ctx.Const(3, 8))}, nullptr));
+  EXPECT_EQ(solver.stats().query_timeouts, 0u);
+}
+
 }  // namespace
 }  // namespace ddt
