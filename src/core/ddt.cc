@@ -1,10 +1,13 @@
 #include "src/core/ddt.h"
 
+#include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "src/checkers/default_checkers.h"
 #include "src/support/check.h"
 #include "src/support/strings.h"
+#include "src/support/thread_pool.h"
 
 namespace ddt {
 
@@ -114,11 +117,18 @@ std::string DdtResult::FormatReport(const std::string& driver_name) const {
                    static_cast<unsigned long long>(stats.forks),
                    static_cast<unsigned long long>(stats.states_created),
                    static_cast<unsigned long long>(stats.max_live_states));
-  out += StrFormat("solver: %llu queries (%llu quick, %llu cached, %llu SAT calls)\n",
-                   static_cast<unsigned long long>(solver_stats.queries),
-                   static_cast<unsigned long long>(solver_stats.quick_decides),
-                   static_cast<unsigned long long>(solver_stats.cache_hits),
-                   static_cast<unsigned long long>(solver_stats.sat_calls));
+  out += StrFormat(
+      "solver: %llu queries (%llu quick, %llu cached, %llu model-reuse, %llu SAT calls)\n",
+      static_cast<unsigned long long>(solver_stats.queries),
+      static_cast<unsigned long long>(solver_stats.quick_decides),
+      static_cast<unsigned long long>(solver_stats.cache_hits),
+      static_cast<unsigned long long>(solver_stats.model_reuse_hits),
+      static_cast<unsigned long long>(solver_stats.sat_calls));
+  if (stats.blocks_decoded != 0) {
+    out += StrFormat("block cache: %llu blocks decoded, %llu instruction fetch hits\n",
+                     static_cast<unsigned long long>(stats.blocks_decoded),
+                     static_cast<unsigned long long>(stats.block_cache_hits));
+  }
   out += StrFormat("peak state working set: ~%llu KiB across live states\n",
                    static_cast<unsigned long long>(stats.peak_state_bytes / 1024));
   if (stats.faults_injected != 0) {
@@ -149,53 +159,111 @@ std::string BugKey(const Bug& bug) {
 Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
                                              const DriverImage& image,
                                              const PciDescriptor& descriptor) {
+  auto campaign_start = std::chrono::steady_clock::now();
   FaultCampaignResult result;
   std::set<std::string> seen;
 
-  // Pass 0: plain baseline. Besides its own bugs, it measures the fault-site
-  // profile every later plan is generated from.
-  auto run_pass = [&](const FaultPlan& plan) -> Result<DdtResult> {
+  // Execution and merging are split so plan passes can run on a worker pool:
+  // execute_pass touches only its own engine+solver instance (safe
+  // concurrently), merge_pass mutates the shared result and always runs on
+  // the calling thread in plan order — so the merged bug list, dedup
+  // decisions, and pass table are byte-identical to a sequential run no
+  // matter in which order workers finish.
+  struct PassOutcome {
+    Status status;                // overall pass status (default: ok)
+    std::shared_ptr<Ddt> ddt;     // owns the expression storage bugs reference
+    std::optional<DdtResult> r;   // set iff status.ok()
+  };
+
+  auto execute_pass = [&config, &image, &descriptor](const FaultPlan& plan) -> PassOutcome {
+    PassOutcome out;
     DdtConfig pass_config = config.base;
     pass_config.engine.fault_plan = plan;
-    auto ddt = std::make_shared<Ddt>(pass_config);
-    Result<DdtResult> r = ddt->TestDriver(image, descriptor);
+    out.ddt = std::make_shared<Ddt>(pass_config);
+    Result<DdtResult> r = out.ddt->TestDriver(image, descriptor);
     if (!r.ok()) {
-      return r;
+      out.status = r.status();
+      return out;
     }
+    out.r = std::move(r.value());
+    return out;
+  };
+
+  auto merge_pass = [&result, &seen](const FaultPlan& plan, PassOutcome& out) {
     FaultCampaignPass pass;
     pass.plan = plan;
-    pass.stats = r.value().stats;
-    pass.bugs_found = r.value().bugs.size();
-    for (const Bug& bug : r.value().bugs) {
+    pass.stats = out.r->stats;
+    pass.solver_stats = out.r->solver_stats;
+    pass.bugs_found = out.r->bugs.size();
+    for (const Bug& bug : out.r->bugs) {
       if (seen.insert(BugKey(bug)).second) {
         ++pass.bugs_new;
         result.bugs.push_back(bug);
       }
     }
-    result.total_faults_injected += r.value().stats.faults_injected;
-    result.total_wall_ms += r.value().stats.wall_ms;
+    result.total_faults_injected += out.r->stats.faults_injected;
+    result.total_wall_ms += out.r->stats.wall_ms;
+    result.total_stats.Accumulate(out.r->stats);
+    result.total_solver_stats.Accumulate(out.r->solver_stats);
     result.passes.push_back(std::move(pass));
     // Bugs hold ExprRefs owned by this instance's ExprContext.
-    result.keepalive.push_back(std::move(ddt));
-    return r;
+    result.keepalive.push_back(std::move(out.ddt));
   };
 
-  Result<DdtResult> baseline = run_pass(FaultPlan{});
-  if (!baseline.ok()) {
-    return baseline.status();
+  // Pass 0: plain baseline, always on the calling thread. Besides its own
+  // bugs, it measures the fault-site profile every later plan is generated
+  // from, so nothing can overlap with it anyway.
+  PassOutcome baseline = execute_pass(FaultPlan{});
+  if (!baseline.status.ok()) {
+    return baseline.status;
   }
-  FaultSiteProfile profile = result.keepalive.back()->engine().fault_site_profile();
+  FaultSiteProfile profile = baseline.ddt->engine().fault_site_profile();
+  merge_pass(FaultPlan{}, baseline);
 
   size_t plan_budget = config.max_passes > 0 ? config.max_passes - 1 : 0;
   std::vector<FaultPlan> plans =
       GenerateCampaignPlans(profile, config.seed, config.max_occurrences_per_class,
                             config.escalation_rounds, plan_budget);
-  for (const FaultPlan& plan : plans) {
-    Result<DdtResult> r = run_pass(plan);
-    if (!r.ok()) {
-      return r.status();
+
+  size_t threads = config.threads == 0 ? ThreadPool::HardwareThreads()
+                                       : static_cast<size_t>(config.threads);
+  threads = std::max<size_t>(1, std::min(threads, std::max<size_t>(1, plans.size())));
+  result.threads_used = static_cast<uint32_t>(threads);
+
+  if (threads == 1) {
+    // Sequential: execute+merge inline, stopping at the first failed pass
+    // (historical behavior).
+    for (const FaultPlan& plan : plans) {
+      PassOutcome out = execute_pass(plan);
+      if (!out.status.ok()) {
+        return out.status;
+      }
+      merge_pass(plan, out);
+    }
+  } else {
+    // Parallel: outcomes land in pre-sized slots indexed by plan order;
+    // failures are surfaced (and bugs merged) in plan order afterwards.
+    std::vector<PassOutcome> outcomes(plans.size());
+    {
+      ThreadPool pool(threads);
+      for (size_t i = 0; i < plans.size(); ++i) {
+        pool.Submit([&outcomes, &plans, &execute_pass, i] {
+          outcomes[i] = execute_pass(plans[i]);
+        });
+      }
+      pool.Wait();
+    }
+    for (size_t i = 0; i < plans.size(); ++i) {
+      if (!outcomes[i].status.ok()) {
+        return outcomes[i].status;
+      }
+      merge_pass(plans[i], outcomes[i]);
     }
   }
+
+  result.campaign_wall_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - campaign_start)
+                                .count();
   return result;
 }
 
@@ -216,13 +284,25 @@ std::string FaultCampaignResult::FormatReport(const std::string& driver_name) co
   }
   for (size_t i = 0; i < passes.size(); ++i) {
     const FaultCampaignPass& pass = passes[i];
-    out += StrFormat("  pass %zu: %s -> %zu bugs (%zu new), %llu faults, %.1f ms\n", i,
-                     pass.plan.empty() ? "baseline" : pass.plan.ToString().c_str(),
-                     pass.bugs_found, pass.bugs_new,
-                     static_cast<unsigned long long>(pass.stats.faults_injected),
-                     pass.stats.wall_ms);
+    out += StrFormat(
+        "  pass %zu: %s -> %zu bugs (%zu new), %llu faults, %.1f ms (slowest query %.1f ms)\n",
+        i, pass.plan.empty() ? "baseline" : pass.plan.ToString().c_str(), pass.bugs_found,
+        pass.bugs_new, static_cast<unsigned long long>(pass.stats.faults_injected),
+        pass.stats.wall_ms, pass.solver_stats.max_query_wall_ms);
   }
-  out += StrFormat("total wall time: %.1f ms\n", total_wall_ms);
+  out += StrFormat("aggregate: %llu instructions, %llu forks, %llu states created\n",
+                   static_cast<unsigned long long>(total_stats.instructions),
+                   static_cast<unsigned long long>(total_stats.forks),
+                   static_cast<unsigned long long>(total_stats.states_created));
+  out += StrFormat(
+      "aggregate solver: %llu queries, %llu SAT calls, %llu model-reuse hits, "
+      "slowest query %.1f ms\n",
+      static_cast<unsigned long long>(total_solver_stats.queries),
+      static_cast<unsigned long long>(total_solver_stats.sat_calls),
+      static_cast<unsigned long long>(total_solver_stats.model_reuse_hits),
+      total_solver_stats.max_query_wall_ms);
+  out += StrFormat("scheduler: %u worker thread%s, campaign wall %.1f ms (passes sum %.1f ms)\n",
+                   threads_used, threads_used == 1 ? "" : "s", campaign_wall_ms, total_wall_ms);
   return out;
 }
 

@@ -8,9 +8,30 @@
 #include "src/support/check.h"
 #include "src/support/log.h"
 #include "src/support/strings.h"
+#include "src/vm/block_cache.h"
 #include "src/vm/layout.h"
 
 namespace ddt {
+
+void EngineStats::Accumulate(const EngineStats& other) {
+  instructions += other.instructions;
+  forks += other.forks;
+  dropped_forks += other.dropped_forks;
+  states_created += other.states_created;
+  states_terminated += other.states_terminated;
+  max_live_states = std::max(max_live_states, other.max_live_states);
+  kernel_calls += other.kernel_calls;
+  interrupts_injected += other.interrupts_injected;
+  entry_invocations += other.entry_invocations;
+  concretizations += other.concretizations;
+  concretization_backtracks += other.concretization_backtracks;
+  faults_injected += other.faults_injected;
+  states_evicted += other.states_evicted;
+  peak_state_bytes = std::max(peak_state_bytes, other.peak_state_bytes);
+  blocks_decoded += other.blocks_decoded;
+  block_cache_hits += other.block_cache_hits;
+  wall_ms += other.wall_ms;
+}
 
 std::string OriginKeyString(const VarOrigin& origin) {
   return StrFormat("%d|%s|%llu|%llu", static_cast<int>(origin.source), origin.label.c_str(),
@@ -165,6 +186,24 @@ Status Engine::LoadDriver(const DriverImage& image, const PciDescriptor& descrip
   }
   cfg_ = BuildCfg(image.code.data(), image.code.size(), loaded_.code_begin);
 
+  // Translation cache over the code segment (immutable from here on — the
+  // write barrier in WriteMemValueRaw enforces it), plus a dense block-leader
+  // bitmap so per-instruction coverage checks are an array index rather than
+  // a std::map lookup.
+  block_cache_.reset();
+  if (config_.enable_block_cache) {
+    block_cache_ =
+        std::make_unique<BlockCache>(image.code.data(), image.code.size(), loaded_.code_begin);
+  }
+  block_leader_slots_.assign(image.code.size() / kInstructionSize, 0);
+  for (const auto& [leader, block] : cfg_.blocks) {
+    uint32_t offset = leader - loaded_.code_begin;
+    if (offset % kInstructionSize == 0 &&
+        offset / kInstructionSize < block_leader_slots_.size()) {
+      block_leader_slots_[offset / kInstructionSize] = 1;
+    }
+  }
+
   initial->kernel.driver = loaded_;
   initial->kernel.pci = pci_;
   initial->kernel.registry = registry_;
@@ -254,6 +293,10 @@ void Engine::Run() {
     stats_.states_terminated += before - states_.size();
   }
   stats_.wall_ms = ElapsedMs();
+  if (block_cache_ != nullptr) {
+    stats_.blocks_decoded = block_cache_->stats().blocks_decoded;
+    stats_.block_cache_hits = block_cache_->stats().hits;
+  }
 }
 
 void Engine::StepState(ExecutionState& st) {
@@ -673,6 +716,18 @@ Value Engine::ReadMemValueRaw(ExecutionState& st, uint32_t addr, unsigned size) 
 
 void Engine::WriteMemValueRaw(ExecutionState& st, uint32_t addr, const Value& value,
                               unsigned size) {
+  // Write barrier enforcing the decode-once invariant: no store — from the
+  // driver, an annotation, or a kernel API — may land in the code segment.
+  // The memory checker usually reports driver stores first (with richer
+  // provenance); this backstop holds even with checkers disabled, and
+  // suppresses the write so cached and in-guest code bytes can never diverge.
+  if (static_cast<uint64_t>(addr) + size > loaded_.code_begin && addr < loaded_.code_end) {
+    ReportBug(st, BugType::kMemoryCorruption,
+              StrFormat("write barrier: %u-byte store into immutable driver code at 0x%08x",
+                        size, addr),
+              "driver code is decode-once immutable; the store was suppressed");
+    return;
+  }
   if (value.IsConcrete()) {
     uint32_t v = value.concrete();
     for (unsigned i = 0; i < size; ++i) {
@@ -857,7 +912,12 @@ void Engine::AddConstraintChecked(ExecutionState& st, ExprRef constraint) {
 }
 
 void Engine::NoteCoverage(ExecutionState& st, uint32_t pc) {
-  if (cfg_.blocks.count(pc) == 0) {
+  // Callers guarantee pc is inside the code segment; leaders are always
+  // instruction-aligned, so the dense bitmap fully replaces the map lookup.
+  uint32_t offset = pc - loaded_.code_begin;
+  if (offset % kInstructionSize != 0 ||
+      offset / kInstructionSize >= block_leader_slots_.size() ||
+      block_leader_slots_[offset / kInstructionSize] == 0) {
     return;  // not a block leader
   }
   ++block_counts_[pc];
@@ -1102,21 +1162,32 @@ bool Engine::ExecuteInstruction(ExecutionState& st) {
     return false;
   }
 
-  uint8_t raw[kInstructionSize];
-  if (!st.mem.TryReadConcrete(pc, raw, kInstructionSize)) {
-    ReportBug(st, BugType::kMemoryCorruption,
-              StrFormat("executing symbolic/corrupted code at 0x%08x", pc),
-              "driver code bytes were overwritten with symbolic data");
-    return false;
+  // Fetch: the translation cache serves decoded instructions in O(1) after
+  // the enclosing block's first entry. The byte-wise path remains for the
+  // cache-off ablation, misaligned pcs (hostile entry tables), and
+  // undecodable slots — whose bug reports it reproduces identically, since
+  // the write barrier guarantees the cached and in-guest bytes agree.
+  std::optional<Instruction> decoded;
+  const Instruction* fetched =
+      block_cache_ != nullptr ? block_cache_->Lookup(pc) : nullptr;
+  if (fetched == nullptr) {
+    uint8_t raw[kInstructionSize];
+    if (!st.mem.TryReadConcrete(pc, raw, kInstructionSize)) {
+      ReportBug(st, BugType::kMemoryCorruption,
+                StrFormat("executing symbolic/corrupted code at 0x%08x", pc),
+                "driver code bytes were overwritten with symbolic data");
+      return false;
+    }
+    decoded = DecodeInstruction(raw);
+    if (!decoded.has_value()) {
+      ReportBug(st, BugType::kSegfault,
+                StrFormat("invalid instruction at 0x%08x", pc),
+                "undecodable opcode (corrupted code or bad jump)");
+      return false;
+    }
+    fetched = &*decoded;
   }
-  std::optional<Instruction> decoded = DecodeInstruction(raw);
-  if (!decoded.has_value()) {
-    ReportBug(st, BugType::kSegfault,
-              StrFormat("invalid instruction at 0x%08x", pc),
-              "undecodable opcode (corrupted code or bad jump)");
-    return false;
-  }
-  const Instruction insn = *decoded;
+  const Instruction insn = *fetched;
 
   ++stats_.instructions;
   ++st.steps;

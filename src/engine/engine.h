@@ -39,6 +39,8 @@
 
 namespace ddt {
 
+class BlockCache;
+
 struct EngineConfig {
   // Budgets.
   uint64_t max_instructions = 3'000'000;
@@ -75,6 +77,13 @@ struct EngineConfig {
   uint64_t seed = 0xDD7;
   // Memory-model ablation: eager full-copy forking instead of chained COW.
   bool eager_cow = false;
+  // Decoded basic-block translation cache (src/vm/block_cache.h): decode each
+  // straight-line block once on first entry and fetch from the cached form
+  // afterwards, instead of re-reading and re-decoding 8 code bytes per step.
+  // Sound because driver code is immutable after LoadDriver — enforced by a
+  // write barrier that reports (and suppresses) any store landing in the code
+  // segment. Off = the original byte-wise interpreter (ablation/benchmarks).
+  bool enable_block_cache = true;
   // Stop the whole run at the first bug (Driver Verifier semantics; DDT's
   // default keeps going and finds multiple bugs in one run, §5.1).
   bool stop_after_first_bug = false;
@@ -122,7 +131,15 @@ struct EngineStats {
   // path-constraint counts (the §5.2 "DDT used at most 4 GB" accounting,
   // scaled to this reproduction).
   uint64_t peak_state_bytes = 0;
+  // Translation-cache accounting: straight-line blocks decoded once, and
+  // instruction fetches served from already-decoded slots.
+  uint64_t blocks_decoded = 0;
+  uint64_t block_cache_hits = 0;
   double wall_ms = 0;
+
+  // Adds `other`'s counters into this (sums, except high-water marks which
+  // take the max). Used to aggregate per-pass stats across a campaign.
+  void Accumulate(const EngineStats& other);
 };
 
 // One coverage datapoint, taken whenever a new basic block is first covered.
@@ -163,6 +180,9 @@ class Engine : public CheckerHost, private BlockCountOracle {
   const Cfg& cfg() const { return cfg_; }
   const LoadedDriver& loaded_driver() const { return loaded_; }
   const MemStats& mem_stats() const { return mem_stats_; }
+  // The decoded-block translation cache; null when enable_block_cache is off
+  // or LoadDriver has not run.
+  BlockCache* block_cache() { return block_cache_.get(); }
   // Fault-eligible call sites observed across all paths of this run; a
   // campaign uses the baseline pass's profile to enumerate injection plans.
   const FaultSiteProfile& fault_site_profile() const { return fault_site_profile_; }
@@ -266,6 +286,11 @@ class Engine : public CheckerHost, private BlockCountOracle {
   LoadedDriver loaded_;
   PciDescriptor pci_;
   Cfg cfg_;
+  // Decode-once translation cache over the immutable code segment, plus a
+  // dense leader bitmap (one slot per aligned instruction) replacing the
+  // per-instruction std::map lookup on the coverage path.
+  std::unique_ptr<BlockCache> block_cache_;
+  std::vector<uint8_t> block_leader_slots_;
   std::vector<KernelApiFn> import_table_;  // resolved import handlers
   std::map<std::string, uint32_t> registry_;
   std::vector<WorkloadStep> workload_;

@@ -12,6 +12,22 @@
 
 namespace ddt {
 
+void SolverStats::Accumulate(const SolverStats& other) {
+  queries += other.queries;
+  quick_decides += other.quick_decides;
+  cache_hits += other.cache_hits;
+  sat_calls += other.sat_calls;
+  sat_results += other.sat_results;
+  unsat_results += other.unsat_results;
+  unknown_results += other.unknown_results;
+  query_timeouts += other.query_timeouts;
+  total_conflicts += other.total_conflicts;
+  total_sat_vars += other.total_sat_vars;
+  total_sat_clauses += other.total_sat_clauses;
+  model_reuse_hits += other.model_reuse_hits;
+  max_query_wall_ms = std::max(max_query_wall_ms, other.max_query_wall_ms);
+}
+
 Solver::Solver(ExprContext* ctx, const SolverConfig& config) : ctx_(ctx), config_(config) {}
 
 std::vector<ExprRef> Solver::Slice(const std::vector<ExprRef>& constraints,
@@ -71,6 +87,17 @@ uint64_t Solver::CacheKey(const std::vector<ExprRef>& exprs) const {
 bool Solver::SolveExprs(const std::vector<ExprRef>& exprs, Assignment* model, bool* unknown) {
   *unknown = false;
   ++stats_.sat_calls;
+  std::chrono::steady_clock::time_point query_start = std::chrono::steady_clock::now();
+  struct QueryTimer {
+    std::chrono::steady_clock::time_point start;
+    SolverStats* stats;
+    ~QueryTimer() {
+      double ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      stats->max_query_wall_ms = std::max(stats->max_query_wall_ms, ms);
+    }
+  } timer{query_start, &stats_};
   // Per-query wall deadline (resource governor): the clock starts here, so
   // bit-blasting time counts against the budget too via the first check.
   std::chrono::steady_clock::time_point deadline;
@@ -176,10 +203,34 @@ bool Solver::IsSatisfiable(const std::vector<ExprRef>& constraints, ExprRef extr
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++stats_.cache_hits;
-      if (it->second.sat && model != nullptr) {
-        *model = it->second.model;
+      if (it->second.sat) {
+        last_model_ = it->second.model;
+        have_last_model_ = true;
+        if (model != nullptr) {
+          *model = it->second.model;
+        }
       }
       return it->second.sat;
+    }
+  }
+
+  // Model-reuse fast path: consecutive queries on one path usually extend the
+  // same constraint set, so the previous satisfying model often still works.
+  // Evaluating is linear in expression size — far cheaper than bit-blasting.
+  // Restricted to model-free queries (MayBe*/MustBe*) so callers that
+  // concretize from the returned model see exactly the values a fresh SAT
+  // solve would hand them.
+  if (config_.enable_model_reuse && model == nullptr && have_last_model_) {
+    bool all_true = true;
+    for (ExprRef e : filtered) {
+      if (!EvalBool(e, last_model_)) {
+        all_true = false;
+        break;
+      }
+    }
+    if (all_true) {
+      ++stats_.model_reuse_hits;
+      return true;
     }
   }
 
@@ -188,6 +239,10 @@ bool Solver::IsSatisfiable(const std::vector<ExprRef>& constraints, ExprRef extr
   bool sat = SolveExprs(filtered, &local_model, &unknown);
   if (config_.enable_cache && !unknown) {
     cache_[key] = CacheEntry{sat, local_model};
+  }
+  if (sat && !unknown) {
+    last_model_ = local_model;
+    have_last_model_ = true;
   }
   if (sat && model != nullptr) {
     *model = std::move(local_model);

@@ -36,6 +36,11 @@ struct SolverConfig {
   bool verify_models = true;
   bool enable_cache = true;
   bool enable_slicing = true;
+  // Before bit-blasting a satisfiability-only query, evaluate it under the
+  // most recent satisfying model; consecutive queries on the same path often
+  // share one. Only applies when the caller wants no model back, so the
+  // values the engine concretizes with are unaffected.
+  bool enable_model_reuse = true;
 };
 
 struct SolverStats {
@@ -52,6 +57,15 @@ struct SolverStats {
   uint64_t total_conflicts = 0;
   uint64_t total_sat_vars = 0;
   uint64_t total_sat_clauses = 0;
+  // Queries answered by re-evaluating under the last satisfying model
+  // (SolverConfig::enable_model_reuse), skipping bit-blasting entirely.
+  uint64_t model_reuse_hits = 0;
+  // Wall time of the slowest single SolveExprs call, in milliseconds.
+  double max_query_wall_ms = 0;
+
+  // Folds `other` into this: counters are summed, max_query_wall_ms takes
+  // the max. Used to aggregate per-pass stats across a fault campaign.
+  void Accumulate(const SolverStats& other);
 };
 
 class Solver {
@@ -107,6 +121,8 @@ class Solver {
   SolverConfig config_;
   SolverStats stats_;
   std::unordered_map<uint64_t, CacheEntry> cache_;
+  Assignment last_model_;         // most recent satisfying assignment
+  bool have_last_model_ = false;
 };
 
 }  // namespace ddt

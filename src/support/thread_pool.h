@@ -1,0 +1,57 @@
+// A small fixed-size worker pool for running independent engine passes in
+// parallel (the fault-campaign scheduler). Tasks are opaque closures; there
+// is deliberately no result plumbing — callers write into pre-sized slots
+// they own, which keeps result ordering deterministic regardless of
+// completion order.
+#ifndef SRC_SUPPORT_THREAD_POOL_H_
+#define SRC_SUPPORT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ddt {
+
+class ThreadPool {
+ public:
+  // Spawns exactly `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+  // Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks must not throw (the codebase reports failures
+  // through Status values, never exceptions).
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished. The pool is reusable
+  // afterwards.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // std::thread::hardware_concurrency(), clamped to at least 1 (the standard
+  // allows it to return 0 when unknown).
+  static size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: task ready / stop
+  std::condition_variable idle_cv_;   // signals Wait(): everything drained
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // tasks popped but not yet finished
+  bool stop_ = false;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_SUPPORT_THREAD_POOL_H_

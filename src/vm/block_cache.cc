@@ -1,0 +1,106 @@
+#include "src/vm/block_cache.h"
+
+namespace ddt {
+
+BlockCache::BlockCache(const uint8_t* code, size_t size, uint32_t base)
+    : code_(code, code + size), base_(base) {
+  size_t slots = size / kInstructionSize;
+  insns_.resize(slots);
+  slot_state_.assign(slots, kUnknown);
+}
+
+bool BlockCache::SlotFor(uint32_t pc, size_t* slot) const {
+  uint32_t offset = pc - base_;
+  if (pc < base_ || offset % kInstructionSize != 0) {
+    return false;
+  }
+  size_t index = offset / kInstructionSize;
+  if (index >= slot_state_.size()) {
+    return false;
+  }
+  *slot = index;
+  return true;
+}
+
+void BlockCache::DecodeBlockFrom(size_t slot) {
+  DecodedBlock block;
+  block.begin = base_ + static_cast<uint32_t>(slot * kInstructionSize);
+
+  size_t cursor = slot;
+  while (cursor < slot_state_.size() && slot_state_[cursor] == kUnknown) {
+    std::optional<Instruction> decoded =
+        DecodeInstruction(code_.data() + cursor * kInstructionSize);
+    if (!decoded.has_value()) {
+      slot_state_[cursor] = kInvalid;
+      block.ends_invalid = true;
+      break;
+    }
+    insns_[cursor] = *decoded;
+    slot_state_[cursor] = kDecoded;
+    ++stats_.instructions_decoded;
+    if (IsTerminator(decoded->opcode)) {
+      ++cursor;
+      uint32_t fall = base_ + static_cast<uint32_t>(cursor * kInstructionSize);
+      switch (decoded->opcode) {
+        case Opcode::kBr:
+          block.successors = {decoded->imm};
+          break;
+        case Opcode::kBz:
+        case Opcode::kBnz:
+          block.successors = {decoded->imm, fall};
+          break;
+        case Opcode::kCall:
+          // The callee eventually returns to `fall`; both are static targets.
+          block.successors = {decoded->imm, fall};
+          break;
+        case Opcode::kJr:
+        case Opcode::kCallR:
+        case Opcode::kRet:
+          block.has_indirect_successor = true;
+          break;
+        default:  // kHalt: no successors
+          break;
+      }
+      block.end = fall;
+      blocks_.emplace(block.begin, std::move(block));
+      ++stats_.blocks_decoded;
+      return;
+    }
+    ++cursor;
+  }
+  // Ran into an already-decoded region, an invalid slot, or the end of the
+  // code segment: the block falls through (unless it ended invalid).
+  block.end = base_ + static_cast<uint32_t>(cursor * kInstructionSize);
+  if (!block.ends_invalid && cursor < slot_state_.size()) {
+    block.successors = {block.end};
+  }
+  blocks_.emplace(block.begin, std::move(block));
+  ++stats_.blocks_decoded;
+}
+
+const Instruction* BlockCache::Lookup(uint32_t pc) {
+  size_t slot;
+  if (!SlotFor(pc, &slot)) {
+    return nullptr;
+  }
+  if (slot_state_[slot] == kUnknown) {
+    DecodeBlockFrom(slot);
+  } else {
+    ++stats_.hits;
+  }
+  return slot_state_[slot] == kDecoded ? &insns_[slot] : nullptr;
+}
+
+const BlockCache::DecodedBlock* BlockCache::BlockAt(uint32_t pc) {
+  size_t slot;
+  if (!SlotFor(pc, &slot)) {
+    return nullptr;
+  }
+  if (slot_state_[slot] == kUnknown) {
+    DecodeBlockFrom(slot);
+  }
+  auto it = blocks_.find(pc);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ddt

@@ -180,6 +180,47 @@ TEST(FaultCampaignTest, FaultFoundBugReplaysConcretely) {
 }
 
 // ---------------------------------------------------------------------------
+// Parallel scheduler determinism
+// ---------------------------------------------------------------------------
+
+TEST(FaultCampaignTest, ParallelCampaignMatchesSequentialExactly) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+  auto run = [&](uint32_t threads) {
+    FaultCampaignConfig config = QuickCampaign();
+    config.threads = threads;
+    Result<FaultCampaignResult> r = RunFaultCampaign(config, driver.image, driver.pci);
+    EXPECT_TRUE(r.ok()) << r.status().message();
+    return std::move(r.value());
+  };
+  FaultCampaignResult sequential = run(1);
+  FaultCampaignResult parallel = run(4);
+
+  EXPECT_EQ(sequential.threads_used, 1u);
+  EXPECT_GT(parallel.threads_used, 1u);
+
+  // Merged bugs: same set, same order.
+  ASSERT_EQ(sequential.bugs.size(), parallel.bugs.size());
+  for (size_t i = 0; i < sequential.bugs.size(); ++i) {
+    EXPECT_EQ(sequential.bugs[i].Row(), parallel.bugs[i].Row()) << "bug " << i;
+    EXPECT_EQ(sequential.bugs[i].fault_plan.ToString(),
+              parallel.bugs[i].fault_plan.ToString());
+  }
+  // Pass table: same plans in the same order with the same outcomes.
+  ASSERT_EQ(sequential.passes.size(), parallel.passes.size());
+  for (size_t i = 0; i < sequential.passes.size(); ++i) {
+    EXPECT_EQ(sequential.passes[i].plan.ToString(), parallel.passes[i].plan.ToString());
+    EXPECT_EQ(sequential.passes[i].bugs_found, parallel.passes[i].bugs_found) << "pass " << i;
+    EXPECT_EQ(sequential.passes[i].bugs_new, parallel.passes[i].bugs_new) << "pass " << i;
+    EXPECT_EQ(sequential.passes[i].stats.instructions, parallel.passes[i].stats.instructions)
+        << "pass " << i;
+  }
+  // Aggregates over deterministic per-pass counters agree too.
+  EXPECT_EQ(sequential.total_faults_injected, parallel.total_faults_injected);
+  EXPECT_EQ(sequential.total_stats.instructions, parallel.total_stats.instructions);
+  EXPECT_EQ(sequential.total_solver_stats.queries, parallel.total_solver_stats.queries);
+}
+
+// ---------------------------------------------------------------------------
 // Plain runs stay fault-free
 // ---------------------------------------------------------------------------
 

@@ -636,5 +636,76 @@ TEST(SolverDeadlineTest, NoDeadlineMeansNoTimeouts) {
   EXPECT_EQ(solver.stats().query_timeouts, 0u);
 }
 
+// --- Model-reuse fast path ---------------------------------------------------
+
+TEST(SolverModelReuseTest, SecondQuerySatisfiedByPriorModelSkipsSat) {
+  ExprContext ctx;
+  Solver solver(&ctx);
+  ExprRef x = ctx.Var(32, "x");
+  // First query bit-blasts and leaves a model with x == 5.
+  EXPECT_TRUE(solver.IsSatisfiable({}, ctx.Eq(x, ctx.Const(5, 32))));
+  EXPECT_EQ(solver.stats().sat_calls, 1u);
+  // x != 7 holds under x == 5: answered by evaluation, no second SAT call.
+  EXPECT_TRUE(solver.IsSatisfiable({}, ctx.Not(ctx.Eq(x, ctx.Const(7, 32)))));
+  EXPECT_EQ(solver.stats().sat_calls, 1u);
+  EXPECT_EQ(solver.stats().model_reuse_hits, 1u);
+}
+
+TEST(SolverModelReuseTest, StaleModelFallsThroughToSat) {
+  ExprContext ctx;
+  Solver solver(&ctx);
+  ExprRef x = ctx.Var(32, "x");
+  EXPECT_TRUE(solver.IsSatisfiable({}, ctx.Eq(x, ctx.Const(5, 32))));
+  // x == 7 is false under the cached x == 5 model but satisfiable: the reuse
+  // check must not turn a reusable-model miss into an unsat answer.
+  EXPECT_TRUE(solver.IsSatisfiable({}, ctx.Eq(x, ctx.Const(7, 32))));
+  EXPECT_EQ(solver.stats().sat_calls, 2u);
+  EXPECT_EQ(solver.stats().model_reuse_hits, 0u);
+}
+
+TEST(SolverModelReuseTest, DisabledConfigNeverReuses) {
+  ExprContext ctx;
+  SolverConfig config;
+  config.enable_model_reuse = false;
+  Solver solver(&ctx, config);
+  ExprRef x = ctx.Var(32, "x");
+  EXPECT_TRUE(solver.IsSatisfiable({}, ctx.Eq(x, ctx.Const(5, 32))));
+  EXPECT_TRUE(solver.IsSatisfiable({}, ctx.Not(ctx.Eq(x, ctx.Const(7, 32)))));
+  EXPECT_EQ(solver.stats().sat_calls, 2u);
+  EXPECT_EQ(solver.stats().model_reuse_hits, 0u);
+}
+
+TEST(SolverModelReuseTest, ModelRequestingQueriesBypassReuse) {
+  // Callers that concretize from the returned model must get exactly what a
+  // fresh solve produces; reuse only serves yes/no queries.
+  ExprContext ctx;
+  Solver solver(&ctx);
+  ExprRef x = ctx.Var(32, "x");
+  EXPECT_TRUE(solver.IsSatisfiable({}, ctx.Eq(x, ctx.Const(5, 32))));
+  Assignment model;
+  ExprRef gt3 = ctx.Ult(ctx.Const(3, 32), x);
+  EXPECT_TRUE(solver.IsSatisfiable({}, gt3, &model));
+  EXPECT_EQ(solver.stats().model_reuse_hits, 0u);
+  EXPECT_TRUE(EvalBool(gt3, model));
+}
+
+TEST(SolverStatsTest, AccumulateSumsCountersAndMaxesQueryTime) {
+  SolverStats a;
+  a.queries = 10;
+  a.sat_calls = 4;
+  a.model_reuse_hits = 2;
+  a.max_query_wall_ms = 7.5;
+  SolverStats b;
+  b.queries = 3;
+  b.sat_calls = 1;
+  b.model_reuse_hits = 5;
+  b.max_query_wall_ms = 2.5;
+  a.Accumulate(b);
+  EXPECT_EQ(a.queries, 13u);
+  EXPECT_EQ(a.sat_calls, 5u);
+  EXPECT_EQ(a.model_reuse_hits, 7u);
+  EXPECT_DOUBLE_EQ(a.max_query_wall_ms, 7.5);  // max, not sum
+}
+
 }  // namespace
 }  // namespace ddt
