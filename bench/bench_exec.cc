@@ -5,7 +5,10 @@
 //           on a synthetic concrete tight loop (fetch-dominated) and on the
 //           RTL8029 corpus driver (realistic mix), with bug-set parity checked;
 //   part 2: fault-campaign wall time at 1/2/4 worker threads over the same
-//           plan set, with merged-bug parity checked across thread counts.
+//           plan set, with merged-bug parity checked across thread counts;
+//   part 3: campaign-supervisor overhead — the same campaign with the
+//           checkpoint journal on, which must stay near the unjournaled wall
+//           time (crash-safe resume is supposed to be free until it's needed).
 //
 // Emits a machine-readable JSON summary (default: BENCH_exec.json in the
 // current directory; override with argv[1]).
@@ -173,8 +176,10 @@ struct CampaignRun {
   std::vector<std::string> bug_rows;
 };
 
-CampaignRun RunCampaign(const DriverImage& image, const PciDescriptor& pci, uint32_t threads) {
+CampaignRun RunCampaign(const DriverImage& image, const PciDescriptor& pci, uint32_t threads,
+                        const std::string& journal_path = std::string()) {
   FaultCampaignConfig config;
+  config.journal_path = journal_path;
   config.base.engine.max_instructions = 2'000'000;
   config.base.engine.max_wall_ms = 3'600'000;
   // Error-path exploration comes from the campaign's deterministic plans;
@@ -257,6 +262,22 @@ int main(int argc, char** argv) {
               campaign_speedup, hardware_threads, hardware_threads == 1 ? "" : "s",
               concurrency, campaign_bugs_identical ? "yes" : "NO");
 
+  // --- part 3: supervisor overhead ------------------------------------------
+  // The checkpoint journal costs one serialize+fwrite+fflush per completed
+  // pass; crash-safe resume must be near-free when nothing crashes. Compare a
+  // journaled run against the identical unjournaled run (threads=4, from
+  // part 2).
+  std::printf("\n=== campaign supervisor overhead (checkpoint journal) ===\n");
+  const char* journal_path = "/tmp/ddt_bench_campaign.jsonl";
+  CampaignRun journaled = RunCampaign(farm_image, farm_pci, 4, journal_path);
+  std::remove(journal_path);
+  double journal_overhead =
+      runs.back().wall_ms > 0 ? journaled.wall_ms / runs.back().wall_ms : 0;
+  bool journal_bugs_identical = journaled.bug_rows == runs[0].bug_rows;
+  std::printf("unjournaled: %.1f ms, journaled: %.1f ms (%.2fx), bugs identical: %s\n",
+              runs.back().wall_ms, journaled.wall_ms, journal_overhead,
+              journal_bugs_identical ? "yes" : "NO");
+
   // --- JSON summary ---------------------------------------------------------
   FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
@@ -288,6 +309,12 @@ int main(int argc, char** argv) {
   std::fprintf(f, "    \"speedup_4_over_1\": %.3f,\n", campaign_speedup);
   std::fprintf(f, "    \"overlap_at_4_workers\": %.3f,\n", concurrency);
   std::fprintf(f, "    \"bugs_identical\": %s\n", campaign_bugs_identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"supervisor\": {\n");
+  std::fprintf(f, "    \"unjournaled_wall_ms\": %.1f,\n", runs.back().wall_ms);
+  std::fprintf(f, "    \"journaled_wall_ms\": %.1f,\n", journaled.wall_ms);
+  std::fprintf(f, "    \"journal_overhead\": %.3f,\n", journal_overhead);
+  std::fprintf(f, "    \"bugs_identical\": %s\n", journal_bugs_identical ? "true" : "false");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -301,8 +328,11 @@ int main(int argc, char** argv) {
       hardware_threads >= 2
           ? campaign_speedup >= 1.5
           : concurrency >= 1.5 && runs.back().wall_ms <= runs[0].wall_ms * 1.6;
+  // Checkpointing every pass must stay near-free (one flushed write per
+  // pass); 1.3x leaves room for timer noise on loaded CI hosts.
+  bool supervisor_ok = journal_bugs_identical && journal_overhead <= 1.3;
   bool pass = loop_speedup >= 2.0 && interp_bugs_identical && campaign_bugs_identical &&
-              runs[0].plans >= 8 && campaign_ok;
+              runs[0].plans >= 8 && campaign_ok && supervisor_ok;
   std::printf("BENCH_exec: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

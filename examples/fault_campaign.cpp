@@ -10,14 +10,49 @@
 // campaign's map-io-space#0 plan exposes. The merged report shows which plan
 // found each bug, and every fault-found bug replays with its exact failure
 // schedule.
+//
+// Supervisor flags (CI uses these to prove kill-and-resume determinism):
+//   --journal=PATH     checkpoint each completed pass to PATH
+//   --resume           resume from a (possibly interrupted) journal at PATH
+//   --report-out=PATH  write the deterministic report (no wall times, thread
+//                      counts, or resume counters) to PATH for diffing
+//   --threads=N        scheduler threads (default: one per hardware thread)
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "src/core/bug_io.h"
 #include "src/core/ddt.h"
 #include "src/core/replay.h"
 #include "src/drivers/corpus.h"
+#include "src/support/strings.h"
 
-int main() {
+int main(int argc, char** argv) {
+  std::string journal_path;
+  std::string report_out;
+  bool resume = false;
+  uint32_t threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--journal=", 0) == 0) {
+      journal_path = arg.substr(std::strlen("--journal="));
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg.rfind("--report-out=", 0) == 0) {
+      report_out = arg.substr(std::strlen("--report-out="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      int64_t parsed = 0;
+      if (!ddt::ParseInt(arg.substr(std::strlen("--threads=")), &parsed) || parsed < 0) {
+        std::fprintf(stderr, "bad --threads value: %s\n", arg.c_str());
+        return 2;
+      }
+      threads = static_cast<uint32_t>(parsed);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
   const ddt::CorpusDriver& driver = ddt::CorpusDriverByName("rtl8029");
 
   ddt::FaultCampaignConfig config;
@@ -26,6 +61,9 @@ int main() {
   config.max_passes = 16;
   config.max_occurrences_per_class = 4;
   config.escalation_rounds = 1;
+  config.threads = threads;
+  config.journal_path = journal_path;
+  config.resume = resume;
 
   ddt::Result<ddt::FaultCampaignResult> campaign =
       ddt::RunFaultCampaign(config, driver.image, driver.pci);
@@ -35,6 +73,17 @@ int main() {
   }
   const ddt::FaultCampaignResult& result = campaign.value();
   std::printf("%s\n", result.FormatReport(driver.name).c_str());
+
+  if (!report_out.empty()) {
+    std::FILE* out = std::fopen(report_out.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", report_out.c_str());
+      return 1;
+    }
+    std::string deterministic = result.FormatReport(driver.name, /*include_volatile=*/false);
+    std::fwrite(deterministic.data(), 1, deterministic.size(), out);
+    std::fclose(out);
+  }
 
   // Replay every bug a fault plan exposed: the recorded plan re-applies and
   // the deterministic occurrence counters reproduce the failure schedule.

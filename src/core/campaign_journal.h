@@ -1,0 +1,99 @@
+// Campaign checkpoint journal (crash-safe resume for fault campaigns).
+//
+// A long fault campaign is the one place this reproduction runs for minutes
+// at a stretch, and a campaign killed at pass 30 of 32 used to lose
+// everything. The journal makes each completed pass durable: after a pass
+// merges, a self-contained record — the plan, the per-pass engine/solver
+// stats, the serialized bugs (src/core/bug_io.h), and for the baseline the
+// fault-site profile every later plan derives from — is appended to an
+// append-only JSONL file and flushed. Restarting the campaign with
+// `resume = true` loads the completed passes from the journal, executes only
+// the missing ones, and merges everything in plan order, so the deterministic
+// report is byte-identical to an uninterrupted run.
+//
+// Format: line 1 is a header naming the format version, the driver, and a
+// fingerprint of every plan-determining config knob plus the driver image
+// bytes (so a journal cannot silently resume a *different* campaign; thread
+// count and supervisor budgets are deliberately excluded — resuming with more
+// workers or a longer watchdog is legitimate). Every subsequent line is
+//   {"crc":"XXXXXXXX","record":{...flat JSON...}}
+// where the CRC-32 covers the record text. A process killed mid-append leaves
+// a torn or corrupt final line; resume discards the invalid tail (truncating
+// the file back to the valid prefix) rather than failing, because losing one
+// pass is recoverable and losing the journal is not.
+#ifndef SRC_CORE_CAMPAIGN_JOURNAL_H_
+#define SRC_CORE_CAMPAIGN_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/engine/bug_report.h"
+#include "src/engine/engine.h"
+#include "src/engine/fault_injection.h"
+#include "src/solver/solver.h"
+#include "src/support/status.h"
+
+namespace ddt {
+
+// One checkpointed campaign pass. `index` is the pass's position in the plan
+// order (0 = baseline); records may be appended in completion order by
+// parallel workers, so the index — not the line number — is the key.
+struct CampaignPassRecord {
+  uint64_t index = 0;
+  std::string label;               // plan label ("" for the baseline)
+  std::vector<FaultPoint> points;  // plan injection points
+  uint32_t retries = 0;            // supervisor retry attempts consumed
+  bool quarantined = false;        // permanently failed; no stats/bugs
+  std::string failure;             // failure reason (quarantined passes)
+  EngineStats stats;
+  SolverStats solver_stats;
+  std::vector<Bug> bugs;  // replay-relevant fields only (bug_io round-trip)
+  // Baseline only: the fault-site profile plan generation derives from, so a
+  // resumed campaign reproduces the exact schedule without re-running pass 0.
+  bool has_profile = false;
+  FaultSiteProfile profile;
+};
+
+class CampaignJournal {
+ public:
+  ~CampaignJournal();
+  CampaignJournal(const CampaignJournal&) = delete;
+  CampaignJournal& operator=(const CampaignJournal&) = delete;
+
+  // Starts a fresh journal at `path`, truncating any existing file, and
+  // writes the header. Fails if the path is not writable.
+  static Result<std::unique_ptr<CampaignJournal>> Create(const std::string& path,
+                                                         const std::string& driver,
+                                                         uint64_t fingerprint);
+
+  // Opens an existing journal for resume: validates the header against
+  // (driver, fingerprint), loads every intact record into `records` (in file
+  // order; callers key by CampaignPassRecord::index), truncates the file back
+  // to the valid prefix — discarding a torn or corrupt tail — and reopens for
+  // append. Fails if the file is missing, is not a campaign journal, or
+  // belongs to a different campaign.
+  static Result<std::unique_ptr<CampaignJournal>> OpenForResume(
+      const std::string& path, const std::string& driver, uint64_t fingerprint,
+      std::vector<CampaignPassRecord>* records);
+
+  // Appends one record and flushes it to the OS before returning. Thread-safe
+  // (parallel workers checkpoint passes in completion order).
+  Status Append(const CampaignPassRecord& record);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  CampaignJournal(std::FILE* file, std::string path);
+
+  std::mutex mu_;
+  std::FILE* file_;  // owned; append mode
+  std::string path_;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_CORE_CAMPAIGN_JOURNAL_H_

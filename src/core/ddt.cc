@@ -1,10 +1,15 @@
 #include "src/core/ddt.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <set>
+#include <thread>
 
 #include "src/checkers/default_checkers.h"
+#include "src/core/campaign_journal.h"
 #include "src/support/check.h"
 #include "src/support/strings.h"
 #include "src/support/thread_pool.h"
@@ -93,6 +98,7 @@ Result<DdtResult> Ddt::TestDriver(const DriverImage& image, const PciDescriptor&
   result.total_blocks = engine_->total_blocks();
   result.solver_stats = engine_->solver().stats();
   result.mem_stats = engine_->mem_stats();
+  result.aborted = engine_->AbortRequested();
   return result;
 }
 
@@ -154,111 +160,473 @@ std::string BugKey(const Bug& bug) {
   return StrFormat("%d|%s", static_cast<int>(bug.type), bug.title.c_str());
 }
 
+// FNV-1a over every input that determines the campaign schedule, plus the
+// driver image bytes. A journal carries this fingerprint so a resume cannot
+// silently mix passes from a *different* campaign. Thread count and the
+// supervisor budgets (watchdog, retries, backoff) are deliberately excluded:
+// resuming an interrupted campaign with more workers or a longer watchdog is
+// legitimate and changes no pass's identity.
+uint64_t CampaignFingerprint(const FaultCampaignConfig& config, const DriverImage& image) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  auto mix_bytes = [&h](const void* data, size_t size) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      h ^= p[i];
+      h *= 0x100000001B3ull;
+    }
+  };
+  auto mix_u64 = [&mix_bytes](uint64_t v) { mix_bytes(&v, sizeof(v)); };
+  mix_u64(config.seed);
+  mix_u64(config.max_passes);
+  mix_u64(config.max_occurrences_per_class);
+  mix_u64(config.escalation_rounds);
+  mix_u64(config.base.engine.seed);
+  mix_u64(config.base.engine.max_instructions);
+  mix_u64(config.base.engine.max_states);
+  mix_u64(config.base.use_default_checkers ? 1 : 0);
+  mix_u64(config.base.use_standard_annotations ? 1 : 0);
+  mix_bytes(image.name.data(), image.name.size());
+  mix_bytes(image.code.data(), image.code.size());
+  return h;
+}
+
+// Mirrors the PR-1 EngineConfig validation: reject configurations that would
+// otherwise fail late (or hang) with a clear message before any pass runs.
+Status ValidateCampaignConfig(const FaultCampaignConfig& config) {
+  if (config.max_passes == 0) {
+    return Status::Error("FaultCampaignConfig.max_passes must be nonzero");
+  }
+  if (config.max_pass_retries > 16) {
+    return Status::Error(
+        "FaultCampaignConfig.max_pass_retries is implausibly large (budgets double per attempt; "
+        "16 retries already scales them 65536x)");
+  }
+  if (config.retry_backoff_ms > 60'000) {
+    return Status::Error("FaultCampaignConfig.retry_backoff_ms must be at most 60000 (1 minute)");
+  }
+  if (config.resume && config.journal_path.empty()) {
+    return Status::Error("FaultCampaignConfig.resume requires journal_path");
+  }
+  return Status::Ok();
+}
+
+// Supervisor watchdog: one lazily-started thread tracking the deadline of
+// every in-flight pass. When a deadline passes while the pass is still armed,
+// the watchdog fires the pass's abort token; the engine's run loop and any
+// in-flight SAT query observe it cooperatively and wind down with partial
+// (valid) results. This is the only mechanism that can stop a hung pass —
+// there is no thread kill anywhere.
+class PassWatchdog {
+ public:
+  PassWatchdog() = default;
+  ~PassWatchdog() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+  PassWatchdog(const PassWatchdog&) = delete;
+  PassWatchdog& operator=(const PassWatchdog&) = delete;
+
+  uint64_t Arm(std::chrono::steady_clock::time_point deadline,
+               std::shared_ptr<std::atomic<bool>> token) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!thread_.joinable()) {
+      thread_ = std::thread([this] { Loop(); });
+    }
+    uint64_t id = next_id_++;
+    armed_.emplace(id, Entry{deadline, std::move(token)});
+    cv_.notify_all();
+    return id;
+  }
+
+  void Disarm(uint64_t id) {
+    std::unique_lock<std::mutex> lock(mu_);
+    armed_.erase(id);
+  }
+
+ private:
+  struct Entry {
+    std::chrono::steady_clock::time_point deadline;
+    std::shared_ptr<std::atomic<bool>> token;
+  };
+
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      if (armed_.empty()) {
+        cv_.wait(lock);
+        continue;
+      }
+      auto now = std::chrono::steady_clock::now();
+      auto next = std::chrono::steady_clock::time_point::max();
+      for (auto it = armed_.begin(); it != armed_.end();) {
+        if (it->second.deadline <= now) {
+          it->second.token->store(true, std::memory_order_relaxed);
+          it = armed_.erase(it);
+        } else {
+          next = std::min(next, it->second.deadline);
+          ++it;
+        }
+      }
+      if (!armed_.empty()) {
+        cv_.wait_until(lock, next);
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, Entry> armed_;
+  uint64_t next_id_ = 1;
+  bool stop_ = false;
+  std::thread thread_;  // started on first Arm
+};
+
 }  // namespace
 
 Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
                                              const DriverImage& image,
                                              const PciDescriptor& descriptor) {
   auto campaign_start = std::chrono::steady_clock::now();
+  Status valid = ValidateCampaignConfig(config);
+  if (!valid.ok()) {
+    return valid;
+  }
+
   FaultCampaignResult result;
   std::set<std::string> seen;
 
   // Execution and merging are split so plan passes can run on a worker pool:
-  // execute_pass touches only its own engine+solver instance (safe
+  // execute_supervised touches only its own engine+solver instance (safe
   // concurrently), merge_pass mutates the shared result and always runs on
   // the calling thread in plan order — so the merged bug list, dedup
   // decisions, and pass table are byte-identical to a sequential run no
-  // matter in which order workers finish.
+  // matter in which order workers finish. The journal is the one shared
+  // resource workers touch (appends in completion order, under its mutex);
+  // records carry the pass index, so load order never matters.
   struct PassOutcome {
-    Status status;                // overall pass status (default: ok)
-    std::shared_ptr<Ddt> ddt;     // owns the expression storage bugs reference
-    std::optional<DdtResult> r;   // set iff status.ok()
+    std::shared_ptr<Ddt> ddt;    // owns the expression storage bugs reference
+    std::optional<DdtResult> r;  // set iff the pass produced a result
+    uint32_t retries = 0;
+    bool quarantined = false;
+    std::string failure;  // set iff quarantined
+    bool from_journal = false;
+    std::optional<CampaignPassRecord> record;  // set iff from_journal
   };
 
-  auto execute_pass = [&config, &image, &descriptor](const FaultPlan& plan) -> PassOutcome {
+  PassWatchdog watchdog;
+
+  // One pass under full supervision: watchdog cancellation, retry with
+  // doubled budgets and deterministic backoff for transient failures,
+  // quarantine for permanent ones. DDT_CHECK failures and exceptions inside
+  // the engine are trapped per-thread and quarantine the pass — one
+  // malformed guest (or checker bug) must not kill a 30-pass campaign.
+  auto execute_supervised = [&config, &image, &descriptor,
+                             &watchdog](const FaultPlan& plan) -> PassOutcome {
     PassOutcome out;
-    DdtConfig pass_config = config.base;
-    pass_config.engine.fault_plan = plan;
-    out.ddt = std::make_shared<Ddt>(pass_config);
-    Result<DdtResult> r = out.ddt->TestDriver(image, descriptor);
-    if (!r.ok()) {
-      out.status = r.status();
+    for (uint32_t attempt = 0;; ++attempt) {
+      DdtConfig pass_config = config.base;
+      pass_config.engine.fault_plan = plan;
+      auto token = std::make_shared<std::atomic<bool>>(false);
+      pass_config.engine.abort_token = token;
+      if (attempt > 0) {
+        // Escalate the budgets that plausibly caused a transient failure.
+        uint64_t scale = 1ull << attempt;
+        if (pass_config.engine.solver.max_query_ms != 0) {
+          pass_config.engine.solver.max_query_ms *= scale;
+        }
+        if (pass_config.engine.max_state_bytes != 0) {
+          pass_config.engine.max_state_bytes *= scale;
+        }
+        if (pass_config.engine.max_instructions_per_state != 0) {
+          pass_config.engine.max_instructions_per_state *= scale;
+        }
+      }
+      out.ddt = std::make_shared<Ddt>(pass_config);
+      if (config.configure_pass != nullptr) {
+        config.configure_pass(*out.ddt, plan);
+      }
+      uint64_t watch_id = 0;
+      if (config.max_pass_wall_ms != 0) {
+        watch_id = watchdog.Arm(std::chrono::steady_clock::now() +
+                                    std::chrono::milliseconds(config.max_pass_wall_ms
+                                                              << attempt),
+                                token);
+      }
+      out.retries = attempt;
+      std::string hard_failure;
+      std::optional<DdtResult> r;
+      try {
+        ScopedCheckTrap trap;
+        Result<DdtResult> res = out.ddt->TestDriver(image, descriptor);
+        if (res.ok()) {
+          r = res.take();
+        } else {
+          hard_failure = res.status().message();
+        }
+      } catch (const CheckFailureError& e) {
+        hard_failure = std::string("engine invariant failure: ") + e.what();
+      } catch (const std::exception& e) {
+        hard_failure = std::string("engine exception: ") + e.what();
+      }
+      if (watch_id != 0) {
+        watchdog.Disarm(watch_id);
+      }
+      if (!hard_failure.empty()) {
+        // Deterministic failures don't get better with retries: quarantine
+        // immediately and drop the partial state.
+        out.quarantined = true;
+        out.failure = hard_failure;
+        out.r.reset();
+        out.ddt.reset();
+        return out;
+      }
+      bool timed_out = r->aborted;  // the watchdog fired mid-run
+      bool pressured =
+          r->solver_stats.query_timeouts > 0 || r->stats.states_evicted > 0;
+      if (timed_out || (config.retry_on_resource_pressure && pressured)) {
+        if (attempt < config.max_pass_retries) {
+          if (config.retry_backoff_ms != 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(config.retry_backoff_ms << attempt));
+          }
+          out.ddt.reset();
+          continue;
+        }
+        if (timed_out) {
+          out.quarantined = true;
+          out.failure = StrFormat(
+              "watchdog: pass exceeded its wall budget (%u attempt%s, base %llu ms)",
+              attempt + 1, attempt == 0 ? "" : "s",
+              static_cast<unsigned long long>(config.max_pass_wall_ms));
+          out.r.reset();
+          out.ddt.reset();
+          return out;
+        }
+        // Still pressured after the final escalation: the result is degraded
+        // (over-approximate exploration, evicted states) but valid — keep it.
+      }
+      out.r = std::move(r);
       return out;
     }
-    out.r = std::move(r.value());
-    return out;
   };
 
   auto merge_pass = [&result, &seen](const FaultPlan& plan, PassOutcome& out) {
     FaultCampaignPass pass;
     pass.plan = plan;
-    pass.stats = out.r->stats;
-    pass.solver_stats = out.r->solver_stats;
-    pass.bugs_found = out.r->bugs.size();
-    for (const Bug& bug : out.r->bugs) {
+    pass.retries = out.retries;
+    pass.quarantined = out.quarantined;
+    pass.failure = out.failure;
+    pass.from_journal = out.from_journal;
+    if (out.retries > 0) {
+      ++result.passes_retried;
+    }
+    if (out.from_journal) {
+      ++result.passes_loaded;
+    }
+    if (out.quarantined) {
+      // A quarantined pass contributes nothing to the aggregates: whatever
+      // stats a cancelled run accumulated depend on where the watchdog
+      // struck, and folding them in would make the merged report
+      // timing-dependent.
+      ++result.passes_quarantined;
+      result.passes.push_back(std::move(pass));
+      return;
+    }
+    const EngineStats& stats = out.from_journal ? out.record->stats : out.r->stats;
+    const SolverStats& solver_stats =
+        out.from_journal ? out.record->solver_stats : out.r->solver_stats;
+    const std::vector<Bug>& bugs = out.from_journal ? out.record->bugs : out.r->bugs;
+    pass.stats = stats;
+    pass.solver_stats = solver_stats;
+    pass.bugs_found = bugs.size();
+    for (const Bug& bug : bugs) {
       if (seen.insert(BugKey(bug)).second) {
         ++pass.bugs_new;
         result.bugs.push_back(bug);
       }
     }
-    result.total_faults_injected += out.r->stats.faults_injected;
-    result.total_wall_ms += out.r->stats.wall_ms;
-    result.total_stats.Accumulate(out.r->stats);
-    result.total_solver_stats.Accumulate(out.r->solver_stats);
+    result.total_faults_injected += stats.faults_injected;
+    result.total_wall_ms += stats.wall_ms;
+    result.total_stats.Accumulate(stats);
+    result.total_solver_stats.Accumulate(solver_stats);
     result.passes.push_back(std::move(pass));
-    // Bugs hold ExprRefs owned by this instance's ExprContext.
-    result.keepalive.push_back(std::move(out.ddt));
+    if (out.ddt != nullptr) {
+      // Bugs hold ExprRefs owned by this instance's ExprContext. (Journaled
+      // passes carry deserialized bugs, which own their storage.)
+      result.keepalive.push_back(std::move(out.ddt));
+    }
   };
 
-  // Pass 0: plain baseline, always on the calling thread. Besides its own
-  // bugs, it measures the fault-site profile every later plan is generated
-  // from, so nothing can overlap with it anyway.
-  PassOutcome baseline = execute_pass(FaultPlan{});
-  if (!baseline.status.ok()) {
-    return baseline.status;
+  auto make_record = [](uint64_t index, const FaultPlan& plan, const PassOutcome& out,
+                        const FaultSiteProfile* profile) {
+    CampaignPassRecord rec;
+    rec.index = index;
+    rec.label = plan.label;
+    rec.points = plan.points;
+    rec.retries = out.retries;
+    rec.quarantined = out.quarantined;
+    rec.failure = out.failure;
+    if (out.r.has_value()) {
+      rec.stats = out.r->stats;
+      rec.solver_stats = out.r->solver_stats;
+      rec.bugs = out.r->bugs;
+    }
+    if (profile != nullptr) {
+      rec.has_profile = true;
+      rec.profile = *profile;
+    }
+    return rec;
+  };
+
+  auto outcome_from_record = [](CampaignPassRecord&& rec) {
+    PassOutcome out;
+    out.from_journal = true;
+    out.retries = rec.retries;
+    out.quarantined = rec.quarantined;
+    out.failure = rec.failure;
+    out.record = std::move(rec);
+    return out;
+  };
+
+  // Journal setup. Resume loads the completed passes; a fresh journal starts
+  // with just the header.
+  uint64_t fingerprint = CampaignFingerprint(config, image);
+  std::unique_ptr<CampaignJournal> journal;
+  std::map<uint64_t, CampaignPassRecord> journaled;  // pass index -> record
+  if (config.resume) {
+    std::vector<CampaignPassRecord> records;
+    Result<std::unique_ptr<CampaignJournal>> opened =
+        CampaignJournal::OpenForResume(config.journal_path, image.name, fingerprint, &records);
+    if (!opened.ok()) {
+      return opened.status();
+    }
+    journal = opened.take();
+    for (CampaignPassRecord& rec : records) {
+      journaled.insert_or_assign(rec.index, std::move(rec));
+    }
+  } else if (!config.journal_path.empty()) {
+    Result<std::unique_ptr<CampaignJournal>> created =
+        CampaignJournal::Create(config.journal_path, image.name, fingerprint);
+    if (!created.ok()) {
+      return created.status();
+    }
+    journal = created.take();
   }
-  FaultSiteProfile profile = baseline.ddt->engine().fault_site_profile();
-  merge_pass(FaultPlan{}, baseline);
+
+  // Pass 0: plain baseline. Besides its own bugs, it measures the fault-site
+  // profile every later plan is generated from — which is why the journal
+  // stores the profile: a resume must reproduce the exact schedule without
+  // re-running the baseline. A failed baseline fails the whole campaign (and
+  // is deliberately not journaled, so a plain rerun retries it).
+  FaultSiteProfile profile;
+  auto base_it = journaled.find(0);
+  if (base_it != journaled.end() && base_it->second.has_profile &&
+      !base_it->second.quarantined) {
+    profile = base_it->second.profile;
+    PassOutcome restored = outcome_from_record(std::move(base_it->second));
+    merge_pass(FaultPlan{}, restored);
+  } else {
+    PassOutcome baseline = execute_supervised(FaultPlan{});
+    if (baseline.quarantined) {
+      return Status::Error("campaign baseline pass failed: " + baseline.failure);
+    }
+    profile = baseline.ddt->engine().fault_site_profile();
+    if (journal != nullptr) {
+      Status appended = journal->Append(make_record(0, FaultPlan{}, baseline, &profile));
+      if (!appended.ok()) {
+        return appended;
+      }
+    }
+    merge_pass(FaultPlan{}, baseline);
+  }
 
   size_t plan_budget = config.max_passes > 0 ? config.max_passes - 1 : 0;
   std::vector<FaultPlan> plans =
       GenerateCampaignPlans(profile, config.seed, config.max_occurrences_per_class,
                             config.escalation_rounds, plan_budget);
 
+  // Partition the plans: journaled passes restore instantly, the rest run.
+  std::vector<PassOutcome> outcomes(plans.size());
+  std::vector<size_t> to_run;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    auto it = journaled.find(i + 1);
+    if (it != journaled.end()) {
+      if (it->second.label != plans[i].label) {
+        return Status::Error(StrFormat(
+            "journal '%s' does not match the campaign schedule: pass %zu is '%s' in the "
+            "journal but '%s' in the regenerated plan",
+            config.journal_path.c_str(), i + 1, it->second.label.c_str(),
+            plans[i].label.c_str()));
+      }
+      outcomes[i] = outcome_from_record(std::move(it->second));
+    } else {
+      to_run.push_back(i);
+    }
+  }
+
   size_t threads = config.threads == 0 ? ThreadPool::HardwareThreads()
                                        : static_cast<size_t>(config.threads);
-  threads = std::max<size_t>(1, std::min(threads, std::max<size_t>(1, plans.size())));
+  threads = std::max<size_t>(1, std::min(threads, std::max<size_t>(1, to_run.size())));
   result.threads_used = static_cast<uint32_t>(threads);
 
-  if (threads == 1) {
-    // Sequential: execute+merge inline, stopping at the first failed pass
-    // (historical behavior).
-    for (const FaultPlan& plan : plans) {
-      PassOutcome out = execute_pass(plan);
-      if (!out.status.ok()) {
-        return out.status;
+  // Checkpointing happens here — from whichever thread finished the pass, in
+  // completion order — so a kill loses at most the passes still in flight.
+  std::mutex journal_error_mu;
+  Status journal_error;
+  auto run_one = [&execute_supervised, &plans, &outcomes, &journal, &make_record,
+                  &journal_error_mu, &journal_error](size_t i) {
+    PassOutcome out = execute_supervised(plans[i]);
+    if (journal != nullptr) {
+      Status appended = journal->Append(make_record(i + 1, plans[i], out, nullptr));
+      if (!appended.ok()) {
+        std::unique_lock<std::mutex> lock(journal_error_mu);
+        if (journal_error.ok()) {
+          journal_error = appended;
+        }
       }
-      merge_pass(plan, out);
+    }
+    outcomes[i] = std::move(out);
+  };
+
+  if (threads == 1) {
+    for (size_t i : to_run) {
+      run_one(i);
     }
   } else {
-    // Parallel: outcomes land in pre-sized slots indexed by plan order;
-    // failures are surfaced (and bugs merged) in plan order afterwards.
-    std::vector<PassOutcome> outcomes(plans.size());
-    {
-      ThreadPool pool(threads);
-      for (size_t i = 0; i < plans.size(); ++i) {
-        pool.Submit([&outcomes, &plans, &execute_pass, i] {
-          outcomes[i] = execute_pass(plans[i]);
-        });
-      }
-      pool.Wait();
+    ThreadPool pool(threads);
+    for (size_t i : to_run) {
+      pool.Submit([&run_one, i] { run_one(i); });
     }
-    for (size_t i = 0; i < plans.size(); ++i) {
-      if (!outcomes[i].status.ok()) {
-        return outcomes[i].status;
+    pool.Wait();
+    // execute_supervised traps everything thrown under it; an exception the
+    // pool still captured escaped the supervisor itself (e.g. OOM building a
+    // journal record) — surface it instead of merging a silently-lost pass.
+    std::vector<std::exception_ptr> errors = pool.TakeExceptions();
+    if (!errors.empty()) {
+      std::string message = "campaign worker task failed";
+      try {
+        std::rethrow_exception(errors.front());
+      } catch (const std::exception& e) {
+        message = StrFormat("campaign worker task failed: %s", e.what());
+      } catch (...) {
       }
-      merge_pass(plans[i], outcomes[i]);
+      return Status::Error(message);
     }
+  }
+  if (!journal_error.ok()) {
+    return journal_error;
+  }
+
+  // Merge in plan order: byte-identical no matter which passes were
+  // restored, which were executed, or how workers interleaved.
+  for (size_t i = 0; i < plans.size(); ++i) {
+    merge_pass(plans[i], outcomes[i]);
   }
 
   result.campaign_wall_ms = std::chrono::duration<double, std::milli>(
@@ -267,7 +635,12 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
   return result;
 }
 
-std::string FaultCampaignResult::FormatReport(const std::string& driver_name) const {
+std::string FaultCampaignResult::FormatReport(const std::string& driver_name,
+                                              bool include_volatile) const {
+  // Everything timing- or environment-dependent (wall times, slowest-query
+  // ms, thread count, journal-restore count) is gated on include_volatile;
+  // the deterministic remainder is byte-identical between an uninterrupted
+  // run and a kill-and-resume run at any thread count.
   std::string out;
   out += StrFormat("=== DDT fault campaign for driver '%s' ===\n", driver_name.c_str());
   out += StrFormat("passes: %zu (1 baseline + %zu fault plans)\n", passes.size(),
@@ -284,25 +657,50 @@ std::string FaultCampaignResult::FormatReport(const std::string& driver_name) co
   }
   for (size_t i = 0; i < passes.size(); ++i) {
     const FaultCampaignPass& pass = passes[i];
-    out += StrFormat(
-        "  pass %zu: %s -> %zu bugs (%zu new), %llu faults, %.1f ms (slowest query %.1f ms)\n",
-        i, pass.plan.empty() ? "baseline" : pass.plan.ToString().c_str(), pass.bugs_found,
-        pass.bugs_new, static_cast<unsigned long long>(pass.stats.faults_injected),
-        pass.stats.wall_ms, pass.solver_stats.max_query_wall_ms);
+    std::string label = pass.plan.empty() ? "baseline" : pass.plan.ToString();
+    if (pass.quarantined) {
+      out += StrFormat("  pass %zu: %s -> QUARANTINED after %u retr%s: %s\n", i, label.c_str(),
+                       pass.retries, pass.retries == 1 ? "y" : "ies", pass.failure.c_str());
+      continue;
+    }
+    out += StrFormat("  pass %zu: %s -> %zu bugs (%zu new), %llu faults", i, label.c_str(),
+                     pass.bugs_found, pass.bugs_new,
+                     static_cast<unsigned long long>(pass.stats.faults_injected));
+    if (pass.retries > 0) {
+      out += StrFormat(", %u retr%s", pass.retries, pass.retries == 1 ? "y" : "ies");
+    }
+    if (include_volatile) {
+      out += StrFormat(", %.1f ms (slowest query %.1f ms)", pass.stats.wall_ms,
+                       pass.solver_stats.max_query_wall_ms);
+    }
+    out += "\n";
   }
   out += StrFormat("aggregate: %llu instructions, %llu forks, %llu states created\n",
                    static_cast<unsigned long long>(total_stats.instructions),
                    static_cast<unsigned long long>(total_stats.forks),
                    static_cast<unsigned long long>(total_stats.states_created));
-  out += StrFormat(
-      "aggregate solver: %llu queries, %llu SAT calls, %llu model-reuse hits, "
-      "slowest query %.1f ms\n",
-      static_cast<unsigned long long>(total_solver_stats.queries),
-      static_cast<unsigned long long>(total_solver_stats.sat_calls),
-      static_cast<unsigned long long>(total_solver_stats.model_reuse_hits),
-      total_solver_stats.max_query_wall_ms);
-  out += StrFormat("scheduler: %u worker thread%s, campaign wall %.1f ms (passes sum %.1f ms)\n",
-                   threads_used, threads_used == 1 ? "" : "s", campaign_wall_ms, total_wall_ms);
+  out += StrFormat("aggregate solver: %llu queries, %llu SAT calls, %llu model-reuse hits",
+                   static_cast<unsigned long long>(total_solver_stats.queries),
+                   static_cast<unsigned long long>(total_solver_stats.sat_calls),
+                   static_cast<unsigned long long>(total_solver_stats.model_reuse_hits));
+  if (include_volatile) {
+    out += StrFormat(", slowest query %.1f ms", total_solver_stats.max_query_wall_ms);
+  }
+  out += "\n";
+  out += StrFormat("supervisor: %llu pass%s retried, %llu quarantined\n",
+                   static_cast<unsigned long long>(passes_retried),
+                   passes_retried == 1 ? "" : "es",
+                   static_cast<unsigned long long>(passes_quarantined));
+  if (include_volatile) {
+    if (passes_loaded != 0) {
+      out += StrFormat("resumed: %llu pass%s restored from journal\n",
+                       static_cast<unsigned long long>(passes_loaded),
+                       passes_loaded == 1 ? "" : "es");
+    }
+    out += StrFormat(
+        "scheduler: %u worker thread%s, campaign wall %.1f ms (passes sum %.1f ms)\n",
+        threads_used, threads_used == 1 ? "" : "s", campaign_wall_ms, total_wall_ms);
+  }
   return out;
 }
 

@@ -14,6 +14,7 @@
 #ifndef SRC_CORE_DDT_H_
 #define SRC_CORE_DDT_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -50,6 +51,10 @@ struct DdtResult {
   size_t total_blocks = 0;
   SolverStats solver_stats;
   MemStats mem_stats;
+  // The run wound down via cooperative cancellation (Engine::RequestAbort —
+  // typically the campaign watchdog) rather than finishing on its own
+  // budgets. Partial results above are still valid.
+  bool aborted = false;
 
   // Table-2 style report with one row per bug.
   std::string FormatReport(const std::string& driver_name) const;
@@ -116,6 +121,38 @@ struct FaultCampaignConfig {
   // are merged in plan order, so the merged report is byte-identical for any
   // thread count.
   uint32_t threads = 0;
+
+  // --- Campaign supervisor ---
+  // Checkpoint journal (src/core/campaign_journal.h): after each pass a
+  // self-contained record is appended and flushed, so a killed campaign
+  // loses at most the passes in flight. Empty = no journaling.
+  std::string journal_path;
+  // Resume a previous campaign from journal_path: completed passes (including
+  // the baseline and its fault-site profile) load from the journal, only
+  // missing passes execute, and the plan-order merge makes the deterministic
+  // report (FormatReport with include_volatile=false) byte-identical to an
+  // uninterrupted run. A torn or corrupt trailing record is discarded, not
+  // fatal. Requires journal_path; the journal must match this config and
+  // driver image (fingerprint check). Thread count and supervisor budgets may
+  // differ between the original run and the resume.
+  bool resume = false;
+  // Watchdog wall budget per pass, in milliseconds; 0 = no watchdog. A pass
+  // exceeding it is cooperatively cancelled (Engine::RequestAbort) and
+  // treated as a transient failure: retried with doubled budgets, then
+  // quarantined. The campaign itself keeps going either way.
+  uint64_t max_pass_wall_ms = 0;
+  // Transient-failure retries per pass. Attempt k runs with budgets scaled by
+  // 2^k (watchdog wall budget always; solver/memory/fuel budgets too) after a
+  // deterministic backoff of retry_backoff_ms * 2^(k-1).
+  uint32_t max_pass_retries = 2;
+  uint64_t retry_backoff_ms = 0;
+  // Also treat resource pressure (solver query timeouts or governor
+  // evictions) as transient and retry with escalated budgets. If the final
+  // attempt is still pressured its degraded-but-valid result is kept.
+  bool retry_on_resource_pressure = false;
+  // Test/instrumentation hook: called on each pass's Ddt instance (after
+  // construction, before TestDriver), e.g. to add a custom checker.
+  std::function<void(Ddt&, const FaultPlan&)> configure_pass;
 };
 
 // One engine pass of a campaign.
@@ -125,6 +162,11 @@ struct FaultCampaignPass {
   SolverStats solver_stats;
   size_t bugs_found = 0;  // bugs this pass reported (pre-merge)
   size_t bugs_new = 0;    // of those, how many no earlier pass had found
+  // Supervisor outcome.
+  uint32_t retries = 0;        // transient-failure retry attempts consumed
+  bool quarantined = false;    // permanently failed; excluded from aggregates
+  std::string failure;         // why (quarantined passes only)
+  bool from_journal = false;   // loaded from the checkpoint journal
 };
 
 struct FaultCampaignResult {
@@ -142,11 +184,20 @@ struct FaultCampaignResult {
   // than total_wall_ms (the parallel speedup the benchmark measures).
   double campaign_wall_ms = 0;
   uint32_t threads_used = 1;
+  // Supervisor tallies.
+  uint64_t passes_retried = 0;      // passes that needed >= 1 retry
+  uint64_t passes_quarantined = 0;  // passes that failed permanently
+  uint64_t passes_loaded = 0;       // passes restored from the journal
   // Bug objects reference expression storage owned by the per-pass Ddt
   // instances; they are kept alive here so the result is self-contained.
   std::vector<std::shared_ptr<Ddt>> keepalive;
 
-  std::string FormatReport(const std::string& driver_name) const;
+  // With include_volatile=false the report omits every timing- and
+  // environment-dependent line (wall times, slowest-query ms, thread count,
+  // journal-restore count) and is byte-identical between an uninterrupted
+  // run and a kill-and-resume run at any thread count — the form the resume
+  // tests and CI diff.
+  std::string FormatReport(const std::string& driver_name, bool include_volatile = true) const;
 };
 
 // Runs a full campaign over one driver. Deterministic in (config, driver).

@@ -141,7 +141,16 @@ class EngineKernelContext : public KernelContext {
 // ---------------------------------------------------------------------------
 
 Engine::Engine(const EngineConfig& config)
-    : config_(config), solver_(&ctx_, config.solver), rng_(config.seed) {}
+    : config_(config),
+      abort_token_(config.abort_token != nullptr ? config.abort_token
+                                                 : std::make_shared<std::atomic<bool>>(false)),
+      solver_(&ctx_, config.solver),
+      rng_(config.seed) {
+  // The same token that stops the run loop also unwinds in-flight SAT
+  // queries, so cancellation latency is bounded by one propagation rather
+  // than one (possibly pathological) solver query.
+  solver_.SetAbortFlag(abort_token_.get());
+}
 
 Engine::~Engine() = default;
 
@@ -242,6 +251,9 @@ double Engine::ElapsedMs() const {
 }
 
 bool Engine::BudgetExceeded() const {
+  if (abort_token_->load(std::memory_order_relaxed)) {
+    return true;
+  }
   if (stats_.instructions >= config_.max_instructions) {
     return true;
   }

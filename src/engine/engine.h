@@ -14,6 +14,7 @@
 #ifndef SRC_ENGINE_ENGINE_H_
 #define SRC_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <memory>
@@ -104,6 +105,12 @@ struct EngineConfig {
   bool guided = false;
   std::map<std::string, uint64_t> guided_inputs;  // OriginKeyString -> value
   std::vector<std::pair<uint32_t, std::string>> forced_alternatives;  // (kcall seq, label)
+
+  // Cooperative cancellation token shared with a supervisor (the campaign
+  // watchdog): when it becomes true the run loop stops at the next budget
+  // check and any in-flight SAT query unwinds within one propagation. When
+  // null the engine allocates a private token so RequestAbort() always works.
+  std::shared_ptr<std::atomic<bool>> abort_token;
 };
 
 // Stable string key identifying a symbolic variable's origin across runs
@@ -169,6 +176,12 @@ class Engine : public CheckerHost, private BlockCountOracle {
 
   // Explores until budgets are exhausted or every state terminated.
   void Run();
+
+  // Cooperative cancellation: may be called from any thread (typically a
+  // watchdog). The engine winds down at the next budget check; partial
+  // results (bugs, stats, coverage) remain valid.
+  void RequestAbort() { abort_token_->store(true, std::memory_order_relaxed); }
+  bool AbortRequested() const { return abort_token_->load(std::memory_order_relaxed); }
 
   // --- results ---
   const std::vector<Bug>& bugs() const { return bugs_; }
@@ -277,6 +290,7 @@ class Engine : public CheckerHost, private BlockCountOracle {
   std::vector<SolvedInput> SolveInputs(ExecutionState& st);
 
   EngineConfig config_;
+  std::shared_ptr<std::atomic<bool>> abort_token_;  // never null after ctor
   ExprContext ctx_;
   Solver solver_;
   Rng rng_;

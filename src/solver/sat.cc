@@ -274,8 +274,10 @@ SatLit SatSolver::PickBranchLit() {
 }
 
 SatResult SatSolver::Solve(const std::vector<SatLit>& assumptions, uint64_t conflict_budget,
-                           const std::chrono::steady_clock::time_point* deadline) {
+                           const std::chrono::steady_clock::time_point* deadline,
+                           const std::atomic<bool>* abort) {
   hit_deadline_ = false;
+  hit_abort_ = false;
   if (known_unsat_) {
     return SatResult::kUnsat;
   }
@@ -334,6 +336,11 @@ SatResult SatSolver::Solve(const std::vector<SatLit>& assumptions, uint64_t conf
         Backtrack(0);
         return SatResult::kUnknown;
       }
+      if (abort != nullptr && abort->load(std::memory_order_relaxed)) {
+        hit_abort_ = true;
+        Backtrack(0);
+        return SatResult::kUnknown;
+      }
       if (conflicts_since_restart >= restart_limit) {
         ++restarts;
         conflicts_since_restart = 0;
@@ -360,13 +367,19 @@ SatResult SatSolver::Solve(const std::vector<SatLit>& assumptions, uint64_t conf
     if (decision == UINT32_MAX) {
       return SatResult::kSat;  // full assignment
     }
-    // Conflict-free instances never reach the conflict-side deadline check;
-    // poll it here too, cheaply (every 128 decisions).
-    if (deadline != nullptr && (decisions_ & 0x7F) == 0 &&
-        std::chrono::steady_clock::now() >= *deadline) {
-      hit_deadline_ = true;
-      Backtrack(0);
-      return SatResult::kUnknown;
+    // Conflict-free instances never reach the conflict-side deadline/abort
+    // checks; poll them here too, cheaply (every 128 decisions).
+    if ((decisions_ & 0x7F) == 0) {
+      if (deadline != nullptr && std::chrono::steady_clock::now() >= *deadline) {
+        hit_deadline_ = true;
+        Backtrack(0);
+        return SatResult::kUnknown;
+      }
+      if (abort != nullptr && abort->load(std::memory_order_relaxed)) {
+        hit_abort_ = true;
+        Backtrack(0);
+        return SatResult::kUnknown;
+      }
     }
     ++decisions_;
     trail_limits_.push_back(static_cast<uint32_t>(trail_.size()));

@@ -5,6 +5,7 @@
 #ifndef SRC_SOLVER_SAT_H_
 #define SRC_SOLVER_SAT_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -38,11 +39,15 @@ class SatSolver {
   void AddTernary(SatLit a, SatLit b, SatLit c) { AddClause({a, b, c}); }
 
   // Solves under the given assumptions. kUnknown only if conflict_budget
-  // (when nonzero) is exhausted or `deadline` (when non-null) passes; the
-  // deadline is checked at conflicts and periodically at decisions, so
-  // overshoot is bounded by one propagation.
+  // (when nonzero) is exhausted, `deadline` (when non-null) passes, or
+  // `abort` (when non-null) becomes true; deadline and abort are checked at
+  // conflicts and periodically at decisions, so overshoot is bounded by one
+  // propagation. The abort flag is the campaign supervisor's cooperative
+  // cancellation point: a watchdog on another thread sets it and a hung
+  // query unwinds within one propagation instead of stalling the pass.
   SatResult Solve(const std::vector<SatLit>& assumptions = {}, uint64_t conflict_budget = 0,
-                  const std::chrono::steady_clock::time_point* deadline = nullptr);
+                  const std::chrono::steady_clock::time_point* deadline = nullptr,
+                  const std::atomic<bool>* abort = nullptr);
 
   // Model access after kSat.
   bool ModelValue(uint32_t var) const;
@@ -50,6 +55,9 @@ class SatSolver {
   // True if the last Solve returned kUnknown because of the deadline (as
   // opposed to conflict-budget exhaustion).
   bool hit_deadline() const { return hit_deadline_; }
+
+  // True if the last Solve returned kUnknown because the abort flag fired.
+  bool hit_abort() const { return hit_abort_; }
 
   uint64_t conflicts() const { return conflicts_; }
   uint64_t decisions() const { return decisions_; }
@@ -103,6 +111,7 @@ class SatSolver {
 
   bool known_unsat_ = false;
   bool hit_deadline_ = false;
+  bool hit_abort_ = false;
   uint64_t conflicts_ = 0;
   uint64_t decisions_ = 0;
   uint64_t propagations_ = 0;

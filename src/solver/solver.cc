@@ -21,6 +21,7 @@ void SolverStats::Accumulate(const SolverStats& other) {
   unsat_results += other.unsat_results;
   unknown_results += other.unknown_results;
   query_timeouts += other.query_timeouts;
+  aborted_queries += other.aborted_queries;
   total_conflicts += other.total_conflicts;
   total_sat_vars += other.total_sat_vars;
   total_sat_clauses += other.total_sat_clauses;
@@ -86,6 +87,15 @@ uint64_t Solver::CacheKey(const std::vector<ExprRef>& exprs) const {
 
 bool Solver::SolveExprs(const std::vector<ExprRef>& exprs, Assignment* model, bool* unknown) {
   *unknown = false;
+  // Cancelled pass: don't even start bit-blasting; drain with the same
+  // conservative "maybe" a timed-out query yields, so the run loop can
+  // observe the abort at its next check instead of queueing behind SAT work.
+  if (abort_flag_ != nullptr && abort_flag_->load(std::memory_order_relaxed)) {
+    *unknown = true;
+    ++stats_.unknown_results;
+    ++stats_.aborted_queries;
+    return true;
+  }
   ++stats_.sat_calls;
   std::chrono::steady_clock::time_point query_start = std::chrono::steady_clock::now();
   struct QueryTimer {
@@ -111,15 +121,17 @@ bool Solver::SolveExprs(const std::vector<ExprRef>& exprs, Assignment* model, bo
     blaster.AssertTrue(e);
   }
   SatResult result =
-      sat.Solve({}, config_.conflict_budget, have_deadline ? &deadline : nullptr);
+      sat.Solve({}, config_.conflict_budget, have_deadline ? &deadline : nullptr, abort_flag_);
   stats_.total_conflicts += sat.conflicts();
   stats_.total_sat_vars += sat.num_vars();
   stats_.total_sat_clauses += sat.num_clauses();
   if (result == SatResult::kUnknown) {
     *unknown = true;
     ++stats_.unknown_results;
-    if (sat.hit_deadline() ||
-        (have_deadline && std::chrono::steady_clock::now() >= deadline)) {
+    if (sat.hit_abort()) {
+      ++stats_.aborted_queries;
+    } else if (sat.hit_deadline() ||
+               (have_deadline && std::chrono::steady_clock::now() >= deadline)) {
       ++stats_.query_timeouts;
     }
     return true;  // conservative

@@ -13,6 +13,7 @@
 #ifndef SRC_SOLVER_SOLVER_H_
 #define SRC_SOLVER_SOLVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -54,6 +55,9 @@ struct SolverStats {
   // Queries abandoned because they hit SolverConfig::max_query_ms (a subset
   // of unknown_results).
   uint64_t query_timeouts = 0;
+  // Queries abandoned because the cooperative abort flag fired (also a
+  // subset of unknown_results) — the supervisor cancelled this pass.
+  uint64_t aborted_queries = 0;
   uint64_t total_conflicts = 0;
   uint64_t total_sat_vars = 0;
   uint64_t total_sat_clauses = 0;
@@ -101,6 +105,12 @@ class Solver {
   const SolverStats& stats() const { return stats_; }
   ExprContext* context() { return ctx_; }
 
+  // Cooperative cancellation: when `flag` (owned by the caller, may be set
+  // from another thread) becomes true, in-flight SAT searches unwind at the
+  // next conflict/decision poll and later queries degrade immediately to the
+  // conservative "maybe" answer — the same graceful path as a query timeout.
+  void SetAbortFlag(const std::atomic<bool>* flag) { abort_flag_ = flag; }
+
  private:
   struct CacheEntry {
     bool sat = false;
@@ -120,6 +130,7 @@ class Solver {
   ExprContext* ctx_;
   SolverConfig config_;
   SolverStats stats_;
+  const std::atomic<bool>* abort_flag_ = nullptr;
   std::unordered_map<uint64_t, CacheEntry> cache_;
   Assignment last_model_;         // most recent satisfying assignment
   bool have_last_model_ = false;

@@ -2,12 +2,27 @@
 
 namespace ddt {
 
+namespace {
+// Per-thread trap depth: >0 means DDT_CHECK failures throw instead of abort.
+thread_local int check_trap_depth = 0;
+}  // namespace
+
+ScopedCheckTrap::ScopedCheckTrap() { ++check_trap_depth; }
+
+ScopedCheckTrap::~ScopedCheckTrap() { --check_trap_depth; }
+
 void CheckFailed(const char* file, int line, const char* expr, const char* msg) {
+  char buffer[512];
   if (msg != nullptr) {
-    std::fprintf(stderr, "DDT_CHECK failed at %s:%d: %s (%s)\n", file, line, expr, msg);
+    std::snprintf(buffer, sizeof(buffer), "DDT_CHECK failed at %s:%d: %s (%s)", file, line, expr,
+                  msg);
   } else {
-    std::fprintf(stderr, "DDT_CHECK failed at %s:%d: %s\n", file, line, expr);
+    std::snprintf(buffer, sizeof(buffer), "DDT_CHECK failed at %s:%d: %s", file, line, expr);
   }
+  if (check_trap_depth > 0) {
+    throw CheckFailureError(buffer);
+  }
+  std::fprintf(stderr, "%s\n", buffer);
   std::abort();
 }
 

@@ -4,15 +4,43 @@
 // source location. It is always on (including release builds) because the
 // engine's correctness claims (soundness of path constraints, COW memory
 // integrity) are exactly the kind of thing that must never silently degrade.
+//
+// The one sanctioned exception is the campaign supervisor: a multi-hour
+// fault campaign must not lose every completed pass because one pathological
+// plan drove the engine into an invariant trip. While a ScopedCheckTrap is
+// alive on the current thread, DDT_CHECK failures throw CheckFailureError
+// (carrying the same file:line:expr message) instead of aborting; the
+// supervisor catches it and quarantines the offending pass.
 #ifndef SRC_SUPPORT_CHECK_H_
 #define SRC_SUPPORT_CHECK_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace ddt {
 
 [[noreturn]] void CheckFailed(const char* file, int line, const char* expr, const char* msg);
+
+// Thrown instead of aborting when a ScopedCheckTrap is active on this thread.
+class CheckFailureError : public std::runtime_error {
+ public:
+  explicit CheckFailureError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// RAII scope converting DDT_CHECK failures on the current thread into thrown
+// CheckFailureError. Nests (a depth counter, not a flag). Best-effort by
+// design: a check that fires inside a noexcept context still terminates, but
+// every engine-pass invariant reachable from guest input unwinds cleanly.
+class ScopedCheckTrap {
+ public:
+  ScopedCheckTrap();
+  ~ScopedCheckTrap();
+
+  ScopedCheckTrap(const ScopedCheckTrap&) = delete;
+  ScopedCheckTrap& operator=(const ScopedCheckTrap&) = delete;
+};
 
 }  // namespace ddt
 

@@ -40,6 +40,13 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+std::vector<std::exception_ptr> ThreadPool::TakeExceptions() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<std::exception_ptr> out;
+  out.swap(exceptions_);
+  return out;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -53,9 +60,19 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      // Capture instead of std::terminate: one throwing task must not take
+      // down the pool (or the process) while siblings are mid-flight.
+      error = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (error != nullptr) {
+        exceptions_.push_back(std::move(error));
+      }
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) {
         idle_cv_.notify_all();

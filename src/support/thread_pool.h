@@ -9,6 +9,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -26,13 +27,21 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues a task. Tasks must not throw (the codebase reports failures
-  // through Status values, never exceptions).
+  // Enqueues a task. A task that throws does not terminate the pool: the
+  // exception is captured (in completion order) and retrievable through
+  // TakeExceptions(), and the worker moves on to the next task. Callers that
+  // care about per-task failure should still catch inside the task and
+  // report through their own result slots; the capture here is the backstop
+  // that keeps one faulty task from killing every in-flight sibling.
   void Submit(std::function<void()> task);
 
   // Blocks until every submitted task has finished. The pool is reusable
   // afterwards.
   void Wait();
+
+  // Exceptions captured from tasks that threw, in completion order; clears
+  // the captured list. Call after Wait() for a complete picture.
+  std::vector<std::exception_ptr> TakeExceptions();
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -48,6 +57,7 @@ class ThreadPool {
   std::condition_variable work_cv_;   // signals workers: task ready / stop
   std::condition_variable idle_cv_;   // signals Wait(): everything drained
   std::deque<std::function<void()>> queue_;
+  std::vector<std::exception_ptr> exceptions_;  // captured from throwing tasks
   size_t in_flight_ = 0;  // tasks popped but not yet finished
   bool stop_ = false;
 };

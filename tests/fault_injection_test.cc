@@ -10,9 +10,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/campaign_journal.h"
 #include "src/core/ddt.h"
 #include "src/core/replay.h"
 #include "src/drivers/corpus.h"
+#include "src/support/check.h"
+#include "src/vm/assembler.h"
 
 namespace ddt {
 namespace {
@@ -236,6 +246,284 @@ TEST(FaultCampaignTest, NoPlanMeansNoInjections) {
   }
   // The baseline still profiles fault-eligible sites for the campaign.
   EXPECT_FALSE(ddt.engine().fault_site_profile().Empty());
+}
+
+// ---------------------------------------------------------------------------
+// Campaign supervisor: checkpoint/resume, watchdog, retry, quarantine
+// ---------------------------------------------------------------------------
+
+std::string TempPath(const std::string& name) { return testing::TempDir() + name; }
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+// A campaign killed mid-run and resumed — at any thread count, even with a
+// torn half-written record at the kill point — must produce a deterministic
+// report byte-identical to an uninterrupted run.
+TEST(FaultCampaignSupervisorTest, KillAndResumeReportIsByteIdentical) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+
+  std::string full_path = TempPath("campaign_full.jsonl");
+  FaultCampaignConfig config = QuickCampaign();
+  config.journal_path = full_path;
+  Result<FaultCampaignResult> full = RunFaultCampaign(config, driver.image, driver.pci);
+  ASSERT_TRUE(full.ok()) << full.status().message();
+  std::string reference = full.value().FormatReport(driver.name, /*include_volatile=*/false);
+  size_t total_passes = full.value().passes.size();
+  ASSERT_GT(total_passes, 1u);
+
+  // The journal holds one header line plus one record per pass.
+  std::string journal = ReadFile(full_path);
+  size_t newlines = static_cast<size_t>(std::count(journal.begin(), journal.end(), '\n'));
+  ASSERT_EQ(newlines, total_passes + 1);
+
+  // Simulate a kill: keep the header and the first half of the records, then
+  // a torn half-appended line (the exact on-disk shape a SIGKILL leaves).
+  size_t keep_records = total_passes / 2;
+  size_t pos = 0;
+  for (size_t i = 0; i < keep_records + 1; ++i) {
+    pos = journal.find('\n', pos) + 1;
+  }
+  std::string truncated = journal.substr(0, pos) + "{\"crc\":\"00000000\",\"record\":{\"i\":99,";
+
+  auto resume_run = [&](const std::string& path, uint32_t threads) {
+    FaultCampaignConfig rc = QuickCampaign();
+    rc.threads = threads;
+    rc.journal_path = path;
+    rc.resume = true;
+    Result<FaultCampaignResult> r = RunFaultCampaign(rc, driver.image, driver.pci);
+    EXPECT_TRUE(r.ok()) << r.status().message();
+    return std::move(r.value());
+  };
+
+  // Resume sequentially.
+  std::string t1 = TempPath("campaign_resume_t1.jsonl");
+  WriteFile(t1, truncated);
+  FaultCampaignResult r1 = resume_run(t1, 1);
+  EXPECT_EQ(r1.passes_loaded, keep_records);
+  EXPECT_EQ(r1.passes.size(), total_passes);
+  EXPECT_EQ(r1.FormatReport(driver.name, false), reference);
+
+  // Resume in parallel (resume repairs the file in place, so each resume
+  // starts from a fresh copy of the interrupted journal).
+  std::string t4 = TempPath("campaign_resume_t4.jsonl");
+  WriteFile(t4, truncated);
+  FaultCampaignResult r4 = resume_run(t4, 4);
+  EXPECT_EQ(r4.passes_loaded, keep_records);
+  EXPECT_EQ(r4.FormatReport(driver.name, false), reference);
+
+  // Resuming a journal of a finished campaign re-runs nothing at all.
+  FaultCampaignResult done = resume_run(full_path, 1);
+  EXPECT_EQ(done.passes_loaded, done.passes.size());
+  EXPECT_EQ(done.FormatReport(driver.name, false), reference);
+}
+
+// A pass that hangs (here: an injected alloc failure steering init into an
+// infinite concrete loop) is cancelled by the watchdog, retried with doubled
+// budgets, and finally quarantined — while the campaign itself succeeds.
+TEST(FaultCampaignSupervisorTest, WatchdogCancelsAndQuarantinesHungPass) {
+  std::string source = R"(
+  .driver "toy_hang"
+  .entry driver_entry
+  .code
+  .func driver_entry
+    la r0, entry_table
+    kcall MosRegisterDriver
+    ret
+  .func ep_init
+    movi r0, 64
+    kcall MosAllocatePool
+    bz r0, fail
+    movi r0, 0
+    ret
+  fail:
+    movi r1, 1
+  spin:
+    bnz r1, spin
+    movi r0, 1
+    ret
+  .data
+  entry_table:
+    .word ep_init
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+)";
+  Result<AssembledDriver> assembled = Assemble(source);
+  ASSERT_TRUE(assembled.ok()) << assembled.error();
+  PciDescriptor pci;
+  pci.vendor_id = 0x10EC;
+  pci.device_id = 0x8029;
+  pci.irq_line = 10;
+  pci.bars.push_back(PciBar{0x100});
+
+  FaultCampaignConfig config;
+  // Generous backstop so a broken watchdog fails the test instead of hanging
+  // it; the happy-path baseline never gets near either limit.
+  config.base.engine.max_instructions = 50'000'000;
+  config.base.engine.max_wall_ms = 3'600'000;
+  // Error paths come from the campaign plan; the alloc annotation would fork
+  // the baseline into the hang too.
+  config.base.use_standard_annotations = false;
+  config.base.use_default_checkers = false;
+  config.max_passes = 4;
+  config.max_occurrences_per_class = 4;
+  config.escalation_rounds = 0;
+  config.threads = 1;
+  config.max_pass_wall_ms = 100;
+  config.max_pass_retries = 2;
+  config.retry_backoff_ms = 1;
+
+  Result<FaultCampaignResult> campaign =
+      RunFaultCampaign(config, assembled.value().image, pci);
+  ASSERT_TRUE(campaign.ok()) << campaign.status().message();
+  const FaultCampaignResult& r = campaign.value();
+
+  ASSERT_EQ(r.passes.size(), 2u);  // baseline + allocation#0
+  EXPECT_FALSE(r.passes[0].quarantined);
+  EXPECT_TRUE(r.passes[1].quarantined);
+  EXPECT_EQ(r.passes[1].retries, 2u);  // both retries consumed before giving up
+  EXPECT_NE(r.passes[1].failure.find("watchdog"), std::string::npos) << r.passes[1].failure;
+  EXPECT_EQ(r.passes_quarantined, 1u);
+  EXPECT_GE(r.passes_retried, 1u);
+
+  std::string report = r.FormatReport("toy_hang");
+  EXPECT_NE(report.find("QUARANTINED"), std::string::npos) << report;
+}
+
+// A checker whose every callback trips an engine invariant. With the
+// supervisor's check trap, this quarantines the pass instead of aborting the
+// whole process.
+class ExplodingChecker : public Checker {
+ public:
+  std::string name() const override { return "exploding"; }
+  void OnInstruction(ExecutionState& st, uint32_t pc, CheckerHost& host) override {
+    DDT_CHECK_MSG(pc == 0xFFFFFFFF, "intentional test explosion");
+  }
+};
+
+TEST(FaultCampaignSupervisorTest, InvariantFailureQuarantinesPassNotProcess) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+  std::string path = TempPath("campaign_trap.jsonl");
+
+  FaultCampaignConfig config = QuickCampaign();
+  config.max_passes = 3;
+  config.threads = 2;
+  config.journal_path = path;
+  // Sabotage every fault pass (but not the baseline).
+  config.configure_pass = [](Ddt& ddt, const FaultPlan& plan) {
+    if (!plan.empty()) {
+      ddt.AddChecker(std::make_unique<ExplodingChecker>());
+    }
+  };
+
+  Result<FaultCampaignResult> campaign = RunFaultCampaign(config, driver.image, driver.pci);
+  ASSERT_TRUE(campaign.ok()) << campaign.status().message();
+  const FaultCampaignResult& r = campaign.value();
+  ASSERT_EQ(r.passes.size(), 3u);
+  EXPECT_FALSE(r.passes[0].quarantined);
+  for (size_t i = 1; i < r.passes.size(); ++i) {
+    EXPECT_TRUE(r.passes[i].quarantined) << "pass " << i;
+    EXPECT_EQ(r.passes[i].retries, 0u);  // deterministic failure: no retries
+    EXPECT_NE(r.passes[i].failure.find("engine invariant failure"), std::string::npos)
+        << r.passes[i].failure;
+    EXPECT_NE(r.passes[i].failure.find("intentional test explosion"), std::string::npos);
+  }
+  EXPECT_EQ(r.passes_quarantined, 2u);
+  // Quarantined passes contribute no bugs: everything left is baseline output.
+  EXPECT_FALSE(r.bugs.empty());
+  for (const Bug& bug : r.bugs) {
+    EXPECT_TRUE(bug.fault_plan.empty()) << bug.Row();
+  }
+
+  // Quarantine decisions are durable: resuming the journal restores all three
+  // passes (including the quarantined ones) without re-running anything.
+  FaultCampaignConfig rc = config;
+  rc.resume = true;
+  Result<FaultCampaignResult> resumed = RunFaultCampaign(rc, driver.image, driver.pci);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+  EXPECT_EQ(resumed.value().passes_loaded, 3u);
+  EXPECT_EQ(resumed.value().passes_quarantined, 2u);
+  EXPECT_EQ(resumed.value().FormatReport(driver.name, false),
+            r.FormatReport(driver.name, false));
+}
+
+TEST(FaultCampaignSupervisorTest, RejectsInvalidSupervisorConfig) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+  auto expect_error = [&](const FaultCampaignConfig& config, const std::string& needle) {
+    Result<FaultCampaignResult> r = RunFaultCampaign(config, driver.image, driver.pci);
+    ASSERT_FALSE(r.ok()) << "expected failure mentioning: " << needle;
+    EXPECT_NE(r.status().message().find(needle), std::string::npos) << r.status().message();
+  };
+
+  FaultCampaignConfig c = QuickCampaign();
+  c.max_passes = 0;
+  expect_error(c, "max_passes");
+
+  c = QuickCampaign();
+  c.max_pass_retries = 17;
+  expect_error(c, "max_pass_retries");
+
+  c = QuickCampaign();
+  c.retry_backoff_ms = 60'001;
+  expect_error(c, "retry_backoff_ms");
+
+  c = QuickCampaign();
+  c.resume = true;
+  expect_error(c, "journal_path");
+
+  c = QuickCampaign();
+  c.journal_path = "/nonexistent-dir/journal.jsonl";
+  expect_error(c, "cannot open");
+
+  c = QuickCampaign();
+  c.resume = true;
+  c.journal_path = TempPath("campaign_never_written.jsonl");
+  expect_error(c, "does not exist");
+}
+
+TEST(FaultCampaignSupervisorTest, ResumeRejectsJournalFromDifferentCampaign) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+  std::string path = TempPath("campaign_mismatch.jsonl");
+  {
+    // A journal with the right driver name but a foreign config fingerprint.
+    Result<std::unique_ptr<CampaignJournal>> journal =
+        CampaignJournal::Create(path, driver.name, 0x1234);
+    ASSERT_TRUE(journal.ok()) << journal.error();
+  }
+  FaultCampaignConfig config = QuickCampaign();
+  config.resume = true;
+  config.journal_path = path;
+  Result<FaultCampaignResult> r = RunFaultCampaign(config, driver.image, driver.pci);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("different configuration"), std::string::npos)
+      << r.status().message();
+}
+
+// Engine-level cooperative cancellation: a pre-set abort token makes
+// TestDriver wind down immediately (the watchdog's mechanism, in isolation).
+TEST(FaultCampaignSupervisorTest, PresetAbortTokenStopsTheEngineImmediately) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+  DdtConfig config = QuickConfig();
+  config.engine.abort_token = std::make_shared<std::atomic<bool>>(true);
+  Ddt ddt(config);
+  Result<DdtResult> result = ddt.TestDriver(driver.image, driver.pci);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_TRUE(result.value().aborted);
+  // The run never got anywhere: the budget check trips before real work.
+  EXPECT_LT(result.value().stats.instructions, 1000u);
+  EXPECT_TRUE(result.value().bugs.empty());
 }
 
 }  // namespace

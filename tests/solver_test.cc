@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "src/expr/eval.h"
 #include "src/solver/bitblast.h"
 #include "src/solver/intervals.h"
@@ -694,17 +696,44 @@ TEST(SolverStatsTest, AccumulateSumsCountersAndMaxesQueryTime) {
   a.queries = 10;
   a.sat_calls = 4;
   a.model_reuse_hits = 2;
+  a.aborted_queries = 1;
   a.max_query_wall_ms = 7.5;
   SolverStats b;
   b.queries = 3;
   b.sat_calls = 1;
   b.model_reuse_hits = 5;
+  b.aborted_queries = 2;
   b.max_query_wall_ms = 2.5;
   a.Accumulate(b);
   EXPECT_EQ(a.queries, 13u);
   EXPECT_EQ(a.sat_calls, 5u);
   EXPECT_EQ(a.model_reuse_hits, 7u);
+  EXPECT_EQ(a.aborted_queries, 3u);
   EXPECT_DOUBLE_EQ(a.max_query_wall_ms, 7.5);  // max, not sum
+}
+
+// --- Cooperative cancellation (campaign watchdog path) ----------------------
+
+TEST(SolverAbortTest, AbortFlagTurnsSolvesIntoConservativeUnknowns) {
+  ExprContext ctx;
+  Solver solver(&ctx);
+  std::atomic<bool> abort_flag{true};
+  solver.SetAbortFlag(&abort_flag);
+  ExprRef x = ctx.Var(32, "x");
+
+  // With the flag raised the query never reaches the SAT core; it degrades to
+  // "maybe satisfiable" (the same safe over-approximation as a timeout).
+  EXPECT_TRUE(solver.IsSatisfiable({}, ctx.Eq(x, ctx.Const(5, 32))));
+  EXPECT_GE(solver.stats().aborted_queries, 1u);
+  EXPECT_GE(solver.stats().unknown_results, 1u);
+  EXPECT_EQ(solver.stats().sat_calls, 0u);
+  uint64_t aborted = solver.stats().aborted_queries;
+
+  // Lowering the flag restores real solving.
+  abort_flag.store(false);
+  EXPECT_TRUE(solver.IsSatisfiable({}, ctx.Eq(x, ctx.Const(5, 32))));
+  EXPECT_EQ(solver.stats().aborted_queries, aborted);
+  EXPECT_GE(solver.stats().sat_calls, 1u);
 }
 
 }  // namespace

@@ -1,9 +1,12 @@
 // Unit tests for the support layer: string helpers, integer parsing, the
-// deterministic PRNG, and Status/Result semantics.
+// deterministic PRNG, Status/Result semantics, and the DDT_CHECK trap the
+// campaign supervisor uses to survive engine invariant failures.
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
+#include "src/support/check.h"
 #include "src/support/rng.h"
 #include "src/support/status.h"
 #include "src/support/strings.h"
@@ -121,6 +124,34 @@ TEST(ResultTest, TakeMoves) {
   Result<std::string> r(std::string("payload"));
   std::string taken = r.take();
   EXPECT_EQ(taken, "payload");
+}
+
+TEST(CheckTrapTest, TrapTurnsCheckFailureIntoException) {
+  bool threw = false;
+  try {
+    ScopedCheckTrap trap;
+    DDT_CHECK_MSG(1 == 2, "intentional support-test failure");
+  } catch (const CheckFailureError& e) {
+    threw = true;
+    std::string what = e.what();
+    // The exception carries the same file:line:expr(msg) text the abort
+    // path prints.
+    EXPECT_NE(what.find("1 == 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("intentional support-test failure"), std::string::npos) << what;
+    EXPECT_NE(what.find("support_test.cc"), std::string::npos) << what;
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(CheckTrapTest, TrapsNestAsADepthCounter) {
+  ScopedCheckTrap outer;
+  {
+    ScopedCheckTrap inner;
+    EXPECT_THROW(DDT_CHECK(false), CheckFailureError);
+  }
+  // The inner trap's exit must not disarm the outer one (depth, not flag):
+  // an untrapped DDT_CHECK failure here would abort the test binary.
+  EXPECT_THROW(DDT_CHECK(false), CheckFailureError);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -88,6 +89,29 @@ TEST(ThreadPoolTest, ParallelSlotWritesAreIndependent) {
 
 TEST(ThreadPoolTest, HardwareThreadsIsAtLeastOne) {
   EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, CapturesTaskExceptionsAndKeepsWorking) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  // The throwing task neither killed its worker nor poisoned the queue.
+  EXPECT_EQ(count.load(), 10);
+
+  std::vector<std::exception_ptr> errors = pool.TakeExceptions();
+  ASSERT_EQ(errors.size(), 1u);
+  try {
+    std::rethrow_exception(errors[0]);
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // Take drains: a second call reports nothing.
+  EXPECT_TRUE(pool.TakeExceptions().empty());
 }
 
 }  // namespace
