@@ -8,7 +8,11 @@
 //           plan set, with merged-bug parity checked across thread counts;
 //   part 3: campaign-supervisor overhead — the same campaign with the
 //           checkpoint journal on, which must stay near the unjournaled wall
-//           time (crash-safe resume is supposed to be free until it's needed).
+//           time (crash-safe resume is supposed to be free until it's needed);
+//   part 4: observability overhead — the interpreter run and the campaign with
+//           every obs sink wired (tracer recording, metrics, per-pass profile)
+//           vs the runtime kill switch, gated at <= 5% because the probes stay
+//           off the per-instruction path.
 //
 // Emits a machine-readable JSON summary (default: BENCH_exec.json in the
 // current directory; override with argv[1]).
@@ -20,6 +24,9 @@
 
 #include "src/core/ddt.h"
 #include "src/drivers/corpus.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/obs/trace_events.h"
 #include "src/support/thread_pool.h"
 #include "src/vm/assembler.h"
 
@@ -84,14 +91,21 @@ struct InterpRun {
 };
 
 InterpRun RunInterp(const DriverImage& image, const PciDescriptor& pci, bool cache,
-                    bool checkers, uint64_t max_instructions, int reps) {
+                    bool checkers, uint64_t max_instructions, int reps,
+                    bool with_obs = false) {
   InterpRun best;
   for (int rep = 0; rep < reps; ++rep) {
+    obs::MetricsRegistry metrics;
+    obs::PassProfile profile;
     DdtConfig config;
     config.engine.max_instructions = max_instructions;
     config.engine.max_wall_ms = 3'600'000;  // never hit: cutoffs are instruction-determined
     config.engine.enable_block_cache = cache;
     config.use_default_checkers = checkers;
+    if (with_obs) {
+      config.engine.metrics = &metrics;
+      config.engine.profile = &profile;
+    }
     Ddt ddt(config);
     Result<DdtResult> r = ddt.TestDriver(image, pci);
     if (!r.ok()) {
@@ -177,9 +191,12 @@ struct CampaignRun {
 };
 
 CampaignRun RunCampaign(const DriverImage& image, const PciDescriptor& pci, uint32_t threads,
-                        const std::string& journal_path = std::string()) {
+                        const std::string& journal_path = std::string(),
+                        bool with_obs = false) {
   FaultCampaignConfig config;
   config.journal_path = journal_path;
+  config.collect_metrics = with_obs;
+  config.collect_profile = with_obs;
   config.base.engine.max_instructions = 2'000'000;
   config.base.engine.max_wall_ms = 3'600'000;
   // Error-path exploration comes from the campaign's deterministic plans;
@@ -278,6 +295,48 @@ int main(int argc, char** argv) {
               runs.back().wall_ms, journaled.wall_ms, journal_overhead,
               journal_bugs_identical ? "yes" : "NO");
 
+  // --- part 4: observability overhead ---------------------------------------
+  // Everything on (tracer recording, metrics registry wired, per-pass phase
+  // profile) against the runtime kill switch (null sinks, tracer disabled).
+  // The probes sit at coarse boundaries only — a SAT query, a block decode, a
+  // pass, a journal flush — so both the interpreter and the campaign must stay
+  // within 5%. Best-of-3 on both sides squeezes out scheduler noise.
+  std::printf("\n=== observability overhead (tracing + metrics vs kill-switched) ===\n");
+  InterpRun rtl_plain = RunInterp(rtl.image, rtl.pci, /*cache=*/true, /*checkers=*/true, 60000, 3);
+  obs::Tracer::Get().Enable();
+  InterpRun rtl_obs = RunInterp(rtl.image, rtl.pci, /*cache=*/true, /*checkers=*/true, 60000, 3,
+                                /*with_obs=*/true);
+  obs::Tracer::Get().Disable();
+  double interp_obs_overhead = rtl_obs.ips > 0 ? rtl_plain.ips / rtl_obs.ips : 0;
+  std::printf("rtl8029 interp: %.0f insns/sec kill-switched, %.0f traced (%.3fx overhead)\n",
+              rtl_plain.ips, rtl_obs.ips, interp_obs_overhead);
+
+  CampaignRun camp_plain;
+  camp_plain.wall_ms = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    CampaignRun run = RunCampaign(farm_image, farm_pci, 4);
+    if (camp_plain.wall_ms == 0 || run.wall_ms < camp_plain.wall_ms) {
+      camp_plain = run;
+    }
+  }
+  obs::Tracer::Get().Enable();
+  CampaignRun camp_obs;
+  camp_obs.wall_ms = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    CampaignRun run = RunCampaign(farm_image, farm_pci, 4, std::string(), /*with_obs=*/true);
+    if (camp_obs.wall_ms == 0 || run.wall_ms < camp_obs.wall_ms) {
+      camp_obs = run;
+    }
+  }
+  obs::Tracer::Get().Disable();
+  double campaign_obs_overhead = camp_plain.wall_ms > 0 ? camp_obs.wall_ms / camp_plain.wall_ms : 0;
+  bool obs_bugs_identical =
+      rtl_plain.bug_rows == rtl_obs.bug_rows && camp_plain.bug_rows == camp_obs.bug_rows;
+  std::printf("fault_farm campaign: %.1f ms kill-switched, %.1f ms traced (%.3fx overhead), "
+              "bugs identical: %s\n",
+              camp_plain.wall_ms, camp_obs.wall_ms, campaign_obs_overhead,
+              obs_bugs_identical ? "yes" : "NO");
+
   // --- JSON summary ---------------------------------------------------------
   FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
@@ -315,6 +374,17 @@ int main(int argc, char** argv) {
   std::fprintf(f, "    \"journaled_wall_ms\": %.1f,\n", journaled.wall_ms);
   std::fprintf(f, "    \"journal_overhead\": %.3f,\n", journal_overhead);
   std::fprintf(f, "    \"bugs_identical\": %s\n", journal_bugs_identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"observability\": {\n");
+  std::fprintf(f,
+               "    \"interp\": {\"killswitched_ips\": %.0f, \"traced_ips\": %.0f, "
+               "\"overhead\": %.3f},\n",
+               rtl_plain.ips, rtl_obs.ips, interp_obs_overhead);
+  std::fprintf(f,
+               "    \"campaign\": {\"killswitched_wall_ms\": %.1f, \"traced_wall_ms\": %.1f, "
+               "\"overhead\": %.3f},\n",
+               camp_plain.wall_ms, camp_obs.wall_ms, campaign_obs_overhead);
+  std::fprintf(f, "    \"bugs_identical\": %s\n", obs_bugs_identical ? "true" : "false");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -331,8 +401,12 @@ int main(int argc, char** argv) {
   // Checkpointing every pass must stay near-free (one flushed write per
   // pass); 1.3x leaves room for timer noise on loaded CI hosts.
   bool supervisor_ok = journal_bugs_identical && journal_overhead <= 1.3;
+  // The observability acceptance bar: full tracing within 5% of the kill
+  // switch on both shapes, and no effect on the bug sets.
+  bool obs_ok = obs_bugs_identical && interp_obs_overhead <= 1.05 &&
+                campaign_obs_overhead <= 1.05;
   bool pass = loop_speedup >= 2.0 && interp_bugs_identical && campaign_bugs_identical &&
-              runs[0].plans >= 8 && campaign_ok && supervisor_ok;
+              runs[0].plans >= 8 && campaign_ok && supervisor_ok && obs_ok;
   std::printf("BENCH_exec: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

@@ -8,6 +8,11 @@
 //                                        bug report (replayable evidence)
 //   ddt_cli replay <in.ddf> <report>     replay every bug in a saved report
 //
+// Observability flags for `test` (src/obs; see docs/OBSERVABILITY.md):
+//   --trace-out=PATH    export the run's trace events as Chrome trace-event
+//                       JSON (chrome://tracing / ui.perfetto.dev)
+//   --metrics-out=PATH  write the run's metrics snapshot as JSON
+//
 // The test/replay pair demonstrates the §3.5 workflow end to end across
 // process boundaries: find bugs on one machine, ship <report>, reproduce on
 // another.
@@ -16,11 +21,14 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/core/bug_io.h"
 #include "src/core/ddt.h"
 #include "src/core/replay.h"
 #include "src/drivers/corpus.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_events.h"
 #include "src/vm/assembler.h"
 #include "src/vm/disasm.h"
 #include "src/vm/layout.h"
@@ -33,7 +41,7 @@ int Usage() {
                "  ddt_cli corpus <dir>\n"
                "  ddt_cli assemble <in.s> <out.ddf>\n"
                "  ddt_cli disasm <in.ddf>\n"
-               "  ddt_cli test <in.ddf> [report-out]\n"
+               "  ddt_cli test [--trace-out=PATH] [--metrics-out=PATH] <in.ddf> [report-out]\n"
                "  ddt_cli replay <in.ddf> <report>\n");
   return 2;
 }
@@ -122,7 +130,8 @@ int CmdDisasm(const std::string& path) {
   return 0;
 }
 
-int CmdTest(const std::string& path, const std::string& report_path) {
+int CmdTest(const std::string& path, const std::string& report_path,
+            const std::string& trace_out, const std::string& metrics_out) {
   ddt::Result<ddt::DriverImage> image = ddt::DriverImage::LoadFile(path);
   if (!image.ok()) {
     std::fprintf(stderr, "%s\n", image.error().c_str());
@@ -131,6 +140,13 @@ int CmdTest(const std::string& path, const std::string& report_path) {
   ddt::DdtConfig config;
   config.engine.max_instructions = 2'000'000;
   config.engine.max_states = 512;
+  ddt::obs::MetricsRegistry metrics;
+  if (!metrics_out.empty()) {
+    config.engine.metrics = &metrics;
+  }
+  if (!trace_out.empty()) {
+    ddt::obs::Tracer::Get().Enable();
+  }
   ddt::Ddt ddt(config);
   ddt::Result<ddt::DdtResult> result = ddt.TestDriver(image.value(), DescriptorFor(image.value()));
   if (!result.ok()) {
@@ -140,6 +156,24 @@ int CmdTest(const std::string& path, const std::string& report_path) {
   std::printf("%s", result.value().FormatReport(image.value().name).c_str());
   for (const ddt::Bug& bug : result.value().bugs) {
     std::printf("\n%s", bug.Format(12).c_str());
+  }
+  if (!trace_out.empty()) {
+    ddt::obs::Tracer::Get().Disable();
+    std::string error;
+    if (!ddt::obs::Tracer::Get().ExportChromeJson(trace_out, &error)) {
+      std::fprintf(stderr, "trace export failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("\nwrote trace to %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    out << metrics.Snapshot().ToJson() << "\n";
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
   }
   if (!report_path.empty()) {
     ddt::Status status = ddt::SaveBugsFile(report_path, result.value().bugs);
@@ -184,20 +218,38 @@ int main(int argc, char** argv) {
     return Usage();
   }
   std::string command = argv[1];
-  if (command == "corpus" && argc == 3) {
-    return CmdCorpus(argv[2]);
+  // Split observability flags from positional arguments.
+  std::string trace_out;
+  std::string metrics_out;
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace-out="));
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::strlen("--metrics-out="));
+    } else {
+      args.push_back(std::move(arg));
+    }
   }
-  if (command == "assemble" && argc == 4) {
-    return CmdAssemble(argv[2], argv[3]);
+  if ((!trace_out.empty() || !metrics_out.empty()) && command != "test") {
+    std::fprintf(stderr, "--trace-out/--metrics-out only apply to `test`\n");
+    return Usage();
   }
-  if (command == "disasm" && argc == 3) {
-    return CmdDisasm(argv[2]);
+  if (command == "corpus" && args.size() == 1) {
+    return CmdCorpus(args[0]);
   }
-  if (command == "test" && (argc == 3 || argc == 4)) {
-    return CmdTest(argv[2], argc == 4 ? argv[3] : "");
+  if (command == "assemble" && args.size() == 2) {
+    return CmdAssemble(args[0], args[1]);
   }
-  if (command == "replay" && argc == 4) {
-    return CmdReplay(argv[2], argv[3]);
+  if (command == "disasm" && args.size() == 1) {
+    return CmdDisasm(args[0]);
+  }
+  if (command == "test" && (args.size() == 1 || args.size() == 2)) {
+    return CmdTest(args[0], args.size() == 2 ? args[1] : "", trace_out, metrics_out);
+  }
+  if (command == "replay" && args.size() == 2) {
+    return CmdReplay(args[0], args[1]);
   }
   return Usage();
 }

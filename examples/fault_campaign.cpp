@@ -17,6 +17,12 @@
 //   --report-out=PATH  write the deterministic report (no wall times, thread
 //                      counts, or resume counters) to PATH for diffing
 //   --threads=N        scheduler threads (default: one per hardware thread)
+//
+// Observability flags (src/obs; see docs/OBSERVABILITY.md):
+//   --trace-out=PATH   record structured trace events during the campaign and
+//                      export them as Chrome trace-event JSON — open PATH in
+//                      chrome://tracing or https://ui.perfetto.dev
+//   --metrics-out=PATH write the merged campaign metrics snapshot as JSON
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -25,11 +31,14 @@
 #include "src/core/ddt.h"
 #include "src/core/replay.h"
 #include "src/drivers/corpus.h"
+#include "src/obs/trace_events.h"
 #include "src/support/strings.h"
 
 int main(int argc, char** argv) {
   std::string journal_path;
   std::string report_out;
+  std::string trace_out;
+  std::string metrics_out;
   bool resume = false;
   uint32_t threads = 0;
   for (int i = 1; i < argc; ++i) {
@@ -40,6 +49,10 @@ int main(int argc, char** argv) {
       resume = true;
     } else if (arg.rfind("--report-out=", 0) == 0) {
       report_out = arg.substr(std::strlen("--report-out="));
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace-out="));
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::strlen("--metrics-out="));
     } else if (arg.rfind("--threads=", 0) == 0) {
       int64_t parsed = 0;
       if (!ddt::ParseInt(arg.substr(std::strlen("--threads=")), &parsed) || parsed < 0) {
@@ -64,6 +77,11 @@ int main(int argc, char** argv) {
   config.threads = threads;
   config.journal_path = journal_path;
   config.resume = resume;
+  config.collect_metrics = !metrics_out.empty();
+
+  if (!trace_out.empty()) {
+    ddt::obs::Tracer::Get().Enable();
+  }
 
   ddt::Result<ddt::FaultCampaignResult> campaign =
       ddt::RunFaultCampaign(config, driver.image, driver.pci);
@@ -73,6 +91,33 @@ int main(int argc, char** argv) {
   }
   const ddt::FaultCampaignResult& result = campaign.value();
   std::printf("%s\n", result.FormatReport(driver.name).c_str());
+
+  if (!result.profile.empty()) {
+    std::printf("%s", result.profile.FormatTopPasses(5).c_str());
+  }
+
+  if (!trace_out.empty()) {
+    ddt::obs::Tracer::Get().Disable();
+    std::string error;
+    if (!ddt::obs::Tracer::Get().ExportChromeJson(trace_out, &error)) {
+      std::fprintf(stderr, "trace export failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("trace: %zu events written to %s (dropped %llu)\n",
+                ddt::obs::Tracer::Get().Collect().size(), trace_out.c_str(),
+                static_cast<unsigned long long>(ddt::obs::Tracer::Get().DroppedEvents()));
+  }
+  if (!metrics_out.empty()) {
+    std::FILE* out = std::fopen(metrics_out.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::string json = result.metrics.ToJson();
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+  }
 
   if (!report_out.empty()) {
     std::FILE* out = std::fopen(report_out.c_str(), "wb");

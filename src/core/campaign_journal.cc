@@ -4,6 +4,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -12,6 +13,7 @@
 #include <utility>
 
 #include "src/core/bug_io.h"
+#include "src/obs/trace_events.h"
 #include "src/support/strings.h"
 
 namespace ddt {
@@ -540,11 +542,35 @@ Result<std::unique_ptr<CampaignJournal>> CampaignJournal::OpenForResume(
   return std::unique_ptr<CampaignJournal>(new CampaignJournal(file, path));
 }
 
+void CampaignJournal::SetMetrics(obs::MetricsRegistry* metrics) {
+#ifndef DDT_OBS_DISABLED
+  std::unique_lock<std::mutex> lock(mu_);
+  if (metrics == nullptr) {
+    append_ms_ = nullptr;
+    appends_ = nullptr;
+    return;
+  }
+  append_ms_ = metrics->histogram("journal.append_ms", obs::Histogram::LatencyBucketsMs());
+  appends_ = metrics->counter("journal.appends");
+#endif
+}
+
 Status CampaignJournal::Append(const CampaignPassRecord& record) {
+  obs::ScopedSpan obs_span("journal.append");
   std::string line = WrapLine(EncodeRecord(record));
   std::unique_lock<std::mutex> lock(mu_);
+  std::chrono::steady_clock::time_point start;
+  if (append_ms_ != nullptr) {
+    start = std::chrono::steady_clock::now();
+  }
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() || std::fflush(file_) != 0) {
     return Status::Error(StrFormat("cannot append to campaign journal '%s'", path_.c_str()));
+  }
+  if (append_ms_ != nullptr) {
+    append_ms_->Observe(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
+    appends_->Add(1);
   }
   return Status::Ok();
 }

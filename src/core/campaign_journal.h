@@ -34,6 +34,7 @@
 #include "src/engine/bug_report.h"
 #include "src/engine/engine.h"
 #include "src/engine/fault_injection.h"
+#include "src/obs/metrics.h"
 #include "src/solver/solver.h"
 #include "src/support/status.h"
 
@@ -86,12 +87,19 @@ class CampaignJournal {
 
   const std::string& path() const { return path_; }
 
+  // Optional metrics sink (non-owning, null = off): Append publishes its
+  // write+flush latency as the `journal.append_ms` histogram and counts
+  // records in `journal.appends`. Call before the first Append.
+  void SetMetrics(obs::MetricsRegistry* metrics);
+
  private:
   CampaignJournal(std::FILE* file, std::string path);
 
   std::mutex mu_;
   std::FILE* file_;  // owned; append mode
   std::string path_;
+  obs::Histogram* append_ms_ = nullptr;  // null when metrics are off
+  obs::Counter* appends_ = nullptr;
 };
 
 }  // namespace ddt

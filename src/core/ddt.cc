@@ -10,6 +10,7 @@
 
 #include "src/checkers/default_checkers.h"
 #include "src/core/campaign_journal.h"
+#include "src/obs/trace_events.h"
 #include "src/support/check.h"
 #include "src/support/strings.h"
 #include "src/support/thread_pool.h"
@@ -317,23 +318,48 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
     std::string failure;  // set iff quarantined
     bool from_journal = false;
     std::optional<CampaignPassRecord> record;  // set iff from_journal
+    // Observability sinks the pass's engine wrote into (fresh per attempt, so
+    // a retried pass reports only its final attempt). Null when collection is
+    // off or the pass was restored from the journal.
+    std::shared_ptr<obs::MetricsRegistry> metrics;
+    std::shared_ptr<obs::PassProfile> profile;
   };
 
   PassWatchdog watchdog;
+
+  // Campaign-level registry for the instruments that outlive any single pass
+  // (thread-pool queue depth and busy time, journal flush latency, supervisor
+  // event counts). Merged into result.metrics at the end.
+  std::shared_ptr<obs::MetricsRegistry> campaign_metrics;
+  if (config.collect_metrics) {
+    campaign_metrics = std::make_shared<obs::MetricsRegistry>();
+  }
 
   // One pass under full supervision: watchdog cancellation, retry with
   // doubled budgets and deterministic backoff for transient failures,
   // quarantine for permanent ones. DDT_CHECK failures and exceptions inside
   // the engine are trapped per-thread and quarantine the pass — one
   // malformed guest (or checker bug) must not kill a 30-pass campaign.
-  auto execute_supervised = [&config, &image, &descriptor,
-                             &watchdog](const FaultPlan& plan) -> PassOutcome {
+  auto execute_supervised = [&config, &image, &descriptor, &watchdog,
+                             &campaign_metrics](const FaultPlan& plan) -> PassOutcome {
     PassOutcome out;
+    obs::ScopedSpan pass_span("campaign.pass");
+    if (obs::Tracer::Enabled()) {
+      pass_span.Arg(plan.empty() ? "baseline" : plan.label);
+    }
     for (uint32_t attempt = 0;; ++attempt) {
       DdtConfig pass_config = config.base;
       pass_config.engine.fault_plan = plan;
       auto token = std::make_shared<std::atomic<bool>>(false);
       pass_config.engine.abort_token = token;
+      if (config.collect_metrics) {
+        out.metrics = std::make_shared<obs::MetricsRegistry>();
+        pass_config.engine.metrics = out.metrics.get();
+      }
+      if (config.collect_profile) {
+        out.profile = std::make_shared<obs::PassProfile>();
+        pass_config.engine.profile = out.profile.get();
+      }
       if (attempt > 0) {
         // Escalate the budgets that plausibly caused a transient failure.
         uint64_t scale = 1ull << attempt;
@@ -384,13 +410,27 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
         out.failure = hard_failure;
         out.r.reset();
         out.ddt.reset();
+        obs::TraceInstant("campaign.quarantine", "cause", "hard_failure");
+        if (campaign_metrics != nullptr) {
+          campaign_metrics->counter("campaign.quarantines")->Add(1);
+        }
         return out;
       }
       bool timed_out = r->aborted;  // the watchdog fired mid-run
+      if (timed_out) {
+        obs::TraceInstant("campaign.watchdog_fire");
+        if (campaign_metrics != nullptr) {
+          campaign_metrics->counter("campaign.watchdog_fires")->Add(1);
+        }
+      }
       bool pressured =
           r->solver_stats.query_timeouts > 0 || r->stats.states_evicted > 0;
       if (timed_out || (config.retry_on_resource_pressure && pressured)) {
         if (attempt < config.max_pass_retries) {
+          obs::TraceInstant("campaign.retry", "cause", timed_out ? "watchdog" : "pressure");
+          if (campaign_metrics != nullptr) {
+            campaign_metrics->counter("campaign.retries")->Add(1);
+          }
           if (config.retry_backoff_ms != 0) {
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(config.retry_backoff_ms << attempt));
@@ -406,6 +446,10 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
               static_cast<unsigned long long>(config.max_pass_wall_ms));
           out.r.reset();
           out.ddt.reset();
+          obs::TraceInstant("campaign.quarantine", "cause", "watchdog");
+          if (campaign_metrics != nullptr) {
+            campaign_metrics->counter("campaign.quarantines")->Add(1);
+          }
           return out;
         }
         // Still pressured after the final escalation: the result is degraded
@@ -417,46 +461,78 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
   };
 
   auto merge_pass = [&result, &seen](const FaultPlan& plan, PassOutcome& out) {
-    FaultCampaignPass pass;
-    pass.plan = plan;
-    pass.retries = out.retries;
-    pass.quarantined = out.quarantined;
-    pass.failure = out.failure;
-    pass.from_journal = out.from_journal;
-    if (out.retries > 0) {
-      ++result.passes_retried;
-    }
-    if (out.from_journal) {
-      ++result.passes_loaded;
-    }
-    if (out.quarantined) {
-      // A quarantined pass contributes nothing to the aggregates: whatever
-      // stats a cancelled run accumulated depend on where the watchdog
-      // struck, and folding them in would make the merged report
-      // timing-dependent.
-      ++result.passes_quarantined;
-      result.passes.push_back(std::move(pass));
-      return;
-    }
-    const EngineStats& stats = out.from_journal ? out.record->stats : out.r->stats;
-    const SolverStats& solver_stats =
-        out.from_journal ? out.record->solver_stats : out.r->solver_stats;
-    const std::vector<Bug>& bugs = out.from_journal ? out.record->bugs : out.r->bugs;
-    pass.stats = stats;
-    pass.solver_stats = solver_stats;
-    pass.bugs_found = bugs.size();
-    for (const Bug& bug : bugs) {
-      if (seen.insert(BugKey(bug)).second) {
-        ++pass.bugs_new;
-        result.bugs.push_back(bug);
+    {
+      // Merge time is attributed to the pass being merged; the profile is
+      // snapshotted for the report only after this scope closes.
+      obs::ScopedPhase merge_phase(out.profile.get(), obs::Phase::kMerge);
+      FaultCampaignPass pass;
+      pass.plan = plan;
+      pass.retries = out.retries;
+      pass.quarantined = out.quarantined;
+      pass.failure = out.failure;
+      pass.from_journal = out.from_journal;
+      if (out.retries > 0) {
+        ++result.passes_retried;
+      }
+      if (out.from_journal) {
+        ++result.passes_loaded;
+      }
+      if (out.quarantined) {
+        // A quarantined pass contributes nothing to the aggregates: whatever
+        // stats a cancelled run accumulated depend on where the watchdog
+        // struck, and folding them in would make the merged report
+        // timing-dependent.
+        ++result.passes_quarantined;
+        result.passes.push_back(std::move(pass));
+      } else {
+        const EngineStats& stats = out.from_journal ? out.record->stats : out.r->stats;
+        const SolverStats& solver_stats =
+            out.from_journal ? out.record->solver_stats : out.r->solver_stats;
+        const std::vector<Bug>& bugs = out.from_journal ? out.record->bugs : out.r->bugs;
+        pass.stats = stats;
+        pass.solver_stats = solver_stats;
+        pass.bugs_found = bugs.size();
+        for (const Bug& bug : bugs) {
+          if (seen.insert(BugKey(bug)).second) {
+            ++pass.bugs_new;
+            result.bugs.push_back(bug);
+          }
+        }
+        result.total_faults_injected += stats.faults_injected;
+        result.total_wall_ms += stats.wall_ms;
+        result.total_stats.Accumulate(stats);
+        result.total_solver_stats.Accumulate(solver_stats);
+        result.passes.push_back(std::move(pass));
       }
     }
-    result.total_faults_injected += stats.faults_injected;
-    result.total_wall_ms += stats.wall_ms;
-    result.total_stats.Accumulate(stats);
-    result.total_solver_stats.Accumulate(solver_stats);
-    result.passes.push_back(std::move(pass));
+    // Observability bookkeeping (volatile outputs only). Journal-restored
+    // passes have null sinks: no live timing was recorded for them.
+    size_t pass_index = result.passes.size() - 1;
+    if (out.metrics != nullptr) {
+      result.metrics.Merge(out.metrics->Snapshot());
+      result.obs_keepalive.push_back(out.metrics);
+    }
+    if (out.profile != nullptr) {
+      obs::CampaignProfile::PassEntry entry;
+      entry.index = pass_index;
+      entry.label = plan.empty() ? "baseline" : plan.label;
+      entry.quarantined = out.quarantined;
+      entry.phases = out.profile->Snapshot();
+      entry.wall_ms = static_cast<double>(entry.phases.total_ns) / 1e6;
+      result.profile.passes.push_back(std::move(entry));
+      result.obs_keepalive.push_back(out.profile);
+    }
     if (out.ddt != nullptr) {
+      if (out.profile != nullptr || out.metrics != nullptr) {
+        // Fault-site hotness: per-class occurrence counts this pass observed.
+        const FaultSiteProfile& sites = out.ddt->engine().fault_site_profile();
+        for (size_t c = 0; c < kNumFaultClasses; ++c) {
+          if (sites.max_occurrences[c] != 0) {
+            result.profile.fault_site_occurrences[FaultClassName(static_cast<FaultClass>(c))] +=
+                sites.max_occurrences[c];
+          }
+        }
+      }
       // Bugs hold ExprRefs owned by this instance's ExprContext. (Journaled
       // passes carry deserialized bugs, which own their storage.)
       result.keepalive.push_back(std::move(out.ddt));
@@ -518,6 +594,9 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
     }
     journal = created.take();
   }
+  if (journal != nullptr && campaign_metrics != nullptr) {
+    journal->SetMetrics(campaign_metrics.get());
+  }
 
   // Pass 0: plain baseline. Besides its own bugs, it measures the fault-site
   // profile every later plan is generated from — which is why the journal
@@ -538,6 +617,7 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
     }
     profile = baseline.ddt->engine().fault_site_profile();
     if (journal != nullptr) {
+      obs::ScopedPhase journal_phase(baseline.profile.get(), obs::Phase::kJournal);
       Status appended = journal->Append(make_record(0, FaultPlan{}, baseline, &profile));
       if (!appended.ok()) {
         return appended;
@@ -583,6 +663,7 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
                   &journal_error_mu, &journal_error](size_t i) {
     PassOutcome out = execute_supervised(plans[i]);
     if (journal != nullptr) {
+      obs::ScopedPhase journal_phase(out.profile.get(), obs::Phase::kJournal);
       Status appended = journal->Append(make_record(i + 1, plans[i], out, nullptr));
       if (!appended.ok()) {
         std::unique_lock<std::mutex> lock(journal_error_mu);
@@ -600,6 +681,9 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
     }
   } else {
     ThreadPool pool(threads);
+    if (campaign_metrics != nullptr) {
+      pool.SetMetrics(campaign_metrics.get());
+    }
     for (size_t i : to_run) {
       pool.Submit([&run_one, i] { run_one(i); });
     }
@@ -629,6 +713,9 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
     merge_pass(plans[i], outcomes[i]);
   }
 
+  if (campaign_metrics != nullptr) {
+    result.metrics.Merge(campaign_metrics->Snapshot());
+  }
   result.campaign_wall_ms = std::chrono::duration<double, std::milli>(
                                 std::chrono::steady_clock::now() - campaign_start)
                                 .count();
@@ -700,6 +787,10 @@ std::string FaultCampaignResult::FormatReport(const std::string& driver_name,
     out += StrFormat(
         "scheduler: %u worker thread%s, campaign wall %.1f ms (passes sum %.1f ms)\n",
         threads_used, threads_used == 1 ? "" : "s", campaign_wall_ms, total_wall_ms);
+    if (!profile.empty()) {
+      out += profile.FormatTopPasses(5);
+      out += profile.FormatHotFaultSites(8);
+    }
   }
   return out;
 }

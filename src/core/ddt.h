@@ -24,6 +24,8 @@
 #include "src/annotations/annotation.h"
 #include "src/engine/engine.h"
 #include "src/kernel/exerciser.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/support/status.h"
 
 namespace ddt {
@@ -153,6 +155,24 @@ struct FaultCampaignConfig {
   // Test/instrumentation hook: called on each pass's Ddt instance (after
   // construction, before TestDriver), e.g. to add a custom checker.
   std::function<void(Ddt&, const FaultPlan&)> configure_pass;
+
+  // --- Observability (src/obs) ---
+  // Neither knob enters the campaign fingerprint (a journal resumes fine with
+  // either flipped) and neither can change exploration, bug sets, or the
+  // deterministic report — everything they produce lands in the *volatile*
+  // section or in side outputs.
+  //
+  // Give each pass a fresh MetricsRegistry, plus one campaign-level registry
+  // for the thread pool and journal, and merge every snapshot into
+  // FaultCampaignResult::metrics. Off by default (registry lookups cost a
+  // little per pass).
+  bool collect_metrics = false;
+  // Attribute each executed pass's wall time to phases (decode / interpret /
+  // solver / checker / journal / merge) and build
+  // FaultCampaignResult::profile. On by default: the probes sit at coarse
+  // boundaries (a SAT query, a block decode, a journal flush) and stay off
+  // the per-instruction path.
+  bool collect_profile = true;
 };
 
 // One engine pass of a campaign.
@@ -191,6 +211,17 @@ struct FaultCampaignResult {
   // Bug objects reference expression storage owned by the per-pass Ddt
   // instances; they are kept alive here so the result is self-contained.
   std::vector<std::shared_ptr<Ddt>> keepalive;
+  // Observability outputs (volatile — never part of the deterministic
+  // report). `metrics` is the merged snapshot across every per-pass registry
+  // plus the campaign-level one (collect_metrics); `profile` has one phase
+  // breakdown per executed pass and the fault-site hotness tallies
+  // (collect_profile). Journal-restored passes carry no live timing and are
+  // absent from `profile`.
+  obs::MetricsSnapshot metrics;
+  obs::CampaignProfile profile;
+  // Per-pass registries/profiles the pass engines hold raw pointers into;
+  // kept alive alongside the Ddt instances above.
+  std::vector<std::shared_ptr<void>> obs_keepalive;
 
   // With include_volatile=false the report omits every timing- and
   // environment-dependent line (wall times, slowest-query ms, thread count,

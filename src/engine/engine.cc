@@ -5,6 +5,7 @@
 #include "src/expr/eval.h"
 #include "src/kernel/kernel_api.h"
 #include "src/kernel/kernel_context.h"
+#include "src/obs/trace_events.h"
 #include "src/support/check.h"
 #include "src/support/log.h"
 #include "src/support/strings.h"
@@ -140,16 +141,36 @@ class EngineKernelContext : public KernelContext {
 // Engine setup
 // ---------------------------------------------------------------------------
 
+namespace {
+// The engine-level obs sinks flow down into the solver unless the caller
+// already wired the solver's own.
+SolverConfig SolverConfigWithObs(const EngineConfig& config) {
+  SolverConfig sc = config.solver;
+  if (sc.metrics == nullptr) {
+    sc.metrics = config.metrics;
+  }
+  if (sc.profile == nullptr) {
+    sc.profile = config.profile;
+  }
+  return sc;
+}
+}  // namespace
+
 Engine::Engine(const EngineConfig& config)
     : config_(config),
       abort_token_(config.abort_token != nullptr ? config.abort_token
                                                  : std::make_shared<std::atomic<bool>>(false)),
-      solver_(&ctx_, config.solver),
+      solver_(&ctx_, SolverConfigWithObs(config)),
       rng_(config.seed) {
   // The same token that stops the run loop also unwinds in-flight SAT
   // queries, so cancellation latency is bounded by one propagation rather
   // than one (possibly pathological) solver query.
   solver_.SetAbortFlag(abort_token_.get());
+#ifndef DDT_OBS_DISABLED
+  if (config_.metrics != nullptr) {
+    obs_live_states_ = config_.metrics->gauge("engine.live_states");
+  }
+#endif
 }
 
 Engine::~Engine() = default;
@@ -203,6 +224,7 @@ Status Engine::LoadDriver(const DriverImage& image, const PciDescriptor& descrip
   if (config_.enable_block_cache) {
     block_cache_ =
         std::make_unique<BlockCache>(image.code.data(), image.code.size(), loaded_.code_begin);
+    block_cache_->SetProfile(config_.profile);
   }
   block_leader_slots_.assign(image.code.size() / kInstructionSize, 0);
   for (const auto& [leader, block] : cfg_.blocks) {
@@ -264,6 +286,7 @@ bool Engine::BudgetExceeded() const {
 }
 
 void Engine::Run() {
+  obs::ScopedSpan run_span("engine.run");
   run_start_ = std::chrono::steady_clock::now();
   searcher_ = MakeSearcher(config_.strategy, this, config_.seed ^ 0x5EA4C4);
 
@@ -290,6 +313,9 @@ void Engine::Run() {
                  + sizeof(ExecutionState);
       }
       stats_.peak_state_bytes = std::max(stats_.peak_state_bytes, bytes);
+      if (obs_live_states_ != nullptr) {
+        obs_live_states_->Set(static_cast<int64_t>(states_.size()));
+      }
       if (config_.max_state_bytes != 0 && bytes > config_.max_state_bytes) {
         EvictStatesOverMemoryBudget(bytes);
       }
@@ -309,6 +335,45 @@ void Engine::Run() {
     stats_.blocks_decoded = block_cache_->stats().blocks_decoded;
     stats_.block_cache_hits = block_cache_->stats().hits;
   }
+#ifndef DDT_OBS_DISABLED
+  if (config_.profile != nullptr) {
+    config_.profile->SetTotalAndDeriveInterpret(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                             run_start_)
+            .count()));
+  }
+  PublishObsMetrics();
+#endif
+}
+
+void Engine::PublishObsMetrics() {
+  if (config_.metrics == nullptr) {
+    return;
+  }
+  // One shot at the end of Run: the per-pass registry is fresh per engine, so
+  // adding the totals yields absolute values that merge across passes.
+  obs::MetricsRegistry& m = *config_.metrics;
+  m.counter("engine.instructions")->Add(stats_.instructions);
+  m.counter("engine.forks")->Add(stats_.forks);
+  m.counter("engine.dropped_forks")->Add(stats_.dropped_forks);
+  m.counter("engine.states_created")->Add(stats_.states_created);
+  m.counter("engine.states_terminated")->Add(stats_.states_terminated);
+  m.counter("engine.states_evicted")->Add(stats_.states_evicted);
+  m.counter("engine.kernel_calls")->Add(stats_.kernel_calls);
+  m.counter("engine.interrupts_injected")->Add(stats_.interrupts_injected);
+  m.counter("engine.concretizations")->Add(stats_.concretizations);
+  m.counter("engine.faults_injected")->Add(stats_.faults_injected);
+  m.counter("blockcache.blocks_decoded")->Add(stats_.blocks_decoded);
+  m.counter("blockcache.hits")->Add(stats_.block_cache_hits);
+  m.gauge("engine.peak_state_bytes")->Set(static_cast<int64_t>(stats_.peak_state_bytes));
+  const SolverStats& ss = solver_.stats();
+  m.counter("solver.queries")->Add(ss.queries);
+  m.counter("solver.sat_calls")->Add(ss.sat_calls);
+  m.counter("solver.cache_hits")->Add(ss.cache_hits);
+  m.counter("solver.model_reuse_hits")->Add(ss.model_reuse_hits);
+  m.counter("solver.quick_decides")->Add(ss.quick_decides);
+  m.counter("solver.timeouts")->Add(ss.query_timeouts);
+  m.counter("solver.aborted_queries")->Add(ss.aborted_queries);
 }
 
 void Engine::StepState(ExecutionState& st) {
@@ -330,8 +395,14 @@ void Engine::StepState(ExecutionState& st) {
 }
 
 void Engine::FinishState(ExecutionState& st, const std::string& why) {
-  for (const auto& checker : checkers_) {
-    checker->OnStateEnd(st, *this);
+  if (!checkers_.empty()) {
+    // Checker time is only attributed at state-end and kernel-event dispatch;
+    // per-instruction checker hooks stay probe-free and count as interpret
+    // time (the documented profiler trade-off).
+    obs::ScopedPhase obs_phase(config_.profile, obs::Phase::kChecker);
+    for (const auto& checker : checkers_) {
+      checker->OnStateEnd(st, *this);
+    }
   }
   if (st.alive()) {
     st.Terminate(why);
@@ -377,6 +448,7 @@ bool Engine::ShouldInjectFault(ExecutionState& st, FaultClass cls, const char* a
     return false;
   }
   ++stats_.faults_injected;
+  obs::TraceInstant("engine.fault_injected", "class", FaultClassName(cls));
   InjectedFault fault;
   fault.cls = cls;
   fault.occurrence = occurrence;
@@ -647,6 +719,7 @@ void Engine::CrossBoundary(ExecutionState& st) {
     std::unique_ptr<ExecutionState> child = CloneState(st);
     ++stats_.forks;
     ++stats_.interrupts_injected;
+    obs::TraceInstant("engine.fork", "kind", "isr");
     DeliverIsr(*child, crossing);
     AddState(std::move(child));
   }
@@ -1078,6 +1151,7 @@ void Engine::HandleBranch(ExecutionState& st, ExprRef cond, uint32_t taken_pc,
     }
     std::unique_ptr<ExecutionState> child = CloneState(st);
     ++stats_.forks;
+    obs::TraceInstant("engine.fork", "kind", "branch");
     child->constraints.push_back(ctx_.Not(cond));
     {
       TraceEvent ev;
@@ -1800,6 +1874,10 @@ void Engine::HandleKCall(ExecutionState& st, const Instruction& insn) {
 // ---------------------------------------------------------------------------
 
 void Engine::EmitKernelEvent(ExecutionState& st, const KernelEvent& event) {
+  if (checkers_.empty()) {
+    return;
+  }
+  obs::ScopedPhase obs_phase(config_.profile, obs::Phase::kChecker);
   for (const auto& checker : checkers_) {
     checker->OnKernelEvent(st, event, *this);
     if (!st.alive()) {

@@ -33,6 +33,8 @@
 #include "src/hw/pci.h"
 #include "src/kernel/exerciser.h"
 #include "src/kernel/kernel_api.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/solver/solver.h"
 #include "src/support/status.h"
 #include "src/vm/disasm.h"
@@ -111,6 +113,14 @@ struct EngineConfig {
   // check and any in-flight SAT query unwinds within one propagation. When
   // null the engine allocates a private token so RequestAbort() always works.
   std::shared_ptr<std::atomic<bool>> abort_token;
+
+  // --- Observability (src/obs); both null = disabled, the runtime kill
+  // switch. Non-owning: must outlive the engine. The engine propagates them
+  // into its solver and block cache, publishes its stats as named metrics at
+  // the end of Run(), and attributes run wall time to phases. Observation
+  // only — they never influence exploration, bug sets, or reports.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::PassProfile* profile = nullptr;
 };
 
 // Stable string key identifying a symbolic variable's origin across runs
@@ -286,6 +296,9 @@ class Engine : public CheckerHost, private BlockCountOracle {
   void NoteCoverage(ExecutionState& st, uint32_t pc);
   bool BudgetExceeded() const;
   double ElapsedMs() const;
+  // Publishes EngineStats/SolverStats into config_.metrics as named counters
+  // at the end of Run(); no-op when metrics are off.
+  void PublishObsMetrics();
 
   std::vector<SolvedInput> SolveInputs(ExecutionState& st);
 
@@ -335,6 +348,10 @@ class Engine : public CheckerHost, private BlockCountOracle {
 
   std::chrono::steady_clock::time_point run_start_;
   bool stop_requested_ = false;
+
+  // Cached metrics handle for the periodic live-state sample (registration
+  // takes a lock; updates do not). Null when metrics are off.
+  obs::Gauge* obs_live_states_ = nullptr;
 };
 
 }  // namespace ddt

@@ -1,0 +1,163 @@
+// Structured trace events: scoped spans and instant events with thread ids
+// and nesting, buffered in per-thread ring buffers, exportable as Chrome
+// trace-event JSON (chrome://tracing / Perfetto "Open trace file") and as
+// plain JSONL.
+//
+// This is the *observability* trace — where a campaign spends its wall time
+// (solver queries, passes, journal flushes) — not to be confused with the
+// per-state execution trace in src/trace/ that records what a guest driver
+// did (and becomes bug evidence).
+//
+// Design for bounded overhead:
+//   - one process-global Tracer, disabled by default; every record path
+//     starts with a single relaxed atomic load (the runtime kill switch);
+//   - compiling with -DDDT_OBS_DISABLED hard-wires that check to false, so
+//     the optimizer deletes every probe (the compile-time kill switch);
+//   - events land in a fixed-capacity per-thread ring buffer (no allocation
+//     on the hot path for static-tagged events; oldest events are overwritten
+//     when a thread outruns its ring, and the drop is counted);
+//   - event names and tags are `const char*` by contract: pass string
+//     literals (or strings that outlive the Tracer), never temporaries.
+//
+// The tracer records; it never feeds back. Turning tracing on or off cannot
+// change engine exploration, bug sets, or the deterministic campaign report.
+#ifndef SRC_OBS_TRACE_EVENTS_H_
+#define SRC_OBS_TRACE_EVENTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ddt::obs {
+
+// One recorded event, detached from the ring (Collect output).
+struct TraceEventRecord {
+  const char* name = "";
+  char phase = 'X';    // 'X' = complete span, 'i' = instant
+  uint32_t tid = 0;    // tracer-assigned small id, stable per thread
+  uint16_t depth = 0;  // span nesting depth on that thread (0 = outermost)
+  double ts_us = 0;    // microseconds since tracing was enabled
+  double dur_us = 0;   // span duration ('X' only)
+  const char* tag_key = nullptr;  // optional static tag, e.g. "result"
+  const char* tag_val = nullptr;  //   ... "sat"
+  std::string arg;                // optional dynamic annotation (label text)
+};
+
+class Tracer {
+ public:
+  static constexpr size_t kDefaultEventsPerThread = 1 << 15;
+
+  // The process-global tracer every probe records into.
+  static Tracer& Get();
+
+  // Runtime kill switch. Enable clears previously collected events and
+  // (re)sets the per-thread ring capacity; Disable stops recording but keeps
+  // the buffers so a final export still sees everything.
+  void Enable(size_t events_per_thread = kDefaultEventsPerThread);
+  void Disable();
+
+  static bool Enabled() {
+#ifdef DDT_OBS_DISABLED
+    return false;
+#else
+    return enabled_.load(std::memory_order_relaxed);
+#endif
+  }
+
+  // Records an instant event on the calling thread.
+  void Instant(const char* name, const char* tag_key = nullptr, const char* tag_val = nullptr,
+               std::string arg = std::string());
+
+  // All recorded events, sorted by (tid, ts). Safe to call while other
+  // threads are still recording (each ring is briefly locked), though a
+  // quiescent tracer gives the cleanest picture.
+  std::vector<TraceEventRecord> Collect() const;
+
+  // Events overwritten because some thread outran its ring.
+  uint64_t DroppedEvents() const;
+
+  // Chrome trace-event JSON: {"traceEvents":[...]} — loadable directly in
+  // chrome://tracing or https://ui.perfetto.dev. On failure returns false and
+  // sets *error.
+  bool ExportChromeJson(const std::string& path, std::string* error) const;
+  // One event object per line (grep/jq-friendly).
+  bool ExportJsonl(const std::string& path, std::string* error) const;
+
+  // Microseconds since Enable (0 when never enabled). Monotonic.
+  double NowUs() const;
+
+ private:
+  friend class ScopedSpan;
+  struct ThreadBuffer;
+
+  Tracer() = default;
+
+  // The calling thread's ring, created and registered on first use.
+  ThreadBuffer* Buffer();
+  void Record(const char* name, char phase, uint16_t depth, double ts_us, double dur_us,
+              const char* tag_key, const char* tag_val, std::string arg);
+  // Span nesting bookkeeping (per calling thread).
+  uint16_t EnterSpan();
+  void LeaveSpan();
+
+  static std::atomic<bool> enabled_;
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;  // survives thread exit
+  std::atomic<size_t> events_per_thread_{kDefaultEventsPerThread};
+  uint32_t next_tid_ = 0;
+  std::atomic<int64_t> origin_ns_{0};  // steady_clock ns at Enable
+};
+
+// RAII span: records one complete ('X') event covering its own lifetime on
+// the calling thread. Near-free when tracing is disabled (one relaxed load).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : name_(name), active_(Tracer::Enabled()) {
+    if (active_) {
+      Begin();
+    }
+  }
+  ~ScopedSpan() {
+    if (active_) {
+      End();
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Static tag (string literals): no allocation.
+  void Tag(const char* key, const char* val) {
+    tag_key_ = key;
+    tag_val_ = val;
+  }
+  // Dynamic annotation; allocates, so use at pass/export granularity.
+  void Arg(std::string text) { arg_ = std::move(text); }
+
+ private:
+  void Begin();
+  void End();
+
+  const char* name_;
+  bool active_;
+  uint16_t depth_ = 0;
+  double start_us_ = 0;
+  const char* tag_key_ = nullptr;
+  const char* tag_val_ = nullptr;
+  std::string arg_;
+};
+
+// Instant-event shorthand that keeps call sites one line.
+inline void TraceInstant(const char* name, const char* tag_key = nullptr,
+                         const char* tag_val = nullptr) {
+  if (Tracer::Enabled()) {
+    Tracer::Get().Instant(name, tag_key, tag_val);
+  }
+}
+
+}  // namespace ddt::obs
+
+#endif  // SRC_OBS_TRACE_EVENTS_H_

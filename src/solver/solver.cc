@@ -4,6 +4,7 @@
 #include <chrono>
 #include <unordered_set>
 
+#include "src/obs/trace_events.h"
 #include "src/solver/bitblast.h"
 #include "src/solver/intervals.h"
 #include "src/solver/sat.h"
@@ -29,7 +30,14 @@ void SolverStats::Accumulate(const SolverStats& other) {
   max_query_wall_ms = std::max(max_query_wall_ms, other.max_query_wall_ms);
 }
 
-Solver::Solver(ExprContext* ctx, const SolverConfig& config) : ctx_(ctx), config_(config) {}
+Solver::Solver(ExprContext* ctx, const SolverConfig& config) : ctx_(ctx), config_(config) {
+#ifndef DDT_OBS_DISABLED
+  if (config_.metrics != nullptr) {
+    obs_query_ms_ =
+        config_.metrics->histogram("solver.query_ms", obs::Histogram::LatencyBucketsMs());
+  }
+#endif
+}
 
 std::vector<ExprRef> Solver::Slice(const std::vector<ExprRef>& constraints,
                                    const std::vector<uint32_t>& seed_vars) const {
@@ -94,20 +102,27 @@ bool Solver::SolveExprs(const std::vector<ExprRef>& exprs, Assignment* model, bo
     *unknown = true;
     ++stats_.unknown_results;
     ++stats_.aborted_queries;
+    obs::TraceInstant("solver.query", "result", "abort");
     return true;
   }
   ++stats_.sat_calls;
+  obs::ScopedPhase obs_phase(config_.profile, obs::Phase::kSolver);
+  obs::ScopedSpan obs_span("solver.query");
   std::chrono::steady_clock::time_point query_start = std::chrono::steady_clock::now();
   struct QueryTimer {
     std::chrono::steady_clock::time_point start;
     SolverStats* stats;
+    obs::Histogram* query_ms;
     ~QueryTimer() {
       double ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - start)
                       .count();
       stats->max_query_wall_ms = std::max(stats->max_query_wall_ms, ms);
+      if (query_ms != nullptr) {
+        query_ms->Observe(ms);
+      }
     }
-  } timer{query_start, &stats_};
+  } timer{query_start, &stats_, obs_query_ms_};
   // Per-query wall deadline (resource governor): the clock starts here, so
   // bit-blasting time counts against the budget too via the first check.
   std::chrono::steady_clock::time_point deadline;
@@ -130,17 +145,23 @@ bool Solver::SolveExprs(const std::vector<ExprRef>& exprs, Assignment* model, bo
     ++stats_.unknown_results;
     if (sat.hit_abort()) {
       ++stats_.aborted_queries;
+      obs_span.Tag("result", "abort");
     } else if (sat.hit_deadline() ||
                (have_deadline && std::chrono::steady_clock::now() >= deadline)) {
       ++stats_.query_timeouts;
+      obs_span.Tag("result", "timeout");
+    } else {
+      obs_span.Tag("result", "unknown");
     }
     return true;  // conservative
   }
   if (result == SatResult::kUnsat) {
     ++stats_.unsat_results;
+    obs_span.Tag("result", "unsat");
     return false;
   }
   ++stats_.sat_results;
+  obs_span.Tag("result", "sat");
   Assignment extracted = blaster.ExtractModel();
   if (config_.verify_models) {
     for (ExprRef e : exprs) {
@@ -215,6 +236,7 @@ bool Solver::IsSatisfiable(const std::vector<ExprRef>& constraints, ExprRef extr
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++stats_.cache_hits;
+      obs::TraceInstant("solver.query", "result", "cached");
       if (it->second.sat) {
         last_model_ = it->second.model;
         have_last_model_ = true;
@@ -242,6 +264,7 @@ bool Solver::IsSatisfiable(const std::vector<ExprRef>& constraints, ExprRef extr
     }
     if (all_true) {
       ++stats_.model_reuse_hits;
+      obs::TraceInstant("solver.query", "result", "model_reuse");
       return true;
     }
   }

@@ -21,6 +21,8 @@
 
 #include "src/expr/eval.h"
 #include "src/expr/expr.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 
 namespace ddt {
 
@@ -42,6 +44,12 @@ struct SolverConfig {
   // share one. Only applies when the caller wants no model back, so the
   // values the engine concretizes with are unaffected.
   bool enable_model_reuse = true;
+
+  // --- Observability (src/obs) — both null by default (kill switch) ---
+  // Per-query latency histogram + query counters land here (non-owning).
+  obs::MetricsRegistry* metrics = nullptr;
+  // SAT wall time is attributed to obs::Phase::kSolver here (non-owning).
+  obs::PassProfile* profile = nullptr;
 };
 
 struct SolverStats {
@@ -130,6 +138,9 @@ class Solver {
   ExprContext* ctx_;
   SolverConfig config_;
   SolverStats stats_;
+  // Registered once at construction (registry lookups take a lock); null when
+  // metrics are off, which skips the observe in one branch.
+  obs::Histogram* obs_query_ms_ = nullptr;
   const std::atomic<bool>* abort_flag_ = nullptr;
   std::unordered_map<uint64_t, CacheEntry> cache_;
   Assignment last_model_;         // most recent satisfying assignment

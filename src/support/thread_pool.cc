@@ -1,6 +1,7 @@
 #include "src/support/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace ddt {
 
@@ -27,10 +28,28 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+void ThreadPool::SetMetrics(obs::MetricsRegistry* metrics) {
+#ifndef DDT_OBS_DISABLED
+  std::unique_lock<std::mutex> lock(mu_);
+  if (metrics == nullptr) {
+    queue_depth_ = nullptr;
+    tasks_completed_ = nullptr;
+    busy_ms_ = nullptr;
+    return;
+  }
+  queue_depth_ = metrics->gauge("pool.queue_depth");
+  tasks_completed_ = metrics->counter("pool.tasks_completed");
+  busy_ms_ = metrics->counter("pool.busy_ms");
+#endif
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    }
   }
   work_cv_.notify_one();
 }
@@ -58,7 +77,14 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (queue_depth_ != nullptr) {
+        queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+      }
       ++in_flight_;
+    }
+    std::chrono::steady_clock::time_point task_start;
+    if (busy_ms_ != nullptr) {
+      task_start = std::chrono::steady_clock::now();
     }
     std::exception_ptr error;
     try {
@@ -67,6 +93,14 @@ void ThreadPool::WorkerLoop() {
       // Capture instead of std::terminate: one throwing task must not take
       // down the pool (or the process) while siblings are mid-flight.
       error = std::current_exception();
+    }
+    if (busy_ms_ != nullptr) {
+      busy_ms_->Add(static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                              std::chrono::steady_clock::now() - task_start)
+                                              .count()));
+    }
+    if (tasks_completed_ != nullptr) {
+      tasks_completed_->Add(1);
     }
     {
       std::unique_lock<std::mutex> lock(mu_);

@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/metrics.h"
+
 namespace ddt {
 
 class ThreadPool {
@@ -49,6 +51,14 @@ class ThreadPool {
   // allows it to return 0 when unknown).
   static size_t HardwareThreads();
 
+  // Optional metrics sink (non-owning, null = off). Publishes:
+  //   pool.queue_depth      gauge   tasks waiting (high-water = backlog peak)
+  //   pool.tasks_completed  counter tasks finished (including those that threw)
+  //   pool.busy_ms          counter summed wall time workers spent inside tasks
+  // Call before the first Submit; instruments register once here, and workers
+  // update them without extra locking beyond the pool's own mutex.
+  void SetMetrics(obs::MetricsRegistry* metrics);
+
  private:
   void WorkerLoop();
 
@@ -60,6 +70,11 @@ class ThreadPool {
   std::vector<std::exception_ptr> exceptions_;  // captured from throwing tasks
   size_t in_flight_ = 0;  // tasks popped but not yet finished
   bool stop_ = false;
+
+  // Metrics handles (null when no registry was attached).
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Counter* tasks_completed_ = nullptr;
+  obs::Counter* busy_ms_ = nullptr;
 };
 
 }  // namespace ddt

@@ -23,6 +23,7 @@ bool BlockCache::SlotFor(uint32_t pc, size_t* slot) const {
 }
 
 void BlockCache::DecodeBlockFrom(size_t slot) {
+  obs::ScopedPhase obs_phase(profile_, obs::Phase::kDecode);
   DecodedBlock block;
   block.begin = base_ + static_cast<uint32_t>(slot * kInstructionSize);
 

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/profiler.h"
 #include "src/vm/isa.h"
 
 namespace ddt {
@@ -73,6 +74,11 @@ class BlockCache {
   uint32_t base() const { return base_; }
   size_t num_slots() const { return slot_state_.size(); }
 
+  // Optional profiler sink (non-owning, may be null): block decodes are
+  // attributed to obs::Phase::kDecode. Cache hits stay probe-free — they are
+  // the per-fetch hot path.
+  void SetProfile(obs::PassProfile* profile) { profile_ = profile; }
+
  private:
   enum SlotState : uint8_t { kUnknown = 0, kDecoded = 1, kInvalid = 2 };
 
@@ -87,6 +93,7 @@ class BlockCache {
   std::vector<uint8_t> slot_state_;     // SlotState per slot
   std::unordered_map<uint32_t, DecodedBlock> blocks_;  // keyed by entry pc
   Stats stats_;
+  obs::PassProfile* profile_ = nullptr;
 };
 
 }  // namespace ddt
