@@ -27,6 +27,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
 #include "src/obs/trace_events.h"
+#include "src/support/strings.h"
 #include "src/support/thread_pool.h"
 #include "src/vm/assembler.h"
 
@@ -183,6 +184,87 @@ DriverImage FaultFarmImage() {
   return assembled.value().image;
 }
 
+// Shared-cache workload: the interesting work happens *before* the fault
+// sites. Init reads four device registers (symbolic), masks each to 14 bits,
+// and branches on a squared-and-masked product — bit-blasting 32-bit
+// multiplies is exactly the query shape where SAT time dominates. Only then
+// come six allocation fault sites, so every generated fault plan re-executes
+// the identical symbolic prefix and re-asks the identical queries: a cold
+// campaign solves each canonical query once (later passes hit the in-memory
+// shared cache), and a warm-started campaign solves none of them.
+DriverImage SolverFarmImage() {
+  // Each round branches on (C_i * x_i^2) & 0xFFFFF == D_i for a fresh device
+  // read x_i: a quadratic-preimage query the SAT core has to genuinely search
+  // (32-bit multiplies under a 20-bit mask). The rounds use distinct
+  // constants, so they are distinct canonical queries; but each round's
+  // condition touches only its own variable, so constraint slicing gives
+  // every pass, every path, the *same* canonical query per round — the exact
+  // shape the shared cache converts from solved-per-pass to solved-once.
+  static const unsigned kMults[6] = {77, 131, 197, 241, 311, 389};
+  static const unsigned kTargets[6] = {0x1234, 0x35A7, 0x77E1, 0x2B6D, 0x5C3F, 0x6E15};
+  std::string rounds;
+  for (int i = 0; i < 6; ++i) {
+    rounds += StrFormat(
+        "    ld32 r1, [r5+%d]\n"
+        "    andi r1, r1, 0xFFFFF\n"
+        "    muli r2, r1, %u\n"
+        "    mul r2, r2, r1\n"
+        "    andi r3, r2, 0xFFFFF\n"
+        "    subi r3, r3, %u\n"
+        "    bz r3, round%d_hit\n"
+        "    addi r6, r6, 1\n"
+        "  round%d_hit:\n",
+        i * 4, kMults[i], kTargets[i], i, i);
+  }
+  std::string allocs;
+  for (int i = 0; i < 6; ++i) {
+    allocs +=
+        "    movi r0, 64\n"
+        "    kcall MosAllocatePool\n"
+        "    bz r0, alloc_failed\n";
+  }
+  std::string source = R"(
+  .driver "solver_farm"
+  .entry driver_entry
+  .code
+  .func driver_entry
+    la r0, entry_table
+    kcall MosRegisterDriver
+    ret
+  .func ep_init
+    movi r6, 0
+    movi r0, 0
+    kcall MosMapIoSpace
+    bz r0, map_failed
+    addi r5, r0, 0
+)" + rounds + allocs + R"(
+    movi r0, 0
+    ret
+  map_failed:
+    movi r0, 0xC000009A
+    ret
+  alloc_failed:
+    movi r0, 0xC0000017
+    ret
+  .data
+  entry_table:
+    .word ep_init
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+)";
+  Result<AssembledDriver> assembled = Assemble(source);
+  if (!assembled.ok()) {
+    std::fprintf(stderr, "solver_farm assembly failed: %s\n", assembled.error().c_str());
+    std::exit(1);
+  }
+  return assembled.value().image;
+}
+
 struct CampaignRun {
   double wall_ms = 0;
   double passes_sum_ms = 0;
@@ -220,6 +302,46 @@ CampaignRun RunCampaign(const DriverImage& image, const PciDescriptor& pci, uint
   for (const Bug& bug : r.value().bugs) {
     out.bug_rows.push_back(bug.Row());
   }
+  return out;
+}
+
+// One shared-cache campaign over the solver_farm driver. `path` empty = cache
+// off; non-empty = cache on with on-disk persistence at that path (a fresh
+// path is a cold run, an existing file a warm start).
+struct CacheCampaignRun {
+  double wall_ms = 0;
+  std::string deterministic_report;
+  std::vector<std::string> bug_rows;
+  SolverStats solver;
+  uint64_t loaded_entries = 0;
+  uint64_t saved_entries = 0;
+};
+
+CacheCampaignRun RunCacheCampaign(const DriverImage& image, const PciDescriptor& pci,
+                                  const std::string& path) {
+  FaultCampaignConfig config;
+  config.base.engine.max_instructions = 2'000'000;
+  config.base.engine.max_wall_ms = 3'600'000;
+  config.base.use_standard_annotations = false;
+  config.max_passes = 8;
+  config.escalation_rounds = 0;
+  config.threads = 1;  // isolate cache effect from scheduler effects
+  config.shared_cache = !path.empty();
+  config.shared_cache_path = path;
+  Result<FaultCampaignResult> r = RunFaultCampaign(config, image, pci);
+  if (!r.ok()) {
+    std::fprintf(stderr, "shared-cache campaign failed: %s\n", r.status().message().c_str());
+    std::exit(1);
+  }
+  CacheCampaignRun out;
+  out.wall_ms = r.value().campaign_wall_ms;
+  out.deterministic_report = r.value().FormatReport("solver_farm", /*include_volatile=*/false);
+  for (const Bug& bug : r.value().bugs) {
+    out.bug_rows.push_back(bug.Row());
+  }
+  out.solver = r.value().total_solver_stats;
+  out.loaded_entries = r.value().shared_cache_loaded_entries;
+  out.saved_entries = r.value().shared_cache_saved_entries;
   return out;
 }
 
@@ -337,6 +459,53 @@ int main(int argc, char** argv) {
               camp_plain.wall_ms, camp_obs.wall_ms, campaign_obs_overhead,
               obs_bugs_identical ? "yes" : "NO");
 
+  // --- part 5: shared solver cache warm start -------------------------------
+  // Cold: cache enabled against a fresh file — every canonical query is
+  // solved exactly once (later passes already hit the in-memory store), then
+  // persisted. Warm: the same campaign again — it loads the file and answers
+  // the SAT work from disk. The deterministic report must be byte-identical
+  // off/cold/warm (the cache changes speed, never verdicts), and the warm
+  // start must be >= 1.2x. Best-of-3 per temperature squeezes timer noise.
+  std::printf("\n=== shared solver cache (cold vs warm start) ===\n");
+  DriverImage solver_farm = SolverFarmImage();
+  PciDescriptor solver_pci = LoopPci();
+  const char* cache_path = "/tmp/ddt_bench_shared_cache.bin";
+  CacheCampaignRun cache_off = RunCacheCampaign(solver_farm, solver_pci, std::string());
+  CacheCampaignRun cold;
+  for (int rep = 0; rep < 3; ++rep) {
+    std::remove(cache_path);
+    CacheCampaignRun run = RunCacheCampaign(solver_farm, solver_pci, cache_path);
+    if (cold.wall_ms == 0 || run.wall_ms < cold.wall_ms) {
+      cold = run;
+    }
+  }
+  CacheCampaignRun warm;
+  for (int rep = 0; rep < 3; ++rep) {
+    CacheCampaignRun run = RunCacheCampaign(solver_farm, solver_pci, cache_path);
+    if (warm.wall_ms == 0 || run.wall_ms < warm.wall_ms) {
+      warm = run;
+    }
+  }
+  std::remove(cache_path);
+  double warm_speedup = warm.wall_ms > 0 ? cold.wall_ms / warm.wall_ms : 0;
+  bool cache_bugs_identical =
+      cold.bug_rows == cache_off.bug_rows && warm.bug_rows == cache_off.bug_rows;
+  bool cache_reports_identical =
+      cold.deterministic_report == cache_off.deterministic_report &&
+      warm.deterministic_report == cache_off.deterministic_report;
+  std::printf("cold: %.1f ms (%llu SAT calls, %llu stores, %llu saved to disk)\n", cold.wall_ms,
+              static_cast<unsigned long long>(cold.solver.sat_calls),
+              static_cast<unsigned long long>(cold.solver.shared_cache_stores),
+              static_cast<unsigned long long>(cold.saved_entries));
+  std::printf("warm: %.1f ms (%llu SAT calls, %llu hits + %llu fastpath, %llu loaded from disk)\n",
+              warm.wall_ms, static_cast<unsigned long long>(warm.solver.sat_calls),
+              static_cast<unsigned long long>(warm.solver.shared_cache_hits),
+              static_cast<unsigned long long>(warm.solver.shared_cache_fastpath_hits),
+              static_cast<unsigned long long>(warm.loaded_entries));
+  std::printf("warm-start speedup: %.2fx, bugs identical: %s, deterministic report identical: %s\n",
+              warm_speedup, cache_bugs_identical ? "yes" : "NO",
+              cache_reports_identical ? "yes" : "NO");
+
   // --- JSON summary ---------------------------------------------------------
   FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
@@ -385,6 +554,32 @@ int main(int argc, char** argv) {
                "\"overhead\": %.3f},\n",
                camp_plain.wall_ms, camp_obs.wall_ms, campaign_obs_overhead);
   std::fprintf(f, "    \"bugs_identical\": %s\n", obs_bugs_identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"shared_cache\": {\n");
+  std::fprintf(f, "    \"driver\": \"solver_farm\",\n");
+  std::fprintf(f, "    \"cold_wall_ms\": %.1f,\n", cold.wall_ms);
+  std::fprintf(f, "    \"warm_wall_ms\": %.1f,\n", warm.wall_ms);
+  std::fprintf(f, "    \"warm_speedup\": %.3f,\n", warm_speedup);
+  std::fprintf(f,
+               "    \"cold\": {\"sat_calls\": %llu, \"hits\": %llu, \"fastpath_hits\": %llu, "
+               "\"misses\": %llu, \"stores\": %llu, \"saved_entries\": %llu},\n",
+               static_cast<unsigned long long>(cold.solver.sat_calls),
+               static_cast<unsigned long long>(cold.solver.shared_cache_hits),
+               static_cast<unsigned long long>(cold.solver.shared_cache_fastpath_hits),
+               static_cast<unsigned long long>(cold.solver.shared_cache_misses),
+               static_cast<unsigned long long>(cold.solver.shared_cache_stores),
+               static_cast<unsigned long long>(cold.saved_entries));
+  std::fprintf(f,
+               "    \"warm\": {\"sat_calls\": %llu, \"hits\": %llu, \"fastpath_hits\": %llu, "
+               "\"misses\": %llu, \"loaded_entries\": %llu},\n",
+               static_cast<unsigned long long>(warm.solver.sat_calls),
+               static_cast<unsigned long long>(warm.solver.shared_cache_hits),
+               static_cast<unsigned long long>(warm.solver.shared_cache_fastpath_hits),
+               static_cast<unsigned long long>(warm.solver.shared_cache_misses),
+               static_cast<unsigned long long>(warm.loaded_entries));
+  std::fprintf(f, "    \"bugs_identical\": %s,\n", cache_bugs_identical ? "true" : "false");
+  std::fprintf(f, "    \"deterministic_report_identical\": %s\n",
+               cache_reports_identical ? "true" : "false");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -405,8 +600,14 @@ int main(int argc, char** argv) {
   // switch on both shapes, and no effect on the bug sets.
   bool obs_ok = obs_bugs_identical && interp_obs_overhead <= 1.05 &&
                 campaign_obs_overhead <= 1.05;
+  // Warm start must genuinely load the disk cache, answer queries from it
+  // (fewer SAT calls than cold), cut wall time by >= 1.2x, and change neither
+  // the bug set nor a byte of the deterministic report.
+  bool shared_cache_ok = warm_speedup >= 1.2 && cache_bugs_identical &&
+                         cache_reports_identical && warm.loaded_entries > 0 &&
+                         warm.solver.sat_calls < cold.solver.sat_calls;
   bool pass = loop_speedup >= 2.0 && interp_bugs_identical && campaign_bugs_identical &&
-              runs[0].plans >= 8 && campaign_ok && supervisor_ok && obs_ok;
+              runs[0].plans >= 8 && campaign_ok && supervisor_ok && obs_ok && shared_cache_ok;
   std::printf("BENCH_exec: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

@@ -17,6 +17,11 @@
 //   --report-out=PATH  write the deterministic report (no wall times, thread
 //                      counts, or resume counters) to PATH for diffing
 //   --threads=N        scheduler threads (default: one per hardware thread)
+//   --shared-cache=PATH  share solver verdicts across passes through a
+//                      process-wide canonical query cache persisted at PATH:
+//                      the first run is cold, reruns warm-start from disk and
+//                      skip already-solved SAT work (the deterministic report
+//                      is byte-identical either way — CI diffs it)
 //
 // Observability flags (src/obs; see docs/OBSERVABILITY.md):
 //   --trace-out=PATH   record structured trace events during the campaign and
@@ -39,6 +44,7 @@ int main(int argc, char** argv) {
   std::string report_out;
   std::string trace_out;
   std::string metrics_out;
+  std::string shared_cache_path;
   bool resume = false;
   uint32_t threads = 0;
   for (int i = 1; i < argc; ++i) {
@@ -53,6 +59,8 @@ int main(int argc, char** argv) {
       trace_out = arg.substr(std::strlen("--trace-out="));
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = arg.substr(std::strlen("--metrics-out="));
+    } else if (arg.rfind("--shared-cache=", 0) == 0) {
+      shared_cache_path = arg.substr(std::strlen("--shared-cache="));
     } else if (arg.rfind("--threads=", 0) == 0) {
       int64_t parsed = 0;
       if (!ddt::ParseInt(arg.substr(std::strlen("--threads=")), &parsed) || parsed < 0) {
@@ -77,6 +85,7 @@ int main(int argc, char** argv) {
   config.threads = threads;
   config.journal_path = journal_path;
   config.resume = resume;
+  config.shared_cache_path = shared_cache_path;
   config.collect_metrics = !metrics_out.empty();
 
   if (!trace_out.empty()) {

@@ -11,7 +11,9 @@
 #include "src/checkers/default_checkers.h"
 #include "src/core/campaign_journal.h"
 #include "src/obs/trace_events.h"
+#include "src/solver/shared_cache.h"
 #include "src/support/check.h"
+#include "src/support/log.h"
 #include "src/support/strings.h"
 #include "src/support/thread_pool.h"
 
@@ -131,6 +133,14 @@ std::string DdtResult::FormatReport(const std::string& driver_name) const {
       static_cast<unsigned long long>(solver_stats.cache_hits),
       static_cast<unsigned long long>(solver_stats.model_reuse_hits),
       static_cast<unsigned long long>(solver_stats.sat_calls));
+  if (solver_stats.shared_cache_hits != 0 || solver_stats.shared_cache_fastpath_hits != 0 ||
+      solver_stats.shared_cache_misses != 0) {
+    out += StrFormat("shared cache: %llu hits (%llu fastpath), %llu misses, %llu stores\n",
+                     static_cast<unsigned long long>(solver_stats.shared_cache_hits),
+                     static_cast<unsigned long long>(solver_stats.shared_cache_fastpath_hits),
+                     static_cast<unsigned long long>(solver_stats.shared_cache_misses),
+                     static_cast<unsigned long long>(solver_stats.shared_cache_stores));
+  }
   if (stats.blocks_decoded != 0) {
     out += StrFormat("block cache: %llu blocks decoded, %llu instruction fetch hits\n",
                      static_cast<unsigned long long>(stats.blocks_decoded),
@@ -163,10 +173,11 @@ std::string BugKey(const Bug& bug) {
 
 // FNV-1a over every input that determines the campaign schedule, plus the
 // driver image bytes. A journal carries this fingerprint so a resume cannot
-// silently mix passes from a *different* campaign. Thread count and the
-// supervisor budgets (watchdog, retries, backoff) are deliberately excluded:
-// resuming an interrupted campaign with more workers or a longer watchdog is
-// legitimate and changes no pass's identity.
+// silently mix passes from a *different* campaign. Thread count, the
+// supervisor budgets (watchdog, retries, backoff), and the shared-cache
+// knobs are deliberately excluded: resuming an interrupted campaign with
+// more workers, a longer watchdog, or a warm solver cache is legitimate and
+// changes no pass's identity.
 uint64_t CampaignFingerprint(const FaultCampaignConfig& config, const DriverImage& image) {
   uint64_t h = 0xCBF29CE484222325ull;
   auto mix_bytes = [&h](const void* data, size_t size) {
@@ -335,13 +346,27 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
     campaign_metrics = std::make_shared<obs::MetricsRegistry>();
   }
 
+  // Cross-pass shared solver cache: one store for every pass (and every
+  // worker thread) of this campaign. With a path configured it warm-starts
+  // from disk — best-effort, a bad file only bumps a counter — and is saved
+  // back after the merge.
+  std::shared_ptr<SharedQueryCache> shared_cache;
+  if (config.shared_cache || !config.shared_cache_path.empty()) {
+    SharedCacheConfig cache_config;
+    cache_config.max_bytes = config.shared_cache_max_bytes;
+    shared_cache = std::make_shared<SharedQueryCache>(cache_config);
+    if (!config.shared_cache_path.empty()) {
+      shared_cache->LoadFromFile(config.shared_cache_path);
+    }
+  }
+
   // One pass under full supervision: watchdog cancellation, retry with
   // doubled budgets and deterministic backoff for transient failures,
   // quarantine for permanent ones. DDT_CHECK failures and exceptions inside
   // the engine are trapped per-thread and quarantine the pass — one
   // malformed guest (or checker bug) must not kill a 30-pass campaign.
-  auto execute_supervised = [&config, &image, &descriptor, &watchdog,
-                             &campaign_metrics](const FaultPlan& plan) -> PassOutcome {
+  auto execute_supervised = [&config, &image, &descriptor, &watchdog, &campaign_metrics,
+                             &shared_cache](const FaultPlan& plan) -> PassOutcome {
     PassOutcome out;
     obs::ScopedSpan pass_span("campaign.pass");
     if (obs::Tracer::Enabled()) {
@@ -350,6 +375,7 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
     for (uint32_t attempt = 0;; ++attempt) {
       DdtConfig pass_config = config.base;
       pass_config.engine.fault_plan = plan;
+      pass_config.engine.solver.shared_cache = shared_cache.get();
       auto token = std::make_shared<std::atomic<bool>>(false);
       pass_config.engine.abort_token = token;
       if (config.collect_metrics) {
@@ -654,6 +680,11 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
                                        : static_cast<size_t>(config.threads);
   threads = std::max<size_t>(1, std::min(threads, std::max<size_t>(1, to_run.size())));
   result.threads_used = static_cast<uint32_t>(threads);
+  // threads == 1 covers both the explicit sequential request and the
+  // degenerate schedules (zero or one runnable plan): passes run inline on
+  // the calling thread and no worker pool is ever spawned — on a single-CPU
+  // host pool handoff costs more than it buys (see bench_exec part 2).
+  result.inline_scheduler = threads == 1;
 
   // Checkpointing happens here — from whichever thread finished the pass, in
   // completion order — so a kill loses at most the passes still in flight.
@@ -713,6 +744,41 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
     merge_pass(plans[i], outcomes[i]);
   }
 
+  if (shared_cache != nullptr) {
+    result.shared_cache_used = true;
+    if (!config.shared_cache_path.empty()) {
+      Status saved = shared_cache->SaveToFile(config.shared_cache_path);
+      if (!saved.ok()) {
+        // Persistence is an accelerator, not a result: failing to write the
+        // warm-start file must never fail the campaign.
+        DDT_LOG_WARN("%s", saved.message().c_str());
+      }
+    }
+    SharedQueryCache::Stats cache_stats = shared_cache->stats();
+    result.shared_cache_entries = cache_stats.entries;
+    result.shared_cache_bytes = cache_stats.bytes;
+    result.shared_cache_evictions = cache_stats.evictions;
+    result.shared_cache_load_errors = cache_stats.load_errors;
+    result.shared_cache_loaded_entries = cache_stats.loaded_entries;
+    result.shared_cache_saved_entries = cache_stats.saved_entries;
+    if (campaign_metrics != nullptr) {
+      // Store-level instruments; the per-query hit/miss/store/verify
+      // counters are published per pass by the engine from SolverStats.
+      campaign_metrics->counter("solver.shared_cache.evictions")->Add(cache_stats.evictions);
+      campaign_metrics->counter("solver.shared_cache.load_errors")->Add(cache_stats.load_errors);
+      campaign_metrics->counter("solver.shared_cache.loaded_entries")
+          ->Add(cache_stats.loaded_entries);
+      campaign_metrics->counter("solver.shared_cache.saved_entries")
+          ->Add(cache_stats.saved_entries);
+      campaign_metrics->gauge("solver.shared_cache.entries")
+          ->Set(static_cast<int64_t>(cache_stats.entries));
+      campaign_metrics->gauge("solver.shared_cache.bytes")
+          ->Set(static_cast<int64_t>(cache_stats.bytes));
+    }
+    // The kept-alive Ddt instances hold solvers whose configs point at the
+    // cache; keep it alive as long as they are.
+    result.obs_keepalive.push_back(shared_cache);
+  }
   if (campaign_metrics != nullptr) {
     result.metrics.Merge(campaign_metrics->Snapshot());
   }
@@ -766,14 +832,38 @@ std::string FaultCampaignResult::FormatReport(const std::string& driver_name,
                    static_cast<unsigned long long>(total_stats.instructions),
                    static_cast<unsigned long long>(total_stats.forks),
                    static_cast<unsigned long long>(total_stats.states_created));
-  out += StrFormat("aggregate solver: %llu queries, %llu SAT calls, %llu model-reuse hits",
-                   static_cast<unsigned long long>(total_solver_stats.queries),
-                   static_cast<unsigned long long>(total_solver_stats.sat_calls),
-                   static_cast<unsigned long long>(total_solver_stats.model_reuse_hits));
+  // Only the query count is deterministic: how many of those queries reached
+  // SAT (vs being served by the model-reuse fast path or the shared
+  // cross-pass cache) depends on cache temperature and thread interleaving,
+  // so those counters live in the volatile section.
+  out += StrFormat("aggregate solver: %llu queries",
+                   static_cast<unsigned long long>(total_solver_stats.queries));
   if (include_volatile) {
-    out += StrFormat(", slowest query %.1f ms", total_solver_stats.max_query_wall_ms);
+    out += StrFormat(", %llu SAT calls, %llu model-reuse hits, slowest query %.1f ms",
+                     static_cast<unsigned long long>(total_solver_stats.sat_calls),
+                     static_cast<unsigned long long>(total_solver_stats.model_reuse_hits),
+                     total_solver_stats.max_query_wall_ms);
   }
   out += "\n";
+  if (include_volatile && shared_cache_used) {
+    out += StrFormat(
+        "shared cache: %llu hits (%llu fastpath), %llu misses, %llu stores, "
+        "%llu evictions, %llu entries (~%llu KiB)\n",
+        static_cast<unsigned long long>(total_solver_stats.shared_cache_hits),
+        static_cast<unsigned long long>(total_solver_stats.shared_cache_fastpath_hits),
+        static_cast<unsigned long long>(total_solver_stats.shared_cache_misses),
+        static_cast<unsigned long long>(total_solver_stats.shared_cache_stores),
+        static_cast<unsigned long long>(shared_cache_evictions),
+        static_cast<unsigned long long>(shared_cache_entries),
+        static_cast<unsigned long long>(shared_cache_bytes / 1024));
+    if (shared_cache_loaded_entries != 0 || shared_cache_saved_entries != 0 ||
+        shared_cache_load_errors != 0) {
+      out += StrFormat("shared cache disk: %llu loaded, %llu saved, %llu load errors\n",
+                       static_cast<unsigned long long>(shared_cache_loaded_entries),
+                       static_cast<unsigned long long>(shared_cache_saved_entries),
+                       static_cast<unsigned long long>(shared_cache_load_errors));
+    }
+  }
   out += StrFormat("supervisor: %llu pass%s retried, %llu quarantined\n",
                    static_cast<unsigned long long>(passes_retried),
                    passes_retried == 1 ? "" : "es",
@@ -784,9 +874,15 @@ std::string FaultCampaignResult::FormatReport(const std::string& driver_name,
                        static_cast<unsigned long long>(passes_loaded),
                        passes_loaded == 1 ? "" : "es");
     }
-    out += StrFormat(
-        "scheduler: %u worker thread%s, campaign wall %.1f ms (passes sum %.1f ms)\n",
-        threads_used, threads_used == 1 ? "" : "s", campaign_wall_ms, total_wall_ms);
+    if (inline_scheduler) {
+      out += StrFormat("scheduler: inline on calling thread, campaign wall %.1f ms "
+                       "(passes sum %.1f ms)\n",
+                       campaign_wall_ms, total_wall_ms);
+    } else {
+      out += StrFormat(
+          "scheduler: %u worker thread%s, campaign wall %.1f ms (passes sum %.1f ms)\n",
+          threads_used, threads_used == 1 ? "" : "s", campaign_wall_ms, total_wall_ms);
+    }
     if (!profile.empty()) {
       out += profile.FormatTopPasses(5);
       out += profile.FormatHotFaultSites(8);

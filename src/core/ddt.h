@@ -156,6 +156,26 @@ struct FaultCampaignConfig {
   // construction, before TestDriver), e.g. to add a custom checker.
   std::function<void(Ddt&, const FaultPlan&)> configure_pass;
 
+  // --- Shared cross-pass solver cache (src/solver/shared_cache.h) ---
+  // One SharedQueryCache is created per campaign and handed to every pass's
+  // solver: identical logical queries (canonical fingerprints, independent of
+  // each pass's private ExprContext) hit across passes and worker threads.
+  // Like the observability knobs, none of this enters the campaign
+  // fingerprint or the deterministic report — the cache changes how fast
+  // verdicts arrive, never which verdicts (cached models are re-verified by
+  // the concrete evaluator, and model-requesting queries always solve
+  // fresh), so the deterministic report is byte-identical cache on/off,
+  // cold/warm, at any thread count.
+  bool shared_cache = false;
+  // When non-empty, implies shared_cache and adds on-disk persistence: the
+  // cache warm-starts from this file (best-effort: missing/corrupt/
+  // version-mismatched files are ignored, never fatal) and is saved back
+  // after the campaign, so repeated or resumed campaigns skip the SAT work
+  // of previous runs.
+  std::string shared_cache_path;
+  // Cache capacity (entries are LRU-ish evicted beyond it).
+  uint64_t shared_cache_max_bytes = 64ull << 20;
+
   // --- Observability (src/obs) ---
   // Neither knob enters the campaign fingerprint (a journal resumes fine with
   // either flipped) and neither can change exploration, bug sets, or the
@@ -204,6 +224,18 @@ struct FaultCampaignResult {
   // than total_wall_ms (the parallel speedup the benchmark measures).
   double campaign_wall_ms = 0;
   uint32_t threads_used = 1;
+  // True when the passes ran inline on the calling thread (threads == 1 or a
+  // single runnable plan) — no worker pool was spawned. Volatile-report only.
+  bool inline_scheduler = true;
+  // Shared-cache tallies for the volatile report and the bench (per-query
+  // hit/miss/store counters live in total_solver_stats).
+  bool shared_cache_used = false;
+  uint64_t shared_cache_entries = 0;
+  uint64_t shared_cache_bytes = 0;
+  uint64_t shared_cache_evictions = 0;
+  uint64_t shared_cache_load_errors = 0;
+  uint64_t shared_cache_loaded_entries = 0;
+  uint64_t shared_cache_saved_entries = 0;
   // Supervisor tallies.
   uint64_t passes_retried = 0;      // passes that needed >= 1 retry
   uint64_t passes_quarantined = 0;  // passes that failed permanently

@@ -374,6 +374,13 @@ void Engine::PublishObsMetrics() {
   m.counter("solver.quick_decides")->Add(ss.quick_decides);
   m.counter("solver.timeouts")->Add(ss.query_timeouts);
   m.counter("solver.aborted_queries")->Add(ss.aborted_queries);
+  if (config_.solver.shared_cache != nullptr) {
+    m.counter("solver.shared_cache.hits")->Add(ss.shared_cache_hits);
+    m.counter("solver.shared_cache.fastpath_hits")->Add(ss.shared_cache_fastpath_hits);
+    m.counter("solver.shared_cache.misses")->Add(ss.shared_cache_misses);
+    m.counter("solver.shared_cache.stores")->Add(ss.shared_cache_stores);
+    m.counter("solver.shared_cache.verify_failures")->Add(ss.shared_cache_verify_failures);
+  }
 }
 
 void Engine::StepState(ExecutionState& st) {

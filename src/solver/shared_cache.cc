@@ -1,0 +1,481 @@
+#include "src/solver/shared_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <unordered_set>
+
+#include "src/support/log.h"
+#include "src/support/strings.h"
+
+namespace ddt {
+
+namespace {
+
+uint64_t Fnv1a64(const std::string& data) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+// CRC-32 (IEEE 802.3, reflected), same polynomial as the campaign journal.
+// The solver layer sits below src/core, so it carries its own copy rather
+// than reaching up for the journal's private one.
+uint32_t Crc32(const void* data, size_t size) {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+// Bounds-checked little-endian reader over a loaded file image.
+struct ByteReader {
+  const unsigned char* p;
+  size_t size;
+  size_t pos = 0;
+  bool ok = true;
+
+  bool Take(void* out, size_t n) {
+    if (!ok || size - pos < n) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(out, p + pos, n);
+    pos += n;
+    return true;
+  }
+  uint8_t U8() {
+    uint8_t v = 0;
+    Take(&v, 1);
+    return v;
+  }
+  uint32_t U32() {
+    unsigned char b[4] = {0, 0, 0, 0};
+    Take(b, 4);
+    return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+           (static_cast<uint32_t>(b[2]) << 16) | (static_cast<uint32_t>(b[3]) << 24);
+  }
+  uint64_t U64() {
+    unsigned char b[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    Take(b, 8);
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | b[i];
+    }
+    return v;
+  }
+  std::string Str(size_t n) {
+    if (!ok || size - pos < n) {
+      ok = false;
+      return std::string();
+    }
+    std::string s(reinterpret_cast<const char*>(p + pos), n);
+    pos += n;
+    return s;
+  }
+};
+
+constexpr char kMagic[6] = {'D', 'D', 'T', 'S', 'Q', 'C'};
+
+uint64_t EntryFootprint(const std::string& text, size_t model_size) {
+  // Approximate heap footprint: the key text, the model pairs, and fixed
+  // per-entry bookkeeping (chain slot, map node amortization).
+  return text.size() + model_size * (sizeof(uint32_t) + sizeof(uint64_t)) + 64;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// QueryCanonicalizer
+// ---------------------------------------------------------------------------
+
+const QueryCanonicalizer::RootTemplate& QueryCanonicalizer::TemplateFor(ExprRef root) {
+  auto it = templates_.find(root);
+  if (it != templates_.end()) {
+    return it->second;
+  }
+  RootTemplate tmpl;
+  // DAG-aware bottom-up serialization with per-root node numbering (like the
+  // SMT-LIB emitter's define-fun sharing): each distinct node appears once as
+  // a `t<n>=` line, and the last line is the root. Node numbers restart at
+  // every root, so the template depends only on the root's structure.
+  std::unordered_map<ExprRef, uint32_t> node_ids;
+  std::unordered_map<uint32_t, uint32_t> var_index;  // local var id -> @k
+  // Explicit stack: guest-built expressions (long add/mul chains from loops)
+  // can be deep enough to worry plain recursion.
+  struct Frame {
+    ExprRef e;
+    int next_op = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{root});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (node_ids.count(f.e) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    if (f.next_op < f.e->num_ops()) {
+      ExprRef child = f.e->op(f.next_op);
+      ++f.next_op;
+      if (node_ids.count(child) == 0) {
+        stack.push_back(Frame{child});
+      }
+      continue;
+    }
+    uint32_t id = static_cast<uint32_t>(node_ids.size());
+    node_ids.emplace(f.e, id);
+    tmpl.text += StrFormat("t%u=", id);
+    switch (f.e->kind()) {
+      case ExprKind::kConst:
+        tmpl.text += StrFormat("c%u:%llx", f.e->width(),
+                               static_cast<unsigned long long>(f.e->const_value()));
+        break;
+      case ExprKind::kVar: {
+        uint32_t local = f.e->var_id();
+        auto [vit, inserted] = var_index.emplace(local, static_cast<uint32_t>(tmpl.vars.size()));
+        if (inserted) {
+          tmpl.vars.push_back(local);
+        }
+        tmpl.text += StrFormat("@%u:%u", vit->second, f.e->width());
+        break;
+      }
+      case ExprKind::kExtract:
+        tmpl.text += StrFormat("Extract%u[%u](t%u)", f.e->width(), f.e->extract_low(),
+                               node_ids.at(f.e->op(0)));
+        break;
+      default: {
+        tmpl.text += StrFormat("%s%u(", ExprKindName(f.e->kind()), f.e->width());
+        for (int i = 0; i < f.e->num_ops(); ++i) {
+          tmpl.text += StrFormat("%st%u", i == 0 ? "" : ",", node_ids.at(f.e->op(i)));
+        }
+        tmpl.text += ")";
+        break;
+      }
+    }
+    tmpl.text += "\n";
+    stack.pop_back();
+  }
+  return templates_.emplace(root, std::move(tmpl)).first->second;
+}
+
+CanonicalQuery QueryCanonicalizer::Canonicalize(const std::vector<ExprRef>& exprs) {
+  CanonicalQuery q;
+  std::unordered_map<uint32_t, uint32_t> canon;  // local var id -> canonical id
+  std::unordered_set<ExprRef> seen;
+  for (ExprRef e : exprs) {
+    if (!seen.insert(e).second) {
+      continue;
+    }
+    const RootTemplate& tmpl = TemplateFor(e);
+    q.text += "#\n";  // constraint separator (keeps per-root t-numbering unambiguous)
+    // Splice the template in, rewriting each `@k` placeholder to the global
+    // canonical variable id, assigned in first-visit order over the list.
+    const std::string& t = tmpl.text;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i] != '@') {
+        q.text.push_back(t[i]);
+        continue;
+      }
+      size_t j = i + 1;
+      uint32_t k = 0;
+      while (j < t.size() && t[j] >= '0' && t[j] <= '9') {
+        k = k * 10 + static_cast<uint32_t>(t[j] - '0');
+        ++j;
+      }
+      uint32_t local = tmpl.vars[k];
+      auto [vit, inserted] = canon.emplace(local, static_cast<uint32_t>(q.local_vars.size()));
+      if (inserted) {
+        q.local_vars.push_back(local);
+      }
+      q.text += StrFormat("v%u", vit->second);
+      i = j - 1;  // loop ++ lands on the ':' after the placeholder index
+    }
+  }
+  q.fingerprint = Fnv1a64(q.text);
+  return q;
+}
+
+// ---------------------------------------------------------------------------
+// SharedQueryCache
+// ---------------------------------------------------------------------------
+
+SharedQueryCache::SharedQueryCache(const SharedCacheConfig& config) : config_(config) {
+  if (config_.num_shards == 0) {
+    config_.num_shards = 1;
+  }
+  shards_.reserve(config_.num_shards);
+  for (size_t i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SharedQueryCache::LookupResult SharedQueryCache::Lookup(const CanonicalQuery& query) {
+  Shard& shard = ShardFor(query.fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(query.fingerprint);
+  LookupResult r;
+  if (it == shard.map.end()) {
+    return r;
+  }
+  for (Entry& e : it->second) {
+    if (e.text == query.text) {
+      e.last_used = ++shard.tick;
+      r.hit = true;
+      r.sat = e.sat;
+      r.model = e.model;
+      return r;
+    }
+  }
+  return r;
+}
+
+void SharedQueryCache::Store(const CanonicalQuery& query, bool sat, CanonicalModel model) {
+  if (!sat) {
+    model.clear();
+  }
+  std::sort(model.begin(), model.end());
+  Shard& shard = ShardFor(query.fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::vector<Entry>& chain = shard.map[query.fingerprint];
+  for (Entry& e : chain) {
+    if (e.text == query.text) {
+      shard.bytes -= e.bytes;
+      e.sat = sat;
+      e.model = std::move(model);
+      e.bytes = EntryFootprint(e.text, e.model.size());
+      e.last_used = ++shard.tick;
+      shard.bytes += e.bytes;
+      return;
+    }
+  }
+  Entry e;
+  e.text = query.text;
+  e.sat = sat;
+  e.model = std::move(model);
+  e.last_used = ++shard.tick;
+  e.bytes = EntryFootprint(e.text, e.model.size());
+  shard.bytes += e.bytes;
+  ++shard.entries;
+  chain.push_back(std::move(e));
+  EvictIfNeeded(shard);
+}
+
+void SharedQueryCache::EvictIfNeeded(Shard& shard) {
+  uint64_t max_entries = std::max<uint64_t>(1, config_.max_entries / shards_.size());
+  uint64_t max_bytes = std::max<uint64_t>(1024, config_.max_bytes / shards_.size());
+  while (shard.entries > max_entries || shard.bytes > max_bytes) {
+    // LRU-ish: linear scan for the stalest entry. Shards keep the scan short,
+    // and eviction only runs when a bound is actually exceeded.
+    auto victim_chain = shard.map.end();
+    size_t victim_idx = 0;
+    uint64_t oldest = UINT64_MAX;
+    for (auto it = shard.map.begin(); it != shard.map.end(); ++it) {
+      for (size_t i = 0; i < it->second.size(); ++i) {
+        if (it->second[i].last_used < oldest) {
+          oldest = it->second[i].last_used;
+          victim_chain = it;
+          victim_idx = i;
+        }
+      }
+    }
+    if (victim_chain == shard.map.end()) {
+      return;
+    }
+    std::vector<Entry>& chain = victim_chain->second;
+    shard.bytes -= chain[victim_idx].bytes;
+    --shard.entries;
+    ++shard.evictions;
+    chain.erase(chain.begin() + static_cast<ptrdiff_t>(victim_idx));
+    if (chain.empty()) {
+      shard.map.erase(victim_chain);
+    }
+  }
+}
+
+SharedQueryCache::Stats SharedQueryCache::stats() const {
+  Stats s;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.entries += shard->entries;
+    s.bytes += shard->bytes;
+    s.evictions += shard->evictions;
+  }
+  std::lock_guard<std::mutex> lock(io_stats_mu_);
+  s.load_errors = load_errors_;
+  s.loaded_entries = loaded_entries_;
+  s.saved_entries = saved_entries_;
+  return s;
+}
+
+Status SharedQueryCache::SaveToFile(const std::string& path) const {
+  // Snapshot under the shard locks, serialize and write outside them.
+  std::vector<std::pair<std::string, std::pair<bool, CanonicalModel>>> snapshot;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [fp, chain] : shard->map) {
+      (void)fp;
+      for (const Entry& e : chain) {
+        snapshot.emplace_back(e.text, std::make_pair(e.sat, e.model));
+      }
+    }
+  }
+  // Stable file contents regardless of shard iteration order: sort by key.
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::string payload;
+  AppendU64(&payload, snapshot.size());
+  for (const auto& [text, verdict] : snapshot) {
+    payload.push_back(verdict.first ? 1 : 0);
+    AppendU32(&payload, static_cast<uint32_t>(text.size()));
+    payload += text;
+    AppendU32(&payload, static_cast<uint32_t>(verdict.second.size()));
+    for (const auto& [id, value] : verdict.second) {
+      AppendU32(&payload, id);
+      AppendU64(&payload, value);
+    }
+  }
+
+  std::string file;
+  file.append(kMagic, sizeof(kMagic));
+  AppendU32(&file, kFormatVersion);
+  file += payload;
+  AppendU32(&file, Crc32(payload.data(), payload.size()));
+
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Error(StrFormat("shared cache: cannot open '%s' for writing", tmp.c_str()));
+  }
+  size_t written = std::fwrite(file.data(), 1, file.size(), f);
+  bool ok = written == file.size();
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::Error(StrFormat("shared cache: short write to '%s'", tmp.c_str()));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Error(
+        StrFormat("shared cache: cannot rename '%s' to '%s'", tmp.c_str(), path.c_str()));
+  }
+  std::lock_guard<std::mutex> lock(io_stats_mu_);
+  saved_entries_ = snapshot.size();
+  return Status::Ok();
+}
+
+size_t SharedQueryCache::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return 0;  // no warm-start file yet: the normal cold case, not an error
+  }
+  std::string file;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    file.append(buf, n);
+  }
+  std::fclose(f);
+
+  auto reject = [this, &path](const char* why) -> size_t {
+    DDT_LOG_WARN("shared cache: ignoring '%s': %s", path.c_str(), why);
+    std::lock_guard<std::mutex> lock(io_stats_mu_);
+    ++load_errors_;
+    return 0;
+  };
+
+  if (file.size() < sizeof(kMagic) + sizeof(uint32_t) * 2 + sizeof(uint64_t)) {
+    return reject("truncated header");
+  }
+  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    return reject("bad magic");
+  }
+  ByteReader header{reinterpret_cast<const unsigned char*>(file.data()), file.size(),
+                    sizeof(kMagic)};
+  uint32_t version = header.U32();
+  if (version != kFormatVersion) {
+    return reject("format version mismatch");
+  }
+  size_t payload_begin = header.pos;
+  size_t payload_size = file.size() - payload_begin - sizeof(uint32_t);
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, file.data() + payload_begin + payload_size, sizeof(stored_crc));
+  // The CRC footer was appended little-endian; reassemble it the same way.
+  {
+    unsigned char b[4];
+    std::memcpy(b, file.data() + payload_begin + payload_size, 4);
+    stored_crc = static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+                 (static_cast<uint32_t>(b[2]) << 16) | (static_cast<uint32_t>(b[3]) << 24);
+  }
+  if (Crc32(file.data() + payload_begin, payload_size) != stored_crc) {
+    return reject("CRC mismatch (truncated or corrupt)");
+  }
+
+  ByteReader r{reinterpret_cast<const unsigned char*>(file.data()),
+               payload_begin + payload_size, payload_begin};
+  uint64_t count = r.U64();
+  // Parse everything before inserting anything: a malformed payload (which
+  // the CRC should already have caught) loads nothing rather than half.
+  std::vector<std::pair<std::string, std::pair<bool, CanonicalModel>>> parsed;
+  for (uint64_t i = 0; i < count && r.ok; ++i) {
+    bool sat = r.U8() != 0;
+    uint32_t text_len = r.U32();
+    std::string text = r.Str(text_len);
+    uint32_t model_n = r.U32();
+    if (!r.ok || (!sat && model_n != 0)) {
+      r.ok = false;
+      break;
+    }
+    CanonicalModel model;
+    model.reserve(model_n);
+    for (uint32_t m = 0; m < model_n && r.ok; ++m) {
+      uint32_t id = r.U32();
+      uint64_t value = r.U64();
+      model.emplace_back(id, value);
+    }
+    parsed.emplace_back(std::move(text), std::make_pair(sat, std::move(model)));
+  }
+  if (!r.ok || r.pos != r.size) {
+    return reject("malformed payload");
+  }
+  for (auto& [text, verdict] : parsed) {
+    CanonicalQuery q;
+    q.fingerprint = Fnv1a64(text);
+    q.text = std::move(text);
+    Store(q, verdict.first, std::move(verdict.second));
+  }
+  std::lock_guard<std::mutex> lock(io_stats_mu_);
+  loaded_entries_ += parsed.size();
+  return parsed.size();
+}
+
+}  // namespace ddt

@@ -27,6 +27,11 @@ void SolverStats::Accumulate(const SolverStats& other) {
   total_sat_vars += other.total_sat_vars;
   total_sat_clauses += other.total_sat_clauses;
   model_reuse_hits += other.model_reuse_hits;
+  shared_cache_hits += other.shared_cache_hits;
+  shared_cache_fastpath_hits += other.shared_cache_fastpath_hits;
+  shared_cache_misses += other.shared_cache_misses;
+  shared_cache_stores += other.shared_cache_stores;
+  shared_cache_verify_failures += other.shared_cache_verify_failures;
   max_query_wall_ms = std::max(max_query_wall_ms, other.max_query_wall_ms);
 }
 
@@ -81,16 +86,125 @@ std::vector<ExprRef> Solver::Slice(const std::vector<ExprRef>& constraints,
   return out;
 }
 
-uint64_t Solver::CacheKey(const std::vector<ExprRef>& exprs) const {
+std::vector<ExprRef> Solver::SortedUnique(const std::vector<ExprRef>& exprs) {
   std::vector<ExprRef> sorted = exprs;
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return sorted;
+}
+
+uint64_t Solver::CacheKey(const std::vector<ExprRef>& sorted_exprs) const {
+  if (config_.testing_collide_cache_keys) {
+    return 0xC0111DEull;  // every query lands in one bucket: full-key compare or bust
+  }
   uint64_t h = 0xCBF29CE484222325ull;
-  for (ExprRef e : sorted) {
+  for (ExprRef e : sorted_exprs) {
     h ^= reinterpret_cast<uint64_t>(e);
     h *= 0x100000001B3ull;
   }
   return h;
+}
+
+bool Solver::RemapAndVerify(const CanonicalModel& model, const CanonicalQuery& query,
+                            const std::vector<ExprRef>& exprs, Assignment* out) {
+  Assignment a;
+  for (const auto& [canon_id, value] : model) {
+    if (canon_id >= query.local_vars.size()) {
+      // The stored model mentions a variable the query doesn't have — stale
+      // or foreign entry. Never trust it.
+      ++stats_.shared_cache_verify_failures;
+      return false;
+    }
+    a.Set(query.local_vars[canon_id], value);
+  }
+  // Mandatory concrete re-verification, independent of verify_models: a
+  // cached model (possibly loaded from disk) is only believed if it actually
+  // satisfies this query — so a wrong entry costs a SAT call, never a wrong
+  // verdict.
+  for (ExprRef e : exprs) {
+    if (!EvalBool(e, a)) {
+      ++stats_.shared_cache_verify_failures;
+      return false;
+    }
+  }
+  *out = std::move(a);
+  return true;
+}
+
+bool Solver::SharedCacheDecide(const std::vector<ExprRef>& filtered, bool want_model,
+                               bool extra_at_back, CanonicalQuery* out_query, bool* sat) {
+  *out_query = canonicalizer_.Canonicalize(filtered);
+  if (config_.testing_collide_cache_keys) {
+    out_query->fingerprint = 0xC0111DEull;
+  }
+  SharedQueryCache::LookupResult r = config_.shared_cache->Lookup(*out_query);
+  if (r.hit) {
+    if (!r.sat) {
+      // Exact canonical match, unsat. Unsat is a pure verdict (no model to
+      // diverge on), so this short-circuit is safe for every caller,
+      // including model-requesting ones.
+      ++stats_.shared_cache_hits;
+      obs::TraceInstant("solver.query", "result", "shared_hit");
+      *sat = false;
+      return true;
+    }
+    if (!want_model) {
+      Assignment remapped;
+      if (RemapAndVerify(r.model, *out_query, filtered, &remapped)) {
+        ++stats_.shared_cache_hits;
+        obs::TraceInstant("solver.query", "result", "shared_hit");
+        last_model_ = std::move(remapped);
+        have_last_model_ = true;
+        *sat = true;
+        return true;
+      }
+      // Verification failed: fall through to SAT below.
+    }
+    // want_model with a sat entry: deliberately fall through. Serving the
+    // cached model would hand the engine concretization values that depend
+    // on cache contents; a fresh solve of the identical expression list
+    // returns exactly the model a cache-off run would.
+  } else if (extra_at_back && filtered.size() >= 2) {
+    // Counterexample fast path (KLEE-style): the query is `prefix AND cond`
+    // where `prefix` was itself a recent query on this path. If the prefix
+    // is cached unsat, any superset is unsat; if its cached model happens to
+    // satisfy the whole query, the query is sat — either way we skip SAT and
+    // promote the answer to an exact entry for next time.
+    std::vector<ExprRef> prefix(filtered.begin(), filtered.end() - 1);
+    CanonicalQuery prefix_query = canonicalizer_.Canonicalize(prefix);
+    if (config_.testing_collide_cache_keys) {
+      prefix_query.fingerprint = 0xC0111DEull;
+    }
+    SharedQueryCache::LookupResult pr = config_.shared_cache->Lookup(prefix_query);
+    if (pr.hit && !pr.sat) {
+      ++stats_.shared_cache_fastpath_hits;
+      obs::TraceInstant("solver.query", "result", "shared_fastpath");
+      config_.shared_cache->Store(*out_query, false, CanonicalModel());
+      ++stats_.shared_cache_stores;
+      *sat = false;
+      return true;
+    }
+    if (pr.hit && pr.sat && !want_model) {
+      Assignment remapped;
+      if (RemapAndVerify(pr.model, prefix_query, filtered, &remapped)) {
+        ++stats_.shared_cache_fastpath_hits;
+        obs::TraceInstant("solver.query", "result", "shared_fastpath");
+        CanonicalModel promoted;
+        promoted.reserve(out_query->local_vars.size());
+        for (uint32_t i = 0; i < out_query->local_vars.size(); ++i) {
+          promoted.emplace_back(i, remapped.Get(out_query->local_vars[i]));
+        }
+        config_.shared_cache->Store(*out_query, true, std::move(promoted));
+        ++stats_.shared_cache_stores;
+        last_model_ = std::move(remapped);
+        have_last_model_ = true;
+        *sat = true;
+        return true;
+      }
+    }
+  }
+  ++stats_.shared_cache_misses;
+  return false;
 }
 
 bool Solver::SolveExprs(const std::vector<ExprRef>& exprs, Assignment* model, bool* unknown) {
@@ -231,20 +345,27 @@ bool Solver::IsSatisfiable(const std::vector<ExprRef>& constraints, ExprRef extr
   }
 
   uint64_t key = 0;
+  std::vector<ExprRef> sorted;
   if (config_.enable_cache) {
-    key = CacheKey(filtered);
+    sorted = SortedUnique(filtered);
+    key = CacheKey(sorted);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
-      ++stats_.cache_hits;
-      obs::TraceInstant("solver.query", "result", "cached");
-      if (it->second.sat) {
-        last_model_ = it->second.model;
-        have_last_model_ = true;
-        if (model != nullptr) {
-          *model = it->second.model;
+      for (const CacheEntry& entry : it->second) {
+        if (entry.exprs != sorted) {
+          continue;  // hash collision: keep scanning the chain
         }
+        ++stats_.cache_hits;
+        obs::TraceInstant("solver.query", "result", "cached");
+        if (entry.sat) {
+          last_model_ = entry.model;
+          have_last_model_ = true;
+          if (model != nullptr) {
+            *model = entry.model;
+          }
+        }
+        return entry.sat;
       }
-      return it->second.sat;
     }
   }
 
@@ -269,11 +390,42 @@ bool Solver::IsSatisfiable(const std::vector<ExprRef>& constraints, ExprRef extr
     }
   }
 
+  // Cross-pass shared cache: canonical-fingerprint lookup plus the
+  // counterexample fast path. Answers only verdicts it can prove locally
+  // (exact unsat, or a cached model re-verified by the concrete evaluator);
+  // model-requesting callers always fall through to a fresh solve.
+  CanonicalQuery shared_query;
+  bool have_shared_query = false;
+  if (config_.shared_cache != nullptr) {
+    bool extra_at_back = extra != nullptr && !filtered.empty() && filtered.back() == extra;
+    bool shared_sat = false;
+    if (SharedCacheDecide(filtered, model != nullptr, extra_at_back, &shared_query,
+                          &shared_sat)) {
+      return shared_sat;
+    }
+    have_shared_query = true;
+  }
+
   Assignment local_model;
   bool unknown = false;
   bool sat = SolveExprs(filtered, &local_model, &unknown);
   if (config_.enable_cache && !unknown) {
-    cache_[key] = CacheEntry{sat, local_model};
+    cache_[key].push_back(CacheEntry{sorted, sat, local_model});
+  }
+  if (have_shared_query && !unknown) {
+    // Publish the fresh verdict for other passes/threads/runs. The model is
+    // stored against canonical variable ids (complete over the query's
+    // variables; solver-undecided ones are zero, exactly what verification
+    // assumed).
+    CanonicalModel canonical_model;
+    if (sat) {
+      canonical_model.reserve(shared_query.local_vars.size());
+      for (uint32_t i = 0; i < static_cast<uint32_t>(shared_query.local_vars.size()); ++i) {
+        canonical_model.emplace_back(i, local_model.Get(shared_query.local_vars[i]));
+      }
+    }
+    config_.shared_cache->Store(shared_query, sat, std::move(canonical_model));
+    ++stats_.shared_cache_stores;
   }
   if (sat && !unknown) {
     last_model_ = local_model;

@@ -23,6 +23,7 @@
 #include "src/expr/expr.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
+#include "src/solver/shared_cache.h"
 
 namespace ddt {
 
@@ -44,6 +45,21 @@ struct SolverConfig {
   // share one. Only applies when the caller wants no model back, so the
   // values the engine concretizes with are unaffected.
   bool enable_model_reuse = true;
+
+  // Optional process-wide query cache shared across solver instances (one per
+  // fault campaign; non-owning, must outlive the solver). Queries are keyed
+  // on a canonical form independent of ExprContext identity, so identical
+  // logical queries hit across passes, threads, and — via its on-disk
+  // persistence — across runs. Verdict-only queries can be answered from it
+  // (cached models are re-verified by the concrete evaluator first);
+  // model-requesting queries always fall through to a fresh SAT solve so the
+  // values the engine concretizes with are byte-identical cache on or off.
+  SharedQueryCache* shared_cache = nullptr;
+
+  // Test hook: collapse every cache fingerprint to one value, forcing hash
+  // collisions so the full-key compare paths (per-solver cache entry list,
+  // shared-cache chain) are exercised. Never set outside tests.
+  bool testing_collide_cache_keys = false;
 
   // --- Observability (src/obs) — both null by default (kill switch) ---
   // Per-query latency histogram + query counters land here (non-owning).
@@ -72,6 +88,20 @@ struct SolverStats {
   // Queries answered by re-evaluating under the last satisfying model
   // (SolverConfig::enable_model_reuse), skipping bit-blasting entirely.
   uint64_t model_reuse_hits = 0;
+  // --- Shared cross-pass cache (SolverConfig::shared_cache) ---
+  // Exact canonical-fingerprint hits answered without a SAT call.
+  uint64_t shared_cache_hits = 0;
+  // Counterexample fast-path hits: the query was answered from a cached
+  // verdict/model for its constraint-set prefix (subset → unsat propagation,
+  // or a cached model that re-verified against the superset).
+  uint64_t shared_cache_fastpath_hits = 0;
+  // Lookups that found nothing usable and fell through to SAT.
+  uint64_t shared_cache_misses = 0;
+  // Verdicts this solver contributed to the shared store.
+  uint64_t shared_cache_stores = 0;
+  // Cached models that failed concrete re-verification (stale or remapped
+  // against the wrong width set) — treated as misses, never trusted.
+  uint64_t shared_cache_verify_failures = 0;
   // Wall time of the slowest single SolveExprs call, in milliseconds.
   double max_query_wall_ms = 0;
 
@@ -120,7 +150,13 @@ class Solver {
   void SetAbortFlag(const std::atomic<bool>* flag) { abort_flag_ = flag; }
 
  private:
+  // Per-solver cache entry. `exprs` is the sorted, deduplicated constraint
+  // set the verdict was computed for — the full key. The map is keyed on a
+  // hash of that set; entries chain within a bucket and are only trusted
+  // after an exact set compare, so a hash collision can never serve a wrong
+  // verdict.
   struct CacheEntry {
+    std::vector<ExprRef> exprs;
     bool sat = false;
     Assignment model;
   };
@@ -133,7 +169,21 @@ class Solver {
   // Uncached SAT query over an explicit expression list.
   bool SolveExprs(const std::vector<ExprRef>& exprs, Assignment* model, bool* unknown);
 
-  uint64_t CacheKey(const std::vector<ExprRef>& exprs) const;
+  // Sorted + deduplicated copy of `exprs` (the per-solver cache's full key).
+  static std::vector<ExprRef> SortedUnique(const std::vector<ExprRef>& exprs);
+  uint64_t CacheKey(const std::vector<ExprRef>& sorted_exprs) const;
+
+  // Shared-cache consultation for the filtered query; returns true when the
+  // query was answered (verdict in *sat). `extra_at_back` marks that the last
+  // element of `filtered` is the branch condition appended to a sliced prefix
+  // (enables the counterexample fast path). `out_query` receives the
+  // canonical form for a later Store on miss.
+  bool SharedCacheDecide(const std::vector<ExprRef>& filtered, bool want_model,
+                         bool extra_at_back, CanonicalQuery* out_query, bool* sat);
+  // Remaps a canonical model into this context's variable ids and re-verifies
+  // it against `exprs` with the concrete evaluator. False = do not trust.
+  bool RemapAndVerify(const CanonicalModel& model, const CanonicalQuery& query,
+                      const std::vector<ExprRef>& exprs, Assignment* out);
 
   ExprContext* ctx_;
   SolverConfig config_;
@@ -142,7 +192,10 @@ class Solver {
   // metrics are off, which skips the observe in one branch.
   obs::Histogram* obs_query_ms_ = nullptr;
   const std::atomic<bool>* abort_flag_ = nullptr;
-  std::unordered_map<uint64_t, CacheEntry> cache_;
+  std::unordered_map<uint64_t, std::vector<CacheEntry>> cache_;
+  // Canonical-form renderer for the shared cache (memoizes per-root
+  // templates, so it lives with the solver).
+  QueryCanonicalizer canonicalizer_;
   Assignment last_model_;         // most recent satisfying assignment
   bool have_last_model_ = false;
 };

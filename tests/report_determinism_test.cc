@@ -74,11 +74,14 @@ TEST(ReportDeterminismTest, DeterministicReportHasNoTimingOrHostDependentFields)
   ASSERT_FALSE(report.empty());
 
   // The volatile report DOES carry these; the deterministic one must not.
-  // " ms"/"wall" catch every timing line, "thread" the scheduler line,
-  // "resumed" the journal-restore counter, "slowest"/"profil" the profiler
-  // sections.
+  // " ms"/"wall" catch every timing line, "thread"/"inline" the scheduler
+  // line, "resumed" the journal-restore counter, "slowest"/"profil" the
+  // profiler sections, and "SAT calls"/"model-reuse"/"cache" every counter
+  // that depends on cache temperature (per-solver, model-reuse, or the
+  // shared cross-pass cache) rather than on exploration alone.
   for (const char* forbidden :
-       {" ms", "wall", "thread", "slowest", "resumed", "profil"}) {
+       {" ms", "wall", "thread", "inline", "slowest", "resumed", "profil",
+        "SAT calls", "model-reuse", "cache"}) {
     EXPECT_EQ(report.find(forbidden), std::string::npos)
         << "deterministic report leaks host-dependent field '" << forbidden << "':\n"
         << report;

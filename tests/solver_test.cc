@@ -697,19 +697,61 @@ TEST(SolverStatsTest, AccumulateSumsCountersAndMaxesQueryTime) {
   a.sat_calls = 4;
   a.model_reuse_hits = 2;
   a.aborted_queries = 1;
+  a.shared_cache_hits = 3;
+  a.shared_cache_fastpath_hits = 1;
+  a.shared_cache_misses = 6;
+  a.shared_cache_stores = 5;
+  a.shared_cache_verify_failures = 1;
   a.max_query_wall_ms = 7.5;
   SolverStats b;
   b.queries = 3;
   b.sat_calls = 1;
   b.model_reuse_hits = 5;
   b.aborted_queries = 2;
+  b.shared_cache_hits = 2;
+  b.shared_cache_fastpath_hits = 4;
+  b.shared_cache_misses = 1;
+  b.shared_cache_stores = 2;
+  b.shared_cache_verify_failures = 3;
   b.max_query_wall_ms = 2.5;
   a.Accumulate(b);
   EXPECT_EQ(a.queries, 13u);
   EXPECT_EQ(a.sat_calls, 5u);
   EXPECT_EQ(a.model_reuse_hits, 7u);
   EXPECT_EQ(a.aborted_queries, 3u);
+  EXPECT_EQ(a.shared_cache_hits, 5u);
+  EXPECT_EQ(a.shared_cache_fastpath_hits, 5u);
+  EXPECT_EQ(a.shared_cache_misses, 7u);
+  EXPECT_EQ(a.shared_cache_stores, 7u);
+  EXPECT_EQ(a.shared_cache_verify_failures, 4u);
   EXPECT_DOUBLE_EQ(a.max_query_wall_ms, 7.5);  // max, not sum
+}
+
+// --- Per-solver cache collision safety ---------------------------------------
+
+TEST(SolverCacheCollisionTest, CollidingKeysNeverServeAnotherQuerysVerdict) {
+  // testing_collide_cache_keys collapses every cache key to one bucket, so
+  // every query after the first is a hash collision. Entries must be trusted
+  // only after the full sorted-constraint-set compare.
+  ExprContext ctx;
+  SolverConfig config;
+  config.testing_collide_cache_keys = true;
+  config.enable_model_reuse = false;  // isolate the cache
+  Solver solver(&ctx, config);
+  ExprRef x = ctx.Var(32, "x");
+  std::vector<ExprRef> sat_set = {ctx.Eq(x, ctx.Const(1, 32))};
+  std::vector<ExprRef> unsat_set = {ctx.Eq(x, ctx.Const(1, 32)),
+                                    ctx.Eq(ctx.Add(x, x), ctx.Const(7, 32))};
+
+  EXPECT_TRUE(solver.IsSatisfiable(sat_set, nullptr));
+  // Collides with the cached sat entry; a key-only cache would answer "sat".
+  EXPECT_FALSE(solver.IsSatisfiable(unsat_set, nullptr));
+  // Both verdicts are now cached under the same key and still distinguishable.
+  uint64_t sat_calls = solver.stats().sat_calls;
+  EXPECT_TRUE(solver.IsSatisfiable(sat_set, nullptr));
+  EXPECT_FALSE(solver.IsSatisfiable(unsat_set, nullptr));
+  EXPECT_EQ(solver.stats().sat_calls, sat_calls);
+  EXPECT_GE(solver.stats().cache_hits, 2u);
 }
 
 // --- Cooperative cancellation (campaign watchdog path) ----------------------
