@@ -12,10 +12,19 @@
 //   part 4: observability overhead — the interpreter run and the campaign with
 //           every obs sink wired (tracer recording, metrics, per-pass profile)
 //           vs the runtime kill switch, gated at <= 5% because the probes stay
-//           off the per-instruction path.
+//           off the per-instruction path;
+//   part 5: shared solver cache — cold persist vs warm start from disk, gated
+//           on a real wall-time win with verdicts and report unchanged;
+//   part 6: fleet overhead — the same campaign through the multi-process
+//           coordinator with a single worker vs in-process threads=1. Process
+//           isolation costs a fork, a warm-up, heartbeats, and pipe framing
+//           per pass; that tax must stay <= 10% and the deterministic report
+//           byte-identical.
 //
 // Emits a machine-readable JSON summary (default: BENCH_exec.json in the
 // current directory; override with argv[1]).
+#include <cstdlib>
+
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -24,6 +33,7 @@
 
 #include "src/core/ddt.h"
 #include "src/drivers/corpus.h"
+#include "src/fleet/fleet.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
 #include "src/obs/trace_events.h"
@@ -305,6 +315,49 @@ CampaignRun RunCampaign(const DriverImage& image, const PciDescriptor& pci, uint
   return out;
 }
 
+// The fault_farm campaign once more, in-process (threads=1) or through the
+// fleet coordinator with `workers` worker processes — identical schedule, so
+// the wall-time ratio is pure process-isolation tax and the deterministic
+// reports must match byte for byte.
+struct FleetRun {
+  double wall_ms = 0;
+  std::string deterministic_report;
+};
+
+FleetRun RunFleetBench(const DriverImage& image, const PciDescriptor& pci, uint32_t workers) {
+  FaultCampaignConfig config;
+  config.base.engine.max_instructions = 2'000'000;
+  config.base.engine.max_wall_ms = 3'600'000;
+  config.base.use_standard_annotations = false;
+  config.max_passes = 16;
+  config.max_occurrences_per_class = 8;
+  config.escalation_rounds = 1;
+  config.threads = 1;
+  Result<FaultCampaignResult> r = [&]() {
+    if (workers == 0) {
+      return RunFaultCampaign(config, image, pci);
+    }
+    char shard_template[] = "/tmp/ddt_bench_fleet.XXXXXX";
+    char* shard_dir = ::mkdtemp(shard_template);
+    if (shard_dir == nullptr) {
+      return Result<FaultCampaignResult>(Status::Error("mkdtemp failed"));
+    }
+    fleet::FleetCampaignConfig fc;
+    fc.workers = workers;
+    fc.shard_dir = shard_dir;
+    return fleet::RunFleetCampaign(config, image, pci, fc);
+  }();
+  if (!r.ok()) {
+    std::fprintf(stderr, "fleet bench campaign (workers=%u) failed: %s\n", workers,
+                 r.status().message().c_str());
+    std::exit(1);
+  }
+  FleetRun out;
+  out.wall_ms = r.value().campaign_wall_ms;
+  out.deterministic_report = r.value().FormatReport("fault_farm", /*include_volatile=*/false);
+  return out;
+}
+
 // One shared-cache campaign over the solver_farm driver. `path` empty = cache
 // off; non-empty = cache on with on-disk persistence at that path (a fresh
 // path is a cold run, an existing file a warm start).
@@ -506,6 +559,33 @@ int main(int argc, char** argv) {
               warm_speedup, cache_bugs_identical ? "yes" : "NO",
               cache_reports_identical ? "yes" : "NO");
 
+  // --- part 6: fleet overhead ------------------------------------------------
+  // One worker process against in-process threads=1 over the identical
+  // schedule: the difference is the whole cost of crash isolation — fork,
+  // worker warm-up, heartbeat thread, pipe framing, shard journaling, and the
+  // plan-order merge on the coordinator. Best-of-3 each side.
+  std::printf("\n=== fleet overhead (1 worker process vs in-process) ===\n");
+  FleetRun fleet_inproc;
+  FleetRun fleet_one;
+  for (int rep = 0; rep < 3; ++rep) {
+    FleetRun ip = RunFleetBench(farm_image, farm_pci, 0);
+    if (fleet_inproc.wall_ms == 0 || ip.wall_ms < fleet_inproc.wall_ms) {
+      fleet_inproc = ip;
+    }
+    FleetRun fl = RunFleetBench(farm_image, farm_pci, 1);
+    if (fleet_one.wall_ms == 0 || fl.wall_ms < fleet_one.wall_ms) {
+      fleet_one = fl;
+    }
+  }
+  double fleet_overhead =
+      fleet_inproc.wall_ms > 0 ? fleet_one.wall_ms / fleet_inproc.wall_ms : 0;
+  bool fleet_report_identical =
+      fleet_one.deterministic_report == fleet_inproc.deterministic_report;
+  std::printf("in-process: %.1f ms, fleet workers=1: %.1f ms (%.3fx), "
+              "deterministic report identical: %s\n",
+              fleet_inproc.wall_ms, fleet_one.wall_ms, fleet_overhead,
+              fleet_report_identical ? "yes" : "NO");
+
   // --- JSON summary ---------------------------------------------------------
   FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
@@ -580,6 +660,14 @@ int main(int argc, char** argv) {
   std::fprintf(f, "    \"bugs_identical\": %s,\n", cache_bugs_identical ? "true" : "false");
   std::fprintf(f, "    \"deterministic_report_identical\": %s\n",
                cache_reports_identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fleet\": {\n");
+  std::fprintf(f, "    \"driver\": \"fault_farm\",\n");
+  std::fprintf(f, "    \"inprocess_wall_ms\": %.1f,\n", fleet_inproc.wall_ms);
+  std::fprintf(f, "    \"one_worker_wall_ms\": %.1f,\n", fleet_one.wall_ms);
+  std::fprintf(f, "    \"overhead\": %.3f,\n", fleet_overhead);
+  std::fprintf(f, "    \"deterministic_report_identical\": %s\n",
+               fleet_report_identical ? "true" : "false");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -606,8 +694,13 @@ int main(int argc, char** argv) {
   bool shared_cache_ok = warm_speedup >= 1.2 && cache_bugs_identical &&
                          cache_reports_identical && warm.loaded_entries > 0 &&
                          warm.solver.sat_calls < cold.solver.sat_calls;
+  // Crash isolation may cost a fork and a pipe per pass, never real compute:
+  // one worker process must stay within 10% of in-process and change nothing
+  // in the deterministic report.
+  bool fleet_ok = fleet_report_identical && fleet_overhead <= 1.10;
   bool pass = loop_speedup >= 2.0 && interp_bugs_identical && campaign_bugs_identical &&
-              runs[0].plans >= 8 && campaign_ok && supervisor_ok && obs_ok && shared_cache_ok;
+              runs[0].plans >= 8 && campaign_ok && supervisor_ok && obs_ok && shared_cache_ok &&
+              fleet_ok;
   std::printf("BENCH_exec: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

@@ -28,7 +28,21 @@
 //                      export them as Chrome trace-event JSON — open PATH in
 //                      chrome://tracing or https://ui.perfetto.dev
 //   --metrics-out=PATH write the merged campaign metrics snapshot as JSON
+//
+// Fleet flags (src/fleet; crash-isolated multi-process campaign):
+//   --workers=N        run the campaign across N worker *processes* (this
+//                      binary re-executed in --fleet-worker mode). A worker
+//                      killed mid-pass costs only its in-flight lease; the
+//                      deterministic report stays byte-identical to --workers=0
+//   --fleet-kill-lease=K  crash harness: SIGKILL the worker holding the Kth
+//                      lease, forcing salvage + reassignment (CI uses this to
+//                      prove the report survives worker death unchanged)
+//   --fleet-worker     internal: run as a fleet worker (spawned by the
+//                      coordinator, speaks the wire protocol on fds 3/4)
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -36,10 +50,75 @@
 #include "src/core/ddt.h"
 #include "src/core/replay.h"
 #include "src/drivers/corpus.h"
+#include "src/fleet/fleet.h"
 #include "src/obs/trace_events.h"
 #include "src/support/strings.h"
 
+namespace {
+
+// One config for the coordinator, the in-process path, and every exec-mode
+// worker: the schedule-determining knobs are compiled in, so the worker's
+// HELLO fingerprint matches the coordinator's by construction.
+ddt::FaultCampaignConfig MakeCampaignConfig() {
+  ddt::FaultCampaignConfig config;
+  config.base.engine.max_instructions = 2'000'000;
+  config.base.engine.max_wall_ms = 120'000;
+  config.max_passes = 16;
+  config.max_occurrences_per_class = 4;
+  config.escalation_rounds = 1;
+  return config;
+}
+
+bool ParseUintFlag(const std::string& arg, const char* name, uint64_t* out) {
+  size_t len = std::strlen(name);
+  if (arg.rfind(name, 0) != 0) {
+    return false;
+  }
+  int64_t parsed = 0;
+  if (!ddt::ParseInt(arg.substr(len), &parsed) || parsed < 0) {
+    std::fprintf(stderr, "bad value: %s\n", arg.c_str());
+    std::exit(2);
+  }
+  *out = static_cast<uint64_t>(parsed);
+  return true;
+}
+
+int RunAsFleetWorker(int argc, char** argv) {
+  const ddt::CorpusDriver& driver = ddt::CorpusDriverByName("rtl8029");
+  ddt::FaultCampaignConfig config = MakeCampaignConfig();
+  ddt::fleet::FleetWorkerOptions options;
+  uint64_t v = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--fleet-worker") {
+      continue;
+    } else if (ParseUintFlag(arg, "--fleet-slot=", &v)) {
+      options.slot = static_cast<uint32_t>(v);
+    } else if (ParseUintFlag(arg, "--fleet-gen=", &v)) {
+      options.generation = v;
+    } else if (ParseUintFlag(arg, "--fleet-heartbeat-ms=", &v)) {
+      options.heartbeat_interval_ms = static_cast<uint32_t>(v);
+    } else if (arg.rfind("--fleet-shard-dir=", 0) == 0) {
+      options.shard_dir = arg.substr(std::strlen("--fleet-shard-dir="));
+    } else if (arg.rfind("--shared-cache=", 0) == 0) {
+      config.shared_cache_path = arg.substr(std::strlen("--shared-cache="));
+    } else {
+      std::fprintf(stderr, "fleet worker: unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  return ddt::fleet::RunFleetWorker(config, driver.image, driver.pci, options);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--fleet-worker") {
+      return RunAsFleetWorker(argc, argv);
+    }
+  }
+
   std::string journal_path;
   std::string report_out;
   std::string trace_out;
@@ -47,8 +126,11 @@ int main(int argc, char** argv) {
   std::string shared_cache_path;
   bool resume = false;
   uint32_t threads = 0;
+  uint32_t workers = 0;
+  int64_t kill_lease = -1;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    uint64_t v = 0;
     if (arg.rfind("--journal=", 0) == 0) {
       journal_path = arg.substr(std::strlen("--journal="));
     } else if (arg == "--resume") {
@@ -61,13 +143,12 @@ int main(int argc, char** argv) {
       metrics_out = arg.substr(std::strlen("--metrics-out="));
     } else if (arg.rfind("--shared-cache=", 0) == 0) {
       shared_cache_path = arg.substr(std::strlen("--shared-cache="));
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      int64_t parsed = 0;
-      if (!ddt::ParseInt(arg.substr(std::strlen("--threads=")), &parsed) || parsed < 0) {
-        std::fprintf(stderr, "bad --threads value: %s\n", arg.c_str());
-        return 2;
-      }
-      threads = static_cast<uint32_t>(parsed);
+    } else if (ParseUintFlag(arg, "--threads=", &v)) {
+      threads = static_cast<uint32_t>(v);
+    } else if (ParseUintFlag(arg, "--workers=", &v)) {
+      workers = static_cast<uint32_t>(v);
+    } else if (ParseUintFlag(arg, "--fleet-kill-lease=", &v)) {
+      kill_lease = static_cast<int64_t>(v);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -76,12 +157,7 @@ int main(int argc, char** argv) {
 
   const ddt::CorpusDriver& driver = ddt::CorpusDriverByName("rtl8029");
 
-  ddt::FaultCampaignConfig config;
-  config.base.engine.max_instructions = 2'000'000;
-  config.base.engine.max_wall_ms = 120'000;
-  config.max_passes = 16;
-  config.max_occurrences_per_class = 4;
-  config.escalation_rounds = 1;
+  ddt::FaultCampaignConfig config = MakeCampaignConfig();
   config.threads = threads;
   config.journal_path = journal_path;
   config.resume = resume;
@@ -92,8 +168,28 @@ int main(int argc, char** argv) {
     ddt::obs::Tracer::Get().Enable();
   }
 
-  ddt::Result<ddt::FaultCampaignResult> campaign =
-      ddt::RunFaultCampaign(config, driver.image, driver.pci);
+  ddt::Result<ddt::FaultCampaignResult> campaign = [&]() {
+    if (workers == 0) {
+      return ddt::RunFaultCampaign(config, driver.image, driver.pci);
+    }
+    ddt::fleet::FleetCampaignConfig fleet;
+    fleet.workers = workers;
+    fleet.kill_lease_number = kill_lease;
+    char shard_template[] = "/tmp/ddt_fleet.XXXXXX";
+    char* shard_dir = ::mkdtemp(shard_template);
+    if (shard_dir == nullptr) {
+      return ddt::Result<ddt::FaultCampaignResult>(
+          ddt::Status::Error("cannot create fleet shard directory"));
+    }
+    fleet.shard_dir = shard_dir;
+    // Re-execute this binary as the worker. /proc/self/exe survives PATH
+    // lookups and cwd changes; argv[0] is the portable fallback.
+    fleet.worker_exec = ::access("/proc/self/exe", X_OK) == 0 ? "/proc/self/exe" : argv[0];
+    if (!shared_cache_path.empty()) {
+      fleet.worker_args.push_back("--shared-cache=" + shared_cache_path);
+    }
+    return ddt::fleet::RunFleetCampaign(config, driver.image, driver.pci, fleet);
+  }();
   if (!campaign.ok()) {
     std::fprintf(stderr, "campaign failed: %s\n", campaign.status().message().c_str());
     return 1;

@@ -1,0 +1,166 @@
+// Shared campaign execution substrate.
+//
+// RunFaultCampaign (the in-process thread-pool scheduler in ddt.cc) and the
+// multi-process fleet (src/fleet: a coordinator leasing passes to crash-
+// isolated worker processes) run the *same* campaign: the same supervised
+// per-pass execution (watchdog cancellation, retry-with-escalation,
+// quarantine-on-trap) and the same plan-order merge that makes the
+// deterministic report byte-identical regardless of scheduling. This header
+// is that common substrate, extracted from ddt.cc so a fleet worker executes
+// a pass exactly — to the byte of the resulting journal record — as an
+// in-process worker thread would, and the fleet coordinator merges records
+// exactly as the in-process scheduler merges live outcomes.
+//
+// Layering: everything here is core-internal machinery. Library users call
+// RunFaultCampaign / fleet::RunFleetCampaign; nothing in this header is
+// needed to consume results.
+#ifndef SRC_CORE_CAMPAIGN_EXEC_H_
+#define SRC_CORE_CAMPAIGN_EXEC_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/campaign_journal.h"
+#include "src/core/ddt.h"
+#include "src/solver/shared_cache.h"
+
+namespace ddt {
+
+// FNV-1a over every input that determines the campaign schedule, plus the
+// driver image bytes. A journal carries this fingerprint so a resume cannot
+// silently mix passes from a *different* campaign, and a fleet worker's HELLO
+// carries it so a coordinator cannot lease passes to a worker configured for
+// a different campaign. Thread count, the supervisor budgets (watchdog,
+// retries, backoff), the shared-cache knobs, and the observability knobs are
+// deliberately excluded: resuming an interrupted campaign with more workers,
+// a longer watchdog, or a warm solver cache is legitimate and changes no
+// pass's identity.
+uint64_t CampaignFingerprint(const FaultCampaignConfig& config, const DriverImage& image);
+
+// Mirrors the PR-1 EngineConfig validation: reject configurations that would
+// otherwise fail late (or hang) with a clear message before any pass runs.
+Status ValidateCampaignConfig(const FaultCampaignConfig& config);
+
+// Supervisor watchdog: one lazily-started thread tracking the deadline of
+// every in-flight pass. When a deadline passes while the pass is still armed,
+// the watchdog fires the pass's abort token; the engine's run loop and any
+// in-flight SAT query observe it cooperatively and wind down with partial
+// (valid) results. This is the only mechanism that can stop a hung pass —
+// there is no thread kill anywhere.
+class PassWatchdog {
+ public:
+  PassWatchdog() = default;
+  ~PassWatchdog();
+  PassWatchdog(const PassWatchdog&) = delete;
+  PassWatchdog& operator=(const PassWatchdog&) = delete;
+
+  uint64_t Arm(std::chrono::steady_clock::time_point deadline,
+               std::shared_ptr<std::atomic<bool>> token);
+  void Disarm(uint64_t id);
+
+ private:
+  struct Entry {
+    std::chrono::steady_clock::time_point deadline;
+    std::shared_ptr<std::atomic<bool>> token;
+  };
+
+  void Loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, Entry> armed_;
+  uint64_t next_id_ = 1;
+  bool stop_ = false;
+  std::thread thread_;  // started on first Arm
+};
+
+// The outcome of one campaign pass, from whichever source produced it: a
+// live supervised execution (r/ddt set), a checkpoint-journal restore
+// (record set, from_journal true), or a fleet worker's RESULT record (record
+// set, from_journal false — it was executed this run, just in another
+// process).
+struct PassOutcome {
+  std::shared_ptr<Ddt> ddt;    // owns the expression storage bugs reference
+  std::optional<DdtResult> r;  // set iff the pass produced a live result
+  uint32_t retries = 0;
+  bool quarantined = false;
+  std::string failure;  // set iff quarantined
+  // Set when the pass data came from a serialized record rather than a live
+  // run (journal restore or fleet RESULT). `from_journal` additionally marks
+  // the record as *restored from a previous campaign* — it feeds the
+  // passes_loaded tally; fleet records executed this run do not.
+  std::optional<CampaignPassRecord> record;
+  bool from_journal = false;
+  // Observability sinks the pass's engine wrote into (fresh per attempt, so
+  // a retried pass reports only its final attempt). Null when collection is
+  // off or the pass came from a record.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  std::shared_ptr<obs::PassProfile> profile;
+};
+
+// Executes passes under full supervision: watchdog cancellation, retry with
+// doubled budgets and deterministic backoff for transient failures,
+// quarantine for permanent ones. DDT_CHECK failures and exceptions inside
+// the engine are trapped per-thread and quarantine the pass — one malformed
+// guest (or checker bug) must not kill a 30-pass campaign. Thread-safe:
+// in-process worker threads share one executor; a fleet worker process owns
+// its own.
+class CampaignPassExecutor {
+ public:
+  // All pointers are non-owning and optional (null = feature off). `config`,
+  // `image`, and `descriptor` must outlive the executor.
+  CampaignPassExecutor(const FaultCampaignConfig& config, const DriverImage& image,
+                       const PciDescriptor& descriptor, SharedQueryCache* shared_cache,
+                       obs::MetricsRegistry* campaign_metrics);
+
+  PassOutcome Execute(const FaultPlan& plan);
+
+ private:
+  const FaultCampaignConfig& config_;
+  const DriverImage& image_;
+  const PciDescriptor& descriptor_;
+  SharedQueryCache* shared_cache_;
+  obs::MetricsRegistry* campaign_metrics_;
+  PassWatchdog watchdog_;
+};
+
+// Builds the checkpoint-journal record for a completed (or quarantined)
+// pass. `profile` is non-null only for the baseline (pass 0), whose
+// fault-site profile the whole schedule derives from.
+CampaignPassRecord MakePassRecord(uint64_t index, const FaultPlan& plan, const PassOutcome& out,
+                                  const FaultSiteProfile* profile);
+
+// Wraps a serialized record back into a mergeable outcome.
+// `restored_from_journal` distinguishes a resume restore (counted in
+// passes_loaded) from a fleet record executed this run (not counted).
+PassOutcome OutcomeFromRecord(CampaignPassRecord&& rec, bool restored_from_journal);
+
+// Merges pass outcomes into a FaultCampaignResult in plan order. Bug
+// deduplication, aggregate accumulation, and the pass table are functions of
+// merge *order* alone, so any scheduler — sequential, thread pool, or
+// multi-process fleet — that merges in plan order produces a byte-identical
+// deterministic report. Not thread-safe; merging always happens on one
+// thread.
+class CampaignMerger {
+ public:
+  explicit CampaignMerger(FaultCampaignResult* result) : result_(result) {}
+
+  void Merge(const FaultPlan& plan, PassOutcome& out);
+
+ private:
+  FaultCampaignResult* result_;
+  std::set<std::string> seen_;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_CORE_CAMPAIGN_EXEC_H_

@@ -14,39 +14,11 @@
 
 #include "src/core/bug_io.h"
 #include "src/obs/trace_events.h"
+#include "src/support/crc32.h"
 #include "src/support/strings.h"
 
 namespace ddt {
 namespace {
-
-// ---------------------------------------------------------------------------
-// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) — the standard zlib CRC.
-// ---------------------------------------------------------------------------
-
-const uint32_t* Crc32Table() {
-  static uint32_t table[256];
-  static bool initialized = [] {
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      table[i] = c;
-    }
-    return true;
-  }();
-  (void)initialized;
-  return table;
-}
-
-uint32_t Crc32(std::string_view data) {
-  const uint32_t* table = Crc32Table();
-  uint32_t crc = 0xFFFFFFFFu;
-  for (unsigned char byte : data) {
-    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
 
 // ---------------------------------------------------------------------------
 // Flat JSON: one object, string keys, values that are strings or numbers.
@@ -341,6 +313,14 @@ std::string EncodeRecord(const CampaignPassRecord& rec) {
   w.U64("s_total_sat_vars", s.total_sat_vars);
   w.U64("s_total_sat_clauses", s.total_sat_clauses);
   w.U64("s_model_reuse_hits", s.model_reuse_hits);
+  // Shared-cache counters (absent in v1 journals; GetU64 defaults them to 0).
+  // Volatile-report only, but a fleet worker's RESULT is the coordinator's
+  // sole window into its pass, so they ride along.
+  w.U64("s_sc_hits", s.shared_cache_hits);
+  w.U64("s_sc_fastpath", s.shared_cache_fastpath_hits);
+  w.U64("s_sc_misses", s.shared_cache_misses);
+  w.U64("s_sc_stores", s.shared_cache_stores);
+  w.U64("s_sc_verify_failures", s.shared_cache_verify_failures);
   w.Dbl("s_max_query_wall_ms", s.max_query_wall_ms);
   w.Str("bugs", SerializeBugs(rec.bugs));
   return w.Finish();
@@ -402,6 +382,11 @@ bool DecodeRecord(const std::map<std::string, std::string>& m, CampaignPassRecor
   s.total_sat_vars = GetU64(m, "s_total_sat_vars");
   s.total_sat_clauses = GetU64(m, "s_total_sat_clauses");
   s.model_reuse_hits = GetU64(m, "s_model_reuse_hits");
+  s.shared_cache_hits = GetU64(m, "s_sc_hits");
+  s.shared_cache_fastpath_hits = GetU64(m, "s_sc_fastpath");
+  s.shared_cache_misses = GetU64(m, "s_sc_misses");
+  s.shared_cache_stores = GetU64(m, "s_sc_stores");
+  s.shared_cache_verify_failures = GetU64(m, "s_sc_verify_failures");
   s.max_query_wall_ms = GetDbl(m, "s_max_query_wall_ms");
   Result<std::vector<Bug>> bugs = DeserializeBugs(GetStr(m, "bugs"));
   if (!bugs.ok()) {
@@ -448,7 +433,87 @@ std::string EncodeHeader(const std::string& driver, uint64_t fingerprint) {
   return w.Finish() + "\n";
 }
 
+// Validates a journal's header line against (driver, fingerprint). On success
+// leaves `in` positioned at the first record line.
+Status ValidateHeader(std::ifstream& in, const std::string& path, const std::string& driver,
+                      uint64_t fingerprint, size_t* header_bytes) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::Error(StrFormat("cannot resume: journal '%s' is empty", path.c_str()));
+  }
+  std::map<std::string, std::string> header;
+  if (!ParseFlatJson(line, &header) || GetStr(header, "format") != kFormatName) {
+    return Status::Error(
+        StrFormat("'%s' is not a DDT campaign journal", path.c_str()));
+  }
+  if (GetU64(header, "v") != kFormatVersion) {
+    return Status::Error(StrFormat("journal '%s' has unsupported version %llu", path.c_str(),
+                                   static_cast<unsigned long long>(GetU64(header, "v"))));
+  }
+  if (GetStr(header, "driver") != driver) {
+    return Status::Error(StrFormat("journal '%s' belongs to driver '%s', not '%s'", path.c_str(),
+                                   GetStr(header, "driver").c_str(), driver.c_str()));
+  }
+  std::string expected_fp = StrFormat("%016llX", static_cast<unsigned long long>(fingerprint));
+  if (GetStr(header, "fp") != expected_fp) {
+    return Status::Error(StrFormat(
+        "journal '%s' was written by a campaign with a different configuration or driver image "
+        "(fingerprint %s, expected %s)",
+        path.c_str(), GetStr(header, "fp").c_str(), expected_fp.c_str()));
+  }
+  *header_bytes = line.size() + 1;
+  return Status::Ok();
+}
+
+// Reads the valid record prefix: every intact record extends it; the first
+// torn, corrupt, or undecodable line ends it — a crash mid-append is
+// expected, not fatal. Returns the byte offset just past the last valid line.
+size_t ReadValidRecords(std::ifstream& in, size_t header_bytes,
+                        std::vector<CampaignPassRecord>* records) {
+  size_t valid_end = header_bytes;
+  std::string line;
+  while (std::getline(in, line)) {
+    bool complete = !in.eof();  // a final line without '\n' is a torn write
+    std::string_view payload;
+    std::map<std::string, std::string> fields;
+    CampaignPassRecord rec;
+    if (!complete || !UnwrapLine(line, &payload) || !ParseFlatJson(payload, &fields) ||
+        !DecodeRecord(fields, &rec)) {
+      break;
+    }
+    records->push_back(std::move(rec));
+    valid_end += line.size() + 1;
+  }
+  return valid_end;
+}
+
 }  // namespace
+
+std::string EncodeCampaignPassRecord(const CampaignPassRecord& record) {
+  return EncodeRecord(record);
+}
+
+bool DecodeCampaignPassRecord(const std::string& payload, CampaignPassRecord* record) {
+  std::map<std::string, std::string> fields;
+  return ParseFlatJson(payload, &fields) && DecodeRecord(fields, record);
+}
+
+Result<std::vector<CampaignPassRecord>> LoadCampaignJournalRecords(const std::string& path,
+                                                                   const std::string& driver,
+                                                                   uint64_t fingerprint) {
+  std::vector<CampaignPassRecord> records;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return records;  // no shard journal yet — the worker died before pass 1
+  }
+  size_t header_bytes = 0;
+  Status st = ValidateHeader(in, path, driver, fingerprint, &header_bytes);
+  if (!st.ok()) {
+    return st;
+  }
+  ReadValidRecords(in, header_bytes, &records);
+  return records;
+}
 
 CampaignJournal::CampaignJournal(std::FILE* file, std::string path)
     : file_(file), path_(std::move(path)) {}
@@ -485,47 +550,13 @@ Result<std::unique_ptr<CampaignJournal>> CampaignJournal::OpenForResume(
     return Status::Error(StrFormat(
         "cannot resume: campaign journal '%s' does not exist or is unreadable", path.c_str()));
   }
-  std::string line;
-  if (!std::getline(in, line)) {
-    return Status::Error(StrFormat("cannot resume: journal '%s' is empty", path.c_str()));
+  size_t header_bytes = 0;
+  Status st = ValidateHeader(in, path, driver, fingerprint, &header_bytes);
+  if (!st.ok()) {
+    return st;
   }
-  std::map<std::string, std::string> header;
-  if (!ParseFlatJson(line, &header) || GetStr(header, "format") != kFormatName) {
-    return Status::Error(
-        StrFormat("'%s' is not a DDT campaign journal", path.c_str()));
-  }
-  if (GetU64(header, "v") != kFormatVersion) {
-    return Status::Error(StrFormat("journal '%s' has unsupported version %llu", path.c_str(),
-                                   static_cast<unsigned long long>(GetU64(header, "v"))));
-  }
-  if (GetStr(header, "driver") != driver) {
-    return Status::Error(StrFormat("journal '%s' belongs to driver '%s', not '%s'", path.c_str(),
-                                   GetStr(header, "driver").c_str(), driver.c_str()));
-  }
-  std::string expected_fp = StrFormat("%016llX", static_cast<unsigned long long>(fingerprint));
-  if (GetStr(header, "fp") != expected_fp) {
-    return Status::Error(StrFormat(
-        "journal '%s' was written by a campaign with a different configuration or driver image "
-        "(fingerprint %s, expected %s)",
-        path.c_str(), GetStr(header, "fp").c_str(), expected_fp.c_str()));
-  }
-
-  // Every intact record extends the valid prefix; the first torn, corrupt, or
-  // undecodable line ends it — a crash mid-append is expected, not fatal.
-  size_t valid_end = line.size() + 1;
   records->clear();
-  while (std::getline(in, line)) {
-    bool complete = !in.eof();  // a final line without '\n' is a torn write
-    std::string_view payload;
-    std::map<std::string, std::string> fields;
-    CampaignPassRecord rec;
-    if (!complete || !UnwrapLine(line, &payload) || !ParseFlatJson(payload, &fields) ||
-        !DecodeRecord(fields, &rec)) {
-      break;
-    }
-    records->push_back(std::move(rec));
-    valid_end += line.size() + 1;
-  }
+  size_t valid_end = ReadValidRecords(in, header_bytes, records);
   in.close();
 
   // Truncate the invalid tail so appended records follow the valid prefix.

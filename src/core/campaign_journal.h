@@ -59,6 +59,23 @@ struct CampaignPassRecord {
   FaultSiteProfile profile;
 };
 
+// Flat-JSON payload codec for one pass record — the exact bytes the journal
+// stores inside its CRC wrapper. Exposed because the fleet wire protocol
+// (src/fleet) ships RESULT payloads in this encoding, so a record produced
+// by a worker process, a record checkpointed to a shard journal, and a
+// record in the coordinator's main journal are interchangeable byte-for-byte.
+std::string EncodeCampaignPassRecord(const CampaignPassRecord& record);
+bool DecodeCampaignPassRecord(const std::string& payload, CampaignPassRecord* record);
+
+// Read-only load of every intact record in a journal (valid prefix up to the
+// first torn/corrupt line), without truncating or reopening the file. A
+// missing file yields an empty list — the fleet coordinator salvages the
+// shard journal of a worker that may have died before creating it. A header
+// that exists but names a different campaign is an error.
+Result<std::vector<CampaignPassRecord>> LoadCampaignJournalRecords(const std::string& path,
+                                                                   const std::string& driver,
+                                                                   uint64_t fingerprint);
+
 class CampaignJournal {
  public:
   ~CampaignJournal();

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "src/checkers/default_checkers.h"
+#include "src/core/campaign_exec.h"
 #include "src/core/campaign_journal.h"
 #include "src/obs/trace_events.h"
 #include "src/solver/shared_cache.h"
@@ -165,142 +166,6 @@ std::string DdtResult::FormatReport(const std::string& driver_name) const {
 // Fault-injection campaigns (§3.4)
 // ---------------------------------------------------------------------------
 
-namespace {
-
-std::string BugKey(const Bug& bug) {
-  return StrFormat("%d|%s", static_cast<int>(bug.type), bug.title.c_str());
-}
-
-// FNV-1a over every input that determines the campaign schedule, plus the
-// driver image bytes. A journal carries this fingerprint so a resume cannot
-// silently mix passes from a *different* campaign. Thread count, the
-// supervisor budgets (watchdog, retries, backoff), and the shared-cache
-// knobs are deliberately excluded: resuming an interrupted campaign with
-// more workers, a longer watchdog, or a warm solver cache is legitimate and
-// changes no pass's identity.
-uint64_t CampaignFingerprint(const FaultCampaignConfig& config, const DriverImage& image) {
-  uint64_t h = 0xCBF29CE484222325ull;
-  auto mix_bytes = [&h](const void* data, size_t size) {
-    const unsigned char* p = static_cast<const unsigned char*>(data);
-    for (size_t i = 0; i < size; ++i) {
-      h ^= p[i];
-      h *= 0x100000001B3ull;
-    }
-  };
-  auto mix_u64 = [&mix_bytes](uint64_t v) { mix_bytes(&v, sizeof(v)); };
-  mix_u64(config.seed);
-  mix_u64(config.max_passes);
-  mix_u64(config.max_occurrences_per_class);
-  mix_u64(config.escalation_rounds);
-  mix_u64(config.base.engine.seed);
-  mix_u64(config.base.engine.max_instructions);
-  mix_u64(config.base.engine.max_states);
-  mix_u64(config.base.use_default_checkers ? 1 : 0);
-  mix_u64(config.base.use_standard_annotations ? 1 : 0);
-  mix_bytes(image.name.data(), image.name.size());
-  mix_bytes(image.code.data(), image.code.size());
-  return h;
-}
-
-// Mirrors the PR-1 EngineConfig validation: reject configurations that would
-// otherwise fail late (or hang) with a clear message before any pass runs.
-Status ValidateCampaignConfig(const FaultCampaignConfig& config) {
-  if (config.max_passes == 0) {
-    return Status::Error("FaultCampaignConfig.max_passes must be nonzero");
-  }
-  if (config.max_pass_retries > 16) {
-    return Status::Error(
-        "FaultCampaignConfig.max_pass_retries is implausibly large (budgets double per attempt; "
-        "16 retries already scales them 65536x)");
-  }
-  if (config.retry_backoff_ms > 60'000) {
-    return Status::Error("FaultCampaignConfig.retry_backoff_ms must be at most 60000 (1 minute)");
-  }
-  if (config.resume && config.journal_path.empty()) {
-    return Status::Error("FaultCampaignConfig.resume requires journal_path");
-  }
-  return Status::Ok();
-}
-
-// Supervisor watchdog: one lazily-started thread tracking the deadline of
-// every in-flight pass. When a deadline passes while the pass is still armed,
-// the watchdog fires the pass's abort token; the engine's run loop and any
-// in-flight SAT query observe it cooperatively and wind down with partial
-// (valid) results. This is the only mechanism that can stop a hung pass —
-// there is no thread kill anywhere.
-class PassWatchdog {
- public:
-  PassWatchdog() = default;
-  ~PassWatchdog() {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-    if (thread_.joinable()) {
-      thread_.join();
-    }
-  }
-  PassWatchdog(const PassWatchdog&) = delete;
-  PassWatchdog& operator=(const PassWatchdog&) = delete;
-
-  uint64_t Arm(std::chrono::steady_clock::time_point deadline,
-               std::shared_ptr<std::atomic<bool>> token) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (!thread_.joinable()) {
-      thread_ = std::thread([this] { Loop(); });
-    }
-    uint64_t id = next_id_++;
-    armed_.emplace(id, Entry{deadline, std::move(token)});
-    cv_.notify_all();
-    return id;
-  }
-
-  void Disarm(uint64_t id) {
-    std::unique_lock<std::mutex> lock(mu_);
-    armed_.erase(id);
-  }
-
- private:
-  struct Entry {
-    std::chrono::steady_clock::time_point deadline;
-    std::shared_ptr<std::atomic<bool>> token;
-  };
-
-  void Loop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    while (!stop_) {
-      if (armed_.empty()) {
-        cv_.wait(lock);
-        continue;
-      }
-      auto now = std::chrono::steady_clock::now();
-      auto next = std::chrono::steady_clock::time_point::max();
-      for (auto it = armed_.begin(); it != armed_.end();) {
-        if (it->second.deadline <= now) {
-          it->second.token->store(true, std::memory_order_relaxed);
-          it = armed_.erase(it);
-        } else {
-          next = std::min(next, it->second.deadline);
-          ++it;
-        }
-      }
-      if (!armed_.empty()) {
-        cv_.wait_until(lock, next);
-      }
-    }
-  }
-
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<uint64_t, Entry> armed_;
-  uint64_t next_id_ = 1;
-  bool stop_ = false;
-  std::thread thread_;  // started on first Arm
-};
-
-}  // namespace
-
 Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
                                              const DriverImage& image,
                                              const PciDescriptor& descriptor) {
@@ -311,32 +176,18 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
   }
 
   FaultCampaignResult result;
-  std::set<std::string> seen;
 
   // Execution and merging are split so plan passes can run on a worker pool:
-  // execute_supervised touches only its own engine+solver instance (safe
-  // concurrently), merge_pass mutates the shared result and always runs on
-  // the calling thread in plan order — so the merged bug list, dedup
-  // decisions, and pass table are byte-identical to a sequential run no
+  // CampaignPassExecutor::Execute touches only its own engine+solver instance
+  // (safe concurrently), CampaignMerger::Merge mutates the shared result and
+  // always runs on the calling thread in plan order — so the merged bug list,
+  // dedup decisions, and pass table are byte-identical to a sequential run no
   // matter in which order workers finish. The journal is the one shared
   // resource workers touch (appends in completion order, under its mutex);
-  // records carry the pass index, so load order never matters.
-  struct PassOutcome {
-    std::shared_ptr<Ddt> ddt;    // owns the expression storage bugs reference
-    std::optional<DdtResult> r;  // set iff the pass produced a result
-    uint32_t retries = 0;
-    bool quarantined = false;
-    std::string failure;  // set iff quarantined
-    bool from_journal = false;
-    std::optional<CampaignPassRecord> record;  // set iff from_journal
-    // Observability sinks the pass's engine wrote into (fresh per attempt, so
-    // a retried pass reports only its final attempt). Null when collection is
-    // off or the pass was restored from the journal.
-    std::shared_ptr<obs::MetricsRegistry> metrics;
-    std::shared_ptr<obs::PassProfile> profile;
-  };
-
-  PassWatchdog watchdog;
+  // records carry the pass index, so load order never matters. The same
+  // executor/merger pair drives the multi-process fleet (src/fleet), which is
+  // why they live in campaign_exec.h rather than here.
+  CampaignMerger merger(&result);
 
   // Campaign-level registry for the instruments that outlive any single pass
   // (thread-pool queue depth and busy time, journal flush latency, supervisor
@@ -360,241 +211,10 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
     }
   }
 
-  // One pass under full supervision: watchdog cancellation, retry with
-  // doubled budgets and deterministic backoff for transient failures,
-  // quarantine for permanent ones. DDT_CHECK failures and exceptions inside
-  // the engine are trapped per-thread and quarantine the pass — one
-  // malformed guest (or checker bug) must not kill a 30-pass campaign.
-  auto execute_supervised = [&config, &image, &descriptor, &watchdog, &campaign_metrics,
-                             &shared_cache](const FaultPlan& plan) -> PassOutcome {
-    PassOutcome out;
-    obs::ScopedSpan pass_span("campaign.pass");
-    if (obs::Tracer::Enabled()) {
-      pass_span.Arg(plan.empty() ? "baseline" : plan.label);
-    }
-    for (uint32_t attempt = 0;; ++attempt) {
-      DdtConfig pass_config = config.base;
-      pass_config.engine.fault_plan = plan;
-      pass_config.engine.solver.shared_cache = shared_cache.get();
-      auto token = std::make_shared<std::atomic<bool>>(false);
-      pass_config.engine.abort_token = token;
-      if (config.collect_metrics) {
-        out.metrics = std::make_shared<obs::MetricsRegistry>();
-        pass_config.engine.metrics = out.metrics.get();
-      }
-      if (config.collect_profile) {
-        out.profile = std::make_shared<obs::PassProfile>();
-        pass_config.engine.profile = out.profile.get();
-      }
-      if (attempt > 0) {
-        // Escalate the budgets that plausibly caused a transient failure.
-        uint64_t scale = 1ull << attempt;
-        if (pass_config.engine.solver.max_query_ms != 0) {
-          pass_config.engine.solver.max_query_ms *= scale;
-        }
-        if (pass_config.engine.max_state_bytes != 0) {
-          pass_config.engine.max_state_bytes *= scale;
-        }
-        if (pass_config.engine.max_instructions_per_state != 0) {
-          pass_config.engine.max_instructions_per_state *= scale;
-        }
-      }
-      out.ddt = std::make_shared<Ddt>(pass_config);
-      if (config.configure_pass != nullptr) {
-        config.configure_pass(*out.ddt, plan);
-      }
-      uint64_t watch_id = 0;
-      if (config.max_pass_wall_ms != 0) {
-        watch_id = watchdog.Arm(std::chrono::steady_clock::now() +
-                                    std::chrono::milliseconds(config.max_pass_wall_ms
-                                                              << attempt),
-                                token);
-      }
-      out.retries = attempt;
-      std::string hard_failure;
-      std::optional<DdtResult> r;
-      try {
-        ScopedCheckTrap trap;
-        Result<DdtResult> res = out.ddt->TestDriver(image, descriptor);
-        if (res.ok()) {
-          r = res.take();
-        } else {
-          hard_failure = res.status().message();
-        }
-      } catch (const CheckFailureError& e) {
-        hard_failure = std::string("engine invariant failure: ") + e.what();
-      } catch (const std::exception& e) {
-        hard_failure = std::string("engine exception: ") + e.what();
-      }
-      if (watch_id != 0) {
-        watchdog.Disarm(watch_id);
-      }
-      if (!hard_failure.empty()) {
-        // Deterministic failures don't get better with retries: quarantine
-        // immediately and drop the partial state.
-        out.quarantined = true;
-        out.failure = hard_failure;
-        out.r.reset();
-        out.ddt.reset();
-        obs::TraceInstant("campaign.quarantine", "cause", "hard_failure");
-        if (campaign_metrics != nullptr) {
-          campaign_metrics->counter("campaign.quarantines")->Add(1);
-        }
-        return out;
-      }
-      bool timed_out = r->aborted;  // the watchdog fired mid-run
-      if (timed_out) {
-        obs::TraceInstant("campaign.watchdog_fire");
-        if (campaign_metrics != nullptr) {
-          campaign_metrics->counter("campaign.watchdog_fires")->Add(1);
-        }
-      }
-      bool pressured =
-          r->solver_stats.query_timeouts > 0 || r->stats.states_evicted > 0;
-      if (timed_out || (config.retry_on_resource_pressure && pressured)) {
-        if (attempt < config.max_pass_retries) {
-          obs::TraceInstant("campaign.retry", "cause", timed_out ? "watchdog" : "pressure");
-          if (campaign_metrics != nullptr) {
-            campaign_metrics->counter("campaign.retries")->Add(1);
-          }
-          if (config.retry_backoff_ms != 0) {
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(config.retry_backoff_ms << attempt));
-          }
-          out.ddt.reset();
-          continue;
-        }
-        if (timed_out) {
-          out.quarantined = true;
-          out.failure = StrFormat(
-              "watchdog: pass exceeded its wall budget (%u attempt%s, base %llu ms)",
-              attempt + 1, attempt == 0 ? "" : "s",
-              static_cast<unsigned long long>(config.max_pass_wall_ms));
-          out.r.reset();
-          out.ddt.reset();
-          obs::TraceInstant("campaign.quarantine", "cause", "watchdog");
-          if (campaign_metrics != nullptr) {
-            campaign_metrics->counter("campaign.quarantines")->Add(1);
-          }
-          return out;
-        }
-        // Still pressured after the final escalation: the result is degraded
-        // (over-approximate exploration, evicted states) but valid — keep it.
-      }
-      out.r = std::move(r);
-      return out;
-    }
-  };
-
-  auto merge_pass = [&result, &seen](const FaultPlan& plan, PassOutcome& out) {
-    {
-      // Merge time is attributed to the pass being merged; the profile is
-      // snapshotted for the report only after this scope closes.
-      obs::ScopedPhase merge_phase(out.profile.get(), obs::Phase::kMerge);
-      FaultCampaignPass pass;
-      pass.plan = plan;
-      pass.retries = out.retries;
-      pass.quarantined = out.quarantined;
-      pass.failure = out.failure;
-      pass.from_journal = out.from_journal;
-      if (out.retries > 0) {
-        ++result.passes_retried;
-      }
-      if (out.from_journal) {
-        ++result.passes_loaded;
-      }
-      if (out.quarantined) {
-        // A quarantined pass contributes nothing to the aggregates: whatever
-        // stats a cancelled run accumulated depend on where the watchdog
-        // struck, and folding them in would make the merged report
-        // timing-dependent.
-        ++result.passes_quarantined;
-        result.passes.push_back(std::move(pass));
-      } else {
-        const EngineStats& stats = out.from_journal ? out.record->stats : out.r->stats;
-        const SolverStats& solver_stats =
-            out.from_journal ? out.record->solver_stats : out.r->solver_stats;
-        const std::vector<Bug>& bugs = out.from_journal ? out.record->bugs : out.r->bugs;
-        pass.stats = stats;
-        pass.solver_stats = solver_stats;
-        pass.bugs_found = bugs.size();
-        for (const Bug& bug : bugs) {
-          if (seen.insert(BugKey(bug)).second) {
-            ++pass.bugs_new;
-            result.bugs.push_back(bug);
-          }
-        }
-        result.total_faults_injected += stats.faults_injected;
-        result.total_wall_ms += stats.wall_ms;
-        result.total_stats.Accumulate(stats);
-        result.total_solver_stats.Accumulate(solver_stats);
-        result.passes.push_back(std::move(pass));
-      }
-    }
-    // Observability bookkeeping (volatile outputs only). Journal-restored
-    // passes have null sinks: no live timing was recorded for them.
-    size_t pass_index = result.passes.size() - 1;
-    if (out.metrics != nullptr) {
-      result.metrics.Merge(out.metrics->Snapshot());
-      result.obs_keepalive.push_back(out.metrics);
-    }
-    if (out.profile != nullptr) {
-      obs::CampaignProfile::PassEntry entry;
-      entry.index = pass_index;
-      entry.label = plan.empty() ? "baseline" : plan.label;
-      entry.quarantined = out.quarantined;
-      entry.phases = out.profile->Snapshot();
-      entry.wall_ms = static_cast<double>(entry.phases.total_ns) / 1e6;
-      result.profile.passes.push_back(std::move(entry));
-      result.obs_keepalive.push_back(out.profile);
-    }
-    if (out.ddt != nullptr) {
-      if (out.profile != nullptr || out.metrics != nullptr) {
-        // Fault-site hotness: per-class occurrence counts this pass observed.
-        const FaultSiteProfile& sites = out.ddt->engine().fault_site_profile();
-        for (size_t c = 0; c < kNumFaultClasses; ++c) {
-          if (sites.max_occurrences[c] != 0) {
-            result.profile.fault_site_occurrences[FaultClassName(static_cast<FaultClass>(c))] +=
-                sites.max_occurrences[c];
-          }
-        }
-      }
-      // Bugs hold ExprRefs owned by this instance's ExprContext. (Journaled
-      // passes carry deserialized bugs, which own their storage.)
-      result.keepalive.push_back(std::move(out.ddt));
-    }
-  };
-
-  auto make_record = [](uint64_t index, const FaultPlan& plan, const PassOutcome& out,
-                        const FaultSiteProfile* profile) {
-    CampaignPassRecord rec;
-    rec.index = index;
-    rec.label = plan.label;
-    rec.points = plan.points;
-    rec.retries = out.retries;
-    rec.quarantined = out.quarantined;
-    rec.failure = out.failure;
-    if (out.r.has_value()) {
-      rec.stats = out.r->stats;
-      rec.solver_stats = out.r->solver_stats;
-      rec.bugs = out.r->bugs;
-    }
-    if (profile != nullptr) {
-      rec.has_profile = true;
-      rec.profile = *profile;
-    }
-    return rec;
-  };
-
-  auto outcome_from_record = [](CampaignPassRecord&& rec) {
-    PassOutcome out;
-    out.from_journal = true;
-    out.retries = rec.retries;
-    out.quarantined = rec.quarantined;
-    out.failure = rec.failure;
-    out.record = std::move(rec);
-    return out;
-  };
+  // One pass under full supervision (watchdog, retry-with-escalation,
+  // quarantine): see CampaignPassExecutor in campaign_exec.h.
+  CampaignPassExecutor executor(config, image, descriptor, shared_cache.get(),
+                                campaign_metrics.get());
 
   // Journal setup. Resume loads the completed passes; a fresh journal starts
   // with just the header.
@@ -634,22 +254,23 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
   if (base_it != journaled.end() && base_it->second.has_profile &&
       !base_it->second.quarantined) {
     profile = base_it->second.profile;
-    PassOutcome restored = outcome_from_record(std::move(base_it->second));
-    merge_pass(FaultPlan{}, restored);
+    PassOutcome restored =
+        OutcomeFromRecord(std::move(base_it->second), /*restored_from_journal=*/true);
+    merger.Merge(FaultPlan{}, restored);
   } else {
-    PassOutcome baseline = execute_supervised(FaultPlan{});
+    PassOutcome baseline = executor.Execute(FaultPlan{});
     if (baseline.quarantined) {
       return Status::Error("campaign baseline pass failed: " + baseline.failure);
     }
     profile = baseline.ddt->engine().fault_site_profile();
     if (journal != nullptr) {
       obs::ScopedPhase journal_phase(baseline.profile.get(), obs::Phase::kJournal);
-      Status appended = journal->Append(make_record(0, FaultPlan{}, baseline, &profile));
+      Status appended = journal->Append(MakePassRecord(0, FaultPlan{}, baseline, &profile));
       if (!appended.ok()) {
         return appended;
       }
     }
-    merge_pass(FaultPlan{}, baseline);
+    merger.Merge(FaultPlan{}, baseline);
   }
 
   size_t plan_budget = config.max_passes > 0 ? config.max_passes - 1 : 0;
@@ -670,7 +291,7 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
             config.journal_path.c_str(), i + 1, it->second.label.c_str(),
             plans[i].label.c_str()));
       }
-      outcomes[i] = outcome_from_record(std::move(it->second));
+      outcomes[i] = OutcomeFromRecord(std::move(it->second), /*restored_from_journal=*/true);
     } else {
       to_run.push_back(i);
     }
@@ -690,12 +311,12 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
   // completion order — so a kill loses at most the passes still in flight.
   std::mutex journal_error_mu;
   Status journal_error;
-  auto run_one = [&execute_supervised, &plans, &outcomes, &journal, &make_record,
-                  &journal_error_mu, &journal_error](size_t i) {
-    PassOutcome out = execute_supervised(plans[i]);
+  auto run_one = [&executor, &plans, &outcomes, &journal, &journal_error_mu,
+                  &journal_error](size_t i) {
+    PassOutcome out = executor.Execute(plans[i]);
     if (journal != nullptr) {
       obs::ScopedPhase journal_phase(out.profile.get(), obs::Phase::kJournal);
-      Status appended = journal->Append(make_record(i + 1, plans[i], out, nullptr));
+      Status appended = journal->Append(MakePassRecord(i + 1, plans[i], out, nullptr));
       if (!appended.ok()) {
         std::unique_lock<std::mutex> lock(journal_error_mu);
         if (journal_error.ok()) {
@@ -741,7 +362,7 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
   // Merge in plan order: byte-identical no matter which passes were
   // restored, which were executed, or how workers interleaved.
   for (size_t i = 0; i < plans.size(); ++i) {
-    merge_pass(plans[i], outcomes[i]);
+    merger.Merge(plans[i], outcomes[i]);
   }
 
   if (shared_cache != nullptr) {
@@ -874,7 +495,23 @@ std::string FaultCampaignResult::FormatReport(const std::string& driver_name,
                        static_cast<unsigned long long>(passes_loaded),
                        passes_loaded == 1 ? "" : "es");
     }
-    if (inline_scheduler) {
+    if (fleet_mode) {
+      out += StrFormat(
+          "scheduler: fleet of %u worker process%s, campaign wall %.1f ms "
+          "(passes sum %.1f ms)\n",
+          fleet_workers, fleet_workers == 1 ? "" : "es", campaign_wall_ms, total_wall_ms);
+      out += StrFormat(
+          "fleet: %llu spawned, %llu lost, %llu rejected, %llu recycled, "
+          "%llu lease%s reassigned, %llu result%s salvaged\n",
+          static_cast<unsigned long long>(fleet_workers_spawned),
+          static_cast<unsigned long long>(fleet_workers_lost),
+          static_cast<unsigned long long>(fleet_workers_rejected),
+          static_cast<unsigned long long>(fleet_workers_recycled),
+          static_cast<unsigned long long>(fleet_leases_reassigned),
+          fleet_leases_reassigned == 1 ? "" : "s",
+          static_cast<unsigned long long>(fleet_results_salvaged),
+          fleet_results_salvaged == 1 ? "" : "s");
+    } else if (inline_scheduler) {
       out += StrFormat("scheduler: inline on calling thread, campaign wall %.1f ms "
                        "(passes sum %.1f ms)\n",
                        campaign_wall_ms, total_wall_ms);

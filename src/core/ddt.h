@@ -240,6 +240,19 @@ struct FaultCampaignResult {
   uint64_t passes_retried = 0;      // passes that needed >= 1 retry
   uint64_t passes_quarantined = 0;  // passes that failed permanently
   uint64_t passes_loaded = 0;       // passes restored from the journal
+  // Fleet (multi-process broker/worker, src/fleet) tallies. All volatile:
+  // how many worker processes ran, died, or were replaced never enters the
+  // deterministic report — by design it is byte-identical to the in-process
+  // scheduler's at any worker count and any crash/reassignment history.
+  bool fleet_mode = false;          // result produced by fleet::RunFleetCampaign
+  uint32_t fleet_workers = 0;       // configured worker process count
+  uint64_t fleet_workers_spawned = 0;    // processes forked, incl. replacements
+  uint64_t fleet_workers_lost = 0;       // crashed or heartbeat-timed-out
+  uint64_t fleet_workers_rejected = 0;   // HELLO fingerprint/protocol mismatch
+  uint64_t fleet_workers_recycled = 0;   // retired after max_leases_per_worker
+  uint64_t fleet_leases_reassigned = 0;  // leases re-queued after a worker loss
+  uint64_t fleet_results_salvaged = 0;   // passes recovered from a dead
+                                         // worker's shard journal
   // Bug objects reference expression storage owned by the per-pass Ddt
   // instances; they are kept alive here so the result is self-contained.
   std::vector<std::shared_ptr<Ddt>> keepalive;

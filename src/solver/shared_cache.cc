@@ -1,16 +1,59 @@
 #include "src/solver/shared_cache.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <unordered_set>
 
+#include "src/support/crc32.h"
 #include "src/support/log.h"
 #include "src/support/strings.h"
 
 namespace ddt {
 
 namespace {
+
+// Single-writer election for cache persistence. Every saver to `path` shares
+// the same tmp file, so two unserialised processes (concurrent campaigns, or
+// a fleet coordinator racing an independent run) can rename each other's
+// half-written bytes into place. A blocking exclusive flock on a sidecar
+// `<path>.lock` file elects one writer at a time: each elected writer
+// publishes a complete file via tmp+rename, and the last one wins whole.
+// flock (not fcntl/POSIX locks) so a same-process second saver blocks too
+// instead of silently sharing the lock.
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path) {
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ < 0) {
+      return;
+    }
+    int rc;
+    do {
+      rc = ::flock(fd_, LOCK_EX);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~FileLock() {
+    if (fd_ >= 0) {
+      ::close(fd_);  // releases the flock
+    }
+  }
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  bool held() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
 
 uint64_t Fnv1a64(const std::string& data) {
   uint64_t h = 0xCBF29CE484222325ull;
@@ -19,29 +62,6 @@ uint64_t Fnv1a64(const std::string& data) {
     h *= 0x100000001B3ull;
   }
   return h;
-}
-
-// CRC-32 (IEEE 802.3, reflected), same polynomial as the campaign journal.
-// The solver layer sits below src/core, so it carries its own copy rather
-// than reaching up for the journal's private one.
-uint32_t Crc32(const void* data, size_t size) {
-  static const uint32_t* table = [] {
-    static uint32_t t[256];
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  uint32_t crc = 0xFFFFFFFFu;
-  const unsigned char* p = static_cast<const unsigned char*>(data);
-  for (size_t i = 0; i < size; ++i) {
-    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
 }
 
 void AppendU32(std::string* out, uint32_t v) {
@@ -371,6 +391,11 @@ Status SharedQueryCache::SaveToFile(const std::string& path) const {
   file += payload;
   AppendU32(&file, Crc32(payload.data(), payload.size()));
 
+  FileLock writer_lock(path + ".lock");
+  if (!writer_lock.held()) {
+    return Status::Error(
+        StrFormat("shared cache: cannot lock '%s.lock' for writing", path.c_str()));
+  }
   std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {

@@ -1,0 +1,159 @@
+#include "src/support/subprocess.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include "src/support/strings.h"
+
+namespace ddt {
+namespace {
+
+void ChildCommonSetup() {
+#ifdef __linux__
+  // If the coordinator dies, take the worker with it — an orphaned worker
+  // would grind on a lease nobody will ever collect.
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+  // A worker whose coordinator closed the pipe must see EPIPE from write(),
+  // not die silently mid-frame.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+struct PipePair {
+  int read_fd = -1;
+  int write_fd = -1;
+};
+
+Status MakePipe(PipePair* out) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    return Status::Error(StrFormat("pipe() failed: %s", std::strerror(errno)));
+  }
+  out->read_fd = fds[0];
+  out->write_fd = fds[1];
+  return Status::Ok();
+}
+
+}  // namespace
+
+void ChildProcess::CloseFds() {
+  if (to_child_fd >= 0) {
+    ::close(to_child_fd);
+    to_child_fd = -1;
+  }
+  if (from_child_fd >= 0) {
+    ::close(from_child_fd);
+    from_child_fd = -1;
+  }
+}
+
+Result<ChildProcess> SpawnChild(const std::function<int(int in_fd, int out_fd)>& child_main) {
+  PipePair to_child;
+  PipePair from_child;
+  Status st = MakePipe(&to_child);
+  if (!st.ok()) {
+    return st;
+  }
+  st = MakePipe(&from_child);
+  if (!st.ok()) {
+    ::close(to_child.read_fd);
+    ::close(to_child.write_fd);
+    return st;
+  }
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(to_child.read_fd);
+    ::close(to_child.write_fd);
+    ::close(from_child.read_fd);
+    ::close(from_child.write_fd);
+    return Status::Error(StrFormat("fork() failed: %s", std::strerror(errno)));
+  }
+  if (pid == 0) {
+    ChildCommonSetup();
+    ::close(to_child.write_fd);
+    ::close(from_child.read_fd);
+    int code = child_main(to_child.read_fd, from_child.write_fd);
+    // _exit, not exit: the child must not run the parent's atexit handlers or
+    // flush the parent's stdio buffers a second time.
+    ::_exit(code);
+  }
+  ::close(to_child.read_fd);
+  ::close(from_child.write_fd);
+  // CLOEXEC on the parent's ends: a sibling spawned later via exec must not
+  // inherit this child's pipes (it would hold the write end open and mask
+  // EOF on this child's death).
+  ::fcntl(to_child.write_fd, F_SETFD, FD_CLOEXEC);
+  ::fcntl(from_child.read_fd, F_SETFD, FD_CLOEXEC);
+  ChildProcess child;
+  child.pid = pid;
+  child.to_child_fd = to_child.write_fd;
+  child.from_child_fd = from_child.read_fd;
+  return child;
+}
+
+Result<ChildProcess> SpawnChildExec(const std::string& exe, const std::vector<std::string>& args) {
+  return SpawnChild([&exe, &args](int in_fd, int out_fd) -> int {
+    if (::dup2(in_fd, kChildInFd) < 0 || ::dup2(out_fd, kChildOutFd) < 0) {
+      return 127;
+    }
+    if (in_fd != kChildInFd && in_fd != kChildOutFd) {
+      ::close(in_fd);
+    }
+    if (out_fd != kChildInFd && out_fd != kChildOutFd) {
+      ::close(out_fd);
+    }
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(exe.c_str()));
+    for (const std::string& arg : args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execvp(exe.c_str(), argv.data());
+    return 127;  // execvp only returns on failure
+  });
+}
+
+bool TryReap(pid_t pid, int* status) {
+  int st = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid, &st, WNOHANG);
+  } while (r < 0 && errno == EINTR);
+  if (r == pid) {
+    *status = st;
+    return true;
+  }
+  return false;
+}
+
+void KillAndReap(pid_t pid) {
+  ::kill(pid, SIGKILL);
+  int st = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid, &st, 0);
+  } while (r < 0 && errno == EINTR);
+}
+
+std::string DescribeExit(int status) {
+  if (WIFEXITED(status)) {
+    return StrFormat("exited %d", WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return StrFormat("killed by signal %d", WTERMSIG(status));
+  }
+  return StrFormat("unknown wait status 0x%x", status);
+}
+
+}  // namespace ddt

@@ -1,0 +1,72 @@
+// Child-process plumbing for the campaign fleet (src/fleet).
+//
+// The fleet's crash-isolation story rests on real OS processes: a worker that
+// segfaults, trips a CHECK, or is SIGKILLed takes down only itself. This
+// header is the thin POSIX layer the coordinator uses to get there — spawn a
+// child connected by a pipe pair, reap it without blocking, and kill it with
+// certainty. Two spawn modes:
+//
+//   - SpawnChild(fn): plain fork(); `fn` runs in the child and its return
+//     value becomes the exit status. The child shares the parent's memory
+//     image (copy-on-write), so the worker can be handed config objects
+//     directly. Used by tests and by library callers that already have the
+//     campaign config in memory. Callers must not hold locks other threads
+//     might own at fork time; the coordinator spawns before starting any of
+//     its own threads for exactly this reason.
+//
+//   - SpawnChildExec(exe, args): fork + execvp. The pipe ends are dup2'd onto
+//     fixed descriptors (kChildInFd/kChildOutFd) so the re-executed binary
+//     finds them without argv plumbing. Used by the fault_campaign example's
+//     --workers mode, where each worker is a fresh copy of the same binary in
+//     --fleet-worker mode.
+//
+// On Linux, children request PR_SET_PDEATHSIG(SIGKILL): if the coordinator
+// itself dies, the kernel reaps the fleet — no orphaned workers grinding on.
+#ifndef SRC_SUPPORT_SUBPROCESS_H_
+#define SRC_SUPPORT_SUBPROCESS_H_
+
+#include <sys/types.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace ddt {
+
+// The fixed descriptors an exec'd child finds its command/response pipes on
+// (after stdin/stdout/stderr).
+constexpr int kChildInFd = 3;   // child reads coordinator frames here
+constexpr int kChildOutFd = 4;  // child writes frames to the coordinator here
+
+struct ChildProcess {
+  pid_t pid = -1;
+  int to_child_fd = -1;    // parent writes, child reads
+  int from_child_fd = -1;  // parent reads, child writes
+
+  // Closes the parent's pipe ends (idempotent). Does not touch the process.
+  void CloseFds();
+};
+
+// fork(): runs `child_main(in_fd, out_fd)` in the child; its return value is
+// the child's exit status (the child never returns past this call).
+Result<ChildProcess> SpawnChild(const std::function<int(int in_fd, int out_fd)>& child_main);
+
+// fork + execvp: the child re-executes `exe` with `args` (argv[0] is set to
+// `exe`), with the pipes on kChildInFd/kChildOutFd.
+Result<ChildProcess> SpawnChildExec(const std::string& exe, const std::vector<std::string>& args);
+
+// Non-blocking reap. Returns true iff the child has terminated (status
+// filled); false while it is still running.
+bool TryReap(pid_t pid, int* status);
+
+// SIGKILL + blocking reap — the coordinator's last word on a wedged worker.
+void KillAndReap(pid_t pid);
+
+// "exited 0", "killed by signal 9", ... for logs and failure strings.
+std::string DescribeExit(int status);
+
+}  // namespace ddt
+
+#endif  // SRC_SUPPORT_SUBPROCESS_H_

@@ -7,7 +7,9 @@
 #include "src/solver/shared_cache.h"
 
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -17,6 +19,7 @@
 #include "src/drivers/corpus.h"
 #include "src/expr/eval.h"
 #include "src/solver/solver.h"
+#include "src/support/subprocess.h"
 
 namespace ddt {
 namespace {
@@ -184,6 +187,51 @@ TEST(SharedQueryCacheTest, SaveLoadRoundTrip) {
   ASSERT_TRUE(r2.hit);
   EXPECT_FALSE(r2.sat);
   std::remove(path.c_str());
+}
+
+TEST(SharedQueryCacheTest, ConcurrentForkedWritersElectOneAndNeverTearTheFile) {
+  // Two processes hammering SaveToFile on the same path share the same tmp
+  // file; without the flock election one writer can rename the other's
+  // half-written bytes into place. Each writer saves a differently-sized
+  // cache many times — afterwards the file must parse cleanly and hold
+  // exactly one writer's complete entry set, never a blend or a torn tail.
+  std::string path = TempPath("elected.bin");
+  std::remove(path.c_str());
+  constexpr int kRounds = 40;
+  auto writer_main = [&path](size_t entries) -> int {
+    ExprContext ctx;
+    ExprRef x = ctx.Var(32, "x");
+    QueryCanonicalizer canon;
+    SharedQueryCache cache;
+    for (uint64_t i = 0; i < entries; ++i) {
+      cache.Store(canon.Canonicalize({ctx.Eq(x, ctx.Const(i, 32))}), true, {{0, i}});
+    }
+    for (int round = 0; round < kRounds; ++round) {
+      if (!cache.SaveToFile(path).ok()) {
+        return 1;
+      }
+    }
+    return 0;
+  };
+  Result<ChildProcess> a = SpawnChild([&](int, int) { return writer_main(7); });
+  Result<ChildProcess> b = SpawnChild([&](int, int) { return writer_main(13); });
+  ASSERT_TRUE(a.ok()) << a.status().message();
+  ASSERT_TRUE(b.ok()) << b.status().message();
+  for (ChildProcess* child : {&a.value(), &b.value()}) {
+    int status = 0;
+    while (!TryReap(child->pid, &status)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0) << DescribeExit(status);
+    child->CloseFds();
+  }
+
+  SharedQueryCache loaded;
+  size_t n = loaded.LoadFromFile(path);
+  EXPECT_EQ(loaded.stats().load_errors, 0u);
+  EXPECT_TRUE(n == 7u || n == 13u) << "blended or torn save: " << n << " entries";
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
 }
 
 TEST(SharedQueryCacheTest, MissingFileIsSilentlyCold) {
