@@ -22,6 +22,11 @@
 //                      the first run is cold, reruns warm-start from disk and
 //                      skip already-solved SAT work (the deterministic report
 //                      is byte-identical either way — CI diffs it)
+//   --superblocks=0|1  tier-2 execution: compile hot decoded blocks into
+//                      chained superblocks of threaded ops (src/vm/
+//                      superblock.h). Off by default; the deterministic
+//                      report is byte-identical on or off — CI diffs it
+//   --superblock-hot-threshold=N  block-entry count before a region compiles
 //
 // Observability flags (src/obs; see docs/OBSERVABILITY.md):
 //   --trace-out=PATH   record structured trace events during the campaign and
@@ -102,6 +107,10 @@ int RunAsFleetWorker(int argc, char** argv) {
       options.shard_dir = arg.substr(std::strlen("--fleet-shard-dir="));
     } else if (arg.rfind("--shared-cache=", 0) == 0) {
       config.shared_cache_path = arg.substr(std::strlen("--shared-cache="));
+    } else if (ParseUintFlag(arg, "--superblocks=", &v)) {
+      config.base.engine.superblocks = v != 0;
+    } else if (ParseUintFlag(arg, "--superblock-hot-threshold=", &v)) {
+      config.base.engine.superblock_hot_threshold = static_cast<uint32_t>(v);
     } else {
       std::fprintf(stderr, "fleet worker: unknown flag: %s\n", arg.c_str());
       return 2;
@@ -125,6 +134,8 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string shared_cache_path;
   bool resume = false;
+  bool superblocks = false;
+  uint32_t superblock_hot_threshold = 0;  // 0 = keep the engine default
   uint32_t threads = 0;
   uint32_t workers = 0;
   int64_t kill_lease = -1;
@@ -143,6 +154,10 @@ int main(int argc, char** argv) {
       metrics_out = arg.substr(std::strlen("--metrics-out="));
     } else if (arg.rfind("--shared-cache=", 0) == 0) {
       shared_cache_path = arg.substr(std::strlen("--shared-cache="));
+    } else if (ParseUintFlag(arg, "--superblocks=", &v)) {
+      superblocks = v != 0;
+    } else if (ParseUintFlag(arg, "--superblock-hot-threshold=", &v)) {
+      superblock_hot_threshold = static_cast<uint32_t>(v);
     } else if (ParseUintFlag(arg, "--threads=", &v)) {
       threads = static_cast<uint32_t>(v);
     } else if (ParseUintFlag(arg, "--workers=", &v)) {
@@ -162,6 +177,10 @@ int main(int argc, char** argv) {
   config.journal_path = journal_path;
   config.resume = resume;
   config.shared_cache_path = shared_cache_path;
+  config.base.engine.superblocks = superblocks;
+  if (superblock_hot_threshold != 0) {
+    config.base.engine.superblock_hot_threshold = superblock_hot_threshold;
+  }
   config.collect_metrics = !metrics_out.empty();
 
   if (!trace_out.empty()) {
@@ -187,6 +206,15 @@ int main(int argc, char** argv) {
     fleet.worker_exec = ::access("/proc/self/exe", X_OK) == 0 ? "/proc/self/exe" : argv[0];
     if (!shared_cache_path.empty()) {
       fleet.worker_args.push_back("--shared-cache=" + shared_cache_path);
+    }
+    // Exec-mode workers rebuild the campaign config from MakeCampaignConfig(),
+    // so tier-2 knobs must cross the process boundary explicitly.
+    if (superblocks) {
+      fleet.worker_args.push_back("--superblocks=1");
+    }
+    if (superblock_hot_threshold != 0) {
+      fleet.worker_args.push_back("--superblock-hot-threshold=" +
+                                  std::to_string(superblock_hot_threshold));
     }
     return ddt::fleet::RunFleetCampaign(config, driver.image, driver.pci, fleet);
   }();

@@ -298,6 +298,17 @@ std::string EncodeRecord(const CampaignPassRecord& rec) {
   w.U64("e_peak_state_bytes", e.peak_state_bytes);
   w.U64("e_blocks_decoded", e.blocks_decoded);
   w.U64("e_block_cache_hits", e.block_cache_hits);
+  // Tier counters (absent in older journals; GetU64 defaults them to 0).
+  // Volatile-report only, but a fleet worker's RESULT is the coordinator's
+  // sole window into its pass, so they ride along.
+  w.U64("e_bc_fallback_fetches", e.block_cache_fallback_fetches);
+  w.U64("e_bc_hot_blocks", e.block_cache_hot_blocks);
+  w.U64("e_sb_compiled", e.superblocks_compiled);
+  w.U64("e_sb_ops_lowered", e.superblock_ops_lowered);
+  w.U64("e_sb_entries", e.superblock_entries);
+  w.U64("e_sb_chains", e.superblock_chains);
+  w.U64("e_sb_side_exits", e.superblock_side_exits);
+  w.U64("e_sb_instructions", e.superblock_instructions);
   w.Dbl("e_wall_ms", e.wall_ms);
   const SolverStats& s = rec.solver_stats;
   w.U64("s_queries", s.queries);
@@ -367,6 +378,14 @@ bool DecodeRecord(const std::map<std::string, std::string>& m, CampaignPassRecor
   e.peak_state_bytes = GetU64(m, "e_peak_state_bytes");
   e.blocks_decoded = GetU64(m, "e_blocks_decoded");
   e.block_cache_hits = GetU64(m, "e_block_cache_hits");
+  e.block_cache_fallback_fetches = GetU64(m, "e_bc_fallback_fetches");
+  e.block_cache_hot_blocks = GetU64(m, "e_bc_hot_blocks");
+  e.superblocks_compiled = GetU64(m, "e_sb_compiled");
+  e.superblock_ops_lowered = GetU64(m, "e_sb_ops_lowered");
+  e.superblock_entries = GetU64(m, "e_sb_entries");
+  e.superblock_chains = GetU64(m, "e_sb_chains");
+  e.superblock_side_exits = GetU64(m, "e_sb_side_exits");
+  e.superblock_instructions = GetU64(m, "e_sb_instructions");
   e.wall_ms = GetDbl(m, "e_wall_ms");
   SolverStats& s = rec->solver_stats;
   s.queries = GetU64(m, "s_queries");

@@ -19,6 +19,8 @@ const char* PhaseName(Phase phase) {
       return "journal";
     case Phase::kMerge:
       return "merge";
+    case Phase::kSuperblock:
+      return "superblock";
     case Phase::kNumPhases:
       break;
   }

@@ -37,24 +37,53 @@ const char* TraceEventKindName(TraceEvent::Kind kind) {
 }
 
 void TraceRecorder::Append(const TraceEvent& event) {
-  if (tail_.size() >= max_tail_events_) {
-    // Drop the oldest half of the tail; keep recency (the bug site is at the
-    // end of a trace).
-    size_t half = tail_.size() / 2;
-    dropped_ += half;
-    tail_.erase(tail_.begin(), tail_.begin() + static_cast<ptrdiff_t>(half));
+  if (exec_tail_.size() + other_tail_.size() >= max_tail_events_) {
+    DropOldestHalf();
   }
-  tail_.push_back(event);
+  other_exec_before_.push_back(exec_tail_.size());
+  other_tail_.push_back(event);
+}
+
+void TraceRecorder::DropOldestHalf() {
+  const size_t total = exec_tail_.size() + other_tail_.size();
+  const size_t half = total / 2;
+  // Full event i sits at interleaved position exec_before[i] + i, which is
+  // strictly increasing in i, so the oldest-half cut contains exactly the
+  // full events whose interleaved position is below `half` — and the rest of
+  // the cut is the oldest execs.
+  size_t drop_other = 0;
+  while (drop_other < other_tail_.size() &&
+         other_exec_before_[drop_other] + drop_other < half) {
+    ++drop_other;
+  }
+  const size_t drop_exec = half - drop_other;
+  exec_tail_.erase(exec_tail_.begin(),
+                   exec_tail_.begin() + static_cast<ptrdiff_t>(drop_exec));
+  other_tail_.erase(other_tail_.begin(),
+                    other_tail_.begin() + static_cast<ptrdiff_t>(drop_other));
+  other_exec_before_.erase(
+      other_exec_before_.begin(),
+      other_exec_before_.begin() + static_cast<ptrdiff_t>(drop_other));
+  // Every surviving full event is newer than the whole cut, so its exec
+  // count is at least drop_exec and the rebase cannot underflow.
+  for (uint64_t& before : other_exec_before_) {
+    before -= drop_exec;
+  }
+  dropped_ += half;
 }
 
 TraceRecorder TraceRecorder::Fork() {
-  if (!tail_.empty()) {
+  if (!exec_tail_.empty() || !other_tail_.empty()) {
     auto frozen = std::make_shared<Segment>();
-    frozen->events = std::move(tail_);
+    frozen->exec_pcs = std::move(exec_tail_);
+    frozen->events = std::move(other_tail_);
+    frozen->exec_before = std::move(other_exec_before_);
     frozen->parent = parent_;
     frozen->dropped = dropped_;
     parent_ = frozen;
-    tail_.clear();
+    exec_tail_.clear();
+    other_tail_.clear();
+    other_exec_before_.clear();
   }
   TraceRecorder sibling;
   sibling.parent_ = parent_;
@@ -64,11 +93,29 @@ TraceRecorder TraceRecorder::Fork() {
 }
 
 size_t TraceRecorder::TotalEvents() const {
-  size_t total = tail_.size();
+  size_t total = exec_tail_.size() + other_tail_.size();
   for (const Segment* seg = parent_.get(); seg != nullptr; seg = seg->parent.get()) {
-    total += seg->events.size();
+    total += seg->exec_pcs.size() + seg->events.size();
   }
   return total;
+}
+
+void TraceRecorder::InterleaveInto(const std::vector<uint32_t>& exec_pcs,
+                                   const std::vector<TraceEvent>& events,
+                                   const std::vector<uint64_t>& exec_before,
+                                   std::vector<TraceEvent>* out) {
+  TraceEvent exec;
+  exec.kind = TraceEvent::Kind::kExec;
+  size_t oi = 0;
+  for (size_t j = 0; j < exec_pcs.size(); ++j) {
+    while (oi < events.size() && exec_before[oi] <= j) {
+      out->push_back(events[oi]);
+      ++oi;
+    }
+    exec.pc = exec_pcs[j];
+    out->push_back(exec);
+  }
+  out->insert(out->end(), events.begin() + static_cast<ptrdiff_t>(oi), events.end());
 }
 
 std::vector<TraceEvent> TraceRecorder::Reconstruct() const {
@@ -79,9 +126,9 @@ std::vector<TraceEvent> TraceRecorder::Reconstruct() const {
   std::vector<TraceEvent> out;
   out.reserve(TotalEvents());
   for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-    out.insert(out.end(), (*it)->events.begin(), (*it)->events.end());
+    InterleaveInto((*it)->exec_pcs, (*it)->events, (*it)->exec_before, &out);
   }
-  out.insert(out.end(), tail_.begin(), tail_.end());
+  InterleaveInto(exec_tail_, other_tail_, other_exec_before_, &out);
   return out;
 }
 

@@ -59,6 +59,20 @@ class TraceRecorder {
 
   void Append(const TraceEvent& event);
 
+  // Fast path for the one event kind appended once per retired instruction.
+  // A kExec event is nothing but a pc, so it is stored as a bare uint32_t in
+  // a vector parallel to the full-event tail; every full event carries a
+  // stamp (how many execs preceded it) and Reconstruct() interleaves the two
+  // streams back into the exact sequence the slow path would have produced.
+  // This is what keeps per-instruction tracing off the execution loop's
+  // critical path without changing a single reconstructed byte.
+  void AppendExec(uint32_t pc) {
+    if (exec_tail_.size() + other_tail_.size() >= max_tail_events_) {
+      DropOldestHalf();
+    }
+    exec_tail_.push_back(pc);
+  }
+
   // Freezes the current tail and returns a sibling recorder sharing the whole
   // prefix. `this` keeps recording into a fresh tail.
   TraceRecorder Fork();
@@ -77,13 +91,32 @@ class TraceRecorder {
 
  private:
   struct Segment {
+    std::vector<uint32_t> exec_pcs;
     std::vector<TraceEvent> events;
+    // exec_before[i] = how many exec pcs of this segment precede events[i].
+    std::vector<uint64_t> exec_before;
     std::shared_ptr<const Segment> parent;
     uint64_t dropped = 0;
   };
 
+  // Drops the oldest half of the *interleaved* tail sequence — the same set
+  // the single-vector implementation would drop — keeping recency (the bug
+  // site is at the end of a trace). Out-of-line and cold: AppendExec sits on
+  // the execution loop's critical path and must stay a branch + push_back.
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((cold, noinline))
+#endif
+  void DropOldestHalf();
+
+  static void InterleaveInto(const std::vector<uint32_t>& exec_pcs,
+                             const std::vector<TraceEvent>& events,
+                             const std::vector<uint64_t>& exec_before,
+                             std::vector<TraceEvent>* out);
+
   std::shared_ptr<const Segment> parent_;
-  std::vector<TraceEvent> tail_;
+  std::vector<uint32_t> exec_tail_;
+  std::vector<TraceEvent> other_tail_;
+  std::vector<uint64_t> other_exec_before_;
   uint64_t dropped_ = 0;
   size_t max_tail_events_ = 1 << 20;
 };

@@ -7,6 +7,7 @@ BlockCache::BlockCache(const uint8_t* code, size_t size, uint32_t base)
   size_t slots = size / kInstructionSize;
   insns_.resize(slots);
   slot_state_.assign(slots, kUnknown);
+  exec_counts_.assign(slots, 0);
 }
 
 bool BlockCache::SlotFor(uint32_t pc, size_t* slot) const {
@@ -82,6 +83,7 @@ void BlockCache::DecodeBlockFrom(size_t slot) {
 const Instruction* BlockCache::Lookup(uint32_t pc) {
   size_t slot;
   if (!SlotFor(pc, &slot)) {
+    ++stats_.fallback_fetches;
     return nullptr;
   }
   if (slot_state_[slot] == kUnknown) {
@@ -89,7 +91,32 @@ const Instruction* BlockCache::Lookup(uint32_t pc) {
   } else {
     ++stats_.hits;
   }
-  return slot_state_[slot] == kDecoded ? &insns_[slot] : nullptr;
+  if (slot_state_[slot] != kDecoded) {
+    ++stats_.fallback_fetches;
+    return nullptr;
+  }
+  return &insns_[slot];
+}
+
+uint32_t BlockCache::NoteBlockEntry(uint32_t pc, uint32_t hot_threshold) {
+  size_t slot;
+  if (!SlotFor(pc, &slot)) {
+    return 0;
+  }
+  uint32_t count = exec_counts_[slot];
+  if (count == UINT32_MAX) {
+    return count;  // saturated
+  }
+  exec_counts_[slot] = ++count;
+  if (count == hot_threshold) {
+    ++stats_.hot_blocks;
+  }
+  return count;
+}
+
+uint32_t BlockCache::ExecCount(uint32_t pc) const {
+  size_t slot;
+  return SlotFor(pc, &slot) ? exec_counts_[slot] : 0;
 }
 
 const BlockCache::DecodedBlock* BlockCache::BlockAt(uint32_t pc) {

@@ -54,6 +54,14 @@ class BlockCache {
     uint64_t blocks_decoded = 0;
     uint64_t instructions_decoded = 0;
     uint64_t hits = 0;  // fetches served from already-decoded slots
+    // Lookup probes that had to fall back to the byte-wise decoder: the pc was
+    // out of range, misaligned, or the slot does not decode. These are exactly
+    // the fetches no execution tier can ever serve from decoded form, so a
+    // nonzero count makes tier-coverage gaps observable instead of silent.
+    uint64_t fallback_fetches = 0;
+    // Blocks whose execution counter crossed the superblock hotness threshold
+    // (each block counts once, at the crossing).
+    uint64_t hot_blocks = 0;
   };
 
   // Snapshots the (immutable) code bytes. `base` is the guest address of
@@ -69,6 +77,15 @@ class BlockCache {
   // Decodes (if needed) and returns the block entered at `pc`; nullptr under
   // the same conditions as Lookup. Blocks are keyed by their first-entry pc.
   const DecodedBlock* BlockAt(uint32_t pc);
+
+  // Bumps the per-block execution counter for an entry at `pc` (the engine
+  // calls this once per dispatcher entry at a block leader) and returns the
+  // new count; 0 if `pc` has no slot. Crossing `hot_threshold` exactly once
+  // increments Stats::hot_blocks — the superblock compiler's trigger signal.
+  // The counter saturates so long campaigns cannot wrap it.
+  uint32_t NoteBlockEntry(uint32_t pc, uint32_t hot_threshold);
+  // The execution counter for the block entered at `pc` (0 if unsloted).
+  uint32_t ExecCount(uint32_t pc) const;
 
   const Stats& stats() const { return stats_; }
   uint32_t base() const { return base_; }
@@ -91,6 +108,7 @@ class BlockCache {
   uint32_t base_ = 0;
   std::vector<Instruction> insns_;      // dense, one per slot
   std::vector<uint8_t> slot_state_;     // SlotState per slot
+  std::vector<uint32_t> exec_counts_;   // per-slot block-entry counters
   std::unordered_map<uint32_t, DecodedBlock> blocks_;  // keyed by entry pc
   Stats stats_;
   obs::PassProfile* profile_ = nullptr;

@@ -1,0 +1,293 @@
+#include "src/vm/superblock.h"
+
+#include <unordered_map>
+
+namespace ddt {
+
+namespace {
+
+// Lowers one straight-line (non-terminator) instruction. Returns false for
+// opcodes the fast path never retires — they become side exits.
+bool LowerSimple(const Instruction& insn, uint32_t pc, SbOp* op) {
+  op->rd = insn.rd;
+  op->ra = insn.ra;
+  op->rb = insn.rb;
+  op->imm = insn.imm;
+  op->pc = pc;
+  switch (insn.opcode) {
+    case Opcode::kNop:  op->kind = SbKind::kNop;  return true;
+    case Opcode::kMov:  op->kind = SbKind::kMovR; return true;
+    case Opcode::kMovI: op->kind = SbKind::kMovI; return true;
+    case Opcode::kNot:  op->kind = SbKind::kNotR; return true;
+    case Opcode::kNeg:  op->kind = SbKind::kNegR; return true;
+
+    case Opcode::kAdd:   op->kind = SbKind::kAddRR;  return true;
+    case Opcode::kAddI:  op->kind = SbKind::kAddRI;  return true;
+    case Opcode::kSub:   op->kind = SbKind::kSubRR;  return true;
+    case Opcode::kSubI:  op->kind = SbKind::kSubRI;  return true;
+    case Opcode::kMul:   op->kind = SbKind::kMulRR;  return true;
+    case Opcode::kMulI:  op->kind = SbKind::kMulRI;  return true;
+    case Opcode::kAnd:   op->kind = SbKind::kAndRR;  return true;
+    case Opcode::kAndI:  op->kind = SbKind::kAndRI;  return true;
+    case Opcode::kOr:    op->kind = SbKind::kOrRR;   return true;
+    case Opcode::kOrI:   op->kind = SbKind::kOrRI;   return true;
+    case Opcode::kXor:   op->kind = SbKind::kXorRR;  return true;
+    case Opcode::kXorI:  op->kind = SbKind::kXorRI;  return true;
+    case Opcode::kShl:   op->kind = SbKind::kShlRR;  return true;
+    case Opcode::kShlI:  op->kind = SbKind::kShlRI;  return true;
+    case Opcode::kLShr:  op->kind = SbKind::kLShrRR; return true;
+    case Opcode::kLShrI: op->kind = SbKind::kLShrRI; return true;
+    case Opcode::kAShr:  op->kind = SbKind::kAShrRR; return true;
+    case Opcode::kAShrI: op->kind = SbKind::kAShrRI; return true;
+
+    case Opcode::kSeq:    op->kind = SbKind::kSeqRR;  return true;
+    case Opcode::kSeqI:   op->kind = SbKind::kSeqRI;  return true;
+    case Opcode::kSne:    op->kind = SbKind::kSneRR;  return true;
+    case Opcode::kSneI:   op->kind = SbKind::kSneRI;  return true;
+    case Opcode::kSltU:   op->kind = SbKind::kSltURR; return true;
+    case Opcode::kSltUI:  op->kind = SbKind::kSltURI; return true;
+    case Opcode::kSltS:   op->kind = SbKind::kSltSRR; return true;
+    case Opcode::kSltSI:  op->kind = SbKind::kSltSRI; return true;
+    case Opcode::kSleU:   op->kind = SbKind::kSleURR; return true;
+    case Opcode::kSleUI:  op->kind = SbKind::kSleURI; return true;
+    case Opcode::kSleS:   op->kind = SbKind::kSleSRR; return true;
+    case Opcode::kSleSI:  op->kind = SbKind::kSleSRI; return true;
+
+    case Opcode::kUDiv:  op->kind = SbKind::kUDivRR; return true;
+    case Opcode::kUDivI: op->kind = SbKind::kUDivRI; return true;
+    case Opcode::kSDiv:  op->kind = SbKind::kSDivRR; return true;
+    case Opcode::kURem:  op->kind = SbKind::kURemRR; return true;
+
+    case Opcode::kLd8U:
+    case Opcode::kLd8S:
+    case Opcode::kLd16U:
+    case Opcode::kLd16S:
+    case Opcode::kLd32:
+      op->kind = SbKind::kLoad;
+      op->mem_size = insn.opcode == Opcode::kLd32
+                         ? 4
+                         : (insn.opcode == Opcode::kLd16U || insn.opcode == Opcode::kLd16S ? 2
+                                                                                           : 1);
+      if (insn.opcode == Opcode::kLd8S || insn.opcode == Opcode::kLd16S) {
+        op->flags |= kSbLoadSigned;
+      }
+      return true;
+    case Opcode::kSt8:
+    case Opcode::kSt16:
+    case Opcode::kSt32:
+      op->kind = SbKind::kStore;
+      op->mem_size =
+          insn.opcode == Opcode::kSt32 ? 4 : (insn.opcode == Opcode::kSt16 ? 2 : 1);
+      return true;
+    case Opcode::kPush: op->kind = SbKind::kPush; return true;
+    case Opcode::kPop:  op->kind = SbKind::kPop;  return true;
+
+    default:
+      return false;  // terminators handled by the caller; unknown → side exit
+  }
+}
+
+SbOp SideExitAt(uint32_t pc) {
+  SbOp op;
+  op.kind = SbKind::kSideExit;
+  op.pc = pc;
+  return op;
+}
+
+}  // namespace
+
+SuperblockCache::SuperblockCache(BlockCache* cache, uint32_t code_begin,
+                                 const std::vector<uint8_t>* leader_slots)
+    : cache_(cache),
+      base_(code_begin),
+      end_(code_begin + static_cast<uint32_t>(cache->num_slots() * kInstructionSize)),
+      leader_slots_(leader_slots) {
+  table_.resize(cache->num_slots());
+}
+
+bool SuperblockCache::SlotFor(uint32_t pc, size_t* slot) const {
+  uint32_t offset = pc - base_;
+  if (pc < base_ || offset % kInstructionSize != 0) {
+    return false;
+  }
+  size_t index = offset / kInstructionSize;
+  if (index >= table_.size()) {
+    return false;
+  }
+  *slot = index;
+  return true;
+}
+
+const Superblock* SuperblockCache::AtPc(uint32_t pc) const {
+  size_t slot;
+  return SlotFor(pc, &slot) ? table_[slot].get() : nullptr;
+}
+
+const Superblock* SuperblockCache::Compile(uint32_t entry_pc, const Limits& limits) {
+  size_t entry_slot;
+  if (!SlotFor(entry_pc, &entry_slot)) {
+    return nullptr;
+  }
+  if (table_[entry_slot] != nullptr) {
+    return table_[entry_slot].get();
+  }
+  obs::ScopedPhase obs_phase(profile_, obs::Phase::kSuperblock);
+
+  auto sb = std::make_unique<Superblock>();
+  sb->entry_pc = entry_pc;
+
+  // Breadth-first over static successors: deterministic region shape for a
+  // given entry, independent of runtime values. Targets that land mid-run in
+  // an already-lowered block are tail-duplicated (lowered again from the
+  // target), which keeps every region block entry at op granularity.
+  std::vector<uint32_t> queue{entry_pc};
+  size_t queue_head = 0;
+  std::unordered_map<uint32_t, int32_t> block_start;  // region-block pc -> op index
+  struct Fixup {
+    size_t op;
+    uint32_t target;
+    bool is_fall;
+  };
+  std::vector<Fixup> fixups;
+
+  auto queue_target = [&](size_t op_index, uint32_t target, bool is_fall) {
+    fixups.push_back(Fixup{op_index, target, is_fall});
+    queue.push_back(target);
+  };
+
+  while (queue_head < queue.size()) {
+    uint32_t pc = queue[queue_head++];
+    if (block_start.count(pc) != 0) {
+      continue;
+    }
+    if (block_start.size() >= limits.max_blocks || sb->ops.size() >= limits.max_ops) {
+      continue;  // budget spent: unresolved fixups stay external exits
+    }
+    block_start.emplace(pc, static_cast<int32_t>(sb->ops.size()));
+    ++sb->blocks;
+
+    uint32_t cur = pc;
+    for (;;) {
+      if (sb->ops.size() >= limits.max_ops) {
+        // Synthetic exit: zero instructions retired, chainable once the
+        // continuation gets hot and compiles on its own.
+        SbOp exit_op;
+        exit_op.kind = SbKind::kExit;
+        exit_op.imm = cur;
+        sb->ops.push_back(exit_op);
+        break;
+      }
+      size_t cur_slot;
+      if (!SlotFor(cur, &cur_slot)) {
+        // Fell off the code segment (or into a non-indexable tail): tier-1
+        // reports the invalid-address bug from this exact boundary.
+        sb->ops.push_back(SideExitAt(cur));
+        break;
+      }
+      const Instruction* insn = cache_->Lookup(cur);
+      if (insn == nullptr) {
+        sb->ops.push_back(SideExitAt(cur));  // undecodable slot
+        break;
+      }
+
+      SbOp op;
+      op.pc = cur;
+      if (leader_slots_ != nullptr && cur_slot < leader_slots_->size() &&
+          (*leader_slots_)[cur_slot] != 0) {
+        op.flags |= kSbLeader;
+      }
+
+      if (IsTerminator(insn->opcode)) {
+        uint32_t fall = cur + kInstructionSize;
+        size_t target_slot;
+        switch (insn->opcode) {
+          case Opcode::kBr:
+            if (!SlotFor(insn->imm, &target_slot)) {
+              sb->ops.push_back(SideExitAt(cur));  // invalid/misaligned target
+              break;
+            }
+            op.kind = SbKind::kBrOp;
+            op.imm = insn->imm;
+            sb->ops.push_back(op);
+            ++sb->instructions;
+            queue_target(sb->ops.size() - 1, insn->imm, /*is_fall=*/false);
+            break;
+          case Opcode::kBz:
+          case Opcode::kBnz:
+            if (!SlotFor(insn->imm, &target_slot)) {
+              sb->ops.push_back(SideExitAt(cur));
+              break;
+            }
+            op.kind = insn->opcode == Opcode::kBz ? SbKind::kBzOp : SbKind::kBnzOp;
+            op.ra = insn->ra;
+            op.imm = insn->imm;
+            sb->ops.push_back(op);
+            ++sb->instructions;
+            queue_target(sb->ops.size() - 1, insn->imm, /*is_fall=*/false);
+            queue_target(sb->ops.size() - 1, fall, /*is_fall=*/true);
+            break;
+          case Opcode::kCall:
+            if (!SlotFor(insn->imm, &target_slot)) {
+              sb->ops.push_back(SideExitAt(cur));
+              break;
+            }
+            // The region follows the call edge into the callee; the return
+            // continuation is reached only through ret, which side-exits.
+            op.kind = SbKind::kCallOp;
+            op.imm = insn->imm;
+            sb->ops.push_back(op);
+            ++sb->instructions;
+            queue_target(sb->ops.size() - 1, insn->imm, /*is_fall=*/false);
+            break;
+          default:
+            // kJr / kCallR / kRet / kKCall / kHalt: indirect or boundary
+            // transfers the fast path never retires.
+            sb->ops.push_back(SideExitAt(cur));
+            break;
+        }
+        break;  // block ends at its terminator
+      }
+
+      if (!LowerSimple(*insn, cur, &op)) {
+        sb->ops.push_back(SideExitAt(cur));  // unknown opcode: tier-1 reports
+        break;
+      }
+      sb->ops.push_back(op);
+      ++sb->instructions;
+      cur += kInstructionSize;
+
+      // Straight-line fall into a block this region already lowered: link to
+      // it with synthetic glue instead of duplicating the whole run.
+      auto linked = block_start.find(cur);
+      if (linked != block_start.end()) {
+        SbOp jump;
+        jump.kind = SbKind::kJump;
+        jump.taken = linked->second;
+        sb->ops.push_back(jump);
+        break;
+      }
+    }
+  }
+
+  // Resolve internal edges; anything still unresolved stays an external exit
+  // (taken/fall == -1) that chains through the superblock table at runtime.
+  for (const Fixup& fixup : fixups) {
+    auto it = block_start.find(fixup.target);
+    if (it == block_start.end()) {
+      continue;
+    }
+    if (fixup.is_fall) {
+      sb->ops[fixup.op].fall = it->second;
+    } else {
+      sb->ops[fixup.op].taken = it->second;
+    }
+  }
+
+  ++stats_.compiled;
+  stats_.ops_lowered += sb->ops.size();
+  stats_.instructions_lowered += sb->instructions;
+  table_[entry_slot] = std::move(sb);
+  return table_[entry_slot].get();
+}
+
+}  // namespace ddt

@@ -1,0 +1,165 @@
+// Tier-2 execution: superblocks of pre-lowered threaded ops.
+//
+// The tier-1 decoded-block cache (block_cache.h) eliminated re-decoding but
+// still pays per-instruction dispatch: a cache probe, an Instruction copy,
+// operand Value construction, and a large opcode switch on every step. QEMU —
+// the substrate the paper runs drivers on — goes one tier further: hot
+// translated blocks are *chained*, so concrete execution never returns to the
+// dispatcher between blocks. This module is the analogous structure for
+// DVM32.
+//
+// When a block's execution counter crosses the hotness threshold
+// (BlockCache::NoteBlockEntry), the compiler here lowers the block and its
+// static successors — following branch/call targets and fall-throughs, with
+// tail duplication for mid-block entries — into one `Superblock`: a flat
+// array of `SbOp` threaded ops with operands pre-extracted and control
+// transfers pre-resolved. Internal edges become op-index jumps (loops run
+// entirely inside one superblock); external edges become exit ops that chain
+// directly into the target superblock once it is compiled.
+//
+// The region ends, per instruction, at anything the concrete fast path cannot
+// retire by itself: indirect transfers (jr/callr/ret), kernel calls, halt,
+// undecodable slots, and statically invalid branch targets all lower to
+// side-exit ops. At runtime the executor (Engine::RunSuperblock) additionally
+// side-exits *before* the instruction on symbolic operands, MMIO-touching
+// addresses, zero divisors, and code-segment (write barrier) stores, so the
+// tier-1 interpreter re-executes the instruction with full symbolic/checker
+// semantics from an exact instruction boundary.
+//
+// Like the tier-1 cache, superblocks are valid forever: the code segment is
+// immutable behind the engine's write barrier, so invalidation is never
+// needed. Compilation is deterministic (static BFS over decoded successors),
+// and the trigger counters are per-engine, so the set of compiled regions is
+// a pure function of the executed instruction stream.
+#ifndef SRC_VM_SUPERBLOCK_H_
+#define SRC_VM_SUPERBLOCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/obs/profiler.h"
+#include "src/vm/block_cache.h"
+#include "src/vm/isa.h"
+
+namespace ddt {
+
+// Threaded-op kinds. Every kind except the three synthetic ones retires
+// exactly one guest instruction; the synthetic kinds (kJump, kExit,
+// kSideExit) retire zero and exist only to encode region structure.
+//
+// The X-macro keeps the enum and the executor's computed-goto label table
+// (engine.cc) generated from one list, so they can never drift out of order.
+//
+//   kJump      internal transfer to op index `taken` (fall-into-region glue)
+//   kExit      leave the region for guest pc `imm`; chain if compiled
+//   kSideExit  hand the instruction at `pc` to the tier-1 interpreter
+//   kMovR      rd = ra (symbolic values copy exactly; no side exit needed)
+//   k*RR/k*RI  two-operand ALU / comparison, reg/reg and reg/imm forms
+//   kUDiv...   division side-exits on a zero divisor (tier-1 owns the bug)
+//   kLoad      rd = mem[ra + imm], mem_size bytes, sign-extend per flag
+//   kStore     mem[ra + imm] = rb, mem_size bytes
+//   kBrOp...   control with statically validated targets
+#define DDT_SB_KIND_LIST(X)                                                  \
+  X(kJump) X(kExit) X(kSideExit)                                             \
+  X(kNop) X(kMovR) X(kMovI) X(kNotR) X(kNegR)                                \
+  X(kAddRR) X(kAddRI) X(kSubRR) X(kSubRI) X(kMulRR) X(kMulRI)                \
+  X(kAndRR) X(kAndRI) X(kOrRR) X(kOrRI) X(kXorRR) X(kXorRI)                  \
+  X(kShlRR) X(kShlRI) X(kLShrRR) X(kLShrRI) X(kAShrRR) X(kAShrRI)            \
+  X(kSeqRR) X(kSeqRI) X(kSneRR) X(kSneRI)                                    \
+  X(kSltURR) X(kSltURI) X(kSltSRR) X(kSltSRI)                                \
+  X(kSleURR) X(kSleURI) X(kSleSRR) X(kSleSRI)                                \
+  X(kUDivRR) X(kUDivRI) X(kSDivRR) X(kURemRR)                                \
+  X(kLoad) X(kStore) X(kPush) X(kPop)                                        \
+  X(kBrOp) X(kBzOp) X(kBnzOp) X(kCallOp)
+
+enum class SbKind : uint8_t {
+#define DDT_SB_ENUM_ENTRY(name) name,
+  DDT_SB_KIND_LIST(DDT_SB_ENUM_ENTRY)
+#undef DDT_SB_ENUM_ENTRY
+};
+
+// Flags for SbOp::flags.
+inline constexpr uint8_t kSbLeader = 1;      // pc is a CFG block leader (coverage)
+inline constexpr uint8_t kSbLoadSigned = 2;  // kLoad sign-extends
+
+// One pre-lowered threaded op. 24 bytes; ops for a region are contiguous so
+// the executor walks them with no per-step lookup.
+struct SbOp {
+  SbKind kind = SbKind::kSideExit;
+  uint8_t rd = 0;
+  uint8_t ra = 0;
+  uint8_t rb = 0;
+  uint8_t flags = 0;
+  uint8_t mem_size = 0;  // 1/2/4 for kLoad/kStore
+  uint32_t imm = 0;      // ALU immediate / branch or exit target guest pc
+  uint32_t pc = 0;       // guest pc of the lowered instruction (0 = synthetic)
+  int32_t taken = -1;    // internal op index of the (taken) target; -1 = external
+  int32_t fall = -1;     // internal op index of the fall-through; -1 = external
+};
+
+struct Superblock {
+  uint32_t entry_pc = 0;
+  uint32_t blocks = 0;        // region blocks lowered (tail duplicates count)
+  uint32_t instructions = 0;  // guest instructions lowered
+  std::vector<SbOp> ops;
+};
+
+// Owns the compiled superblocks for one engine, keyed by entry slot (one slot
+// per aligned instruction, same indexing as BlockCache). Single-threaded by
+// construction: each engine owns its caches, and campaign parallelism is
+// engine-per-pass.
+class SuperblockCache {
+ public:
+  struct Limits {
+    uint32_t max_blocks = 32;   // region blocks per superblock
+    uint32_t max_ops = 1024;    // total ops per superblock
+  };
+
+  struct Stats {
+    uint64_t compiled = 0;
+    uint64_t ops_lowered = 0;
+    uint64_t instructions_lowered = 0;
+  };
+
+  // `cache` must outlive this object and cover [code_begin, code_begin +
+  // 8 * cache->num_slots()). `leader_slots` is the engine's dense CFG-leader
+  // bitmap (nullable); leader ops get kSbLeader so the executor only pays the
+  // coverage probe where the interpreter would.
+  SuperblockCache(BlockCache* cache, uint32_t code_begin,
+                  const std::vector<uint8_t>* leader_slots);
+
+  // The compiled superblock whose entry is at `slot` / `pc`; nullptr if none.
+  const Superblock* AtSlot(size_t slot) const {
+    return slot < table_.size() ? table_[slot].get() : nullptr;
+  }
+  const Superblock* AtPc(uint32_t pc) const;
+
+  // Compiles (at most once) the superblock entered at `pc`. Deterministic:
+  // a static breadth-first walk of decoded successors, independent of any
+  // runtime value. Returns nullptr only if `pc` has no decodable slot.
+  const Superblock* Compile(uint32_t pc, const Limits& limits);
+
+  const Stats& stats() const { return stats_; }
+  size_t num_slots() const { return table_.size(); }
+  uint32_t code_begin() const { return base_; }
+  uint32_t code_end() const { return end_; }
+
+  // Optional profiler sink: compiles are attributed to obs::Phase::kSuperblock.
+  void SetProfile(obs::PassProfile* profile) { profile_ = profile; }
+
+ private:
+  bool SlotFor(uint32_t pc, size_t* slot) const;
+
+  BlockCache* cache_;
+  uint32_t base_ = 0;
+  uint32_t end_ = 0;  // exclusive: base_ + 8 * num_slots
+  const std::vector<uint8_t>* leader_slots_;
+  std::vector<std::unique_ptr<Superblock>> table_;  // by entry slot
+  Stats stats_;
+  obs::PassProfile* profile_ = nullptr;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_VM_SUPERBLOCK_H_

@@ -1,0 +1,492 @@
+// Tier-2 superblock tests: hotness counters, compiler region structure,
+// full-corpus differential parity (per-instruction and per-access via a
+// recording checker), side-exit correctness per exit kind, block-to-block
+// chaining, and campaign/fleet report byte-identity with the tier on or off.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/ddt.h"
+#include "src/drivers/corpus.h"
+#include "src/fleet/fleet.h"
+#include "src/support/strings.h"
+#include "src/vm/assembler.h"
+#include "src/vm/block_cache.h"
+#include "src/vm/layout.h"
+#include "src/vm/superblock.h"
+
+namespace ddt {
+namespace {
+
+PciDescriptor TestPci() {
+  PciDescriptor pci;
+  pci.vendor_id = 1;
+  pci.device_id = 1;
+  pci.bars.push_back(PciBar{0x100});
+  return pci;
+}
+
+// --- hotness counters ------------------------------------------------------
+
+TEST(SuperblockCounterTest, NoteBlockEntryCountsAndMarksHotOnce) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+  const std::vector<uint8_t>& code = driver.image.code;
+  BlockCache cache(code.data(), code.size(), 0);
+
+  // The counter climbs by one per entry and hot_blocks bumps exactly once,
+  // at the crossing.
+  for (uint32_t i = 1; i <= 5; ++i) {
+    EXPECT_EQ(cache.NoteBlockEntry(0, /*hot_threshold=*/3), i);
+    EXPECT_EQ(cache.stats().hot_blocks, i >= 3 ? 1u : 0u);
+  }
+  EXPECT_EQ(cache.ExecCount(0), 5u);
+
+  // A different block is an independent counter (and an independent crossing).
+  EXPECT_EQ(cache.NoteBlockEntry(kInstructionSize, 1), 1u);
+  EXPECT_EQ(cache.stats().hot_blocks, 2u);
+
+  // Unsloted pcs never count.
+  EXPECT_EQ(cache.NoteBlockEntry(3, 1), 0u);           // misaligned
+  EXPECT_EQ(cache.NoteBlockEntry(0xFFFFFFF8, 1), 0u);  // out of range
+  EXPECT_EQ(cache.ExecCount(3), 0u);
+}
+
+TEST(SuperblockCounterTest, FallbackFetchesCountUnservableProbes) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+  const std::vector<uint8_t>& code = driver.image.code;
+  BlockCache cache(code.data(), code.size(), 0x1000);
+
+  ASSERT_NE(cache.Lookup(0x1000), nullptr);
+  EXPECT_EQ(cache.stats().fallback_fetches, 0u);
+
+  EXPECT_EQ(cache.Lookup(0x1004), nullptr);  // misaligned
+  EXPECT_EQ(cache.stats().fallback_fetches, 1u);
+  EXPECT_EQ(cache.Lookup(0x0FF8), nullptr);  // below base
+  EXPECT_EQ(cache.stats().fallback_fetches, 2u);
+
+  // An undecodable slot is also a fallback, every time it is probed.
+  std::vector<uint8_t> junk(2 * kInstructionSize, 0xFF);
+  BlockCache bad(junk.data(), junk.size(), 0);
+  EXPECT_EQ(bad.Lookup(0), nullptr);
+  EXPECT_EQ(bad.Lookup(0), nullptr);
+  EXPECT_EQ(bad.stats().fallback_fetches, 2u);
+}
+
+// --- compiler region structure --------------------------------------------
+
+TEST(SuperblockCompilerTest, TightLoopLowersToInternalBackEdge) {
+  Result<AssembledDriver> assembled = Assemble(R"(
+  .driver "loop_toy"
+  .entry driver_entry
+  .code
+  .func driver_entry
+    movi r1, 50
+  loop:
+    subi r1, r1, 1
+    bnz r1, loop
+    ret
+)");
+  ASSERT_TRUE(assembled.ok()) << assembled.error();
+  const std::vector<uint8_t>& code = assembled.value().image.code;
+  // The assembler resolves labels to loaded guest addresses, so the cache
+  // base must match the image's load address for branch targets to be
+  // in-region (exactly as the engine sets it up).
+  const uint32_t base = kDriverImageBase;
+  BlockCache cache(code.data(), code.size(), base);
+  SuperblockCache sbs(&cache, base, /*leader_slots=*/nullptr);
+
+  const Superblock* sb = sbs.Compile(base, SuperblockCache::Limits());
+  ASSERT_NE(sb, nullptr);
+  EXPECT_EQ(sb->entry_pc, base);
+  EXPECT_GE(sb->instructions, 3u);  // movi, subi, bnz at minimum
+
+  // The back edge to `loop` (base+8, a mid-block target handled by tail
+  // duplication) resolves to an internal op index, so the loop spins without
+  // leaving the region. The ret is an indirect transfer: a side exit.
+  bool internal_back_edge = false;
+  bool ret_side_exit = false;
+  const uint32_t ret_pc = base + 3 * kInstructionSize;
+  for (const SbOp& op : sb->ops) {
+    if (op.kind == SbKind::kBnzOp && op.taken >= 0) {
+      internal_back_edge = true;
+      EXPECT_EQ(sb->ops[static_cast<size_t>(op.taken)].pc, base + kInstructionSize);
+    }
+    if (op.kind == SbKind::kSideExit && op.pc == ret_pc) {
+      ret_side_exit = true;
+    }
+  }
+  EXPECT_TRUE(internal_back_edge);
+  EXPECT_TRUE(ret_side_exit);
+
+  // Compilation is memoized: the same entry returns the same object and the
+  // compile counter does not move.
+  EXPECT_EQ(sbs.stats().compiled, 1u);
+  EXPECT_EQ(sbs.Compile(base, SuperblockCache::Limits()), sb);
+  EXPECT_EQ(sbs.stats().compiled, 1u);
+  EXPECT_EQ(sbs.AtPc(base), sb);
+}
+
+TEST(SuperblockCompilerTest, RegionRespectsOpBudget) {
+  // 50 straight-line instructions; a 16-op budget must stop the region early
+  // with a synthetic exit, not overrun.
+  std::string source = "  .driver \"straight_toy\"\n  .entry driver_entry\n  .code\n  .func driver_entry\n";
+  for (int i = 0; i < 50; ++i) {
+    source += "    addi r1, r1, 1\n";
+  }
+  source += "    ret\n";
+  Result<AssembledDriver> assembled = Assemble(source);
+  ASSERT_TRUE(assembled.ok()) << assembled.error();
+  const std::vector<uint8_t>& code = assembled.value().image.code;
+  const uint32_t base = kDriverImageBase;
+  BlockCache cache(code.data(), code.size(), base);
+  SuperblockCache sbs(&cache, base, nullptr);
+
+  SuperblockCache::Limits limits;
+  limits.max_ops = 16;
+  const Superblock* sb = sbs.Compile(base, limits);
+  ASSERT_NE(sb, nullptr);
+  EXPECT_LE(sb->ops.size(), 17u);  // budget plus the synthetic exit
+  bool has_exit = false;
+  for (const SbOp& op : sb->ops) {
+    if (op.kind == SbKind::kExit) {
+      has_exit = true;
+      EXPECT_EQ((op.imm - base) % kInstructionSize, 0u);
+      EXPECT_LT(op.imm, base + static_cast<uint32_t>(code.size()));
+    }
+  }
+  EXPECT_TRUE(has_exit);
+}
+
+// --- full-corpus differential run ------------------------------------------
+
+// Strips expression pointers (context-specific) so traces compare by value.
+struct FlatEvent {
+  TraceEvent::Kind kind;
+  uint32_t pc, addr, value, a, b;
+  uint8_t size;
+  bool value_symbolic;
+  bool operator==(const FlatEvent& o) const {
+    return kind == o.kind && pc == o.pc && addr == o.addr && value == o.value &&
+           a == o.a && b == o.b && size == o.size && value_symbolic == o.value_symbolic;
+  }
+};
+
+std::vector<FlatEvent> Flatten(const std::vector<TraceEvent>& events) {
+  std::vector<FlatEvent> out;
+  out.reserve(events.size());
+  for (const TraceEvent& e : events) {
+    out.push_back(FlatEvent{e.kind, e.pc, e.addr, e.value, e.a, e.b, e.size, e.value_symbolic});
+  }
+  return out;
+}
+
+// Records a fingerprint per executed instruction (state id, pc, full register
+// file) and per memory access. Tier 2 must produce the exact same streams as
+// the interpreter: same instructions, same order, same machine state at every
+// checker boundary.
+class RecordingChecker : public Checker {
+ public:
+  explicit RecordingChecker(std::vector<uint64_t>* sink) : sink_(sink) {}
+  std::string name() const override { return "recording"; }
+
+  void OnInstruction(ExecutionState& st, uint32_t pc, CheckerHost& host) override {
+    uint64_t h = Mix(0x9E3779B97F4A7C15ull ^ st.id, pc);
+    for (int r = 0; r < kNumRegisters; ++r) {
+      Value v = st.Reg(r);
+      h = Mix(h, v.IsConcrete() ? v.concrete() : 0x5BADF00Du);
+      h = Mix(h, v.IsSymbolic() ? 1u : 0u);
+    }
+    sink_->push_back(h);
+  }
+
+  void OnMemAccess(ExecutionState& st, const MemAccessEvent& access, CheckerHost& host) override {
+    uint64_t h = Mix(0xA0761D6478BD642Full ^ st.id, access.pc);
+    h = Mix(h, access.addr);
+    h = Mix(h, access.size);
+    h = Mix(h, access.is_write ? 1u : 0u);
+    sink_->push_back(h);
+  }
+
+ private:
+  static uint64_t Mix(uint64_t h, uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return h;
+  }
+  std::vector<uint64_t>* sink_;
+};
+
+TEST(SuperblockDifferentialTest, TierTwoIdenticalAcrossCorpus) {
+  for (const CorpusDriver& driver : Corpus()) {
+    DdtResult results[2];
+    std::unique_ptr<Ddt> ddts[2];  // bugs reference engine-owned expr storage
+    std::vector<uint64_t> streams[2];
+    for (int tier2 = 0; tier2 < 2; ++tier2) {
+      DdtConfig config;
+      config.engine.max_instructions = 60000;
+      config.engine.max_wall_ms = 3'600'000;  // never hit: budget cuts are instruction-determined
+      config.engine.superblocks = tier2 == 1;
+      config.engine.superblock_hot_threshold = 2;
+      ddts[tier2] = std::make_unique<Ddt>(config);
+      // Both runs carry the checker so the checker dispatch itself is
+      // identical; only the execution tier differs.
+      ddts[tier2]->AddChecker(std::make_unique<RecordingChecker>(&streams[tier2]));
+      Result<DdtResult> r = ddts[tier2]->TestDriver(driver.image, driver.pci);
+      ASSERT_TRUE(r.ok()) << driver.name << ": " << r.status().message();
+      results[tier2] = r.take();
+    }
+    const DdtResult& plain = results[0];
+    const DdtResult& fast = results[1];
+
+    EXPECT_EQ(plain.stats.instructions, fast.stats.instructions) << driver.name;
+    EXPECT_EQ(plain.stats.forks, fast.stats.forks) << driver.name;
+    EXPECT_EQ(plain.covered_blocks, fast.covered_blocks) << driver.name;
+    ASSERT_EQ(plain.bugs.size(), fast.bugs.size()) << driver.name;
+    for (size_t i = 0; i < plain.bugs.size(); ++i) {
+      EXPECT_EQ(plain.bugs[i].Row(), fast.bugs[i].Row()) << driver.name;
+      EXPECT_EQ(plain.bugs[i].pc, fast.bugs[i].pc);
+      EXPECT_TRUE(Flatten(plain.bugs[i].trace) == Flatten(fast.bugs[i].trace))
+          << driver.name << " bug " << i << ": traces diverge";
+    }
+
+    // Per-instruction and per-access parity: the checker saw the same machine
+    // states in the same order under both tiers.
+    ASSERT_EQ(streams[0].size(), streams[1].size()) << driver.name;
+    EXPECT_TRUE(streams[0] == streams[1]) << driver.name << ": checker streams diverge";
+
+    // The tier-2 run actually ran tier 2 (and the tier-1 run did not).
+    EXPECT_GT(fast.stats.superblocks_compiled, 0u) << driver.name;
+    EXPECT_GT(fast.stats.superblock_instructions, 0u) << driver.name;
+    EXPECT_GT(fast.stats.superblock_entries, 0u) << driver.name;
+    EXPECT_EQ(plain.stats.superblocks_compiled, 0u) << driver.name;
+    EXPECT_EQ(plain.stats.superblock_instructions, 0u) << driver.name;
+  }
+}
+
+// --- side exits ------------------------------------------------------------
+
+DdtResult RunToy(const std::string& source, bool superblocks,
+                 std::unique_ptr<Ddt>* keepalive) {
+  Result<AssembledDriver> assembled = Assemble(source);
+  EXPECT_TRUE(assembled.ok()) << assembled.error();
+  DdtConfig config;
+  config.engine.max_instructions = 200000;
+  config.engine.superblocks = superblocks;
+  config.engine.superblock_hot_threshold = 2;
+  *keepalive = std::make_unique<Ddt>(config);
+  Result<DdtResult> result = (*keepalive)->TestDriver(assembled.value().image, TestPci());
+  EXPECT_TRUE(result.ok()) << result.status().message();
+  return result.take();
+}
+
+// A hot loop whose body ends by overwriting its own code: the store must trip
+// the write barrier from inside the superblock executor via a side exit, so
+// tier 1 reports the exact same bug at the exact same pc.
+TEST(SuperblockSideExitTest, WriteBarrierStoreSideExitsAndReportsIdentically) {
+  const std::string source = R"(
+  .driver "barrier_hot_toy"
+  .entry driver_entry
+  .code
+  .func driver_entry
+    la r0, entry_table
+    kcall MosRegisterDriver
+    ret
+  .func ep_init
+    movi r3, 8
+  loop:
+    subi r3, r3, 1
+    bnz r3, loop
+    la r1, ep_init
+    movi r2, 0x90
+    st32 [r1+0], r2        ; overwrite own code
+    movi r0, 0
+    ret
+  .data
+  entry_table:
+    .word ep_init
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+)";
+  std::unique_ptr<Ddt> ddts[2];
+  DdtResult plain = RunToy(source, /*superblocks=*/false, &ddts[0]);
+  DdtResult fast = RunToy(source, /*superblocks=*/true, &ddts[1]);
+
+  ASSERT_EQ(plain.bugs.size(), fast.bugs.size());
+  for (size_t i = 0; i < plain.bugs.size(); ++i) {
+    EXPECT_EQ(plain.bugs[i].Row(), fast.bugs[i].Row());
+    EXPECT_EQ(plain.bugs[i].pc, fast.bugs[i].pc);
+  }
+  bool barrier_bug = false;
+  for (const Bug& bug : fast.bugs) {
+    if (bug.title.find("code segment") != std::string::npos ||
+        bug.title.find("immutable driver code") != std::string::npos) {
+      barrier_bug = true;
+    }
+  }
+  EXPECT_TRUE(barrier_bug);
+  EXPECT_EQ(plain.stats.instructions, fast.stats.instructions);
+  EXPECT_GT(fast.stats.superblocks_compiled, 0u);
+  EXPECT_GT(fast.stats.superblock_side_exits, 0u);
+}
+
+// A divisor that counts down to zero: tier 2 retires the nonzero iterations
+// and must side-exit on the zero one so tier 1 owns the division-by-zero bug.
+TEST(SuperblockSideExitTest, ZeroDivisorSideExitsToTierOne) {
+  const std::string source = R"(
+  .driver "div_toy"
+  .entry driver_entry
+  .code
+  .func driver_entry
+    la r0, entry_table
+    kcall MosRegisterDriver
+    ret
+  .func ep_init
+    movi r3, 6
+  loop:
+    subi r3, r3, 1
+    movi r1, 100
+    udiv r2, r1, r3
+    bnz r3, loop
+    movi r0, 0
+    ret
+  .data
+  entry_table:
+    .word ep_init
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+)";
+  std::unique_ptr<Ddt> ddts[2];
+  DdtResult plain = RunToy(source, /*superblocks=*/false, &ddts[0]);
+  DdtResult fast = RunToy(source, /*superblocks=*/true, &ddts[1]);
+
+  ASSERT_EQ(plain.bugs.size(), fast.bugs.size());
+  for (size_t i = 0; i < plain.bugs.size(); ++i) {
+    EXPECT_EQ(plain.bugs[i].Row(), fast.bugs[i].Row());
+    EXPECT_EQ(plain.bugs[i].pc, fast.bugs[i].pc);
+  }
+  EXPECT_EQ(plain.stats.instructions, fast.stats.instructions);
+  EXPECT_GT(fast.stats.superblocks_compiled, 0u);
+  EXPECT_GT(fast.stats.superblock_side_exits, 0u);
+  EXPECT_GT(fast.stats.superblock_instructions, 0u);
+}
+
+// --- chaining --------------------------------------------------------------
+
+// A hot loop spanning more basic blocks than one region may hold: the first
+// compiled region must chain directly into the next without bouncing through
+// the dispatcher.
+TEST(SuperblockChainTest, OversizedLoopChainsBetweenRegions) {
+  std::string source = R"(
+  .driver "chain_toy"
+  .entry driver_entry
+  .code
+  .func driver_entry
+    la r0, entry_table
+    kcall MosRegisterDriver
+    ret
+  .func ep_init
+    movi r1, 64
+    movi r2, 1
+  outer:
+)";
+  // 40 single-instruction blocks (each bnz is leader and terminator): more
+  // than Limits::max_blocks, so the loop cannot fit in one region.
+  for (int i = 0; i < 40; ++i) {
+    source += StrFormat("  b%d:\n    bnz r2, b%d\n", i, i + 1);
+  }
+  source += R"(  b40:
+    subi r1, r1, 1
+    bnz r1, outer
+    movi r0, 0
+    ret
+  .data
+  entry_table:
+    .word ep_init
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+    .word 0
+)";
+  std::unique_ptr<Ddt> ddts[2];
+  DdtResult plain = RunToy(source, /*superblocks=*/false, &ddts[0]);
+  DdtResult fast = RunToy(source, /*superblocks=*/true, &ddts[1]);
+
+  EXPECT_EQ(plain.stats.instructions, fast.stats.instructions);
+  ASSERT_EQ(plain.bugs.size(), fast.bugs.size());
+  for (size_t i = 0; i < plain.bugs.size(); ++i) {
+    EXPECT_EQ(plain.bugs[i].Row(), fast.bugs[i].Row());
+  }
+  EXPECT_GE(fast.stats.superblocks_compiled, 2u);
+  EXPECT_GT(fast.stats.superblock_chains, 0u);
+  EXPECT_GT(fast.stats.superblock_instructions, 0u);
+}
+
+// --- campaign and fleet report identity -------------------------------------
+
+FaultCampaignConfig CampaignConfig(bool superblocks, uint32_t threads) {
+  FaultCampaignConfig config;
+  config.base.engine.max_instructions = 2'000'000;
+  config.base.engine.max_wall_ms = 120'000;
+  config.base.engine.superblocks = superblocks;
+  config.base.engine.superblock_hot_threshold = 4;
+  config.max_passes = 8;
+  config.max_occurrences_per_class = 2;
+  config.escalation_rounds = 1;
+  config.threads = threads;
+  return config;
+}
+
+TEST(SuperblockCampaignTest, ReportByteIdenticalTierOnOffAtThreads1And4AndFleet) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+
+  Result<FaultCampaignResult> off =
+      RunFaultCampaign(CampaignConfig(false, 1), driver.image, driver.pci);
+  ASSERT_TRUE(off.ok()) << off.status().message();
+  const std::string reference = off.value().FormatReport(driver.name, /*include_volatile=*/false);
+  ASSERT_FALSE(reference.empty());
+
+  // Tier 2 on, sequential.
+  Result<FaultCampaignResult> on1 =
+      RunFaultCampaign(CampaignConfig(true, 1), driver.image, driver.pci);
+  ASSERT_TRUE(on1.ok()) << on1.status().message();
+  EXPECT_EQ(on1.value().FormatReport(driver.name, false), reference);
+  EXPECT_GT(on1.value().total_stats.superblocks_compiled, 0u);
+  EXPECT_GT(on1.value().total_stats.superblock_instructions, 0u);
+
+  // Tier 2 on, four worker threads.
+  Result<FaultCampaignResult> on4 =
+      RunFaultCampaign(CampaignConfig(true, 4), driver.image, driver.pci);
+  ASSERT_TRUE(on4.ok()) << on4.status().message();
+  EXPECT_EQ(on4.value().FormatReport(driver.name, false), reference);
+
+  // Tier 2 on, fleet of three worker processes (fork mode: the workers
+  // inherit the in-memory config, superblock knobs included).
+  fleet::FleetCampaignConfig fleet;
+  fleet.workers = 3;
+  fleet.shard_dir = testing::TempDir() + "superblock_fleet";
+  ::mkdir(fleet.shard_dir.c_str(), 0755);
+  fleet.heartbeat_interval_ms = 50;
+  Result<FaultCampaignResult> on_fleet =
+      fleet::RunFleetCampaign(CampaignConfig(true, 1), driver.image, driver.pci, fleet);
+  ASSERT_TRUE(on_fleet.ok()) << on_fleet.status().message();
+  EXPECT_EQ(on_fleet.value().FormatReport(driver.name, false), reference);
+  EXPECT_GT(on_fleet.value().total_stats.superblocks_compiled, 0u);
+}
+
+}  // namespace
+}  // namespace ddt
