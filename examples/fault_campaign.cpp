@@ -28,6 +28,17 @@
 //                      report is byte-identical on or off — CI diffs it
 //   --superblock-hot-threshold=N  block-entry count before a region compiles
 //
+// Hardware fault plane flags (src/hw; see DESIGN.md §7g):
+//   --hw-faults=0|1    append device-level fault plans to the schedule —
+//                      surprise removal (reads float all-ones, writes drop,
+//                      one PnP halt delivery), sticky MMIO error state,
+//                      interrupt storms/droughts, dropped doorbell writes —
+//                      one deterministic single-point plan per sampled site
+//   --dma-checker=0|1  Checkbochs-style DMA checker: every address the driver
+//                      programs into a device DMA register is validated
+//                      against live kernel allocation/mapping state, and a
+//                      free of device-owned memory is flagged
+//
 // Observability flags (src/obs; see docs/OBSERVABILITY.md):
 //   --trace-out=PATH   record structured trace events during the campaign and
 //                      export them as Chrome trace-event JSON — open PATH in
@@ -111,6 +122,10 @@ int RunAsFleetWorker(int argc, char** argv) {
       config.base.engine.superblocks = v != 0;
     } else if (ParseUintFlag(arg, "--superblock-hot-threshold=", &v)) {
       config.base.engine.superblock_hot_threshold = static_cast<uint32_t>(v);
+    } else if (ParseUintFlag(arg, "--hw-faults=", &v)) {
+      config.hw_faults = v != 0;
+    } else if (ParseUintFlag(arg, "--dma-checker=", &v)) {
+      config.base.dma_checker = v != 0;
     } else {
       std::fprintf(stderr, "fleet worker: unknown flag: %s\n", arg.c_str());
       return 2;
@@ -134,6 +149,8 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string shared_cache_path;
   bool resume = false;
+  bool hw_faults = false;
+  bool dma_checker = false;
   bool superblocks = false;
   uint32_t superblock_hot_threshold = 0;  // 0 = keep the engine default
   uint32_t threads = 0;
@@ -158,6 +175,10 @@ int main(int argc, char** argv) {
       superblocks = v != 0;
     } else if (ParseUintFlag(arg, "--superblock-hot-threshold=", &v)) {
       superblock_hot_threshold = static_cast<uint32_t>(v);
+    } else if (ParseUintFlag(arg, "--hw-faults=", &v)) {
+      hw_faults = v != 0;
+    } else if (ParseUintFlag(arg, "--dma-checker=", &v)) {
+      dma_checker = v != 0;
     } else if (ParseUintFlag(arg, "--threads=", &v)) {
       threads = static_cast<uint32_t>(v);
     } else if (ParseUintFlag(arg, "--workers=", &v)) {
@@ -181,6 +202,8 @@ int main(int argc, char** argv) {
   if (superblock_hot_threshold != 0) {
     config.base.engine.superblock_hot_threshold = superblock_hot_threshold;
   }
+  config.hw_faults = hw_faults;
+  config.base.dma_checker = dma_checker;
   config.collect_metrics = !metrics_out.empty();
 
   if (!trace_out.empty()) {
@@ -215,6 +238,14 @@ int main(int argc, char** argv) {
     if (superblock_hot_threshold != 0) {
       fleet.worker_args.push_back("--superblock-hot-threshold=" +
                                   std::to_string(superblock_hot_threshold));
+    }
+    // Both enter the campaign fingerprint; a worker missing them would be
+    // rejected at HELLO.
+    if (hw_faults) {
+      fleet.worker_args.push_back("--hw-faults=1");
+    }
+    if (dma_checker) {
+      fleet.worker_args.push_back("--dma-checker=1");
     }
     return ddt::fleet::RunFleetCampaign(config, driver.image, driver.pci, fleet);
   }();

@@ -1,0 +1,101 @@
+#include "src/checkers/dma_checker.h"
+
+#include <map>
+
+#include "src/engine/execution_state.h"
+#include "src/support/strings.h"
+
+namespace ddt {
+
+namespace {
+
+struct DmaCheckerState : public CheckerState {
+  // MMIO register offset -> guest address the device currently owns as a
+  // DMA target through that register. std::map keeps report iteration
+  // deterministic.
+  std::map<uint32_t, uint32_t> owned;
+
+  std::unique_ptr<CheckerState> Clone() const override {
+    return std::make_unique<DmaCheckerState>(*this);
+  }
+};
+
+DmaCheckerState& StateOf(ExecutionState& st) {
+  return *static_cast<DmaCheckerState*>(st.checker_state.at("dma").get());
+}
+
+}  // namespace
+
+std::unique_ptr<CheckerState> DmaChecker::MakeState() const {
+  return std::make_unique<DmaCheckerState>();
+}
+
+void DmaChecker::OnMmioWrite(ExecutionState& st, const MmioWriteEvent& write, CheckerHost& host) {
+  if (!write.value_concrete || write.size < 4) {
+    return;  // not a (whole) pointer; partial-pointer programming is out of scope
+  }
+  DmaCheckerState& dcs = StateOf(st);
+  const KernelState& ks = st.kernel;
+  uint32_t target = write.value;
+
+  const MemoryGrant* grant = ks.FindGrant(target);
+  if (grant != nullptr && grant->pageable) {
+    host.ReportBug(st, BugType::kMemoryCorruption,
+                   StrFormat("DMA target in pageable memory: register +0x%x programmed with 0x%x",
+                             write.offset, target),
+                   StrFormat("the device bypasses the MMU; buffer 0x%x..0x%x is a pageable "
+                             "request buffer and may be paged out when the device masters the "
+                             "bus (Checkbochs DMA rule)",
+                             grant->begin, grant->end));
+    return;
+  }
+
+  const PoolAllocation* alloc = ks.FindAllocation(target);
+  if (alloc != nullptr && !alloc->alive) {
+    host.ReportBug(st, BugType::kMemoryCorruption,
+                   StrFormat("DMA target in freed memory: register +0x%x programmed with 0x%x",
+                             write.offset, target),
+                   StrFormat("0x%x lies in pool allocation 0x%x (%u bytes from %s) that was "
+                             "already freed when the driver handed it to the device",
+                             target, alloc->addr, alloc->size, alloc->api.c_str()));
+    return;
+  }
+  if (alloc != nullptr) {
+    dcs.owned[write.offset] = target;  // device owns this buffer from here
+    return;
+  }
+  dcs.owned.erase(write.offset);  // non-pool value: the register was released
+}
+
+void DmaChecker::OnKernelEvent(ExecutionState& st, const KernelEvent& event, CheckerHost& host) {
+  if (event.kind != KernelEvent::Kind::kFree) {
+    return;
+  }
+  DmaCheckerState& dcs = StateOf(st);
+  if (dcs.owned.empty()) {
+    return;
+  }
+  const KernelState& ks = st.kernel;
+  uint32_t freed = event.a;
+  auto it = ks.pool.find(freed);
+  if (it == ks.pool.end()) {
+    return;
+  }
+  uint32_t end = freed + it->second.size;
+  for (const auto& [offset, target] : dcs.owned) {
+    if (target >= freed && target < end) {
+      host.ReportBug(
+          st, BugType::kMemoryCorruption,
+          StrFormat("pool memory freed while the device owns it as a DMA target "
+                    "(register +0x%x)",
+                    offset),
+          StrFormat("allocation 0x%x (%u bytes) freed but MMIO register +0x%x still points at "
+                    "0x%x; the device can master the bus into recycled memory (quiesce write "
+                    "lost or never issued)",
+                    freed, it->second.size, offset, target));
+      return;  // one report; the path terminates
+    }
+  }
+}
+
+}  // namespace ddt

@@ -1,0 +1,36 @@
+// Checkbochs-style DMA checker (the paper cites hardware-level rule checking
+// in the virtual machine — Checkbochs — as the model for device-facing
+// checks).
+//
+// Every concrete pointer-sized value the driver writes into the device's
+// MMIO window is validated against live kernel allocation/mapping state:
+//   - a DMA target inside a pageable grant (a request buffer handed down
+//     from user space) is a bug: the device bypasses the MMU and page faults
+//     cannot be serviced on its behalf;
+//   - a DMA target inside freed pool memory is a bug at programming time;
+//   - a DMA target inside live pool memory registers device *ownership* of
+//     that register; if the backing allocation is freed while the register
+//     still points at it (quiesce write lost to surprise removal or a
+//     dropped doorbell), that is the classic free-while-DMA-active bug.
+// Writing any other value to a register the device owned releases it.
+//
+// Opt-in (DdtConfig::dma_checker): the checker changes which paths die early
+// (its reports terminate the path), so plain baselines keep it off.
+#ifndef SRC_CHECKERS_DMA_CHECKER_H_
+#define SRC_CHECKERS_DMA_CHECKER_H_
+
+#include "src/engine/checker.h"
+
+namespace ddt {
+
+class DmaChecker : public Checker {
+ public:
+  std::string name() const override { return "dma"; }
+  std::unique_ptr<CheckerState> MakeState() const override;
+  void OnMmioWrite(ExecutionState& st, const MmioWriteEvent& write, CheckerHost& host) override;
+  void OnKernelEvent(ExecutionState& st, const KernelEvent& event, CheckerHost& host) override;
+};
+
+}  // namespace ddt
+
+#endif  // SRC_CHECKERS_DMA_CHECKER_H_

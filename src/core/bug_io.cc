@@ -77,6 +77,12 @@ std::string SerializeBugs(const std::vector<Bug>& bugs) {
       out += StrFormat("fault-injected %d %u %s\n", static_cast<int>(fault.cls), fault.occurrence,
                        Escape(fault.api).c_str());
     }
+    for (const HwFaultPoint& point : bug.fault_plan.hw_points) {
+      out += StrFormat("hw-fault-point %d %u\n", static_cast<int>(point.kind), point.index);
+    }
+    for (const InjectedHwFault& fault : bug.hw_fault_schedule) {
+      out += StrFormat("hw-fault-injected %d %u\n", static_cast<int>(fault.kind), fault.index);
+    }
     out += "trace " + Escape(FormatTrace(bug.trace, 60)) + "\n";
     out += "end\n";
   }
@@ -205,6 +211,26 @@ Result<std::vector<Bug>> DeserializeBugs(const std::string& text) {
       fault.occurrence = occurrence;
       fault.api = Unescape(value.substr(static_cast<size_t>(consumed)));
       current.fault_schedule.push_back(fault);
+    } else if (key == "hw-fault-point") {
+      int kind;
+      unsigned index;
+      if (std::sscanf(value.c_str(), "%d %u", &kind, &index) != 2 || kind < 0 ||
+          kind >= static_cast<int>(kNumHwFaultKinds)) {
+        return Status::Error("bug report: bad hw-fault-point line");
+      }
+      current.fault_plan.hw_points.push_back(
+          HwFaultPoint{static_cast<HwFaultKind>(kind), index});
+    } else if (key == "hw-fault-injected") {
+      int kind;
+      unsigned index;
+      if (std::sscanf(value.c_str(), "%d %u", &kind, &index) != 2 || kind < 0 ||
+          kind >= static_cast<int>(kNumHwFaultKinds)) {
+        return Status::Error("bug report: bad hw-fault-injected line");
+      }
+      InjectedHwFault fault;
+      fault.kind = static_cast<HwFaultKind>(kind);
+      fault.index = index;
+      current.hw_fault_schedule.push_back(fault);
     } else if (key == "trace") {
       // Stored as rendered text; kept in `details` addendum rather than as
       // structured events (expression pointers cannot cross processes).

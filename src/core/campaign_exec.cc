@@ -31,6 +31,12 @@ uint64_t CampaignFingerprint(const FaultCampaignConfig& config, const DriverImag
   mix_u64(config.max_passes);
   mix_u64(config.max_occurrences_per_class);
   mix_u64(config.escalation_rounds);
+  // The hardware fault plane and the DMA checker both change the pass
+  // schedule or the bug sets passes produce, so they are part of a
+  // campaign's identity.
+  mix_u64(config.hw_faults ? 1 : 0);
+  mix_u64(config.hw_max_points_per_kind);
+  mix_u64(config.base.dma_checker ? 1 : 0);
   mix_u64(config.base.engine.seed);
   mix_u64(config.base.engine.max_instructions);
   mix_u64(config.base.engine.max_states);
@@ -55,6 +61,11 @@ Status ValidateCampaignConfig(const FaultCampaignConfig& config) {
   }
   if (config.resume && config.journal_path.empty()) {
     return Status::Error("FaultCampaignConfig.resume requires journal_path");
+  }
+  if (config.hw_faults && config.hw_max_points_per_kind == 0) {
+    return Status::Error(
+        "FaultCampaignConfig.hw_faults requires hw_max_points_per_kind >= 1 (no hardware fault "
+        "plan could ever be generated)");
   }
   return Status::Ok();
 }
@@ -252,11 +263,13 @@ PassOutcome CampaignPassExecutor::Execute(const FaultPlan& plan) {
 // ---------------------------------------------------------------------------
 
 CampaignPassRecord MakePassRecord(uint64_t index, const FaultPlan& plan, const PassOutcome& out,
-                                  const FaultSiteProfile* profile) {
+                                  const FaultSiteProfile* profile,
+                                  const HwSiteProfile* hw_profile) {
   CampaignPassRecord rec;
   rec.index = index;
   rec.label = plan.label;
   rec.points = plan.points;
+  rec.hw_points = plan.hw_points;
   rec.retries = out.retries;
   rec.quarantined = out.quarantined;
   rec.failure = out.failure;
@@ -268,6 +281,9 @@ CampaignPassRecord MakePassRecord(uint64_t index, const FaultPlan& plan, const P
   if (profile != nullptr) {
     rec.has_profile = true;
     rec.profile = *profile;
+  }
+  if (hw_profile != nullptr) {
+    rec.hw_profile = *hw_profile;
   }
   return rec;
 }

@@ -134,10 +134,12 @@ class CampaignPassExecutor {
 };
 
 // Builds the checkpoint-journal record for a completed (or quarantined)
-// pass. `profile` is non-null only for the baseline (pass 0), whose
-// fault-site profile the whole schedule derives from.
+// pass. `profile` and `hw_profile` are non-null only for the baseline
+// (pass 0), whose fault-site and hardware-site profiles the whole schedule
+// derives from.
 CampaignPassRecord MakePassRecord(uint64_t index, const FaultPlan& plan, const PassOutcome& out,
-                                  const FaultSiteProfile* profile);
+                                  const FaultSiteProfile* profile,
+                                  const HwSiteProfile* hw_profile = nullptr);
 
 // Wraps a serialized record back into a mergeable outcome.
 // `restored_from_journal` distinguishes a resume restore (counted in

@@ -263,11 +263,40 @@ bool PointsFromString(const std::string& text, std::vector<FaultPoint>* out) {
   return true;
 }
 
+std::string HwPointsToString(const std::vector<HwFaultPoint>& points) {
+  std::string out;
+  for (const HwFaultPoint& p : points) {
+    if (!out.empty()) {
+      out.push_back(' ');
+    }
+    out += StrFormat("%d#%u", static_cast<int>(p.kind), p.index);
+  }
+  return out;
+}
+
+bool HwPointsFromString(const std::string& text, std::vector<HwFaultPoint>* out) {
+  for (std::string_view piece : SplitAny(text, " ")) {
+    size_t hash = piece.find('#');
+    if (hash == std::string_view::npos) {
+      return false;
+    }
+    int64_t kind = 0;
+    int64_t index = 0;
+    if (!ParseInt(piece.substr(0, hash), &kind) || !ParseInt(piece.substr(hash + 1), &index) ||
+        kind < 0 || kind >= static_cast<int64_t>(kNumHwFaultKinds) || index < 0) {
+      return false;
+    }
+    out->push_back(HwFaultPoint{static_cast<HwFaultKind>(kind), static_cast<uint32_t>(index)});
+  }
+  return true;
+}
+
 std::string EncodeRecord(const CampaignPassRecord& rec) {
   JsonWriter w;
   w.U64("i", rec.index);
   w.Str("label", rec.label);
   w.Str("points", PointsToString(rec.points));
+  w.Str("hw_points", HwPointsToString(rec.hw_points));
   w.U64("retries", rec.retries);
   w.U64("q", rec.quarantined ? 1 : 0);
   w.Str("failure", rec.failure);
@@ -280,6 +309,11 @@ std::string EncodeRecord(const CampaignPassRecord& rec) {
       profile += StrFormat("%u", rec.profile.max_occurrences[i]);
     }
     w.Str("profile", profile);
+    // Hardware-plane counterpart: the five extent counters hw plan
+    // generation derives from.
+    w.Str("hw_profile", StrFormat("%u %u %u %u %u", rec.hw_profile.max_mmio_accesses,
+                                  rec.hw_profile.max_mmio_reads, rec.hw_profile.max_mmio_writes,
+                                  rec.hw_profile.max_crossings, rec.hw_profile.max_interrupts));
   }
   const EngineStats& e = rec.stats;
   w.U64("e_instructions", e.instructions);
@@ -294,6 +328,17 @@ std::string EncodeRecord(const CampaignPassRecord& rec) {
   w.U64("e_concretizations", e.concretizations);
   w.U64("e_concretization_backtracks", e.concretization_backtracks);
   w.U64("e_faults_injected", e.faults_injected);
+  // Hardware fault plane counters (absent in older journals; GetU64 defaults
+  // them to 0).
+  w.U64("e_hw_faults", e.hw_faults_injected);
+  w.U64("e_hw_removals", e.hw_removals);
+  w.U64("e_hw_sticky", e.hw_sticky_faults);
+  w.U64("e_hw_storms", e.hw_irq_storms);
+  w.U64("e_hw_suppressed", e.hw_irq_suppressed);
+  w.U64("e_hw_doorbells_dropped", e.hw_doorbells_dropped);
+  w.U64("e_hw_reads_floated", e.hw_reads_floated);
+  w.U64("e_hw_writes_dropped", e.hw_writes_dropped);
+  w.U64("e_hw_removal_events", e.hw_removal_events);
   w.U64("e_states_evicted", e.states_evicted);
   w.U64("e_peak_state_bytes", e.peak_state_bytes);
   w.U64("e_blocks_decoded", e.blocks_decoded);
@@ -343,6 +388,9 @@ bool DecodeRecord(const std::map<std::string, std::string>& m, CampaignPassRecor
   if (!PointsFromString(GetStr(m, "points"), &rec->points)) {
     return false;
   }
+  if (!HwPointsFromString(GetStr(m, "hw_points"), &rec->hw_points)) {
+    return false;
+  }
   rec->retries = static_cast<uint32_t>(GetU64(m, "retries"));
   rec->quarantined = GetU64(m, "q") != 0;
   rec->failure = GetStr(m, "failure");
@@ -360,6 +408,23 @@ bool DecodeRecord(const std::map<std::string, std::string>& m, CampaignPassRecor
       rec->profile.max_occurrences[i] = static_cast<uint32_t>(v);
     }
     rec->has_profile = true;
+    auto hw_it = m.find("hw_profile");
+    if (hw_it != m.end()) {
+      std::vector<std::string_view> hw_pieces = SplitAny(hw_it->second, " ");
+      if (hw_pieces.size() != 5) {
+        return false;
+      }
+      uint32_t* fields[5] = {&rec->hw_profile.max_mmio_accesses, &rec->hw_profile.max_mmio_reads,
+                             &rec->hw_profile.max_mmio_writes, &rec->hw_profile.max_crossings,
+                             &rec->hw_profile.max_interrupts};
+      for (size_t i = 0; i < 5; ++i) {
+        int64_t v = 0;
+        if (!ParseInt(hw_pieces[i], &v) || v < 0) {
+          return false;
+        }
+        *fields[i] = static_cast<uint32_t>(v);
+      }
+    }
   }
   EngineStats& e = rec->stats;
   e.instructions = GetU64(m, "e_instructions");
@@ -374,6 +439,15 @@ bool DecodeRecord(const std::map<std::string, std::string>& m, CampaignPassRecor
   e.concretizations = GetU64(m, "e_concretizations");
   e.concretization_backtracks = GetU64(m, "e_concretization_backtracks");
   e.faults_injected = GetU64(m, "e_faults_injected");
+  e.hw_faults_injected = GetU64(m, "e_hw_faults");
+  e.hw_removals = GetU64(m, "e_hw_removals");
+  e.hw_sticky_faults = GetU64(m, "e_hw_sticky");
+  e.hw_irq_storms = GetU64(m, "e_hw_storms");
+  e.hw_irq_suppressed = GetU64(m, "e_hw_suppressed");
+  e.hw_doorbells_dropped = GetU64(m, "e_hw_doorbells_dropped");
+  e.hw_reads_floated = GetU64(m, "e_hw_reads_floated");
+  e.hw_writes_dropped = GetU64(m, "e_hw_writes_dropped");
+  e.hw_removal_events = GetU64(m, "e_hw_removal_events");
   e.states_evicted = GetU64(m, "e_states_evicted");
   e.peak_state_bytes = GetU64(m, "e_peak_state_bytes");
   e.blocks_decoded = GetU64(m, "e_blocks_decoded");

@@ -47,6 +47,7 @@ struct CampaignPassRecord {
   uint64_t index = 0;
   std::string label;               // plan label ("" for the baseline)
   std::vector<FaultPoint> points;  // plan injection points
+  std::vector<HwFaultPoint> hw_points;  // device-level injection points
   uint32_t retries = 0;            // supervisor retry attempts consumed
   bool quarantined = false;        // permanently failed; no stats/bugs
   std::string failure;             // failure reason (quarantined passes)
@@ -55,8 +56,10 @@ struct CampaignPassRecord {
   std::vector<Bug> bugs;  // replay-relevant fields only (bug_io round-trip)
   // Baseline only: the fault-site profile plan generation derives from, so a
   // resumed campaign reproduces the exact schedule without re-running pass 0.
+  // hw_profile is the hardware-plane counterpart (MMIO/interrupt extents).
   bool has_profile = false;
   FaultSiteProfile profile;
+  HwSiteProfile hw_profile;
 };
 
 // Flat-JSON payload codec for one pass record — the exact bytes the journal

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "src/checkers/default_checkers.h"
+#include "src/checkers/dma_checker.h"
 #include "src/core/campaign_exec.h"
 #include "src/core/campaign_journal.h"
 #include "src/obs/trace_events.h"
@@ -58,6 +59,9 @@ Result<DdtResult> Ddt::TestDriver(const DriverImage& image, const PciDescriptor&
     for (auto& checker : MakeDefaultCheckers()) {
       engine_->AddChecker(std::move(checker));
     }
+  }
+  if (config_.dma_checker) {
+    engine_->AddChecker(std::make_unique<DmaChecker>());
   }
   for (auto& checker : extra_checkers_) {
     engine_->AddChecker(std::move(checker));
@@ -168,6 +172,14 @@ std::string DdtResult::FormatReport(const std::string& driver_name) const {
     out += StrFormat("faults injected: %llu\n",
                      static_cast<unsigned long long>(stats.faults_injected));
   }
+  if (stats.hw_faults_injected != 0) {
+    out += StrFormat("hw faults injected: %llu (%llu removals, %llu reads floated, "
+                     "%llu writes dropped)\n",
+                     static_cast<unsigned long long>(stats.hw_faults_injected),
+                     static_cast<unsigned long long>(stats.hw_removals),
+                     static_cast<unsigned long long>(stats.hw_reads_floated),
+                     static_cast<unsigned long long>(stats.hw_writes_dropped));
+  }
   if (solver_stats.query_timeouts != 0 || stats.states_evicted != 0) {
     out += StrFormat("governor: %llu query timeouts, %llu states evicted\n",
                      static_cast<unsigned long long>(solver_stats.query_timeouts),
@@ -265,10 +277,12 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
   // re-running the baseline. A failed baseline fails the whole campaign (and
   // is deliberately not journaled, so a plain rerun retries it).
   FaultSiteProfile profile;
+  HwSiteProfile hw_profile;
   auto base_it = journaled.find(0);
   if (base_it != journaled.end() && base_it->second.has_profile &&
       !base_it->second.quarantined) {
     profile = base_it->second.profile;
+    hw_profile = base_it->second.hw_profile;
     PassOutcome restored =
         OutcomeFromRecord(std::move(base_it->second), /*restored_from_journal=*/true);
     merger.Merge(FaultPlan{}, restored);
@@ -278,9 +292,11 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
       return Status::Error("campaign baseline pass failed: " + baseline.failure);
     }
     profile = baseline.ddt->engine().fault_site_profile();
+    hw_profile = baseline.ddt->engine().hw_site_profile();
     if (journal != nullptr) {
       obs::ScopedPhase journal_phase(baseline.profile.get(), obs::Phase::kJournal);
-      Status appended = journal->Append(MakePassRecord(0, FaultPlan{}, baseline, &profile));
+      Status appended =
+          journal->Append(MakePassRecord(0, FaultPlan{}, baseline, &profile, &hw_profile));
       if (!appended.ok()) {
         return appended;
       }
@@ -292,6 +308,16 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
   std::vector<FaultPlan> plans =
       GenerateCampaignPlans(profile, config.seed, config.max_occurrences_per_class,
                             config.escalation_rounds, plan_budget);
+  // Hardware fault plans ride the same budget, after the kernel-API plans:
+  // the error paths §3.4 targets first are the common case, device-level
+  // hostility extends the campaign rather than displacing it.
+  if (config.hw_faults && plans.size() < plan_budget) {
+    std::vector<FaultPlan> hw_plans = GenerateHwCampaignPlans(
+        hw_profile, config.hw_max_points_per_kind, plan_budget - plans.size());
+    for (FaultPlan& plan : hw_plans) {
+      plans.push_back(std::move(plan));
+    }
+  }
 
   // Partition the plans: journaled passes restore instantly, the rest run.
   std::vector<PassOutcome> outcomes(plans.size());
@@ -436,6 +462,11 @@ std::string FaultCampaignResult::FormatReport(const std::string& driver_name,
                    passes.empty() ? 0 : passes.size() - 1);
   out += StrFormat("total faults injected: %llu\n",
                    static_cast<unsigned long long>(total_faults_injected));
+  if (total_stats.hw_faults_injected != 0) {
+    out += StrFormat("total hw faults injected: %llu (%llu removals)\n",
+                     static_cast<unsigned long long>(total_stats.hw_faults_injected),
+                     static_cast<unsigned long long>(total_stats.hw_removals));
+  }
   out += StrFormat("merged bugs: %zu\n", bugs.size());
   for (const Bug& bug : bugs) {
     out += "  " + bug.Row();

@@ -43,6 +43,12 @@ struct DdtConfig {
   // Workload override; by default chosen from the driver's class (network vs
   // audio) per §4.3.
   std::optional<std::vector<WorkloadStep>> workload;
+  // Checkbochs-style DMA checker (src/checkers/dma_checker.h): validate every
+  // buffer address the driver writes into the device's MMIO window against
+  // live kernel allocation/mapping state. Opt-in because its reports
+  // terminate paths (changing which bugs downstream checkers see), so plain
+  // baselines keep historical behavior. Enters the campaign fingerprint.
+  bool dma_checker = false;
 };
 
 struct DdtResult {
@@ -117,6 +123,19 @@ struct FaultCampaignConfig {
   // Rounds of multi-point escalation after the singles (round r combines
   // r + 2 points).
   uint32_t escalation_rounds = 1;
+  // --- Hardware fault plane (src/hw/hw_fault.h) ---
+  // Append device-level fault plans (surprise removal, removal at an
+  // interrupt, sticky error registers, interrupt storms/droughts, dropped
+  // doorbell writes) after the kernel-API plans, within the same max_passes
+  // budget. Indices are sampled from the baseline's hardware site profile
+  // exactly as kernel plans derive from the fault-site profile, so the
+  // schedule is deterministic in (config, driver) and enters the campaign
+  // fingerprint.
+  bool hw_faults = false;
+  // Per hardware fault kind, how many trigger indices to sample (spread
+  // evenly across the observed extent; the first and last index are always
+  // included so late-lifecycle faults — removal during Halt — are covered).
+  uint32_t hw_max_points_per_kind = 4;
   // Worker threads for the plan passes. 0 = one per hardware thread;
   // 1 = run passes sequentially on the calling thread (the exact historical
   // behavior). Passes are independent engine+solver instances, and results

@@ -16,6 +16,19 @@
 // the Table-2 set, invisible to plain runs): the MosMapIoSpace failure path
 // also skips MosCloseConfiguration, and MosMapIoSpace never fails unless a
 // FaultPlan makes it (§3.4).
+//
+// And two latent DMA-plane defects (Checkbochs-style, visible only with the
+// DMA checker and/or the hardware fault plane):
+//   7. SetInformation points the NIC's multicast DMA register straight at
+//      the caller's request buffer -- pageable memory as a DMA target
+//   8. Halt clears the receive-DMA base register and then frees rx_buffer;
+//      correct in a friendly world, but if the device is surprise-removed
+//      (or the clearing doorbell write is dropped) the NIC still owns the
+//      buffer when MosFreePool runs
+//
+// Device MMIO register map (BAR0-relative): +0 interrupt status (read),
+// +12 receive-DMA base (write), +16 tx FIFO (write), +20 multicast DMA
+// pointer (write).
 #include "src/drivers/asm_lib.h"
 #include "src/drivers/corpus.h"
 
@@ -60,6 +73,9 @@ std::string Rtl8029Source() {
     kcall MosAllocatePoolWithTag
     bz r0, init_alloc_failed
     st32 [r5+12], r0           ; adapter.rx_buffer
+    ; program the receive-DMA base register: the NIC owns rx_buffer from here
+    ld32 r1, [r5+4]
+    st32 [r1+12], r0
     ; hook the interrupt
     la r0, isr
     la r1, adapter
@@ -114,6 +130,12 @@ std::string Rtl8029Source() {
     kcall MosDeregisterInterrupt
     ld32 r0, [r4+12]
     bz r0, halt_no_buffer
+    ; BUG 8 (latent): quiesce receive DMA, then free. If the device was
+    ; surprise-removed or the doorbell write is dropped, the NIC still owns
+    ; rx_buffer when it is freed.
+    ld32 r1, [r4+4]
+    movi r2, 0
+    st32 [r1+12], r2
     kcall MosFreePool
   halt_no_buffer:
     movi r0, 0
@@ -191,6 +213,11 @@ std::string Rtl8029Source() {
     add r2, r2, r3
     ld32 r3, [r1+0]
     st32 [r2+0], r3              ; out-of-bounds write for count > 16 (or 0)
+    ; BUG 7 (latent): hand the NIC the multicast list by DMA pointer --
+    ; straight from the caller's pageable request buffer
+    la r2, adapter
+    ld32 r2, [r2+4]
+    st32 [r2+20], r1
     movi r0, 0
     pop {r4, lr}
     ret

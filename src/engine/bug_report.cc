@@ -81,6 +81,10 @@ std::string Bug::Format(size_t trace_lines, const TraceSymbolizer* symbolizer) c
     out += StrFormat("  faults injected on path: %s\n",
                      FormatFaultSchedule(fault_schedule).c_str());
   }
+  if (!hw_fault_schedule.empty()) {
+    out += StrFormat("  hw faults on path: %s\n",
+                     FormatHwFaultSchedule(hw_fault_schedule).c_str());
+  }
   if (!interrupt_schedule.empty()) {
     out += "  interrupt schedule (boundary crossings): ";
     for (size_t i = 0; i < interrupt_schedule.size(); ++i) {

@@ -68,6 +68,9 @@ struct Bug {
   // the plan; deterministic occurrence counters reproduce the schedule.
   FaultPlan fault_plan;
   std::vector<InjectedFault> fault_schedule;
+  // Device-level faults triggered on the buggy path (the hardware fault
+  // plane's half of the schedule; the plan above carries its hw_points).
+  std::vector<InjectedHwFault> hw_fault_schedule;
   // The path constraints at detection time (the satisfiability obligation
   // behind `inputs`). Expression pointers are owned by the engine's
   // ExprContext — valid while the Ddt/Engine instance lives; export with

@@ -30,6 +30,18 @@ struct MemAccessEvent {
   ExprRef addr_expr = nullptr;     // pre-concretization address expression
 };
 
+// A driver write that actually reached the device's MMIO window (BAR-
+// relative). Writes the hardware fault plane dropped (removal, doorbell
+// drop) are never reported — the device did not see them, so checkers
+// validating the driver↔device contract must not either.
+struct MmioWriteEvent {
+  uint32_t pc = 0;
+  uint32_t offset = 0;  // BAR-relative register offset
+  unsigned size = 4;
+  bool value_concrete = false;
+  uint32_t value = 0;  // meaningful only when value_concrete
+};
+
 class Solver;
 
 class CheckerHost {
@@ -61,6 +73,10 @@ class Checker {
 
   // A driver memory access is about to be performed.
   virtual void OnMemAccess(ExecutionState& st, const MemAccessEvent& access, CheckerHost& host) {}
+
+  // The device received a driver write into its MMIO window (Checkbochs-style
+  // hardware-level rule hook; the DMA checker keys off this).
+  virtual void OnMmioWrite(ExecutionState& st, const MmioWriteEvent& write, CheckerHost& host) {}
 
   // A kernel event was emitted (API call, lock op, entry transition, ...).
   virtual void OnKernelEvent(ExecutionState& st, const KernelEvent& event, CheckerHost& host) {}

@@ -28,6 +28,15 @@ void EngineStats::Accumulate(const EngineStats& other) {
   concretizations += other.concretizations;
   concretization_backtracks += other.concretization_backtracks;
   faults_injected += other.faults_injected;
+  hw_faults_injected += other.hw_faults_injected;
+  hw_removals += other.hw_removals;
+  hw_sticky_faults += other.hw_sticky_faults;
+  hw_irq_storms += other.hw_irq_storms;
+  hw_irq_suppressed += other.hw_irq_suppressed;
+  hw_doorbells_dropped += other.hw_doorbells_dropped;
+  hw_reads_floated += other.hw_reads_floated;
+  hw_writes_dropped += other.hw_writes_dropped;
+  hw_removal_events += other.hw_removal_events;
   states_evicted += other.states_evicted;
   peak_state_bytes = std::max(peak_state_bytes, other.peak_state_bytes);
   blocks_decoded += other.blocks_decoded;
@@ -387,6 +396,17 @@ void Engine::PublishObsMetrics() {
   m.counter("engine.interrupts_injected")->Add(stats_.interrupts_injected);
   m.counter("engine.concretizations")->Add(stats_.concretizations);
   m.counter("engine.faults_injected")->Add(stats_.faults_injected);
+  if (!config_.fault_plan.hw_points.empty()) {
+    m.counter("hw.faults_injected")->Add(stats_.hw_faults_injected);
+    m.counter("hw.removals")->Add(stats_.hw_removals);
+    m.counter("hw.sticky_faults")->Add(stats_.hw_sticky_faults);
+    m.counter("hw.irq_storms")->Add(stats_.hw_irq_storms);
+    m.counter("hw.irq_suppressed")->Add(stats_.hw_irq_suppressed);
+    m.counter("hw.doorbells_dropped")->Add(stats_.hw_doorbells_dropped);
+    m.counter("hw.reads_floated")->Add(stats_.hw_reads_floated);
+    m.counter("hw.writes_dropped")->Add(stats_.hw_writes_dropped);
+    m.counter("hw.removal_events")->Add(stats_.hw_removal_events);
+  }
   m.counter("vm.block_cache.blocks_decoded")->Add(stats_.blocks_decoded);
   m.counter("vm.block_cache.hits")->Add(stats_.block_cache_hits);
   m.counter("vm.block_cache.fallback_fetches")->Add(stats_.block_cache_fallback_fetches);
@@ -504,6 +524,34 @@ bool Engine::ShouldInjectFault(ExecutionState& st, FaultClass cls, const char* a
   return true;
 }
 
+void Engine::RecordHwFault(ExecutionState& st, HwFaultKind kind, uint32_t index) {
+  ++stats_.hw_faults_injected;
+  obs::TraceInstant("engine.hw_fault_injected", "kind", HwFaultKindName(kind));
+  InjectedHwFault fault;
+  fault.kind = kind;
+  fault.index = index;
+  st.kernel.hw_faults_injected.push_back(fault);
+  KernelEvent ev;
+  ev.kind = KernelEvent::Kind::kHwFaultInjected;
+  ev.a = static_cast<uint32_t>(kind);
+  ev.b = index;
+  ev.text = HwFaultKindName(kind);
+  EmitKernelEvent(st, ev);
+}
+
+void Engine::RemoveDevice(ExecutionState& st, HwFaultKind kind, uint32_t index) {
+  ++stats_.hw_removals;
+  st.kernel.device_removed = true;
+  RecordHwFault(st, kind, index);
+  if (!st.alive()) {
+    return;
+  }
+  KernelEvent ev;
+  ev.kind = KernelEvent::Kind::kDeviceRemoved;
+  ev.a = index;
+  EmitKernelEvent(st, ev);
+}
+
 // ---------------------------------------------------------------------------
 // Scheduler: workload steps, DPCs, timers (§4.3)
 // ---------------------------------------------------------------------------
@@ -569,6 +617,21 @@ void Engine::ScheduleNext(ExecutionState& st) {
     }
   }
 
+  // Surprise removal (hardware fault plane): the PnP event preempts the rest
+  // of the exerciser script — the kernel tears the stack down by delivering
+  // Halt exactly once, the same way a real bus driver would on hot-unplug.
+  if (ks.device_removed && !ks.removal_halt_delivered) {
+    ks.removal_halt_delivered = true;
+    ks.workload_pos = ks.workload.size();
+    uint32_t halt_fn = ks.entry_points[static_cast<size_t>(kEpHalt)];
+    if (!ks.halt_invoked && halt_fn != 0 && ks.init_succeeded) {
+      ++stats_.hw_removal_events;
+      ks.halt_invoked = true;
+      InvokeGuestFunction(st, halt_fn, {}, ExecContextKind::kEntryPoint, kEpHalt);
+      return;
+    }
+  }
+
   // Next workload step.
   while (ks.workload_pos < ks.workload.size()) {
     const WorkloadStep step = ks.workload[ks.workload_pos++];
@@ -578,6 +641,9 @@ void Engine::ScheduleNext(ExecutionState& st) {
     uint32_t fn = ks.entry_points[static_cast<size_t>(step.slot)];
     if (fn == 0) {
       continue;  // driver does not implement this entry
+    }
+    if (step.slot == kEpHalt) {
+      ks.halt_invoked = true;
     }
     std::vector<Value> args;
     switch (step.plan) {
@@ -741,6 +807,19 @@ void Engine::CrossBoundary(ExecutionState& st) {
     return;
   }
   uint32_t crossing = st.kernel.boundary_crossings++;
+  hw_site_profile_.max_crossings = std::max(hw_site_profile_.max_crossings, crossing + 1);
+
+  // Interrupt drought: from this crossing on, the device goes silent — every
+  // delivery that would otherwise happen is withheld.
+  if (!st.kernel.hw_irq_drought &&
+      config_.fault_plan.ShouldTriggerHw(HwFaultKind::kIrqDrought, crossing)) {
+    st.kernel.hw_irq_drought = true;
+    RecordHwFault(st, HwFaultKind::kIrqDrought, crossing);
+    if (!st.alive()) {
+      return;
+    }
+  }
+  bool hw_silent = st.kernel.device_removed || st.kernel.hw_irq_drought;
 
   if (!config_.enable_symbolic_interrupts) {
     // Concrete modes: deliver per the forced schedule.
@@ -748,6 +827,25 @@ void Engine::CrossBoundary(ExecutionState& st) {
                                config_.forced_interrupt_schedule.end(),
                                crossing) != config_.forced_interrupt_schedule.end();
     if (scheduled && st.kernel.isr_registered && !st.InContext(ExecContextKind::kIsr)) {
+      if (hw_silent) {
+        ++stats_.hw_irq_suppressed;
+      } else {
+        DeliverIsr(st, crossing);
+      }
+    }
+    return;
+  }
+
+  // Interrupt storm: the device interrupts at this crossing whether the path
+  // budget allows it or not — delivered in place (every path sees it), not as
+  // a fork. Guided replays reproduce the delivery through the recorded
+  // interrupt schedule instead, so storms are not re-forced there.
+  if (!config_.guided && !hw_silent &&
+      config_.fault_plan.ShouldTriggerHw(HwFaultKind::kIrqStorm, crossing) &&
+      st.kernel.isr_registered && !st.InContext(ExecContextKind::kIsr)) {
+    ++stats_.hw_irq_storms;
+    RecordHwFault(st, HwFaultKind::kIrqStorm, crossing);
+    if (st.alive()) {
       DeliverIsr(st, crossing);
     }
     return;
@@ -757,6 +855,10 @@ void Engine::CrossBoundary(ExecutionState& st) {
       st.kernel.interrupts_injected < config_.max_interrupts_per_path &&
       !st.InContext(ExecContextKind::kIsr) && states_.size() < config_.max_states &&
       st.depth < config_.max_fork_depth) {
+    if (hw_silent) {
+      ++stats_.hw_irq_suppressed;
+      return;
+    }
     std::unique_ptr<ExecutionState> child = CloneState(st);
     ++stats_.forks;
     ++stats_.interrupts_injected;
@@ -767,8 +869,21 @@ void Engine::CrossBoundary(ExecutionState& st) {
 }
 
 void Engine::DeliverIsr(ExecutionState& st, uint32_t crossing_index) {
-  st.kernel.interrupts_injected++;
+  uint32_t delivery_index = st.kernel.irq_deliveries++;
+  hw_site_profile_.max_interrupts =
+      std::max(hw_site_profile_.max_interrupts, delivery_index + 1);
+  // The schedule records the crossing even when removal preempts the ISR:
+  // replay re-enters DeliverIsr here and the replayed plan re-triggers the
+  // removal at the same delivery index.
   st.interrupt_schedule.push_back(crossing_index);
+  if (!st.kernel.device_removed &&
+      config_.fault_plan.ShouldTriggerHw(HwFaultKind::kRemovalAtInterrupt, delivery_index)) {
+    // Hot-unplug at the moment the interrupt would have fired: no ISR runs,
+    // and the PnP removal event reaches the exerciser instead.
+    RemoveDevice(st, HwFaultKind::kRemovalAtInterrupt, delivery_index);
+    return;
+  }
+  st.kernel.interrupts_injected++;
   TraceEvent ev;
   ev.kind = TraceEvent::Kind::kInterrupt;
   ev.pc = st.pc;
@@ -1563,6 +1678,44 @@ Value Engine::ReadMem(ExecutionState& st, uint32_t addr, unsigned size, uint32_t
                       bool addr_was_sym, ExprRef addr_expr, bool* ok) {
   *ok = true;
   if (IsMmioAddr(addr)) {
+    // Hardware fault plane: interaction indices advance on EVERY access,
+    // injected or not, so HwFaultPoints are stable coordinates across passes
+    // and guided replay (same contract as fault_occurrences).
+    uint32_t access_index = st.kernel.mmio_accesses++;
+    uint32_t read_index = st.kernel.mmio_reads++;
+    hw_site_profile_.max_mmio_accesses =
+        std::max(hw_site_profile_.max_mmio_accesses, access_index + 1);
+    hw_site_profile_.max_mmio_reads =
+        std::max(hw_site_profile_.max_mmio_reads, read_index + 1);
+    if (!st.kernel.device_removed &&
+        config_.fault_plan.ShouldTriggerHw(HwFaultKind::kSurpriseRemoval, access_index)) {
+      RemoveDevice(st, HwFaultKind::kSurpriseRemoval, access_index);
+    }
+    if (st.alive() && !st.kernel.hw_sticky_error &&
+        config_.fault_plan.ShouldTriggerHw(HwFaultKind::kStickyError, read_index)) {
+      ++stats_.hw_sticky_faults;
+      st.kernel.hw_sticky_error = true;
+      RecordHwFault(st, HwFaultKind::kStickyError, read_index);
+    }
+    if (!st.alive()) {
+      *ok = false;
+      return Value::Concrete(0);
+    }
+    if (st.kernel.device_removed || st.kernel.hw_sticky_error) {
+      // A removed (or error-latched) device floats the bus: reads return
+      // all-ones concretely, exactly what hot-unplugged PCI hardware does.
+      ++stats_.hw_reads_floated;
+      Value v = Value::Concrete(HwRemovedReadBits(size));
+      TraceEvent ev;
+      ev.kind = TraceEvent::Kind::kMemRead;
+      ev.pc = pc;
+      ev.addr = addr;
+      ev.size = static_cast<uint8_t>(size);
+      ev.value_symbolic = false;
+      ev.value = v.concrete();
+      st.trace.Append(ev);
+      return v;
+    }
     Value v = st.device->Read(addr - kMmioBase, size, &ctx_);
     if (v.IsSymbolic()) {
       std::vector<uint32_t> vars;
@@ -1618,7 +1771,49 @@ Value Engine::ReadMem(ExecutionState& st, uint32_t addr, unsigned size, uint32_t
 bool Engine::WriteMem(ExecutionState& st, uint32_t addr, unsigned size, const Value& value,
                       uint32_t pc, bool addr_was_sym, ExprRef addr_expr) {
   if (IsMmioAddr(addr)) {
-    st.device->Write(addr - kMmioBase, size, value);
+    uint32_t access_index = st.kernel.mmio_accesses++;
+    uint32_t write_index = st.kernel.mmio_writes++;
+    hw_site_profile_.max_mmio_accesses =
+        std::max(hw_site_profile_.max_mmio_accesses, access_index + 1);
+    hw_site_profile_.max_mmio_writes =
+        std::max(hw_site_profile_.max_mmio_writes, write_index + 1);
+    if (!st.kernel.device_removed &&
+        config_.fault_plan.ShouldTriggerHw(HwFaultKind::kSurpriseRemoval, access_index)) {
+      RemoveDevice(st, HwFaultKind::kSurpriseRemoval, access_index);
+    }
+    bool dropped = st.kernel.device_removed;
+    if (dropped) {
+      ++stats_.hw_writes_dropped;
+    } else if (st.alive() &&
+               config_.fault_plan.ShouldTriggerHw(HwFaultKind::kDoorbellDrop, write_index)) {
+      ++stats_.hw_doorbells_dropped;
+      RecordHwFault(st, HwFaultKind::kDoorbellDrop, write_index);
+      dropped = true;
+    }
+    if (!st.alive()) {
+      return false;
+    }
+    if (!dropped) {
+      st.device->Write(addr - kMmioBase, size, value);
+      // The device actually saw this write — let checkers validate the
+      // driver↔device contract (dropped writes never reach the device, so
+      // the DMA checker must not observe them either).
+      if (!checkers_.empty()) {
+        MmioWriteEvent mmio;
+        mmio.pc = pc;
+        mmio.offset = addr - kMmioBase;
+        mmio.size = size;
+        mmio.value_concrete = value.IsConcrete();
+        mmio.value = value.IsConcrete() ? value.concrete() : 0;
+        obs::ScopedPhase obs_phase(config_.profile, obs::Phase::kChecker);
+        for (const auto& checker : checkers_) {
+          checker->OnMmioWrite(st, mmio, *this);
+          if (!st.alive()) {
+            return false;
+          }
+        }
+      }
+    }
     TraceEvent ev;
     ev.kind = TraceEvent::Kind::kMemWrite;
     ev.pc = pc;
@@ -2521,6 +2716,7 @@ void Engine::ReportBug(ExecutionState& st, BugType type, const std::string& titl
     bug.alternatives = st.alternatives_taken;
     bug.fault_plan = config_.fault_plan;
     bug.fault_schedule = st.kernel.faults_injected;
+    bug.hw_fault_schedule = st.kernel.hw_faults_injected;
     bug.constraints = st.constraints;
     bugs_.push_back(std::move(bug));
     DDT_LOG_INFO("bug found: %s", bugs_.back().Row().c_str());

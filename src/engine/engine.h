@@ -154,6 +154,17 @@ struct EngineStats {
   uint64_t concretization_backtracks = 0;
   // Deliberate kernel-API failures delivered by the active FaultPlan.
   uint64_t faults_injected = 0;
+  // Hardware fault plane (device-level schedules in the same FaultPlan):
+  // total points triggered, plus per-behavior tallies.
+  uint64_t hw_faults_injected = 0;
+  uint64_t hw_removals = 0;           // surprise removals (MMIO- or IRQ-indexed)
+  uint64_t hw_sticky_faults = 0;      // sticky all-ones error states latched
+  uint64_t hw_irq_storms = 0;         // interrupts forced past the path budget
+  uint64_t hw_irq_suppressed = 0;     // deliveries withheld (drought/removal)
+  uint64_t hw_doorbells_dropped = 0;  // single writes silently dropped
+  uint64_t hw_reads_floated = 0;      // reads served all-ones (removed/sticky)
+  uint64_t hw_writes_dropped = 0;     // writes dropped after removal
+  uint64_t hw_removal_events = 0;     // PnP removal deliveries to the exerciser
   // States killed by the resource governor (per-state fuel or memory
   // pressure), as opposed to normal termination.
   uint64_t states_evicted = 0;
@@ -234,6 +245,9 @@ class Engine : public CheckerHost, private BlockCountOracle {
   // Fault-eligible call sites observed across all paths of this run; a
   // campaign uses the baseline pass's profile to enumerate injection plans.
   const FaultSiteProfile& fault_site_profile() const { return fault_site_profile_; }
+  // Device-interaction high-water marks (MMIO accesses, crossings, interrupt
+  // deliveries) — the index spaces hardware fault plans are placed in.
+  const HwSiteProfile& hw_site_profile() const { return hw_site_profile_; }
   Solver& solver() { return solver_; }
   ExprContext* expr() override { return &ctx_; }
 
@@ -320,6 +334,11 @@ class Engine : public CheckerHost, private BlockCountOracle {
   // is active), updates the engine-wide site profile, and consults the
   // configured FaultPlan. True = the kernel call must fail now.
   bool ShouldInjectFault(ExecutionState& st, FaultClass cls, const char* api);
+  // Hardware fault plane: records a triggered device-level fault (schedule
+  // entry, stats, trace instant, kernel event). RemoveDevice additionally
+  // latches the hot-unplug condition and emits the PnP removal event.
+  void RecordHwFault(ExecutionState& st, HwFaultKind kind, uint32_t index);
+  void RemoveDevice(ExecutionState& st, HwFaultKind kind, uint32_t index);
   // Memory-pressure eviction: terminates the largest states until the
   // approximate working set is back under max_state_bytes.
   void EvictStatesOverMemoryBudget(uint64_t current_bytes);
@@ -376,6 +395,7 @@ class Engine : public CheckerHost, private BlockCountOracle {
   EngineStats stats_;
   MemStats mem_stats_;
   FaultSiteProfile fault_site_profile_;
+  HwSiteProfile hw_site_profile_;
 
   // Coverage.
   std::unordered_map<uint32_t, uint64_t> block_counts_;  // leader -> executions

@@ -15,12 +15,20 @@ bool FaultPlan::ShouldFail(FaultClass cls, uint32_t occurrence) const {
   return false;
 }
 
+bool FaultPlan::ShouldTriggerHw(HwFaultKind kind, uint32_t index) const {
+  return HwPointsTrigger(hw_points, kind, index);
+}
+
 std::string FaultPlan::ToString() const {
-  if (points.empty()) return "(no injection)";
+  if (empty()) return "(no injection)";
   std::string out;
   for (const FaultPoint& p : points) {
     if (!out.empty()) out += " + ";
     out += StrFormat("%s#%u", FaultClassName(p.cls), p.occurrence);
+  }
+  if (!hw_points.empty()) {
+    if (!out.empty()) out += " + ";
+    out += FormatHwPoints(hw_points);
   }
   if (!label.empty()) out += StrFormat(" [%s]", label.c_str());
   return out;
@@ -100,6 +108,47 @@ std::vector<FaultPlan> GenerateCampaignPlans(const FaultSiteProfile& profile, ui
     }
   }
 
+  return plans;
+}
+
+std::vector<FaultPlan> GenerateHwCampaignPlans(const HwSiteProfile& profile,
+                                               uint32_t max_points_per_kind, size_t max_plans) {
+  std::vector<FaultPlan> plans;
+  if (profile.Empty() || max_points_per_kind == 0 || max_plans == 0) return plans;
+
+  // Interaction-stream extent for each fault kind's index space.
+  std::array<uint32_t, kNumHwFaultKinds> extents = {};
+  extents[static_cast<size_t>(HwFaultKind::kSurpriseRemoval)] = profile.max_mmio_accesses;
+  extents[static_cast<size_t>(HwFaultKind::kRemovalAtInterrupt)] = profile.max_interrupts;
+  extents[static_cast<size_t>(HwFaultKind::kStickyError)] = profile.max_mmio_reads;
+  extents[static_cast<size_t>(HwFaultKind::kIrqStorm)] = profile.max_crossings;
+  extents[static_cast<size_t>(HwFaultKind::kIrqDrought)] = profile.max_crossings;
+  extents[static_cast<size_t>(HwFaultKind::kDoorbellDrop)] = profile.max_mmio_writes;
+
+  for (size_t k = 0; k < kNumHwFaultKinds && plans.size() < max_plans; ++k) {
+    uint32_t extent = extents[k];
+    if (extent == 0) continue;
+    HwFaultKind kind = static_cast<HwFaultKind>(k);
+    // Sample indices evenly across [0, extent): unlike kernel fault classes
+    // (where the first few occurrences dominate), device faults are
+    // interesting late too — removal during teardown hits different driver
+    // code than removal during init — so cover the whole observed range
+    // including the very last interaction.
+    uint32_t budget = std::min(max_points_per_kind, extent);
+    uint32_t prev = UINT32_MAX;
+    for (uint32_t i = 0; i < budget && plans.size() < max_plans; ++i) {
+      uint32_t index =
+          budget == 1 ? 0
+                      : static_cast<uint32_t>((static_cast<uint64_t>(i) * (extent - 1)) /
+                                              (budget - 1));
+      if (index == prev) continue;  // integer rounding collapsed two samples
+      prev = index;
+      FaultPlan plan;
+      plan.label = StrFormat("hw %s#%u", HwFaultKindName(kind), index);
+      plan.hw_points.push_back({kind, index});
+      plans.push_back(std::move(plan));
+    }
+  }
   return plans;
 }
 

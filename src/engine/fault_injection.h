@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/hw/hw_fault.h"
 #include "src/kernel/api.h"
 
 namespace ddt {
@@ -33,14 +34,20 @@ struct FaultPoint {
 };
 
 // A deterministic, seed-derived set of injection points driving one engine
-// pass. Empty plan = plain run (no injection).
+// pass. Empty plan = plain run (no injection). Kernel-API points and
+// device-level (hardware fault plane) points travel in the same plan so a
+// pass — and a bug report — carries one complete failure schedule.
 struct FaultPlan {
   // Provenance label shown in reports ("alloc#1", "escalation r2 seed=...").
   std::string label;
   std::vector<FaultPoint> points;
+  // Device-level injection points (surprise removal, sticky errors, interrupt
+  // storms/droughts, dropped doorbells — see src/hw/hw_fault.h).
+  std::vector<HwFaultPoint> hw_points;
 
-  bool empty() const { return points.empty(); }
+  bool empty() const { return points.empty() && hw_points.empty(); }
   bool ShouldFail(FaultClass cls, uint32_t occurrence) const;
+  bool ShouldTriggerHw(HwFaultKind kind, uint32_t index) const;
   std::string ToString() const;
 };
 
@@ -62,6 +69,14 @@ struct FaultSiteProfile {
 std::vector<FaultPlan> GenerateCampaignPlans(const FaultSiteProfile& profile, uint64_t seed,
                                              uint32_t max_occurrences_per_class,
                                              uint32_t escalation_rounds, size_t max_plans);
+
+// Generates the hardware-fault leg of the campaign schedule: for each fault
+// kind, single-point plans at indices sampled evenly across the baseline
+// profile's observed interaction range (so early, mid, and last-interaction
+// faults are all covered), at most `max_points_per_kind` per kind. The
+// result is deterministic in (profile, caps) and truncated to `max_plans`.
+std::vector<FaultPlan> GenerateHwCampaignPlans(const HwSiteProfile& profile,
+                                               uint32_t max_points_per_kind, size_t max_plans);
 
 // Human-readable failure schedule ("MosAllocatePoolWithTag[allocation#0], ...").
 std::string FormatFaultSchedule(const std::vector<InjectedFault>& faults);

@@ -38,6 +38,7 @@
 #include "src/core/campaign_journal.h"
 #include "src/fleet/wire.h"
 #include "src/solver/shared_cache.h"
+#include "src/support/eintr.h"
 #include "src/support/log.h"
 #include "src/support/strings.h"
 
@@ -121,6 +122,17 @@ class Coordinator {
     }
     if (fleet_.shard_dir.empty()) {
       return Status::Error("fleet.shard_dir is required (per-worker journals live there)");
+    }
+    if (config_.max_pass_wall_ms != 0 &&
+        fleet_.heartbeat_timeout_ms <= config_.max_pass_wall_ms) {
+      // Cross-field inversion caught up front rather than surfacing as
+      // spurious "drain timeout" losses: the drain deadline reuses
+      // heartbeat_timeout_ms, so it must outlast the watchdog budget a final
+      // in-flight pass is still legitimately allowed to spend.
+      return Status::Error(StrFormat(
+          "fleet heartbeat/watchdog budget inversion: heartbeat_timeout_ms (%u) must exceed "
+          "max_pass_wall_ms (%u)",
+          fleet_.heartbeat_timeout_ms, config_.max_pass_wall_ms));
     }
     fingerprint_ = CampaignFingerprint(config_, image_);
 
@@ -319,8 +331,9 @@ class Coordinator {
         break;
       }
     }
-    int ready = ::poll(fds.empty() ? nullptr : fds.data(), fds.size(), timeout_ms);
-    if (ready < 0 && errno != EINTR) {
+    int ready = RetryOnEintr(
+        [&] { return ::poll(fds.empty() ? nullptr : fds.data(), fds.size(), timeout_ms); });
+    if (ready < 0) {
       return Status::Error(StrFormat("fleet poll failed: %s", std::strerror(errno)));
     }
     if (ready <= 0) {
@@ -341,16 +354,13 @@ class Coordinator {
   Status DrainPipe(Slot& slot) {
     char chunk[16384];
     for (;;) {
-      ssize_t n = ::read(slot.from_fd, chunk, sizeof(chunk));
+      ssize_t n = RetryOnEintr([&] { return ::read(slot.from_fd, chunk, sizeof(chunk)); });
       if (n > 0) {
         slot.decoder.Feed(chunk, static_cast<size_t>(n));
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
         break;
-      }
-      if (n < 0 && errno == EINTR) {
-        continue;
       }
       slot.eof = true;  // worker closed its end (exit is reaped separately)
       break;
@@ -552,6 +562,7 @@ class Coordinator {
           rec.index = index;
           rec.label = plans_[index - 1].label;
           rec.points = plans_[index - 1].points;
+          rec.hw_points = plans_[index - 1].hw_points;
           rec.quarantined = true;
           rec.failure =
               StrFormat("worker process lost %u times executing this pass", losses);
@@ -653,17 +664,28 @@ class Coordinator {
     }
     bool was_baseline = index == 0 && !have_plans_;
     FaultSiteProfile profile = record.profile;
+    HwSiteProfile hw_profile = record.hw_profile;
     completed_.emplace(index, std::move(record));
     if (was_baseline) {
-      return OnPlansReady(profile);
+      return OnPlansReady(profile, hw_profile);
     }
     return Status::Ok();
   }
 
-  Status OnPlansReady(const FaultSiteProfile& profile) {
+  Status OnPlansReady(const FaultSiteProfile& profile, const HwSiteProfile& hw_profile) {
     size_t plan_budget = config_.max_passes > 0 ? config_.max_passes - 1 : 0;
     plans_ = GenerateCampaignPlans(profile, config_.seed, config_.max_occurrences_per_class,
                                    config_.escalation_rounds, plan_budget);
+    // Same appending rule as the in-process scheduler, from the same profile
+    // (carried in the baseline record), so both schedulers derive the
+    // identical schedule and the merged reports stay byte-identical.
+    if (config_.hw_faults && plans_.size() < plan_budget) {
+      std::vector<FaultPlan> hw_plans = GenerateHwCampaignPlans(
+          hw_profile, config_.hw_max_points_per_kind, plan_budget - plans_.size());
+      for (FaultPlan& plan : hw_plans) {
+        plans_.push_back(std::move(plan));
+      }
+    }
     have_plans_ = true;
     // Fold in resume-journal records now that labels can be validated, then
     // queue whatever is still missing.

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "src/support/crc32.h"
+#include "src/support/eintr.h"
 #include "src/support/strings.h"
 
 namespace ddt {
@@ -143,11 +144,9 @@ Status WriteFrame(int fd, FrameType type, std::string_view body) {
   std::string frame = EncodeFrame(type, body);
   size_t written = 0;
   while (written < frame.size()) {
-    ssize_t n = ::write(fd, frame.data() + written, frame.size() - written);
+    ssize_t n = RetryOnEintr(
+        [&] { return ::write(fd, frame.data() + written, frame.size() - written); });
     if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
       return Status::Error(StrFormat("fleet pipe write failed: %s", std::strerror(errno)));
     }
     written += static_cast<size_t>(n);
@@ -167,10 +166,7 @@ Result<Frame> ReadFrame(int fd) {
     if (next == FrameDecoder::Next::kCorrupt) {
       return Status::Error("fleet pipe frame corrupt");
     }
-    ssize_t n;
-    do {
-      n = ::read(fd, chunk, sizeof(chunk));
-    } while (n < 0 && errno == EINTR);
+    ssize_t n = RetryOnEintr([&] { return ::read(fd, chunk, sizeof(chunk)); });
     if (n < 0) {
       return Status::Error(StrFormat("fleet pipe read failed: %s", std::strerror(errno)));
     }
@@ -204,6 +200,11 @@ std::string EncodeLease(const LeaseBody& lease) {
     AppendU32(&body, static_cast<uint32_t>(point.cls));
     AppendU32(&body, point.occurrence);
   }
+  AppendU32(&body, static_cast<uint32_t>(lease.plan.hw_points.size()));
+  for (const HwFaultPoint& point : lease.plan.hw_points) {
+    AppendU32(&body, static_cast<uint32_t>(point.kind));
+    AppendU32(&body, point.index);
+  }
   return body;
 }
 
@@ -224,6 +225,20 @@ bool DecodeLease(std::string_view body, LeaseBody* lease) {
       return false;
     }
     lease->plan.points.push_back(FaultPoint{static_cast<FaultClass>(cls), occurrence});
+  }
+  uint32_t hw_count = r.U32();
+  if (!r.ok || hw_count > kMaxFrameBytes / 8) {
+    return false;
+  }
+  lease->plan.hw_points.clear();
+  lease->plan.hw_points.reserve(hw_count);
+  for (uint32_t i = 0; i < hw_count; ++i) {
+    uint32_t kind = r.U32();
+    uint32_t index = r.U32();
+    if (!r.ok || kind >= kNumHwFaultKinds) {
+      return false;
+    }
+    lease->plan.hw_points.push_back(HwFaultPoint{static_cast<HwFaultKind>(kind), index});
   }
   return r.Done();
 }

@@ -170,12 +170,17 @@ int RunFleetWorker(const FaultCampaignConfig& config, const DriverImage& image,
         }
         PassOutcome out = executor.Execute(lease.plan);
         FaultSiteProfile profile;
+        HwSiteProfile hw_profile;
         const FaultSiteProfile* profile_ptr = nullptr;
+        const HwSiteProfile* hw_profile_ptr = nullptr;
         if (lease.index == 0 && !out.quarantined) {
           profile = out.ddt->engine().fault_site_profile();
           profile_ptr = &profile;
+          hw_profile = out.ddt->engine().hw_site_profile();
+          hw_profile_ptr = &hw_profile;
         }
-        CampaignPassRecord record = MakePassRecord(lease.index, lease.plan, out, profile_ptr);
+        CampaignPassRecord record =
+            MakePassRecord(lease.index, lease.plan, out, profile_ptr, hw_profile_ptr);
         Status appended = journal.value()->Append(record);
         if (!appended.ok()) {
           DDT_LOG_WARN("fleet worker %u: %s", options.slot, appended.message().c_str());

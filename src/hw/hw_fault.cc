@@ -1,0 +1,52 @@
+#include "src/hw/hw_fault.h"
+
+#include "src/support/strings.h"
+
+namespace ddt {
+
+const char* HwFaultKindName(HwFaultKind kind) {
+  switch (kind) {
+    case HwFaultKind::kSurpriseRemoval:
+      return "surprise-removal";
+    case HwFaultKind::kRemovalAtInterrupt:
+      return "removal-at-irq";
+    case HwFaultKind::kStickyError:
+      return "sticky-error";
+    case HwFaultKind::kIrqStorm:
+      return "irq-storm";
+    case HwFaultKind::kIrqDrought:
+      return "irq-drought";
+    case HwFaultKind::kDoorbellDrop:
+      return "doorbell-drop";
+    case HwFaultKind::kNumHwFaultKinds:
+      break;
+  }
+  return "?";
+}
+
+bool HwPointsTrigger(const std::vector<HwFaultPoint>& points, HwFaultKind kind, uint32_t index) {
+  for (const HwFaultPoint& p : points) {
+    if (p.kind == kind && p.index == index) return true;
+  }
+  return false;
+}
+
+std::string FormatHwPoints(const std::vector<HwFaultPoint>& points) {
+  std::string out;
+  for (const HwFaultPoint& p : points) {
+    if (!out.empty()) out += " + ";
+    out += StrFormat("%s#%u", HwFaultKindName(p.kind), p.index);
+  }
+  return out;
+}
+
+std::string FormatHwFaultSchedule(const std::vector<InjectedHwFault>& faults) {
+  std::string out;
+  for (const InjectedHwFault& f : faults) {
+    if (!out.empty()) out += ", ";
+    out += StrFormat("%s#%u", HwFaultKindName(f.kind), f.index);
+  }
+  return out;
+}
+
+}  // namespace ddt

@@ -1,0 +1,96 @@
+// Hardware fault plane (hostile-device campaigns).
+//
+// The symbolic device already models *arbitrary* hardware values; this plane
+// models hostile device *behaviors* that value-symbolism cannot express:
+// surprise removal (hot-unplug mid-operation: reads float to all-ones, writes
+// are dropped, a PnP removal event reaches the exerciser), sticky MMIO error
+// states, interrupt storms and droughts, and dropped doorbell writes. Each
+// fault keys off a deterministic per-path device-interaction counter (MMIO
+// access/read/write index, boundary-crossing index, interrupt-delivery index)
+// kept in KernelState, so a schedule is exactly replayable the same way a
+// kernel FaultPlan is (§3.5): recording the plan in a bug report suffices.
+//
+// This header owns the device-level vocabulary (kinds, points, profiles);
+// plan generation and the FaultPlan carrier live one layer up in
+// src/engine/fault_injection.h.
+#ifndef SRC_HW_HW_FAULT_H_
+#define SRC_HW_HW_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddt {
+
+// Device-level fault behaviors. Each kind's `index` counts a different
+// per-path interaction stream (all counters live in KernelState and fork
+// with the path, so triggering is deterministic and replayable).
+enum class HwFaultKind : uint8_t {
+  kSurpriseRemoval = 0,    // hot-unplug at MMIO access #index (reads+writes)
+  kRemovalAtInterrupt = 1, // hot-unplug in place of interrupt delivery #index
+  kStickyError = 2,        // from MMIO read #index on, reads return all-ones
+  kIrqStorm = 3,           // force an interrupt at boundary crossing #index
+  kIrqDrought = 4,         // from crossing #index on, suppress all interrupts
+  kDoorbellDrop = 5,       // silently drop MMIO write #index
+  kNumHwFaultKinds = 6,
+};
+
+inline constexpr size_t kNumHwFaultKinds =
+    static_cast<size_t>(HwFaultKind::kNumHwFaultKinds);
+
+const char* HwFaultKindName(HwFaultKind kind);
+
+// One device-level injection point: the index-th event of this kind's
+// interaction stream on a path misbehaves.
+struct HwFaultPoint {
+  HwFaultKind kind = HwFaultKind::kSurpriseRemoval;
+  uint32_t index = 0;
+
+  bool operator==(const HwFaultPoint& other) const {
+    return kind == other.kind && index == other.index;
+  }
+};
+
+// One hardware fault actually triggered on a path, in trigger order (the
+// device-side half of a bug's failure schedule).
+struct InjectedHwFault {
+  HwFaultKind kind = HwFaultKind::kSurpriseRemoval;
+  uint32_t index = 0;
+};
+
+// Per-stream high-water marks observed across all paths of a pass: how many
+// MMIO accesses / reads / writes, boundary crossings, and interrupt
+// deliveries any path performed. The campaign uses the baseline pass's
+// profile to place device-level injection points at indices that exist.
+struct HwSiteProfile {
+  uint32_t max_mmio_accesses = 0;
+  uint32_t max_mmio_reads = 0;
+  uint32_t max_mmio_writes = 0;
+  uint32_t max_crossings = 0;
+  uint32_t max_interrupts = 0;
+
+  bool Empty() const {
+    return max_mmio_accesses == 0 && max_mmio_reads == 0 && max_mmio_writes == 0 &&
+           max_crossings == 0 && max_interrupts == 0;
+  }
+};
+
+// Linear scan for an exact (kind, index) match — the trigger predicate.
+bool HwPointsTrigger(const std::vector<HwFaultPoint>& points, HwFaultKind kind, uint32_t index);
+
+// "surprise-removal#3 + doorbell-drop#1" (no label decoration).
+std::string FormatHwPoints(const std::vector<HwFaultPoint>& points);
+
+// Human-readable device-side failure schedule ("surprise-removal@mmio#3, ...").
+std::string FormatHwFaultSchedule(const std::vector<InjectedHwFault>& faults);
+
+// The all-ones pattern a removed (or sticky-errored) device floats onto the
+// bus for a read of `size` bytes — what real PCI hot-unplug looks like.
+inline constexpr uint32_t HwRemovedReadBits(unsigned size) {
+  return size >= 4 ? 0xFFFF'FFFFu : ((1u << (size * 8)) - 1u);
+}
+
+}  // namespace ddt
+
+#endif  // SRC_HW_HW_FAULT_H_

@@ -101,6 +101,10 @@ const char* KernelEventKindName(KernelEvent::Kind kind) {
       return "packet-pool-free";
     case KernelEvent::Kind::kFaultInjected:
       return "fault-injected";
+    case KernelEvent::Kind::kHwFaultInjected:
+      return "hw-fault-injected";
+    case KernelEvent::Kind::kDeviceRemoved:
+      return "device-removed";
   }
   return "?";
 }

@@ -132,6 +132,8 @@ struct KernelEvent {
     kPacketPoolAlloc,    // a = pool handle
     kPacketPoolFree,     // a = pool handle
     kFaultInjected,      // a = fault class, b = occurrence, text = api name
+    kHwFaultInjected,    // a = hw fault kind, b = index, text = kind name
+    kDeviceRemoved,      // a = trigger index (device hot-unplugged)
   };
 
   Kind kind;

@@ -426,7 +426,8 @@ void MosRegisterInterrupt(KernelContext& kc) {
     ReturnU32(kc, kStatusUnsuccessful);
     return;
   }
-  if (kc.ShouldInjectFault(FaultClass::kDeviceNotPresent, "MosRegisterInterrupt")) {
+  if (ks.device_removed ||
+      kc.ShouldInjectFault(FaultClass::kDeviceNotPresent, "MosRegisterInterrupt")) {
     ReturnU32(kc, kStatusDeviceNotConnected);
     return;
   }
@@ -675,9 +676,10 @@ void MosReadPciConfig(KernelContext& kc) {
   uint32_t offset = ArgU32(kc, 0, "MosReadPciConfig.offset");
   uint32_t out_ptr = ArgU32(kc, 1, "MosReadPciConfig.out");
   uint32_t len = ArgU32(kc, 2, "MosReadPciConfig.len");
-  if (kc.ShouldInjectFault(FaultClass::kDeviceNotPresent, "MosReadPciConfig")) {
-    // An absent device floats the bus: config reads return all-ones and the
-    // API reports zero bytes transferred.
+  if (ks.device_removed ||
+      kc.ShouldInjectFault(FaultClass::kDeviceNotPresent, "MosReadPciConfig")) {
+    // An absent (or surprise-removed) device floats the bus: config reads
+    // return all-ones and the API reports zero bytes transferred.
     for (uint32_t i = 0; i < len && i < 4; ++i) {
       kc.WriteGuestU8(out_ptr + i, 0xFF);
     }
@@ -718,7 +720,7 @@ void MosMapIoSpace(KernelContext& kc) {
     ReturnU32(kc, 0);
     return;
   }
-  if (kc.ShouldInjectFault(FaultClass::kMapIoSpace, "MosMapIoSpace")) {
+  if (ks.device_removed || kc.ShouldInjectFault(FaultClass::kMapIoSpace, "MosMapIoSpace")) {
     ReturnU32(kc, 0);
     return;
   }

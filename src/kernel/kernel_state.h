@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/hw/hw_fault.h"
 #include "src/hw/pci.h"
 #include "src/kernel/api.h"
 #include "src/vm/image.h"
@@ -187,6 +188,23 @@ struct KernelState {
   // Faults actually injected on this path, in order (the failure schedule
   // recorded into bug reports).
   std::vector<InjectedFault> faults_injected;
+
+  // Hardware fault plane: per-path device-interaction counters — the index
+  // spaces HwFaultPoints key on. Advanced on every event (like
+  // fault_occurrences), fork-copied, so schedules replay exactly.
+  uint32_t mmio_accesses = 0;  // reads + writes combined
+  uint32_t mmio_reads = 0;
+  uint32_t mmio_writes = 0;
+  uint32_t irq_deliveries = 0;  // interrupt deliveries attempted on this path
+  // Sticky device conditions (once set they outlive the triggering point).
+  bool device_removed = false;        // hot-unplugged: reads float, writes drop
+  bool removal_halt_delivered = false;  // PnP removal handed to the exerciser
+  bool halt_invoked = false;            // Halt entry ran (workload or PnP)
+  bool hw_sticky_error = false;         // MMIO reads return all-ones
+  bool hw_irq_drought = false;          // interrupt deliveries suppressed
+  // Hardware faults actually triggered on this path, in order (the
+  // device-side failure schedule recorded into bug reports).
+  std::vector<InjectedHwFault> hw_faults_injected;
 
   VerifierConfig verifier;
 

@@ -1,0 +1,33 @@
+// EINTR retry for raw POSIX calls.
+//
+// Every blocking syscall the fleet makes — pipe reads/writes, poll, waitpid —
+// can be interrupted by a signal and return -1/EINTR, which is a retry, not a
+// failure. Before this helper each call site open-coded its own do/while
+// loop; subtle variations between them (wire.cc retried reads but checked
+// errno after the loop, the coordinator checked EINTR inside a larger errno
+// ladder) made the retry policy hard to audit. RetryOnEintr is that policy in
+// one place: call again until the result is not an EINTR-flavored -1.
+#ifndef SRC_SUPPORT_EINTR_H_
+#define SRC_SUPPORT_EINTR_H_
+
+#include <cerrno>
+
+namespace ddt {
+
+// Invokes `fn` (a nullary callable wrapping one syscall that reports failure
+// as a negative result with errno set) until it returns anything other than
+// a negative value with errno == EINTR, and returns that result. errno is
+// left as the final call set it, so callers can still dispatch on EAGAIN,
+// EPIPE, etc.
+template <typename Fn>
+auto RetryOnEintr(Fn&& fn) -> decltype(fn()) {
+  decltype(fn()) result;
+  do {
+    result = fn();
+  } while (result < 0 && errno == EINTR);
+  return result;
+}
+
+}  // namespace ddt
+
+#endif  // SRC_SUPPORT_EINTR_H_

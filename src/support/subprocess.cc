@@ -13,6 +13,7 @@
 #include <sys/prctl.h>
 #endif
 
+#include "src/support/eintr.h"
 #include "src/support/strings.h"
 
 namespace ddt {
@@ -126,10 +127,7 @@ Result<ChildProcess> SpawnChildExec(const std::string& exe, const std::vector<st
 
 bool TryReap(pid_t pid, int* status) {
   int st = 0;
-  pid_t r;
-  do {
-    r = ::waitpid(pid, &st, WNOHANG);
-  } while (r < 0 && errno == EINTR);
+  pid_t r = RetryOnEintr([&] { return ::waitpid(pid, &st, WNOHANG); });
   if (r == pid) {
     *status = st;
     return true;
@@ -140,10 +138,7 @@ bool TryReap(pid_t pid, int* status) {
 void KillAndReap(pid_t pid) {
   ::kill(pid, SIGKILL);
   int st = 0;
-  pid_t r;
-  do {
-    r = ::waitpid(pid, &st, 0);
-  } while (r < 0 && errno == EINTR);
+  RetryOnEintr([&] { return ::waitpid(pid, &st, 0); });
 }
 
 std::string DescribeExit(int status) {

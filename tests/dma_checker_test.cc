@@ -1,0 +1,129 @@
+// Checkbochs-style DMA checker tests (src/checkers/dma_checker.h):
+//   - the checker is strictly opt-in: default runs report nothing new;
+//   - a driver that programs a DMA register with a pageable request buffer is
+//     flagged (the RTL8029 analogue's latent SetInfo bug);
+//   - a correct release (halt clears the DMA register before freeing) passes
+//     clean — no false freed-while-owned report in plain runs;
+//   - surprise removal turns that same correct halt path into a
+//     freed-while-owned bug: the clear write is dropped by the dead device,
+//     so the free happens while the device still owns the buffer;
+//   - the removal-exposed bug replays from its recorded plan.
+#include "src/checkers/dma_checker.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/ddt.h"
+#include "src/core/replay.h"
+#include "src/drivers/corpus.h"
+#include "src/hw/hw_fault.h"
+
+namespace ddt {
+namespace {
+
+DdtConfig QuickConfig() {
+  DdtConfig config;
+  config.engine.max_instructions = 2'000'000;
+  config.engine.max_wall_ms = 120'000;
+  config.engine.max_states = 512;
+  return config;
+}
+
+bool IsPageableDmaBug(const Bug& bug) {
+  return bug.type == BugType::kMemoryCorruption &&
+         bug.title.find("DMA target in pageable memory") != std::string::npos;
+}
+
+bool IsFreedWhileOwnedBug(const Bug& bug) {
+  return bug.type == BugType::kMemoryCorruption &&
+         bug.title.find("freed while the device owns it") != std::string::npos;
+}
+
+TEST(DmaCheckerTest, OptInOnly) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+  Ddt ddt(QuickConfig());
+  Result<DdtResult> result = ddt.TestDriver(driver.image, driver.pci);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  for (const Bug& bug : result.value().bugs) {
+    EXPECT_FALSE(IsPageableDmaBug(bug)) << bug.Format(12);
+    EXPECT_FALSE(IsFreedWhileOwnedBug(bug)) << bug.Format(12);
+  }
+}
+
+TEST(DmaCheckerTest, FlagsPageableDmaTargetAndStaysQuietOnCorrectRelease) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+  DdtConfig config = QuickConfig();
+  config.dma_checker = true;
+  Ddt ddt(config);
+  Result<DdtResult> result = ddt.TestDriver(driver.image, driver.pci);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+
+  // The SetInfo path programs the multicast DMA pointer with the caller's
+  // pageable request buffer — the classic Checkbochs finding.
+  bool pageable = false;
+  for (const Bug& bug : result.value().bugs) {
+    pageable = pageable || IsPageableDmaBug(bug);
+    // Without device faults the halt path clears the rx-DMA register before
+    // freeing, so the device never owns freed memory.
+    EXPECT_FALSE(IsFreedWhileOwnedBug(bug)) << bug.Format(12);
+  }
+  EXPECT_TRUE(pageable);
+
+  // Same config, same findings: the checker is deterministic.
+  Ddt again(config);
+  Result<DdtResult> repeat = again.TestDriver(driver.image, driver.pci);
+  ASSERT_TRUE(repeat.ok());
+  ASSERT_EQ(repeat.value().bugs.size(), result.value().bugs.size());
+  for (size_t i = 0; i < result.value().bugs.size(); ++i) {
+    EXPECT_EQ(repeat.value().bugs[i].Row(), result.value().bugs[i].Row());
+  }
+}
+
+TEST(DmaCheckerTest, SurpriseRemovalExposesFreedWhileDeviceOwns) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+
+  // Profile the device interaction so removal indices can be sampled the way
+  // the campaign planner samples them.
+  DdtConfig config = QuickConfig();
+  config.dma_checker = true;
+  Ddt baseline(config);
+  ASSERT_TRUE(baseline.TestDriver(driver.image, driver.pci).ok());
+  uint32_t extent = baseline.engine().hw_site_profile().max_mmio_accesses;
+  ASSERT_GT(extent, 1u);
+
+  // Removal between the init-time DMA programming and the halt-time clear
+  // drops the clear write: the free then happens while the device still owns
+  // the rx buffer. Scan the planner's sample grid for the window.
+  Bug found;
+  bool have_bug = false;
+  constexpr uint32_t kSamples = 4;
+  for (uint32_t i = 0; i < kSamples && !have_bug; ++i) {
+    DdtConfig removal = config;
+    removal.engine.fault_plan.label = "hw surprise-removal";
+    removal.engine.fault_plan.hw_points.push_back(
+        {HwFaultKind::kSurpriseRemoval, i * (extent - 1) / (kSamples - 1)});
+    Ddt ddt(removal);
+    Result<DdtResult> result = ddt.TestDriver(driver.image, driver.pci);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    for (const Bug& bug : result.value().bugs) {
+      if (IsFreedWhileOwnedBug(bug)) {
+        found = bug;
+        have_bug = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(have_bug);
+  ASSERT_FALSE(found.fault_plan.hw_points.empty());
+  EXPECT_EQ(found.fault_plan.hw_points[0].kind, HwFaultKind::kSurpriseRemoval);
+  ASSERT_FALSE(found.hw_fault_schedule.empty());
+
+  // The recorded plan replays the removal schedule and reproduces the bug.
+  ReplayResult replay = ReplayBug(driver.image, driver.pci, found, config);
+  EXPECT_TRUE(replay.reproduced) << replay.detail;
+}
+
+}  // namespace
+}  // namespace ddt

@@ -35,6 +35,8 @@ TEST(FleetWireTest, BodyCodecsRoundTrip) {
   lease.plan.label = "alloc#1 + map-io-space#0";
   lease.plan.points = {FaultPoint{FaultClass::kAllocation, 1},
                        FaultPoint{FaultClass::kMapIoSpace, 0}};
+  lease.plan.hw_points = {HwFaultPoint{HwFaultKind::kSurpriseRemoval, 12},
+                          HwFaultPoint{HwFaultKind::kIrqStorm, 3}};
   LeaseBody lease2;
   ASSERT_TRUE(DecodeLease(EncodeLease(lease), &lease2));
   EXPECT_EQ(lease2.index, 7u);
@@ -42,6 +44,9 @@ TEST(FleetWireTest, BodyCodecsRoundTrip) {
   ASSERT_EQ(lease2.plan.points.size(), 2u);
   EXPECT_TRUE(lease2.plan.points[0] == lease.plan.points[0]);
   EXPECT_TRUE(lease2.plan.points[1] == lease.plan.points[1]);
+  ASSERT_EQ(lease2.plan.hw_points.size(), 2u);
+  EXPECT_TRUE(lease2.plan.hw_points[0] == lease.plan.hw_points[0]);
+  EXPECT_TRUE(lease2.plan.hw_points[1] == lease.plan.hw_points[1]);
 
   uint64_t seq = 0;
   ASSERT_TRUE(DecodeHeartbeat(EncodeHeartbeat(99), &seq));
@@ -158,6 +163,46 @@ TEST(FleetCampaignTest, ByteIdenticalReportAtAnyWorkerCount) {
     }
     EXPECT_TRUE(found_latent) << "latent map-failure bug missing at workers=" << workers;
   }
+}
+
+TEST(FleetCampaignTest, HwFaultPlaneIsByteIdenticalToInProcess) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+  FaultCampaignConfig config = TestConfig();
+  // Room for the hw leg: TestConfig's kernel plans alone fill an 8-pass
+  // budget, and hw plans are only appended to spare capacity.
+  config.max_passes = 24;
+  config.hw_faults = true;
+  config.hw_max_points_per_kind = 2;
+  config.base.dma_checker = true;
+  Result<FaultCampaignResult> in_process = RunFaultCampaign(config, driver.image, driver.pci);
+  ASSERT_TRUE(in_process.ok()) << in_process.status().message();
+  EXPECT_GT(in_process.value().total_stats.hw_faults_injected, 0u);
+
+  Result<FaultCampaignResult> fleet = RunFleetCampaign(config, driver.image, driver.pci,
+                                                       TestFleet("hwplane", 3));
+  ASSERT_TRUE(fleet.ok()) << fleet.status().message();
+  EXPECT_EQ(fleet.value().FormatReport(driver.name, false),
+            in_process.value().FormatReport(driver.name, false));
+}
+
+TEST(FleetCampaignTest, RejectsHeartbeatTimeoutInsideWatchdogBudget) {
+  const CorpusDriver& driver = CorpusDriverByName("rtl8029");
+  FaultCampaignConfig config = TestConfig();
+  config.max_pass_wall_ms = 10'000;
+  FleetCampaignConfig fleet = TestFleet("inversion", 1);
+  fleet.heartbeat_timeout_ms = 10'000;  // == max_pass_wall_ms: inverted
+  Result<FaultCampaignResult> r = RunFleetCampaign(config, driver.image, driver.pci, fleet);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("heartbeat/watchdog budget inversion"),
+            std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("heartbeat_timeout_ms"), std::string::npos);
+
+  // Strictly larger is fine again.
+  fleet = TestFleet("inversion_ok", 1);
+  fleet.heartbeat_timeout_ms = 10'001;
+  Result<FaultCampaignResult> ok = RunFleetCampaign(config, driver.image, driver.pci, fleet);
+  EXPECT_TRUE(ok.ok()) << ok.status().message();
 }
 
 TEST(FleetCampaignTest, SigkilledWorkerIsReassignedWithoutChangingTheReport) {
