@@ -27,12 +27,20 @@
 //           is built for). Gated at >= 3x tier-2 over uncached on rtl8029,
 //           with bug parity across all three tiers re-checked under the full
 //           default checker set.
+//   part 8: fuzz concrete-executor throughput — solver-derived seeds replayed
+//           down the pure concrete fast path (src/fuzz/executor.h: guided
+//           mode, no solver) with tier 2 on vs the uncached interpreter,
+//           against the per-pass rate of the symbolic exploration that derived
+//           them. The concolic loop only pays off if a concrete exec is far
+//           cheaper than a symbolic pass; gated at >= 10x execs/sec over
+//           symbolic passes/sec.
 //
 // Emits a machine-readable JSON summary (default: BENCH_exec.json in the
 // current directory; override with argv[1]).
 #include <cstdlib>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -41,6 +49,8 @@
 #include "src/core/ddt.h"
 #include "src/drivers/corpus.h"
 #include "src/fleet/fleet.h"
+#include "src/fuzz/executor.h"
+#include "src/fuzz/input.h"
 #include "src/hw/device.h"
 #include "src/kernel/api.h"
 #include "src/obs/metrics.h"
@@ -724,6 +734,75 @@ int main(int argc, char** argv) {
   std::printf("checker parity: %zu bug rows per tier, identical: %s\n",
               parity_t0.bug_rows.size(), superblock_bugs_identical ? "yes" : "NO");
 
+  // --- part 8: fuzz concrete-executor throughput -----------------------------
+  // One symbolic pass over rtl8029 derives solver-backed path seeds; those
+  // seeds then replay through the fuzz concrete executor (guided mode, solver
+  // never invoked, all checkers live). The concolic loop's economics rest on
+  // the concrete exec rate dwarfing the symbolic pass rate — that ratio is
+  // the gate.
+  std::printf("\n=== fuzz concrete executor (symbolic pass vs concrete replay) ===\n");
+  FaultCampaignConfig fuzz_campaign;
+  fuzz_campaign.base.engine.max_instructions = 2'000'000;
+  fuzz_campaign.base.engine.max_wall_ms = 3'600'000;
+
+  DdtConfig fuzz_seed_config = fuzz_campaign.base;
+  fuzz_seed_config.engine.max_path_seeds = 8;
+  double fuzz_sym_pass_ms = 0;
+  std::vector<fuzz::FuzzInput> fuzz_seeds;
+  {
+    Ddt seed_ddt(fuzz_seed_config);
+    Result<DdtResult> run = seed_ddt.TestDriver(rtl.image, rtl.pci);
+    if (!run.ok()) {
+      std::fprintf(stderr, "fuzz seed pass failed: %s\n", run.status().message().c_str());
+      return 1;
+    }
+    fuzz_sym_pass_ms = run.value().stats.wall_ms;
+    const std::vector<PathSeed>& path_seeds = run.value().path_seeds;
+    for (size_t i = 0; i < path_seeds.size(); ++i) {
+      fuzz_seeds.push_back(fuzz::FromPathSeed(path_seeds[i], fuzz_seed_config.engine.fault_plan,
+                                              StrFormat("seed#%zu", i)));
+    }
+  }
+  if (fuzz_seeds.empty()) {
+    std::fprintf(stderr, "fuzz seed pass derived no seeds\n");
+    return 1;
+  }
+
+  auto time_fuzz_execs = [&](const FaultCampaignConfig& cfg, int reps) {
+    fuzz::FuzzExecutor executor(cfg, rtl.image, rtl.pci);
+    double best = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      for (const fuzz::FuzzInput& seed : fuzz_seeds) {
+        fuzz::FuzzExecResult r = executor.Execute(seed);
+        if (!r.ok) {
+          std::fprintf(stderr, "fuzz exec of %s failed: %s\n", seed.label.c_str(),
+                       r.failure.c_str());
+          std::exit(1);
+        }
+      }
+      double ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                            start)
+                      .count();
+      double eps = ms > 0 ? static_cast<double>(fuzz_seeds.size()) / (ms / 1000.0) : 0;
+      best = std::max(best, eps);
+    }
+    return best;
+  };
+  FaultCampaignConfig fuzz_interp_cfg = fuzz_campaign;
+  fuzz_interp_cfg.base.engine.enable_block_cache = false;
+  FaultCampaignConfig fuzz_tier2_cfg = fuzz_campaign;
+  fuzz_tier2_cfg.base.engine.superblocks = true;
+  double fuzz_interp_eps = time_fuzz_execs(fuzz_interp_cfg, 3);
+  double fuzz_tier2_eps = time_fuzz_execs(fuzz_tier2_cfg, 3);
+  double fuzz_sym_rate = fuzz_sym_pass_ms > 0 ? 1000.0 / fuzz_sym_pass_ms : 0;
+  double fuzz_speedup = fuzz_sym_rate > 0 ? fuzz_tier2_eps / fuzz_sym_rate : 0;
+  std::printf("symbolic seed pass: %.1f ms (%.2f passes/sec, %zu seeds derived)\n",
+              fuzz_sym_pass_ms, fuzz_sym_rate, fuzz_seeds.size());
+  std::printf("concrete replay: %.0f execs/sec interpreter, %.0f execs/sec tier 2 "
+              "(%.1fx over per-pass symbolic rate)\n",
+              fuzz_interp_eps, fuzz_tier2_eps, fuzz_speedup);
+
   // --- JSON summary ---------------------------------------------------------
   FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
@@ -827,6 +906,15 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(sb_rtl_t2.sb_retired),
                static_cast<unsigned long long>(sb_rtl_t2.instructions));
   std::fprintf(f, "    \"bugs_identical\": %s\n", superblock_bugs_identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fuzz\": {\n");
+  std::fprintf(f, "    \"driver\": \"rtl8029\",\n");
+  std::fprintf(f, "    \"seeds\": %zu,\n", fuzz_seeds.size());
+  std::fprintf(f, "    \"symbolic_pass_ms\": %.1f,\n", fuzz_sym_pass_ms);
+  std::fprintf(f, "    \"symbolic_passes_per_sec\": %.3f,\n", fuzz_sym_rate);
+  std::fprintf(f, "    \"interp_execs_per_sec\": %.1f,\n", fuzz_interp_eps);
+  std::fprintf(f, "    \"tier2_execs_per_sec\": %.1f,\n", fuzz_tier2_eps);
+  std::fprintf(f, "    \"speedup_vs_symbolic\": %.3f\n", fuzz_speedup);
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -866,9 +954,13 @@ int main(int argc, char** argv) {
                        sb_rtl_t2.sb_compiled > 0 && sb_rtl_t2.sb_entries > 0 &&
                        sb_rtl_t2.sb_chains > 0 && sb_rtl_t2.sb_retired > 0 &&
                        sb_loop_t2.sb_retired > 0;
+  // A concrete replay skips forking, constraint collection, and every solver
+  // query; it must run at >= 10x the rate of the symbolic passes that seed it,
+  // or the mutation loop would be better spent on more symbolic passes.
+  bool fuzz_ok = fuzz_tier2_eps >= 10.0 * fuzz_sym_rate && fuzz_tier2_eps > 0;
   bool pass = loop_speedup >= 2.0 && interp_bugs_identical && campaign_bugs_identical &&
               runs[0].plans >= 8 && campaign_ok && supervisor_ok && obs_ok && shared_cache_ok &&
-              fleet_ok && superblock_ok;
+              fleet_ok && superblock_ok && fuzz_ok;
   std::printf("BENCH_exec: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

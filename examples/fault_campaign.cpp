@@ -55,6 +55,25 @@
 //                      prove the report survives worker death unchanged)
 //   --fleet-worker     internal: run as a fleet worker (spawned by the
 //                      coordinator, speaks the wire protocol on fds 3/4)
+//
+// Concolic fuzz loop flags (src/fuzz; see DESIGN.md §7h):
+//   --fuzz=0|1         after the campaign, run the hybrid concolic fuzz loop:
+//                      derive solver-backed seeds from a symbolic pass,
+//                      mutate them deterministically, replay mutants down the
+//                      concrete fast path with every checker live, keep
+//                      coverage-novel inputs, and promote the best back to
+//                      symbolic exploration as concretization hints. The
+//                      report grows a "--- fuzz ---" section; with --fuzz=0
+//                      the report is byte-identical to before
+//   --fuzz-seed=N      mutation-universe seed (default 0xF0221); corpus files
+//                      are bound to it
+//   --fuzz-batches=N   mutation batches after the seed batch (default 4)
+//   --fuzz-execs=N     concrete executions per batch (default 32)
+//   --fuzz-corpus=PATH persist the corpus (CRC-sealed, torn-tail tolerant);
+//                      with --resume, completed batches load from it and only
+//                      missing batches execute
+//                      (--workers also shards fuzz execs across forked
+//                      processes; the report is identical at any count)
 #include <unistd.h>
 
 #include <cstdio>
@@ -67,6 +86,7 @@
 #include "src/core/replay.h"
 #include "src/drivers/corpus.h"
 #include "src/fleet/fleet.h"
+#include "src/fuzz/fuzz.h"
 #include "src/obs/trace_events.h"
 #include "src/support/strings.h"
 
@@ -156,6 +176,8 @@ int main(int argc, char** argv) {
   uint32_t threads = 0;
   uint32_t workers = 0;
   int64_t kill_lease = -1;
+  bool fuzz = false;
+  ddt::fuzz::FuzzConfig fuzz_knobs;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     uint64_t v = 0;
@@ -185,6 +207,16 @@ int main(int argc, char** argv) {
       workers = static_cast<uint32_t>(v);
     } else if (ParseUintFlag(arg, "--fleet-kill-lease=", &v)) {
       kill_lease = static_cast<int64_t>(v);
+    } else if (ParseUintFlag(arg, "--fuzz=", &v)) {
+      fuzz = v != 0;
+    } else if (ParseUintFlag(arg, "--fuzz-seed=", &v)) {
+      fuzz_knobs.seed = v;
+    } else if (ParseUintFlag(arg, "--fuzz-batches=", &v)) {
+      fuzz_knobs.batches = static_cast<uint32_t>(v);
+    } else if (ParseUintFlag(arg, "--fuzz-execs=", &v)) {
+      fuzz_knobs.execs_per_batch = static_cast<uint32_t>(v);
+    } else if (arg.rfind("--fuzz-corpus=", 0) == 0) {
+      fuzz_knobs.corpus_path = arg.substr(std::strlen("--fuzz-corpus="));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -210,7 +242,7 @@ int main(int argc, char** argv) {
     ddt::obs::Tracer::Get().Enable();
   }
 
-  ddt::Result<ddt::FaultCampaignResult> campaign = [&]() {
+  auto run_campaign_fn = [&]() {
     if (workers == 0) {
       return ddt::RunFaultCampaign(config, driver.image, driver.pci);
     }
@@ -248,13 +280,41 @@ int main(int argc, char** argv) {
       fleet.worker_args.push_back("--dma-checker=1");
     }
     return ddt::fleet::RunFleetCampaign(config, driver.image, driver.pci, fleet);
-  }();
-  if (!campaign.ok()) {
-    std::fprintf(stderr, "campaign failed: %s\n", campaign.status().message().c_str());
-    return 1;
+  };
+
+  // With --fuzz the campaign runs as phase 1 of the concolic loop (through the
+  // same in-process/fleet path) and the reports grow a fuzz section; without
+  // it this is the pre-fuzz binary, byte for byte.
+  ddt::FaultCampaignResult campaign_result;
+  ddt::fuzz::FuzzCampaignResult fuzz_result;
+  bool fuzz_ran = false;
+  if (fuzz) {
+    ddt::fuzz::FuzzCampaignConfig fuzz_config;
+    fuzz_config.campaign = config;
+    fuzz_config.fuzz = fuzz_knobs;
+    fuzz_config.fuzz.resume = resume;
+    fuzz_config.fuzz.workers = workers;
+    fuzz_config.run_campaign = run_campaign_fn;
+    ddt::Result<ddt::fuzz::FuzzCampaignResult> fuzzed =
+        ddt::fuzz::RunFuzzCampaign(fuzz_config, driver.image, driver.pci);
+    if (!fuzzed.ok()) {
+      std::fprintf(stderr, "fuzz campaign failed: %s\n", fuzzed.status().message().c_str());
+      return 1;
+    }
+    fuzz_result = fuzzed.take();
+    fuzz_ran = true;
+  } else {
+    ddt::Result<ddt::FaultCampaignResult> campaign = run_campaign_fn();
+    if (!campaign.ok()) {
+      std::fprintf(stderr, "campaign failed: %s\n", campaign.status().message().c_str());
+      return 1;
+    }
+    campaign_result = campaign.take();
   }
-  const ddt::FaultCampaignResult& result = campaign.value();
-  std::printf("%s\n", result.FormatReport(driver.name).c_str());
+  const ddt::FaultCampaignResult& result = fuzz_ran ? fuzz_result.campaign : campaign_result;
+  std::string report_full = fuzz_ran ? fuzz_result.FormatReport(driver.name)
+                                     : result.FormatReport(driver.name);
+  std::printf("%s\n", report_full.c_str());
 
   if (!result.profile.empty()) {
     std::printf("%s", result.profile.FormatTopPasses(5).c_str());
@@ -289,7 +349,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", report_out.c_str());
       return 1;
     }
-    std::string deterministic = result.FormatReport(driver.name, /*include_volatile=*/false);
+    std::string deterministic =
+        fuzz_ran ? fuzz_result.FormatReport(driver.name, /*include_volatile=*/false)
+                 : result.FormatReport(driver.name, /*include_volatile=*/false);
     std::fwrite(deterministic.data(), 1, deterministic.size(), out);
     std::fclose(out);
   }
@@ -300,7 +362,13 @@ int main(int argc, char** argv) {
   // carry only what survives serialization (find on one machine, replay on
   // another — the recorded fault plan must cross the process boundary too).
   const char* evidence_path = "/tmp/ddt_fault_campaign.report";
-  ddt::Status saved = ddt::SaveBugsFile(evidence_path, result.bugs);
+  std::vector<ddt::Bug> evidence_bugs = result.bugs;
+  size_t campaign_bug_count = evidence_bugs.size();
+  if (fuzz_ran) {
+    evidence_bugs.insert(evidence_bugs.end(), fuzz_result.fuzz_bugs.begin(),
+                         fuzz_result.fuzz_bugs.end());
+  }
+  ddt::Status saved = ddt::SaveBugsFile(evidence_path, evidence_bugs);
   if (!saved.ok()) {
     std::fprintf(stderr, "save failed: %s\n", saved.message().c_str());
     return 1;
@@ -312,13 +380,22 @@ int main(int argc, char** argv) {
   }
 
   int replayed = 0;
-  for (const ddt::Bug& bug : loaded.value()) {
-    if (bug.fault_plan.empty()) {
+  for (size_t i = 0; i < loaded.value().size(); ++i) {
+    const ddt::Bug& bug = loaded.value()[i];
+    bool is_fuzz_bug = i >= campaign_bug_count;
+    // Campaign bugs replay only when a fault plan exposed them; fuzz bugs
+    // always replay (the guided inputs patched into the evidence file are the
+    // reproducer), under the checker set the fuzz executor ran with.
+    if (!is_fuzz_bug && bug.fault_plan.empty()) {
       continue;
     }
-    ddt::ReplayResult replay = ddt::ReplayBug(driver.image, driver.pci, bug, config.base);
-    std::printf("replay [%s] under plan %s: %s\n", bug.title.c_str(),
-                bug.fault_plan.ToString().c_str(),
+    ddt::DdtConfig replay_config = config.base;
+    if (is_fuzz_bug) {
+      replay_config.dma_checker = true;
+    }
+    ddt::ReplayResult replay = ddt::ReplayBug(driver.image, driver.pci, bug, replay_config);
+    std::printf("replay%s [%s] under plan %s: %s\n", is_fuzz_bug ? " (fuzz)" : "",
+                bug.title.c_str(), bug.fault_plan.ToString().c_str(),
                 replay.reproduced ? "reproduced" : replay.detail.c_str());
     if (replay.reproduced) {
       ++replayed;

@@ -101,6 +101,7 @@ Result<DdtResult> Ddt::TestDriver(const DriverImage& image, const PciDescriptor&
   DdtResult result;
   result.bugs = engine_->bugs();
   result.stats = engine_->stats();
+  result.path_seeds = engine_->path_seeds();
   result.coverage_samples = engine_->coverage_samples();
   result.covered_blocks = engine_->covered_blocks();
   result.total_blocks = engine_->total_blocks();

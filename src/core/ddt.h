@@ -54,6 +54,9 @@ struct DdtConfig {
 struct DdtResult {
   std::vector<Bug> bugs;
   EngineStats stats;
+  // Solver-derived concrete path models (empty unless
+  // engine.max_path_seeds > 0) — the fuzz subsystem's seeds.
+  std::vector<PathSeed> path_seeds;
   std::vector<CoverageSample> coverage_samples;
   size_t covered_blocks = 0;
   size_t total_blocks = 0;

@@ -465,9 +465,32 @@ void Engine::FinishState(ExecutionState& st, const std::string& why) {
       checker->OnStateEnd(st, *this);
     }
   }
+  MaybeCollectPathSeed(st, why);
   if (st.alive()) {
     st.Terminate(why);
   }
+}
+
+void Engine::MaybeCollectPathSeed(ExecutionState& st, const std::string& why) {
+  // Seed derivation (src/fuzz): ask the solver for a concrete model of this
+  // path — the paper's replayable concrete inputs, harvested as fuzz seeds.
+  // Collection order follows state termination order, which is deterministic
+  // for a single engine run; guided runs never derive seeds from themselves.
+  if (config_.max_path_seeds == 0 || config_.guided ||
+      path_seeds_.size() >= config_.max_path_seeds || st.constraints.empty()) {
+    return;
+  }
+  std::vector<SolvedInput> inputs = SolveInputs(st);
+  if (inputs.empty()) {
+    return;
+  }
+  PathSeed seed;
+  seed.inputs = std::move(inputs);
+  seed.interrupt_schedule = st.interrupt_schedule;
+  seed.alternatives = st.alternatives_taken;
+  seed.workload_trail = st.workload_trail;
+  seed.termination = st.alive() ? why : st.termination_reason;
+  path_seeds_.push_back(std::move(seed));
 }
 
 void Engine::EvictStatesOverMemoryBudget(uint64_t current_bytes) {
@@ -1505,11 +1528,33 @@ uint32_t Engine::GuidedEval(ExprRef e) {
   return static_cast<uint32_t>(EvalExpr(e, assignment));
 }
 
+uint32_t Engine::HintEval(ExprRef e) {
+  Assignment assignment;
+  std::vector<uint32_t> vars;
+  CollectVars(e, &vars);
+  for (uint32_t var : vars) {
+    const VarInfo& info = ctx_.var_info(var);
+    auto it = config_.concretization_hints.find(OriginKeyString(info.origin));
+    assignment.Set(var, it != config_.concretization_hints.end() ? it->second : 0);
+  }
+  return static_cast<uint32_t>(EvalExpr(e, assignment));
+}
+
 std::optional<uint32_t> Engine::PickValue(ExecutionState& st, ExprRef e) {
   if (config_.guided) {
     return GuidedEval(e);
   }
   ++stats_.concretizations;
+  // Promotion hints: prefer the promoted fuzz input's concrete value when it
+  // is still feasible on this path, so the symbolic pass retraces the input's
+  // route through concretization points. Soundness is unchanged — an
+  // infeasible hint falls through to the solver's free choice.
+  if (!config_.concretization_hints.empty()) {
+    uint32_t hinted = HintEval(e);
+    if (solver_.MayBeTrue(st.constraints, ctx_.Eq(e, ctx_.Const(hinted, e->width())))) {
+      return hinted;
+    }
+  }
   std::optional<uint64_t> chosen = solver_.GetValue(st.constraints, e);
   if (!chosen.has_value()) {
     return std::nullopt;
@@ -1663,6 +1708,14 @@ void Engine::NoteCoverage(ExecutionState& st, uint32_t pc) {
     sample.covered_blocks = covered_blocks_.size();
     coverage_samples_.push_back(sample);
   }
+}
+
+CoverageBitmap Engine::CoverageSnapshot() const {
+  CoverageBitmap bitmap(block_leader_slots_.size());
+  for (uint32_t pc : covered_blocks_) {
+    bitmap.Set((pc - loaded_.code_begin) / kInstructionSize);
+  }
+  return bitmap;
 }
 
 uint64_t Engine::BlockCountAt(uint32_t pc) const {
@@ -1874,6 +1927,16 @@ void Engine::HandleBranch(ExecutionState& st, ExprRef cond, uint32_t taken_pc,
   if (may_true && may_false) {
     if (states_.size() >= config_.max_states || st.depth >= config_.max_fork_depth) {
       ++stats_.dropped_forks;
+      // Promotion hints: a dropped fork historically always followed the
+      // taken edge; with a promoted fuzz input installed, follow the edge
+      // that input's concrete values take instead — both directions are
+      // feasible here, so this only redirects the search, never unsounds it.
+      if (!config_.concretization_hints.empty() && HintEval(cond) == 0) {
+        st.constraints.push_back(ctx_.Not(cond));
+        record(fall_pc, false);
+        st.pc = fall_pc;
+        return;
+      }
       st.constraints.push_back(cond);
       record(taken_pc, false);
       st.pc = taken_pc;

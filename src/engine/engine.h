@@ -37,6 +37,7 @@
 #include "src/obs/profiler.h"
 #include "src/solver/solver.h"
 #include "src/support/status.h"
+#include "src/vm/coverage_map.h"
 #include "src/vm/disasm.h"
 #include "src/vm/image.h"
 
@@ -121,6 +122,24 @@ struct EngineConfig {
   std::map<std::string, uint64_t> guided_inputs;  // OriginKeyString -> value
   std::vector<std::pair<uint32_t, std::string>> forced_alternatives;  // (kcall seq, label)
 
+  // --- Concolic seed derivation (src/fuzz) ---
+  // When nonzero, every terminated path with constraints asks the solver for
+  // a concrete model (the paper's replayable concrete inputs) and records it
+  // as a PathSeed, up to this cap. 0 = off (no extra solver work, no
+  // behavior change).
+  uint32_t max_path_seeds = 0;
+
+  // --- Promotion hints (src/fuzz promotion channel) ---
+  // A coverage-novel fuzz input promoted back to symbolic exploration:
+  // OriginKeyString -> concrete value. During a (non-guided) symbolic run,
+  // concretization picks the hinted evaluation when it is feasible under the
+  // current path constraints, and a branch whose fork would be dropped (state
+  // or depth cap) follows the hint-evaluated direction instead of defaulting
+  // to taken — biasing exploration toward the fuzz input's concrete path
+  // while remaining sound (every choice is constraint-checked). Empty = no
+  // effect anywhere.
+  std::map<std::string, uint64_t> concretization_hints;
+
   // Cooperative cancellation token shared with a supervisor (the campaign
   // watchdog): when it becomes true the run loop stops at the next budget
   // check and any in-flight SAT query unwinds within one propagation. When
@@ -202,6 +221,18 @@ struct CoverageSample {
   size_t covered_blocks = 0;
 };
 
+// A solver-derived concrete model of one explored symbolic path (§3.5's
+// replayable concrete inputs, packaged for the fuzz subsystem): everything a
+// guided concrete re-execution needs to retrace the path. Collected when
+// EngineConfig::max_path_seeds is nonzero.
+struct PathSeed {
+  std::vector<SolvedInput> inputs;
+  std::vector<uint32_t> interrupt_schedule;  // boundary-crossing indices
+  std::vector<std::pair<uint32_t, std::string>> alternatives;  // (kcall seq, label)
+  std::vector<uint32_t> workload_trail;  // entry slots invoked, in order
+  std::string termination;               // why the path ended
+};
+
 class Engine : public CheckerHost, private BlockCountOracle {
  public:
   explicit Engine(const EngineConfig& config = EngineConfig());
@@ -236,6 +267,12 @@ class Engine : public CheckerHost, private BlockCountOracle {
   size_t covered_blocks() const { return covered_blocks_.size(); }
   size_t total_blocks() const { return cfg_.NumBlocks(); }
   const std::unordered_set<uint32_t>& covered_block_leaders() const { return covered_blocks_; }
+  // Covered block leaders as a dense instruction-slot bitmap (the stable
+  // coverage-novelty API; see src/vm/coverage_map.h). Slot i = the aligned
+  // instruction at code_begin + i * kInstructionSize.
+  CoverageBitmap CoverageSnapshot() const;
+  // Path seeds collected this run (empty unless config.max_path_seeds > 0).
+  const std::vector<PathSeed>& path_seeds() const { return path_seeds_; }
   const Cfg& cfg() const { return cfg_; }
   const LoadedDriver& loaded_driver() const { return loaded_; }
   const MemStats& mem_stats() const { return mem_stats_; }
@@ -326,6 +363,11 @@ class Engine : public CheckerHost, private BlockCountOracle {
   // Guided replay: resolve a symbolic value to the recorded concrete input.
   Value MaybeGuide(const Value& value);
   uint32_t GuidedEval(ExprRef e);
+  // Promotion hints: evaluate `e` under concretization_hints (unhinted
+  // origins default to 0). Only meaningful when hints are non-empty.
+  uint32_t HintEval(ExprRef e);
+  // Records a PathSeed for a finished path when seed derivation is on.
+  void MaybeCollectPathSeed(ExecutionState& st, const std::string& why);
   Value ReadMemValueRaw(ExecutionState& st, uint32_t addr, unsigned size);
   void WriteMemValueRaw(ExecutionState& st, uint32_t addr, const Value& value, unsigned size);
   void EmitKernelEvent(ExecutionState& st, const KernelEvent& event);
@@ -396,6 +438,7 @@ class Engine : public CheckerHost, private BlockCountOracle {
   MemStats mem_stats_;
   FaultSiteProfile fault_site_profile_;
   HwSiteProfile hw_site_profile_;
+  std::vector<PathSeed> path_seeds_;
 
   // Coverage.
   std::unordered_map<uint32_t, uint64_t> block_counts_;  // leader -> executions

@@ -1,0 +1,186 @@
+#include "src/fuzz/corpus.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/support/crc32.h"
+#include "src/support/strings.h"
+
+namespace ddt {
+namespace fuzz {
+
+namespace {
+
+constexpr char kHeaderTag[] = "ddt-fuzz-corpus v1";
+
+// Entry body: one meta line, then the serialized input (which ends in
+// "end\n" and therefore delimits itself).
+std::string EncodeEntryBody(const CorpusEntry& entry) {
+  std::string body = StrFormat("meta %zu %u %s\n", entry.novel_blocks, entry.batch,
+                               entry.coverage.ToHex().c_str());
+  body += SerializeFuzzInput(entry.input);
+  return body;
+}
+
+bool DecodeEntryBody(const std::string& body, CorpusEntry* entry) {
+  size_t eol = body.find('\n');
+  if (eol == std::string::npos) {
+    return false;
+  }
+  std::string meta = body.substr(0, eol);
+  if (meta.rfind("meta ", 0) != 0) {
+    return false;
+  }
+  unsigned long long novel;
+  unsigned batch;
+  char cov_hex[16 * 1024];
+  if (std::sscanf(meta.c_str(), "meta %llu %u %16383s", &novel, &batch, cov_hex) != 3) {
+    // A no-coverage entry serializes an empty hex string; retry without it.
+    if (std::sscanf(meta.c_str(), "meta %llu %u", &novel, &batch) != 2) {
+      return false;
+    }
+    cov_hex[0] = '\0';
+  }
+  CoverageBitmap coverage;
+  if (!CoverageBitmap::FromHex(cov_hex, &coverage)) {
+    return false;
+  }
+  Result<FuzzInput> input = ParseFuzzInput(body.substr(eol + 1));
+  if (!input.ok()) {
+    return false;
+  }
+  entry->input = std::move(input.value());
+  entry->coverage = std::move(coverage);
+  entry->coverage_fingerprint = entry->coverage.Fingerprint();
+  entry->novel_blocks = static_cast<size_t>(novel);
+  entry->batch = batch;
+  return true;
+}
+
+}  // namespace
+
+int FuzzCorpus::Offer(const FuzzInput& input, const CoverageBitmap& coverage, uint32_t batch,
+                      size_t max_entries) {
+  if (entries_.size() >= max_entries) {
+    return -1;
+  }
+  size_t novel = cumulative_.NewlyCovered(coverage);
+  if (novel == 0) {
+    return -1;
+  }
+  cumulative_.OrWith(coverage);
+  CorpusEntry entry;
+  entry.input = input;
+  entry.coverage = coverage;
+  entry.coverage_fingerprint = coverage.Fingerprint();
+  entry.novel_blocks = novel;
+  entry.batch = batch;
+  entries_.push_back(std::move(entry));
+  return static_cast<int>(entries_.size() - 1);
+}
+
+Status FuzzCorpus::SaveToFile(const std::string& path, uint64_t fingerprint) const {
+  std::string out = StrFormat("%s %016llx %u\n", kHeaderTag,
+                              static_cast<unsigned long long>(fingerprint), batches_done_);
+  for (const CorpusEntry& entry : entries_) {
+    std::string body = EncodeEntryBody(entry);
+    out += StrFormat("entry %08x %zu\n", Crc32(body), body.size());
+    out += body;
+  }
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Error("fuzz corpus: cannot open for writing: " + tmp);
+  }
+  size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != out.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Error("fuzz corpus: short write: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Error("fuzz corpus: rename failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Status FuzzCorpus::LoadFromFile(const std::string& path, uint64_t fingerprint,
+                                size_t* load_errors) {
+  if (load_errors != nullptr) {
+    *load_errors = 0;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::Error("fuzz corpus: cannot open: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string text(static_cast<size_t>(size > 0 ? size : 0), '\0');
+  size_t read = std::fread(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (read != text.size()) {
+    return Status::Error("fuzz corpus: short read: " + path);
+  }
+
+  size_t pos = text.find('\n');
+  if (pos == std::string::npos) {
+    return Status::Error("fuzz corpus: missing header: " + path);
+  }
+  std::string header = text.substr(0, pos);
+  ++pos;
+  unsigned long long file_fp;
+  unsigned batches;
+  char tag[64];
+  char version[64];
+  if (std::sscanf(header.c_str(), "%63s %63s %llx %u", tag, version, &file_fp, &batches) != 4 ||
+      StrFormat("%s %s", tag, version) != kHeaderTag) {
+    return Status::Error("fuzz corpus: bad header: " + path);
+  }
+  if (file_fp != fingerprint) {
+    return Status::Error("fuzz corpus: fingerprint mismatch (different driver or fuzz seed): " +
+                         path);
+  }
+
+  entries_.clear();
+  cumulative_ = CoverageBitmap();
+  batches_done_ = batches;
+
+  // Entries up to the first damaged record; the tail after that is dropped.
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      if (load_errors != nullptr) {
+        ++*load_errors;
+      }
+      break;
+    }
+    std::string line = text.substr(pos, eol - pos);
+    unsigned crc;
+    unsigned long long body_size;
+    if (std::sscanf(line.c_str(), "entry %x %llu", &crc, &body_size) != 2 ||
+        eol + 1 + body_size > text.size()) {
+      if (load_errors != nullptr) {
+        ++*load_errors;
+      }
+      break;
+    }
+    std::string body = text.substr(eol + 1, static_cast<size_t>(body_size));
+    pos = eol + 1 + static_cast<size_t>(body_size);
+    CorpusEntry entry;
+    if (Crc32(body) != crc || !DecodeEntryBody(body, &entry)) {
+      if (load_errors != nullptr) {
+        ++*load_errors;
+      }
+      break;
+    }
+    cumulative_.OrWith(entry.coverage);
+    entries_.push_back(std::move(entry));
+  }
+  return Status::Ok();
+}
+
+}  // namespace fuzz
+}  // namespace ddt

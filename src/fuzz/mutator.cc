@@ -1,0 +1,182 @@
+#include "src/fuzz/mutator.h"
+
+#include <algorithm>
+
+#include "src/kernel/api.h"
+
+namespace ddt {
+namespace fuzz {
+
+namespace {
+
+uint64_t WidthMask(uint8_t width) {
+  return width >= 64 ? ~0ull : (1ull << width) - 1;
+}
+
+// Protocol constants a network driver's control plane actually compares
+// against: the NDIS-style OIDs the exerciser queries/sets plus classic
+// boundary integers. Mutating an OID selector field onto kOidGenMulticastList
+// is what steers a SetInfo exec into the multicast path.
+constexpr uint64_t kDictionary[] = {
+    0,          1,          2,          4,
+    kOidGenMaxFrameSize,    kOidGenLinkSpeed,      kOidGenCurrentAddress,
+    kOidGenMulticastList,   kOid802_3PermanentAddress,
+    0x7F,       0x80,       0xFF,       0x100,
+    0x7FFF,     0x8000,     0xFFFF,
+    0x7FFFFFFF, 0x80000000, 0xFFFFFFFF,
+};
+
+constexpr uint64_t kRegistryValues[] = {0, 1, 2, 4, 8, 16, 64, 256, 0xFFFFFFFF};
+constexpr uint64_t kLengthValues[] = {0, 1, 3, 4, 8, 63, 64, 128, 1514, 4096};
+constexpr uint64_t kHardwareValues[] = {0, 1, 0x80, 0x8000, 0x80000000, 0xFFFFFFFF};
+
+bool LooksLikeLength(const std::string& label) {
+  return label.find("len") != std::string::npos || label.find("size") != std::string::npos ||
+         label.find("count") != std::string::npos;
+}
+
+// One stacked mutation. Returns the kind actually applied (field mutators
+// retarget to the interrupt plane when the input has no fields).
+MutatorKind ApplyOne(FuzzInput& input, SplitMix64& rng) {
+  MutatorKind kind = static_cast<MutatorKind>(rng.NextBelow(kNumMutatorKinds));
+  bool field_kind = kind == MutatorKind::kHavoc || kind == MutatorKind::kArith ||
+                    kind == MutatorKind::kDictionary || kind == MutatorKind::kStructured;
+  if (field_kind && input.fields.empty()) {
+    kind = MutatorKind::kInterrupt;
+  }
+
+  switch (kind) {
+    case MutatorKind::kHavoc: {
+      FuzzField& field = input.fields[rng.NextBelow(input.fields.size())];
+      switch (rng.NextBelow(3)) {
+        case 0:  // flip one bit
+          field.value ^= 1ull << rng.NextBelow(std::max<uint64_t>(field.width, 1));
+          break;
+        case 1: {  // overwrite one byte
+          uint64_t byte = rng.NextBelow(std::max<uint64_t>(field.width / 8, 1));
+          field.value = (field.value & ~(0xFFull << (byte * 8))) |
+                        ((rng.Next() & 0xFF) << (byte * 8));
+          break;
+        }
+        default:  // fresh random value
+          field.value = rng.Next();
+          break;
+      }
+      field.value &= WidthMask(field.width);
+      break;
+    }
+    case MutatorKind::kArith: {
+      FuzzField& field = input.fields[rng.NextBelow(input.fields.size())];
+      uint64_t delta = 1 + rng.NextBelow(16);
+      field.value = (rng.NextBelow(2) == 0 ? field.value + delta : field.value - delta) &
+                    WidthMask(field.width);
+      break;
+    }
+    case MutatorKind::kDictionary: {
+      FuzzField& field = input.fields[rng.NextBelow(input.fields.size())];
+      field.value = kDictionary[rng.NextBelow(std::size(kDictionary))] & WidthMask(field.width);
+      break;
+    }
+    case MutatorKind::kStructured: {
+      FuzzField& field = input.fields[rng.NextBelow(input.fields.size())];
+      switch (field.origin.source) {
+        case VarOrigin::Source::kRegistry:
+          field.value = kRegistryValues[rng.NextBelow(std::size(kRegistryValues))];
+          break;
+        case VarOrigin::Source::kPacketData:
+          field.value = (field.value ^ (rng.Next() & 0xFF));
+          break;
+        case VarOrigin::Source::kEntryArg:
+          field.value = LooksLikeLength(field.origin.label) || LooksLikeLength(field.var_name)
+                            ? kLengthValues[rng.NextBelow(std::size(kLengthValues))]
+                            : kDictionary[rng.NextBelow(std::size(kDictionary))];
+          break;
+        case VarOrigin::Source::kHardwareRead:
+          field.value = kHardwareValues[rng.NextBelow(std::size(kHardwareValues))];
+          break;
+        default:
+          field.value = kDictionary[rng.NextBelow(std::size(kDictionary))];
+          break;
+      }
+      field.value &= WidthMask(field.width);
+      break;
+    }
+    case MutatorKind::kInterrupt: {
+      auto& schedule = input.interrupt_schedule;
+      uint64_t op = rng.NextBelow(3);
+      if (op == 0 || schedule.empty()) {  // insert a delivery
+        schedule.push_back(static_cast<uint32_t>(rng.NextBelow(32)));
+        std::sort(schedule.begin(), schedule.end());
+      } else if (op == 1) {  // remove one
+        schedule.erase(schedule.begin() +
+                       static_cast<ptrdiff_t>(rng.NextBelow(schedule.size())));
+      } else {  // shift one
+        uint32_t& crossing = schedule[rng.NextBelow(schedule.size())];
+        crossing = static_cast<uint32_t>((crossing + 1 + rng.NextBelow(8)) % 32);
+        std::sort(schedule.begin(), schedule.end());
+      }
+      break;
+    }
+    case MutatorKind::kFaultPoint: {
+      FaultPlan& plan = input.fault_plan;
+      uint64_t op = rng.NextBelow(3);
+      if (op == 0) {  // add a kernel-API point
+        FaultPoint point{static_cast<FaultClass>(rng.NextBelow(kNumFaultClasses)),
+                         static_cast<uint32_t>(rng.NextBelow(4))};
+        if (std::find(plan.points.begin(), plan.points.end(), point) == plan.points.end()) {
+          plan.points.push_back(point);
+        }
+      } else if (op == 1) {  // add a hardware-plane point
+        HwFaultPoint point{static_cast<HwFaultKind>(rng.NextBelow(kNumHwFaultKinds)),
+                           static_cast<uint32_t>(rng.NextBelow(4))};
+        plan.hw_points.push_back(point);
+      } else {  // drop one point
+        if (!plan.points.empty()) {
+          plan.points.erase(plan.points.begin() +
+                            static_cast<ptrdiff_t>(rng.NextBelow(plan.points.size())));
+        } else if (!plan.hw_points.empty()) {
+          plan.hw_points.erase(plan.hw_points.begin() +
+                               static_cast<ptrdiff_t>(rng.NextBelow(plan.hw_points.size())));
+        }
+      }
+      if (!plan.empty() && plan.label.empty()) {
+        plan.label = "fuzz";
+      }
+      if (plan.empty()) {
+        plan.label.clear();
+      }
+      break;
+    }
+  }
+  return kind;
+}
+
+}  // namespace
+
+const char* MutatorKindName(MutatorKind kind) {
+  switch (kind) {
+    case MutatorKind::kHavoc: return "havoc";
+    case MutatorKind::kArith: return "arith";
+    case MutatorKind::kDictionary: return "dictionary";
+    case MutatorKind::kStructured: return "structured";
+    case MutatorKind::kInterrupt: return "interrupt";
+    case MutatorKind::kFaultPoint: return "fault-point";
+  }
+  return "?";
+}
+
+FuzzInput MutateInput(const FuzzInput& base, SplitMix64& rng,
+                      std::array<uint64_t, kNumMutatorKinds>* counts) {
+  FuzzInput mutant = base;
+  uint64_t stack = 1 + rng.NextBelow(4);
+  for (uint64_t i = 0; i < stack; ++i) {
+    MutatorKind applied = ApplyOne(mutant, rng);
+    if (counts != nullptr) {
+      ++(*counts)[static_cast<size_t>(applied)];
+    }
+  }
+  return mutant;
+}
+
+}  // namespace fuzz
+}  // namespace ddt

@@ -1,0 +1,47 @@
+// Deterministic mutation engine for the concolic fuzz loop.
+//
+// Every mutant is a pure function of (base input, SplitMix64 stream): the
+// orchestrator derives one stream per (batch, exec) from the campaign fuzz
+// seed, so the corpus, the bug set, and the report are byte-identical for the
+// same --fuzz-seed at any thread or worker count. Mutators are AFL-style
+// havoc/arith plus a dictionary of protocol constants (NDIS-style OIDs,
+// boundary sizes) and structure-aware per-origin rules: registry parameters
+// get small interesting values, packet bytes get byte havoc, entry-argument
+// lengths get boundary lengths, OID selectors get dictionary OIDs. Interrupt
+// timing and kernel/hardware fault schedules mutate too — the fuzz plane
+// covers every input dimension the symbolic engine explores.
+#ifndef SRC_FUZZ_MUTATOR_H_
+#define SRC_FUZZ_MUTATOR_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/fuzz/input.h"
+#include "src/support/rng.h"
+
+namespace ddt {
+namespace fuzz {
+
+enum class MutatorKind : uint8_t {
+  kHavoc = 0,       // random bit/byte/word damage to a field value
+  kArith = 1,       // +/- small delta
+  kDictionary = 2,  // protocol constants and boundary values
+  kStructured = 3,  // origin-aware interesting values
+  kInterrupt = 4,   // insert/remove/shift an interrupt delivery
+  kFaultPoint = 5,  // add/remove a kernel or hardware fault point
+};
+constexpr size_t kNumMutatorKinds = 6;
+
+const char* MutatorKindName(MutatorKind kind);
+
+// Produces a mutant of `base` by applying 1..4 stacked mutations drawn from
+// `rng`. `counts` (when non-null) tallies applied mutations per kind — the
+// fuzz.mutations.* metric family. The mutant's label is left equal to the
+// base's; the orchestrator relabels with batch/exec provenance.
+FuzzInput MutateInput(const FuzzInput& base, SplitMix64& rng,
+                      std::array<uint64_t, kNumMutatorKinds>* counts);
+
+}  // namespace fuzz
+}  // namespace ddt
+
+#endif  // SRC_FUZZ_MUTATOR_H_

@@ -1,7 +1,18 @@
-// Deterministic PRNG (xorshift64*). Every stochastic decision in DDT — random
+// Deterministic PRNGs. Every stochastic decision in DDT — random
 // concretization choices (§3.2 "selects feasible values at random"), searcher
-// tie-breaking, Driver Verifier stress inputs — draws from a seeded Rng so
-// whole runs are reproducible, which the trace/replay machinery depends on.
+// tie-breaking, campaign escalation-plan sampling, fuzz mutation — draws from
+// a seeded generator defined here, so whole runs are reproducible, which the
+// trace/replay machinery depends on.
+//
+// Two generators, two jobs:
+//   Rng        — xorshift64*; the engine/searcher/campaign-plan generator.
+//                Its sequences are load-bearing: existing deterministic
+//                reports depend on them, so its algorithm never changes.
+//   SplitMix64 — stateless-jump splittable generator; the fuzz subsystem's
+//                mutation streams. Each (seed, batch, exec) coordinate forks
+//                an independent stream with Fork(), so a mutated input's
+//                bytes depend only on its coordinates — never on thread
+//                interleaving, worker count, or execution order.
 #ifndef SRC_SUPPORT_RNG_H_
 #define SRC_SUPPORT_RNG_H_
 
@@ -31,6 +42,37 @@ class Rng {
   double NextDouble() { return static_cast<double>(Next() >> 11) / 9007199254740992.0; }
 
   uint64_t state() const { return state_; }
+
+ private:
+  uint64_t state_;
+};
+
+// SplitMix64 (Steele/Lea/Flood). Full-period over the 64-bit state, every
+// seed valid (including 0), and cheap to split: Fork(k) derives the
+// generator for sub-stream k without consuming this stream's outputs, which
+// is what lets fuzz coordinates (seed, batch, exec index) map to independent
+// deterministic streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed = 0) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  // Independent sub-stream k of this generator's current state. Mixing the
+  // key through one Next()-style avalanche keeps adjacent keys uncorrelated.
+  SplitMix64 Fork(uint64_t key) const {
+    SplitMix64 child(state_ ^ (key * 0xBF58476D1CE4E5B9ull + 0x94D049BB133111EBull));
+    child.Next();
+    return child;
+  }
 
  private:
   uint64_t state_;
