@@ -34,6 +34,16 @@
 //           them. The concolic loop only pays off if a concrete exec is far
 //           cheaper than a symbolic pass; gated at >= 10x execs/sec over
 //           symbolic passes/sec.
+//   part 9: path-explosion control — the fault_farm and solver_farm campaigns
+//           with every pathctl control off vs on (diamond state merging +
+//           coverage-starved back-edge kills, src/engine/pathctl.h). The
+//           controls must find the identical bug set per bench while creating
+//           >= 30% fewer states in aggregate and making strictly fewer SAT
+//           calls: merging collapses solver_farm's 2^6 branch-diamond leaves.
+//           fault_farm is the no-harm leg: its error-path spins are ended by
+//           the loop checker's 100k-step heuristic before the back-edge kill
+//           threshold is reachable, so controls-on must leave its states,
+//           instructions, and bugs untouched.
 //
 // Emits a machine-readable JSON summary (default: BENCH_exec.json in the
 // current directory; override with argv[1]).
@@ -414,6 +424,53 @@ CacheCampaignRun RunCacheCampaign(const DriverImage& image, const PciDescriptor&
   out.solver = r.value().total_solver_stats;
   out.loaded_entries = r.value().shared_cache_loaded_entries;
   out.saved_entries = r.value().shared_cache_saved_entries;
+  return out;
+}
+
+// One campaign with the path-explosion controls off or on, everything else
+// identical (threads=1 isolates the control effect from scheduler effects;
+// superblocks stay off so the tier-1 merge point is the one exercised).
+struct PathCtlRun {
+  double wall_ms = 0;
+  uint64_t states_created = 0;
+  uint64_t states_merged = 0;
+  uint64_t loop_kills = 0;
+  uint64_t edge_kills = 0;
+  uint64_t sat_calls = 0;
+  uint64_t instructions = 0;
+  std::vector<std::string> bug_rows;
+};
+
+PathCtlRun RunPathCtlCampaign(const DriverImage& image, const PciDescriptor& pci,
+                              bool controls_on) {
+  FaultCampaignConfig config;
+  config.base.engine.max_instructions = 2'000'000;
+  config.base.engine.max_wall_ms = 3'600'000;
+  config.base.use_standard_annotations = false;
+  config.max_passes = 16;
+  config.max_occurrences_per_class = 8;
+  config.escalation_rounds = 1;
+  config.threads = 1;
+  config.base.engine.pathctl.enabled = controls_on;
+  Result<FaultCampaignResult> r = RunFaultCampaign(config, image, pci);
+  if (!r.ok()) {
+    std::fprintf(stderr, "pathctl campaign (controls %s) failed: %s\n",
+                 controls_on ? "on" : "off", r.status().message().c_str());
+    std::exit(1);
+  }
+  PathCtlRun out;
+  out.wall_ms = r.value().campaign_wall_ms;
+  out.states_created = r.value().total_stats.states_created;
+  out.states_merged = r.value().total_stats.states_merged;
+  out.loop_kills = r.value().total_stats.loop_kills;
+  out.edge_kills = r.value().total_stats.edge_kills;
+  out.instructions = r.value().total_stats.instructions;
+  out.sat_calls = r.value().total_solver_stats.sat_calls;
+  for (const Bug& bug : r.value().bugs) {
+    out.bug_rows.push_back(bug.Row());
+  }
+  // Merging reorders within-pass discovery; the gate is set identity.
+  std::sort(out.bug_rows.begin(), out.bug_rows.end());
   return out;
 }
 
@@ -803,6 +860,47 @@ int main(int argc, char** argv) {
               "(%.1fx over per-pass symbolic rate)\n",
               fuzz_interp_eps, fuzz_tier2_eps, fuzz_speedup);
 
+  // --- part 9: path-explosion control ----------------------------------------
+  // Controls off vs on over both campaign shapes. solver_farm's six branch
+  // diamonds make merging the dominant effect (64 leaves collapse to a
+  // handful of states, and every state that never exists never queries the
+  // solver). fault_farm is the no-harm control: its error-path spins die to
+  // the loop checker's 100k-step heuristic at ~50k iterations, below the
+  // 131072 back-edge kill threshold — so pathctl must pass through without
+  // perturbing a campaign it cannot help. (The killer's own win shows up on
+  // loops the frame-step heuristic is blind to; pathctl_test covers that.)
+  std::printf("\n=== path-explosion control (pathctl off vs on) ===\n");
+  PathCtlRun pc_farm_off = RunPathCtlCampaign(farm_image, farm_pci, false);
+  PathCtlRun pc_farm_on = RunPathCtlCampaign(farm_image, farm_pci, true);
+  PathCtlRun pc_solver_off = RunPathCtlCampaign(solver_farm, solver_pci, false);
+  PathCtlRun pc_solver_on = RunPathCtlCampaign(solver_farm, solver_pci, true);
+  bool pathctl_bugs_identical = pc_farm_on.bug_rows == pc_farm_off.bug_rows &&
+                                pc_solver_on.bug_rows == pc_solver_off.bug_rows;
+  uint64_t pc_states_off = pc_farm_off.states_created + pc_solver_off.states_created;
+  uint64_t pc_states_on = pc_farm_on.states_created + pc_solver_on.states_created;
+  uint64_t pc_sat_off = pc_farm_off.sat_calls + pc_solver_off.sat_calls;
+  uint64_t pc_sat_on = pc_farm_on.sat_calls + pc_solver_on.sat_calls;
+  double pc_states_reduction =
+      pc_states_off > 0
+          ? 1.0 - static_cast<double>(pc_states_on) / static_cast<double>(pc_states_off)
+          : 0;
+  std::printf("fault_farm:  %llu -> %llu states, %llu -> %llu insns, %llu loop kills\n",
+              static_cast<unsigned long long>(pc_farm_off.states_created),
+              static_cast<unsigned long long>(pc_farm_on.states_created),
+              static_cast<unsigned long long>(pc_farm_off.instructions),
+              static_cast<unsigned long long>(pc_farm_on.instructions),
+              static_cast<unsigned long long>(pc_farm_on.loop_kills));
+  std::printf("solver_farm: %llu -> %llu states, %llu -> %llu SAT calls, %llu merges\n",
+              static_cast<unsigned long long>(pc_solver_off.states_created),
+              static_cast<unsigned long long>(pc_solver_on.states_created),
+              static_cast<unsigned long long>(pc_solver_off.sat_calls),
+              static_cast<unsigned long long>(pc_solver_on.sat_calls),
+              static_cast<unsigned long long>(pc_solver_on.states_merged));
+  std::printf("aggregate: %.1f%% fewer states, %llu -> %llu SAT calls, bugs identical: %s\n",
+              100.0 * pc_states_reduction, static_cast<unsigned long long>(pc_sat_off),
+              static_cast<unsigned long long>(pc_sat_on),
+              pathctl_bugs_identical ? "yes" : "NO");
+
   // --- JSON summary ---------------------------------------------------------
   FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
@@ -915,6 +1013,38 @@ int main(int argc, char** argv) {
   std::fprintf(f, "    \"interp_execs_per_sec\": %.1f,\n", fuzz_interp_eps);
   std::fprintf(f, "    \"tier2_execs_per_sec\": %.1f,\n", fuzz_tier2_eps);
   std::fprintf(f, "    \"speedup_vs_symbolic\": %.3f\n", fuzz_speedup);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"pathctl\": {\n");
+  std::fprintf(f,
+               "    \"fault_farm\": {\"off\": {\"states_created\": %llu, \"sat_calls\": %llu, "
+               "\"instructions\": %llu}, \"on\": {\"states_created\": %llu, \"sat_calls\": "
+               "%llu, \"instructions\": %llu, \"states_merged\": %llu, \"loop_kills\": %llu, "
+               "\"edge_kills\": %llu}},\n",
+               static_cast<unsigned long long>(pc_farm_off.states_created),
+               static_cast<unsigned long long>(pc_farm_off.sat_calls),
+               static_cast<unsigned long long>(pc_farm_off.instructions),
+               static_cast<unsigned long long>(pc_farm_on.states_created),
+               static_cast<unsigned long long>(pc_farm_on.sat_calls),
+               static_cast<unsigned long long>(pc_farm_on.instructions),
+               static_cast<unsigned long long>(pc_farm_on.states_merged),
+               static_cast<unsigned long long>(pc_farm_on.loop_kills),
+               static_cast<unsigned long long>(pc_farm_on.edge_kills));
+  std::fprintf(f,
+               "    \"solver_farm\": {\"off\": {\"states_created\": %llu, \"sat_calls\": %llu, "
+               "\"instructions\": %llu}, \"on\": {\"states_created\": %llu, \"sat_calls\": "
+               "%llu, \"instructions\": %llu, \"states_merged\": %llu, \"loop_kills\": %llu, "
+               "\"edge_kills\": %llu}},\n",
+               static_cast<unsigned long long>(pc_solver_off.states_created),
+               static_cast<unsigned long long>(pc_solver_off.sat_calls),
+               static_cast<unsigned long long>(pc_solver_off.instructions),
+               static_cast<unsigned long long>(pc_solver_on.states_created),
+               static_cast<unsigned long long>(pc_solver_on.sat_calls),
+               static_cast<unsigned long long>(pc_solver_on.instructions),
+               static_cast<unsigned long long>(pc_solver_on.states_merged),
+               static_cast<unsigned long long>(pc_solver_on.loop_kills),
+               static_cast<unsigned long long>(pc_solver_on.edge_kills));
+  std::fprintf(f, "    \"states_reduction\": %.3f,\n", pc_states_reduction);
+  std::fprintf(f, "    \"bugs_identical\": %s\n", pathctl_bugs_identical ? "true" : "false");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -958,9 +1088,16 @@ int main(int argc, char** argv) {
   // query; it must run at >= 10x the rate of the symbolic passes that seed it,
   // or the mutation loop would be better spent on more symbolic passes.
   bool fuzz_ok = fuzz_tier2_eps >= 10.0 * fuzz_sym_rate && fuzz_tier2_eps > 0;
+  // Suppressing redundant paths only counts if it changes no verdicts: the
+  // controls must preserve each bench's exact bug set while cutting aggregate
+  // state creation by >= 30% and SAT calls strictly, with merging demonstrably
+  // engaged on solver_farm and fault_farm not made any worse.
+  bool pathctl_ok = pathctl_bugs_identical && pc_states_on * 10 <= pc_states_off * 7 &&
+                    pc_sat_on < pc_sat_off && pc_solver_on.states_merged > 0 &&
+                    pc_farm_on.instructions <= pc_farm_off.instructions;
   bool pass = loop_speedup >= 2.0 && interp_bugs_identical && campaign_bugs_identical &&
               runs[0].plans >= 8 && campaign_ok && supervisor_ok && obs_ok && shared_cache_ok &&
-              fleet_ok && superblock_ok && fuzz_ok;
+              fleet_ok && superblock_ok && fuzz_ok && pathctl_ok;
   std::printf("BENCH_exec: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

@@ -28,6 +28,22 @@
 //                      report is byte-identical on or off — CI diffs it
 //   --superblock-hot-threshold=N  block-entry count before a region compiles
 //
+// Path-explosion control flags (src/engine/pathctl.h; see DESIGN.md §7i):
+//   --pathctl=0|1      enable the path-explosion controls: diamond state
+//                      merging at reconvergence points plus coverage-starved
+//                      back-edge kills. Off by default; with it off the
+//                      deterministic report is byte-identical to before —
+//                      CI diffs it. The fork profiler itself is always on
+//   --kill-edge=FROM:TO  declarative EdgeKiller rule (PCs, hex ok): any state
+//                      traversing the FROM->TO edge terminates, with a
+//                      per-rule kill counter in the volatile report.
+//                      Repeatable; effective only with --pathctl=1
+//   --searcher=NAME    state-selection policy: coverage-greedy (default),
+//                      dfs, bfs, random, or coverage-starved (states whose
+//                      next block is already covered are deprioritized;
+//                      RNG-free, so selection is a pure function of state
+//                      and coverage)
+//
 // Hardware fault plane flags (src/hw; see DESIGN.md §7g):
 //   --hw-faults=0|1    append device-level fault plans to the schedule —
 //                      surprise removal (reads float all-ones, writes drop,
@@ -146,6 +162,21 @@ int RunAsFleetWorker(int argc, char** argv) {
       config.hw_faults = v != 0;
     } else if (ParseUintFlag(arg, "--dma-checker=", &v)) {
       config.base.dma_checker = v != 0;
+    } else if (ParseUintFlag(arg, "--pathctl=", &v)) {
+      config.base.engine.pathctl.enabled = v != 0;
+    } else if (arg.rfind("--kill-edge=", 0) == 0) {
+      ddt::EdgeKillRule rule;
+      if (!ddt::ParseEdgeKillRule(arg.substr(std::strlen("--kill-edge=")), &rule)) {
+        std::fprintf(stderr, "fleet worker: bad --kill-edge value: %s\n", arg.c_str());
+        return 2;
+      }
+      config.base.engine.pathctl.kill_edges.push_back(rule);
+    } else if (arg.rfind("--searcher=", 0) == 0) {
+      if (!ddt::ParseSearchStrategy(arg.substr(std::strlen("--searcher=")),
+                                    &config.base.engine.strategy)) {
+        std::fprintf(stderr, "fleet worker: unknown --searcher value: %s\n", arg.c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "fleet worker: unknown flag: %s\n", arg.c_str());
       return 2;
@@ -177,6 +208,10 @@ int main(int argc, char** argv) {
   uint32_t workers = 0;
   int64_t kill_lease = -1;
   bool fuzz = false;
+  bool pathctl = false;
+  std::vector<std::string> kill_edge_args;  // raw, re-forwarded to workers
+  std::vector<ddt::EdgeKillRule> kill_edges;
+  std::string searcher;
   ddt::fuzz::FuzzConfig fuzz_knobs;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -217,6 +252,19 @@ int main(int argc, char** argv) {
       fuzz_knobs.execs_per_batch = static_cast<uint32_t>(v);
     } else if (arg.rfind("--fuzz-corpus=", 0) == 0) {
       fuzz_knobs.corpus_path = arg.substr(std::strlen("--fuzz-corpus="));
+    } else if (ParseUintFlag(arg, "--pathctl=", &v)) {
+      pathctl = v != 0;
+    } else if (arg.rfind("--kill-edge=", 0) == 0) {
+      std::string spec = arg.substr(std::strlen("--kill-edge="));
+      ddt::EdgeKillRule rule;
+      if (!ddt::ParseEdgeKillRule(spec, &rule)) {
+        std::fprintf(stderr, "bad --kill-edge value (want FROM:TO): %s\n", arg.c_str());
+        return 2;
+      }
+      kill_edge_args.push_back(spec);
+      kill_edges.push_back(rule);
+    } else if (arg.rfind("--searcher=", 0) == 0) {
+      searcher = arg.substr(std::strlen("--searcher="));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -236,6 +284,16 @@ int main(int argc, char** argv) {
   }
   config.hw_faults = hw_faults;
   config.base.dma_checker = dma_checker;
+  config.base.engine.pathctl.enabled = pathctl;
+  config.base.engine.pathctl.kill_edges = kill_edges;
+  if (!searcher.empty() &&
+      !ddt::ParseSearchStrategy(searcher, &config.base.engine.strategy)) {
+    std::fprintf(stderr,
+                 "unknown --searcher value: %s (want coverage-greedy, dfs, bfs, "
+                 "random, or coverage-starved)\n",
+                 searcher.c_str());
+    return 2;
+  }
   config.collect_metrics = !metrics_out.empty();
 
   if (!trace_out.empty()) {
@@ -278,6 +336,16 @@ int main(int argc, char** argv) {
     }
     if (dma_checker) {
       fleet.worker_args.push_back("--dma-checker=1");
+    }
+    // Pathctl knobs and the search policy enter the fingerprint as well.
+    if (pathctl) {
+      fleet.worker_args.push_back("--pathctl=1");
+    }
+    for (const std::string& spec : kill_edge_args) {
+      fleet.worker_args.push_back("--kill-edge=" + spec);
+    }
+    if (!searcher.empty()) {
+      fleet.worker_args.push_back("--searcher=" + searcher);
     }
     return ddt::fleet::RunFleetCampaign(config, driver.image, driver.pci, fleet);
   };

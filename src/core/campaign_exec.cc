@@ -40,6 +40,20 @@ uint64_t CampaignFingerprint(const FaultCampaignConfig& config, const DriverImag
   mix_u64(config.base.engine.seed);
   mix_u64(config.base.engine.max_instructions);
   mix_u64(config.base.engine.max_states);
+  // Path-explosion controls change which states exist and when they die, so
+  // every knob (and the search policy) is part of a campaign's identity —
+  // a journal written under different controls must not resume here.
+  const PathCtlConfig& pctl = config.base.engine.pathctl;
+  mix_u64(pctl.enabled ? 1 : 0);
+  mix_u64(pctl.merge ? 1 : 0);
+  mix_u64(pctl.loop_kill ? 1 : 0);
+  mix_u64(pctl.backedge_kill_threshold);
+  mix_u64(pctl.kill_edges.size());
+  for (const EdgeKillRule& rule : pctl.kill_edges) {
+    mix_u64(rule.from);
+    mix_u64(rule.to);
+  }
+  mix_u64(static_cast<uint64_t>(config.base.engine.strategy));
   mix_u64(config.base.use_default_checkers ? 1 : 0);
   mix_u64(config.base.use_standard_annotations ? 1 : 0);
   mix_bytes(image.name.data(), image.name.size());
@@ -346,6 +360,15 @@ void CampaignMerger::Merge(const FaultPlan& plan, PassOutcome& out) {
       result.total_wall_ms += stats.wall_ms;
       result.total_stats.Accumulate(stats);
       result.total_solver_stats.Accumulate(solver_stats);
+      // Fork-site hotness for the obs profile. Keys are pre-formatted here
+      // because obs must not depend on engine types; record-sourced passes
+      // contribute too (the table rides in EngineStats through the journal).
+      for (const auto& [key, site] : stats.fork_sites) {
+        if (site.states_created != 0) {
+          result.profile.fork_site_states[StrFormat(
+              "pc=%08x fault=%s", key.first, key.second.c_str())] += site.states_created;
+        }
+      }
       result.passes.push_back(std::move(pass));
     }
   }

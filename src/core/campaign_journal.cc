@@ -354,6 +354,22 @@ std::string EncodeRecord(const CampaignPassRecord& rec) {
   w.U64("e_sb_chains", e.superblock_chains);
   w.U64("e_sb_side_exits", e.superblock_side_exits);
   w.U64("e_sb_instructions", e.superblock_instructions);
+  // Path-explosion control counters + fork-profiler table (absent in older
+  // journals; GetU64/GetStr default to 0/empty).
+  w.U64("e_states_merged", e.states_merged);
+  w.U64("e_loop_kills", e.loop_kills);
+  w.U64("e_edge_kills", e.edge_kills);
+  {
+    std::string rule_kills;
+    for (size_t i = 0; i < e.edge_rule_kills.size(); ++i) {
+      if (i != 0) {
+        rule_kills.push_back(' ');
+      }
+      rule_kills += StrFormat("%llu", static_cast<unsigned long long>(e.edge_rule_kills[i]));
+    }
+    w.Str("e_edge_rule_kills", rule_kills);
+  }
+  w.Str("e_fork_sites", EncodeForkSiteTable(e.fork_sites));
   w.Dbl("e_wall_ms", e.wall_ms);
   const SolverStats& s = rec.solver_stats;
   w.U64("s_queries", s.queries);
@@ -460,6 +476,22 @@ bool DecodeRecord(const std::map<std::string, std::string>& m, CampaignPassRecor
   e.superblock_chains = GetU64(m, "e_sb_chains");
   e.superblock_side_exits = GetU64(m, "e_sb_side_exits");
   e.superblock_instructions = GetU64(m, "e_sb_instructions");
+  e.states_merged = GetU64(m, "e_states_merged");
+  e.loop_kills = GetU64(m, "e_loop_kills");
+  e.edge_kills = GetU64(m, "e_edge_kills");
+  {
+    std::string rule_kills = GetStr(m, "e_edge_rule_kills");
+    if (!rule_kills.empty()) {
+      for (std::string_view piece : SplitAny(rule_kills, " ")) {
+        int64_t v = 0;
+        if (!ParseInt(piece, &v) || v < 0) {
+          return false;
+        }
+        e.edge_rule_kills.push_back(static_cast<uint64_t>(v));
+      }
+    }
+  }
+  e.fork_sites = DecodeForkSiteTable(GetStr(m, "e_fork_sites"));
   e.wall_ms = GetDbl(m, "e_wall_ms");
   SolverStats& s = rec->solver_stats;
   s.queries = GetU64(m, "s_queries");

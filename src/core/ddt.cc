@@ -348,6 +348,7 @@ Result<FaultCampaignResult> RunFaultCampaign(const FaultCampaignConfig& config,
   // the calling thread and no worker pool is ever spawned — on a single-CPU
   // host pool handoff costs more than it buys (see bench_exec part 2).
   result.inline_scheduler = threads == 1;
+  result.searcher_name = SearchStrategyName(config.base.engine.strategy);
 
   // Checkpointing happens here — from whichever thread finished the pass, in
   // completion order — so a kill loses at most the passes still in flight.
@@ -566,11 +567,13 @@ std::string FaultCampaignResult::FormatReport(const std::string& driver_name,
                        static_cast<unsigned long long>(passes_loaded),
                        passes_loaded == 1 ? "" : "es");
     }
+    const char* searcher = searcher_name.empty() ? "?" : searcher_name.c_str();
     if (fleet_mode) {
       out += StrFormat(
-          "scheduler: fleet of %u worker process%s, campaign wall %.1f ms "
+          "scheduler: fleet of %u worker process%s, searcher %s, campaign wall %.1f ms "
           "(passes sum %.1f ms)\n",
-          fleet_workers, fleet_workers == 1 ? "" : "es", campaign_wall_ms, total_wall_ms);
+          fleet_workers, fleet_workers == 1 ? "" : "es", searcher, campaign_wall_ms,
+          total_wall_ms);
       out += StrFormat(
           "fleet: %llu spawned, %llu lost, %llu rejected, %llu recycled, "
           "%llu lease%s reassigned, %llu result%s salvaged\n",
@@ -583,17 +586,38 @@ std::string FaultCampaignResult::FormatReport(const std::string& driver_name,
           static_cast<unsigned long long>(fleet_results_salvaged),
           fleet_results_salvaged == 1 ? "" : "s");
     } else if (inline_scheduler) {
-      out += StrFormat("scheduler: inline on calling thread, campaign wall %.1f ms "
-                       "(passes sum %.1f ms)\n",
-                       campaign_wall_ms, total_wall_ms);
+      out += StrFormat("scheduler: inline on calling thread, searcher %s, campaign wall "
+                       "%.1f ms (passes sum %.1f ms)\n",
+                       searcher, campaign_wall_ms, total_wall_ms);
     } else {
       out += StrFormat(
-          "scheduler: %u worker thread%s, campaign wall %.1f ms (passes sum %.1f ms)\n",
-          threads_used, threads_used == 1 ? "" : "s", campaign_wall_ms, total_wall_ms);
+          "scheduler: %u worker thread%s, searcher %s, campaign wall %.1f ms "
+          "(passes sum %.1f ms)\n",
+          threads_used, threads_used == 1 ? "" : "s", searcher, campaign_wall_ms,
+          total_wall_ms);
     }
+    // Path-explosion control tallies. The fork-site table is printed even
+    // when every control is off (the fork profiler is always-on), so a user
+    // can see *where* states and dropped forks come from before deciding
+    // which control to enable. SAT-call attribution depends on cache
+    // temperature across threads, which is why this whole block is volatile.
+    if (total_stats.states_merged != 0 || total_stats.loop_kills != 0 ||
+        total_stats.edge_kills != 0) {
+      out += StrFormat("pathctl: %llu states merged, %llu loop kills, %llu edge kills\n",
+                       static_cast<unsigned long long>(total_stats.states_merged),
+                       static_cast<unsigned long long>(total_stats.loop_kills),
+                       static_cast<unsigned long long>(total_stats.edge_kills));
+      for (size_t i = 0; i < total_stats.edge_rule_kills.size(); ++i) {
+        out += StrFormat("  edge-kill rule %zu: %llu kill%s\n", i,
+                         static_cast<unsigned long long>(total_stats.edge_rule_kills[i]),
+                         total_stats.edge_rule_kills[i] == 1 ? "" : "s");
+      }
+    }
+    out += FormatHotForkSites(total_stats.fork_sites, 8);
     if (!profile.empty()) {
       out += profile.FormatTopPasses(5);
       out += profile.FormatHotFaultSites(8);
+      out += profile.FormatHotForkSites(8);
     }
   }
   return out;

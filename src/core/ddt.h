@@ -249,6 +249,11 @@ struct FaultCampaignResult {
   // True when the passes ran inline on the calling thread (threads == 1 or a
   // single runnable plan) — no worker pool was spawned. Volatile-report only.
   bool inline_scheduler = true;
+  // Search policy the campaign's engines ran with ("coverage-greedy", ...).
+  // Recorded in the volatile scheduler line; never in the deterministic part
+  // (the policy only reorders exploration, results are policy-independent
+  // for the deterministic contract's purposes once a campaign completes).
+  std::string searcher_name;
   // Shared-cache tallies for the volatile report and the bench (per-query
   // hit/miss/store counters live in total_solver_stats).
   bool shared_cache_used = false;

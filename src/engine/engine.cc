@@ -49,6 +49,16 @@ void EngineStats::Accumulate(const EngineStats& other) {
   superblock_chains += other.superblock_chains;
   superblock_side_exits += other.superblock_side_exits;
   superblock_instructions += other.superblock_instructions;
+  states_merged += other.states_merged;
+  loop_kills += other.loop_kills;
+  edge_kills += other.edge_kills;
+  if (edge_rule_kills.size() < other.edge_rule_kills.size()) {
+    edge_rule_kills.resize(other.edge_rule_kills.size(), 0);
+  }
+  for (size_t i = 0; i < other.edge_rule_kills.size(); ++i) {
+    edge_rule_kills[i] += other.edge_rule_kills[i];
+  }
+  AccumulateForkSites(&fork_sites, other.fork_sites);
   wall_ms += other.wall_ms;
 }
 
@@ -282,6 +292,11 @@ Status Engine::LoadDriver(const DriverImage& image, const PciDescriptor& descrip
 
 void Engine::AddState(std::unique_ptr<ExecutionState> state) {
   ++stats_.states_created;
+  // Fork profiler: attribute the new state to the fork site that spawned it
+  // (the root state has no origin and stays unattributed).
+  if (state->origin_fork_pc != 0) {
+    ++stats_.fork_sites[{state->origin_fork_pc, state->origin_fault_site}].states_created;
+  }
   states_.push_back(std::move(state));
   stats_.max_live_states = std::max<uint64_t>(stats_.max_live_states, states_.size());
 }
@@ -320,16 +335,48 @@ void Engine::Run() {
   std::vector<ExecutionState*> alive;
   while (!stop_requested_ && !BudgetExceeded()) {
     alive.clear();
+    bool any_parked = false;
     for (const auto& state : states_) {
-      if (state->alive()) {
-        alive.push_back(state.get());
+      if (!state->alive()) {
+        continue;
       }
+      // Parked states wait at a merge point for their diamond sibling; they
+      // are alive but not schedulable.
+      if (state->parked) {
+        any_parked = true;
+        continue;
+      }
+      alive.push_back(state.get());
     }
     if (alive.empty()) {
-      break;
+      if (!any_parked) {
+        break;
+      }
+      // Every runnable state is parked: no partner can ever arrive, so the
+      // groups can never complete. Dissolve them all and keep running.
+      for (const auto& state : states_) {
+        if (state->alive() && state->parked) {
+          state->parked = false;
+          state->sibling_group = 0;
+          state->merge_pc = 0;
+        }
+      }
+      continue;
     }
     size_t index = searcher_->Select(alive);
+    // Fork profiler: SAT calls issued while stepping a state are attributed
+    // to the fork site that spawned it. Capture the key before stepping (the
+    // state may terminate and be destroyed mid-step).
+    const uint32_t step_origin_pc = alive[index]->origin_fork_pc;
+    const std::string step_origin_fault = alive[index]->origin_fault_site;
+    const uint64_t sat_before = solver_.stats().sat_calls;
     StepState(*alive[index]);
+    if (step_origin_pc != 0) {
+      uint64_t sat_delta = solver_.stats().sat_calls - sat_before;
+      if (sat_delta != 0) {
+        stats_.fork_sites[{step_origin_pc, step_origin_fault}].sat_calls += sat_delta;
+      }
+    }
 
     // Periodic working-set sample (cheap: delta map sizes, not deep walks).
     if ((stats_.instructions & 0x3FFF) == 0) {
@@ -419,6 +466,12 @@ void Engine::PublishObsMetrics() {
     m.counter("vm.superblock.side_exits")->Add(stats_.superblock_side_exits);
     m.counter("vm.superblock.instructions")->Add(stats_.superblock_instructions);
   }
+  // Path-explosion control family: merge/kill outcomes plus the fork
+  // profiler's site count (the table itself rides in EngineStats).
+  m.counter("search.states_merged")->Add(stats_.states_merged);
+  m.counter("search.loop_kills")->Add(stats_.loop_kills);
+  m.counter("search.edge_kills")->Add(stats_.edge_kills);
+  m.gauge("search.fork_sites")->Set(static_cast<int64_t>(stats_.fork_sites.size()));
   m.gauge("engine.peak_state_bytes")->Set(static_cast<int64_t>(stats_.peak_state_bytes));
   const SolverStats& ss = solver_.stats();
   m.counter("solver.queries")->Add(ss.queries);
@@ -445,6 +498,7 @@ void Engine::StepState(ExecutionState& st) {
   // the exploration (or the whole run, under stop_after_first_bug).
   if (config_.max_instructions_per_state != 0 && st.steps >= config_.max_instructions_per_state) {
     ++stats_.states_evicted;
+    NoteEvictedState(st);
     FinishState(st, "per-state instruction fuel exhausted");
     return;
   }
@@ -514,6 +568,7 @@ void Engine::EvictStatesOverMemoryBudget(uint64_t current_bytes) {
     uint64_t bytes = st->mem.DeltaSize() * 16 + st->constraints.size() * 8 +
                      sizeof(ExecutionState);
     ++stats_.states_evicted;
+    NoteEvictedState(*st);
     FinishState(*st, "evicted under memory pressure");
     --remaining;
     current_bytes -= std::min(current_bytes, bytes);
@@ -886,6 +941,7 @@ void Engine::CrossBoundary(ExecutionState& st) {
     ++stats_.forks;
     ++stats_.interrupts_injected;
     obs::TraceInstant("engine.fork", "kind", "isr");
+    StampForkChild(st, *child);
     DeliverIsr(*child, crossing);
     AddState(std::move(child));
   }
@@ -937,6 +993,12 @@ void Engine::ExecuteBlock(ExecutionState& st) {
     // hide arbitrarily slow solver queries, and the governor promises the
     // run ends within a small factor of max_wall_ms.
     if ((i & 7) == 7 && BudgetExceeded()) {
+      return;
+    }
+    // Diamond merge: this state reached the join PC its fork stamped on it.
+    // It either merges with the parked sibling, parks to wait for it, or
+    // dissolves the group — in the first two cases the quantum ends.
+    if (st.sibling_group != 0 && st.pc == st.merge_pc && TryMergeAtPc(st)) {
       return;
     }
     if (st.pc == kMagicReturnAddress) {
@@ -1048,6 +1110,9 @@ const Superblock* Engine::ProbeSuperblock(uint32_t pc) {
     st.pc = op->pc;                                                          \
     if ((op->flags & kSbLeader) != 0) {                                      \
       NoteCoverage(st, op->pc);                                              \
+      if (!st.alive()) { /* edge/loop killer fired */                        \
+        return i;                                                            \
+      }                                                                      \
     }                                                                        \
     st.trace.AppendExec(op->pc);                                             \
     if (!checkers_.empty()) {                                                \
@@ -1636,11 +1701,13 @@ std::optional<uint32_t> Engine::ResolveSymbolicAddress(ExecutionState& st, ExprR
     if (states_.size() < config_.max_states) {
       std::unique_ptr<ExecutionState> child = CloneState(st);
       ++stats_.forks;
+      StampForkChild(st, *child);
       child->constraints.push_back(invalid);
       ReportBug(*child, type, title, details);
       AddState(std::move(child));
     } else {
       ++stats_.dropped_forks;
+      NoteDroppedFork(st);
       st.constraints.push_back(invalid);
       ReportBug(st, type, title, details);
       return std::nullopt;
@@ -1708,6 +1775,221 @@ void Engine::NoteCoverage(ExecutionState& st, uint32_t pc) {
     sample.covered_blocks = covered_blocks_.size();
     coverage_samples_.push_back(sample);
   }
+  // Loop/edge killer: fires on the (previous leader -> this leader) block
+  // edge. May terminate `st`; both call sites re-check st.alive().
+  uint32_t from = st.prev_leader;
+  st.prev_leader = pc;
+  if (from != 0 && config_.pathctl.enabled && !config_.guided) {
+    MaybeKillOnEdge(st, from, pc);
+  }
+}
+
+std::string Engine::CurrentFaultLabel(const ExecutionState& st) {
+  if (st.kernel.faults_injected.empty()) {
+    return "-";
+  }
+  const InjectedFault& f = st.kernel.faults_injected.back();
+  return StrFormat("%s#%u", FaultClassName(f.cls), f.occurrence);
+}
+
+void Engine::StampForkChild(ExecutionState& parent, ExecutionState& child) {
+  child.origin_fork_pc = parent.pc;
+  child.origin_fault_site = CurrentFaultLabel(parent);
+  // Non-branch forks (ISR injection, escape forks, divisor forks, kcall
+  // alternatives, backtrack revivals) never form mergeable diamonds: the
+  // child leaves any group it inherited from the parent.
+  child.sibling_group = 0;
+  child.merge_pc = 0;
+  child.parked = false;
+}
+
+void Engine::NoteDroppedFork(ExecutionState& st) {
+  ++stats_.fork_sites[{st.pc, CurrentFaultLabel(st)}].dropped_forks;
+}
+
+void Engine::NoteEvictedState(ExecutionState& st) {
+  if (st.origin_fork_pc != 0) {
+    ++stats_.fork_sites[{st.origin_fork_pc, st.origin_fault_site}].states_evicted;
+  }
+}
+
+void Engine::MaybeKillOnEdge(ExecutionState& st, uint32_t from, uint32_t to) {
+  const PathCtlConfig& pctl = config_.pathctl;
+  // Explicit declarative rules first: any traversal of a listed edge kills.
+  for (size_t i = 0; i < pctl.kill_edges.size(); ++i) {
+    const EdgeKillRule& rule = pctl.kill_edges[i];
+    if (rule.from == from && rule.to == to) {
+      if (stats_.edge_rule_kills.size() < pctl.kill_edges.size()) {
+        stats_.edge_rule_kills.resize(pctl.kill_edges.size(), 0);
+      }
+      ++stats_.edge_rule_kills[i];
+      ++stats_.edge_kills;
+      if (st.origin_fork_pc != 0) {
+        ++stats_.fork_sites[{st.origin_fork_pc, st.origin_fault_site}].kills;
+      }
+      FinishState(st, StrFormat("edge-kill rule %08x->%08x", from, to));
+      return;
+    }
+  }
+  if (!pctl.loop_kill || to > from) {
+    return;  // forward edge: never a polling loop's back-edge
+  }
+  // Coverage novelty anywhere in the run amnesties every counted back-edge
+  // of this state: the loop may be making progress after all.
+  if (covered_blocks_.size() > st.novelty_mark) {
+    st.novelty_mark = covered_blocks_.size();
+    st.backedge_counts.clear();
+    return;
+  }
+  uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
+  uint32_t count = ++st.backedge_counts[key];
+  if (count >= pctl.backedge_kill_threshold) {
+    ++stats_.loop_kills;
+    if (st.origin_fork_pc != 0) {
+      ++stats_.fork_sites[{st.origin_fork_pc, st.origin_fault_site}].kills;
+    }
+    // FinishState (not plain Terminate): state-end checkers must still run,
+    // exactly as they do for fuel eviction — a leaked allocation inside the
+    // killed loop still becomes a bug.
+    FinishState(st, StrFormat("loop-kill: back-edge %08x->%08x starved of coverage novelty",
+                              from, to));
+  }
+}
+
+bool Engine::MergeEligible(const ExecutionState& st) const {
+  // A sibling may merge only when its fork suffix provably had no side
+  // effects outside registers and pure path constraints: no guest-memory
+  // access (reads matter too — RaceChecker records them into per-state
+  // checker data), no kernel calls, boundary crossings, MMIO, interrupts,
+  // annotation alternatives, concretizations, frame changes, workload
+  // progress, or device reads since the fork, and nothing reportable
+  // happened on the path.
+  if (!st.alive() || st.bug_reported || st.kernel.crashed) {
+    return false;
+  }
+  if (st.constraints.size() < st.merge_prefix_len) {
+    return false;
+  }
+  for (size_t i = st.merge_prefix_len; i < st.constraints.size(); ++i) {
+    if (st.constraints[i]->width() != 1) {
+      return false;
+    }
+  }
+  return st.mem.access_count() == st.merge_mem_accesses &&
+         st.kernel.kcall_seq == st.merge_kcall_seq &&
+         st.kernel.boundary_crossings == st.merge_crossings &&
+         st.kernel.mmio_accesses == st.merge_mmio &&
+         st.interrupt_schedule.size() == st.merge_interrupts &&
+         st.alternatives_taken.size() == st.merge_alternatives &&
+         st.concretizations.size() == st.merge_concretizations &&
+         st.frames.size() == st.merge_frames &&
+         st.workload_trail.size() == st.merge_workload &&
+         st.device->reads_served() == st.merge_device_reads;
+}
+
+void Engine::DissolveSiblingGroup(uint64_t group) {
+  if (group == 0) {
+    return;
+  }
+  for (const auto& state : states_) {
+    if (state->sibling_group == group) {
+      state->sibling_group = 0;
+      state->merge_pc = 0;
+      state->parked = false;
+    }
+  }
+}
+
+bool Engine::TryMergeAtPc(ExecutionState& st) {
+  const uint64_t group = st.sibling_group;
+  ExecutionState* partner = nullptr;
+  for (const auto& state : states_) {
+    if (state.get() != &st && state->alive() && state->sibling_group == group) {
+      partner = state.get();
+      break;
+    }
+  }
+  if (partner == nullptr) {
+    // The sibling already terminated: nothing to wait for.
+    st.sibling_group = 0;
+    st.merge_pc = 0;
+    st.parked = false;
+    return false;
+  }
+  if (!MergeEligible(st)) {
+    DissolveSiblingGroup(group);
+    return false;
+  }
+  if (!partner->parked) {
+    // First sibling to the join: park until the partner arrives (the run
+    // loop skips parked states; the group dissolves if it never can).
+    st.parked = true;
+    return true;
+  }
+  if (partner->pc != st.pc || !MergeEligible(*partner) ||
+      partner->merge_prefix_len != st.merge_prefix_len) {
+    DissolveSiblingGroup(group);
+    return false;
+  }
+
+  // Both siblings are at the join with side-effect-free suffixes: fold the
+  // pair into the lower-id state (stable across exploration orders).
+  ExecutionState* survivor = st.id < partner->id ? &st : partner;
+  ExecutionState* retired = survivor == &st ? partner : &st;
+  const size_t prefix = st.merge_prefix_len;
+
+  auto suffix_conjunction = [this](const ExecutionState& s, size_t from) {
+    ExprRef conj = nullptr;
+    for (size_t i = from; i < s.constraints.size(); ++i) {
+      conj = conj == nullptr ? s.constraints[i] : ctx_.And(conj, s.constraints[i]);
+    }
+    return conj == nullptr ? ctx_.True() : conj;
+  };
+  ExprRef keep_cond = suffix_conjunction(*survivor, prefix);
+  ExprRef drop_cond = suffix_conjunction(*retired, prefix);
+
+  // ite-merge diverged registers under the survivor's suffix condition.
+  for (int r = 0; r < kNumRegisters; ++r) {
+    const Value& a = survivor->regs[static_cast<size_t>(r)];
+    const Value& b = retired->regs[static_cast<size_t>(r)];
+    if (a == b) {
+      continue;
+    }
+    survivor->regs[static_cast<size_t>(r)] =
+        Value::Symbolic(ctx_.Ite(keep_cond, a.AsExpr(&ctx_), b.AsExpr(&ctx_)));
+  }
+
+  // Disjoin the suffixes. The dominant case is the trivial diamond — one
+  // branch condition on each side, negations of each other — where the
+  // disjunction is a tautology and simply disappears: that is where the
+  // real SAT savings come from.
+  survivor->constraints.resize(prefix);
+  const bool tautology = keep_cond == ctx_.Not(drop_cond) || drop_cond == ctx_.Not(keep_cond);
+  if (!tautology) {
+    ExprRef merged = ctx_.Or(keep_cond, drop_cond);
+    if (!merged->IsTrue()) {
+      survivor->constraints.push_back(merged);
+    }
+  }
+
+  survivor->steps = std::max(survivor->steps, retired->steps);
+  survivor->steps_in_frame = std::max(survivor->steps_in_frame, retired->steps_in_frame);
+  survivor->sibling_group = 0;
+  survivor->merge_pc = 0;
+  survivor->parked = false;
+
+  ++stats_.states_merged;
+  if (survivor->origin_fork_pc != 0) {
+    ++stats_.fork_sites[{survivor->origin_fork_pc, survivor->origin_fault_site}].states_merged;
+  }
+  obs::TraceInstant("engine.merge", "kind", "diamond");
+  retired->sibling_group = 0;
+  retired->parked = false;
+  // Plain Terminate, NOT FinishState: the path logically continues inside
+  // the survivor, so state-end checkers (leak detection etc.) must not fire
+  // on the retired half.
+  retired->Terminate("merged into sibling at join pc");
+  return retired == &st;
 }
 
 CoverageBitmap Engine::CoverageSnapshot() const {
@@ -1927,6 +2209,7 @@ void Engine::HandleBranch(ExecutionState& st, ExprRef cond, uint32_t taken_pc,
   if (may_true && may_false) {
     if (states_.size() >= config_.max_states || st.depth >= config_.max_fork_depth) {
       ++stats_.dropped_forks;
+      NoteDroppedFork(st);
       // Promotion hints: a dropped fork historically always followed the
       // taken edge; with a promoted fuzz input installed, follow the edge
       // that input's concrete values take instead — both directions are
@@ -1945,6 +2228,37 @@ void Engine::HandleBranch(ExecutionState& st, ExprRef cond, uint32_t taken_pc,
     std::unique_ptr<ExecutionState> child = CloneState(st);
     ++stats_.forks;
     obs::TraceInstant("engine.fork", "kind", "branch");
+    // Fork profiler: the child is attributed to this branch PC; a branch
+    // fork always rewrites both siblings' diamond bookkeeping (any older
+    // group the parent was in is abandoned and later dissolves).
+    child->origin_fork_pc = st.pc;
+    child->origin_fault_site = CurrentFaultLabel(st);
+    // Diamond merge: both targets ahead of the branch means if-then(-else)
+    // shaped control flow whose static join is the farther target. Snapshot
+    // the side-effect odometers now; at the join, identical snapshots prove
+    // the suffixes were side-effect-free and the pair can merge.
+    const bool diamond = config_.pathctl.enabled && config_.pathctl.merge &&
+                         taken_pc > st.pc && fall_pc > st.pc;
+    const uint64_t group = diamond ? next_sibling_group_++ : 0;
+    const uint32_t join_pc = diamond ? std::max(taken_pc, fall_pc) : 0;
+    for (ExecutionState* s : {&st, child.get()}) {
+      s->sibling_group = group;
+      s->merge_pc = join_pc;
+      s->parked = false;
+      if (diamond) {
+        s->merge_prefix_len = st.constraints.size();
+        s->merge_mem_accesses = s->mem.access_count();
+        s->merge_kcall_seq = s->kernel.kcall_seq;
+        s->merge_crossings = s->kernel.boundary_crossings;
+        s->merge_mmio = s->kernel.mmio_accesses;
+        s->merge_interrupts = s->interrupt_schedule.size();
+        s->merge_alternatives = s->alternatives_taken.size();
+        s->merge_concretizations = s->concretizations.size();
+        s->merge_frames = s->frames.size();
+        s->merge_workload = s->workload_trail.size();
+        s->merge_device_reads = s->device->reads_served();
+      }
+    }
     child->constraints.push_back(ctx_.Not(cond));
     {
       TraceEvent ev;
@@ -2018,6 +2332,7 @@ bool Engine::MaybeBacktrackConcretization(ExecutionState& st, ExprRef blocked_co
       continue;
     }
     std::unique_ptr<ExecutionState> revived = CloneState(snapshot);
+    StampForkChild(st, *revived);
     // Steer every future concretization toward the blocked direction: the
     // condition is a predicate over input variables that all exist already.
     revived->constraints.push_back(blocked_cond);
@@ -2072,6 +2387,9 @@ bool Engine::ExecuteInstruction(ExecutionState& st) {
   ++st.steps;
   ++st.steps_in_frame;
   NoteCoverage(st, pc);
+  if (!st.alive()) {
+    return false;  // edge/loop killer fired
+  }
   st.trace.AppendExec(pc);
   for (const auto& checker : checkers_) {
     checker->OnInstruction(st, pc, *this);
@@ -2126,6 +2444,7 @@ bool Engine::ExecuteInstruction(ExecutionState& st) {
         // Fork a state that takes the faulting choice; report there.
         std::unique_ptr<ExecutionState> child = CloneState(st);
         ++stats_.forks;
+        StampForkChild(st, *child);
         child->constraints.push_back(is_zero);
         ReportBug(*child, BugType::kKernelCrash,
                   StrFormat("integer division by zero at 0x%08x", pc),
@@ -2620,10 +2939,12 @@ void Engine::HandleKCall(ExecutionState& st, const Instruction& insn) {
       }
       if (states_.size() >= config_.max_states || st.depth >= config_.max_fork_depth) {
         ++stats_.dropped_forks;
+        NoteDroppedFork(st);
         continue;
       }
       std::unique_ptr<ExecutionState> child = CloneState(st);
       ++stats_.forks;
+      StampForkChild(st, *child);
       EngineKernelContext child_kc(this, child.get());
       alternative.apply(child_kc);
       child->alternatives_taken.emplace_back(kcall_seq, alternative.label);

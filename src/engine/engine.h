@@ -29,6 +29,7 @@
 #include "src/engine/checker.h"
 #include "src/engine/execution_state.h"
 #include "src/engine/fault_injection.h"
+#include "src/engine/pathctl.h"
 #include "src/engine/searcher.h"
 #include "src/hw/pci.h"
 #include "src/kernel/exerciser.h"
@@ -80,6 +81,11 @@ struct EngineConfig {
   // Terminate a path when an entry point returns failure (§4.3).
   bool terminate_on_entry_failure = true;
   SearchStrategy strategy = SearchStrategy::kCoverageGreedy;
+  // Path-explosion control (src/engine/pathctl.h): loop/edge killers and
+  // diamond state merging. Off by default; the fork profiler (per-fork-site
+  // attribution in EngineStats::fork_sites) runs regardless because it is
+  // pure accounting.
+  PathCtlConfig pathctl;
   uint64_t seed = 0xDD7;
   // Memory-model ablation: eager full-copy forking instead of chained COW.
   bool eager_cow = false;
@@ -207,6 +213,15 @@ struct EngineStats {
   uint64_t superblock_chains = 0;        // direct superblock-to-superblock transfers
   uint64_t superblock_side_exits = 0;    // pre-instruction exits to tier 1
   uint64_t superblock_instructions = 0;  // guest instructions retired by tier 2
+  // Path-explosion control (volatile: never in deterministic reports).
+  uint64_t states_merged = 0;  // diamond merges performed (one per pair)
+  uint64_t loop_kills = 0;     // back-edge-starvation kills
+  uint64_t edge_kills = 0;     // explicit edge-rule kills (sum of per-rule)
+  // Per-rule kill counts, index-aligned with PathCtlConfig::kill_edges.
+  std::vector<uint64_t> edge_rule_kills;
+  // Fork profiler: per-(fork-site pc, fault-site) attribution of the state
+  // churn counters above. Always populated (pathctl on or off).
+  ForkSiteTable fork_sites;
   double wall_ms = 0;
 
   // Adds `other`'s counters into this (sums, except high-water marks which
@@ -388,6 +403,28 @@ class Engine : public CheckerHost, private BlockCountOracle {
   void AddConstraintChecked(ExecutionState& st, ExprRef constraint);
 
   void NoteCoverage(ExecutionState& st, uint32_t pc);
+  // --- path-explosion control (src/engine/pathctl.h) ---
+  // The fault-site label for profiler attribution: the spawning path's most
+  // recent injected fault as "class#occurrence", or "-".
+  static std::string CurrentFaultLabel(const ExecutionState& st);
+  // Stamps fork-profiler lineage onto a fresh fork child spawned at `st`'s
+  // current position, and clears any diamond-merge group inherited from the
+  // parent (non-branch forks never form mergeable diamonds).
+  void StampForkChild(ExecutionState& parent, ExecutionState& child);
+  // Attributes a suppressed fork / governor eviction at `st`'s position.
+  void NoteDroppedFork(ExecutionState& st);
+  void NoteEvictedState(ExecutionState& st);
+  // Loop/edge killer, called from NoteCoverage on each block-leader entry.
+  // May terminate `st` (callers must re-check st.alive()).
+  void MaybeKillOnEdge(ExecutionState& st, uint32_t from_leader, uint32_t to_leader);
+  // Diamond merge: `st` arrived at its merge_pc. Merges with the parked
+  // sibling if present (terminating `st`), parks `st` if the sibling is
+  // still en route, or dissolves the group when the sibling is gone.
+  // Returns true if `st` stopped (merged away or parked).
+  bool TryMergeAtPc(ExecutionState& st);
+  // Clears diamond bookkeeping on every state of `group` (0 = no-op).
+  void DissolveSiblingGroup(uint64_t group);
+  bool MergeEligible(const ExecutionState& st) const;
   bool BudgetExceeded() const;
   double ElapsedMs() const;
   // Publishes EngineStats/SolverStats into config_.metrics as named counters
@@ -425,6 +462,8 @@ class Engine : public CheckerHost, private BlockCountOracle {
   std::vector<std::unique_ptr<ExecutionState>> states_;
   std::unique_ptr<Searcher> searcher_;
   uint64_t next_state_id_ = 1;
+  // Diamond-merge group ids (0 = not in a group).
+  uint64_t next_sibling_group_ = 1;
 
   // Checkers.
   std::vector<std::unique_ptr<Checker>> checkers_;

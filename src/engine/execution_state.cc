@@ -32,6 +32,25 @@ std::unique_ptr<ExecutionState> ExecutionState::Clone(uint64_t new_id) {
   clone->status = status;
   clone->steps = steps;
   clone->steps_in_frame = steps_in_frame;
+  clone->origin_fork_pc = origin_fork_pc;
+  clone->origin_fault_site = origin_fault_site;
+  clone->sibling_group = sibling_group;
+  clone->merge_pc = merge_pc;
+  clone->merge_prefix_len = merge_prefix_len;
+  clone->merge_mem_accesses = merge_mem_accesses;
+  clone->merge_kcall_seq = merge_kcall_seq;
+  clone->merge_crossings = merge_crossings;
+  clone->merge_mmio = merge_mmio;
+  clone->merge_interrupts = merge_interrupts;
+  clone->merge_alternatives = merge_alternatives;
+  clone->merge_concretizations = merge_concretizations;
+  clone->merge_frames = merge_frames;
+  clone->merge_workload = merge_workload;
+  clone->merge_device_reads = merge_device_reads;
+  clone->parked = parked;
+  clone->prev_leader = prev_leader;
+  clone->backedge_counts = backedge_counts;
+  clone->novelty_mark = novelty_mark;
   // Derived RNG stream: diverges deterministically from the parent.
   clone->rng = Rng(rng.Next() ^ (new_id * 0x9E3779B97F4A7C15ull));
   for (const auto& [name, state] : checker_state) {

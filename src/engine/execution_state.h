@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/engine/checker.h"
@@ -131,6 +132,38 @@ class ExecutionState {
   uint64_t steps = 0;          // instructions executed by this state
   uint64_t steps_in_frame = 0; // instructions since last frame/boundary change
   Rng rng{1};
+
+  // --- path-explosion control (src/engine/pathctl.h) ---
+  // Fork-profiler lineage: the fork-site PC and fault-site label that spawned
+  // this state ("-" and 0 for the root). Overwritten on every fork child.
+  uint32_t origin_fork_pc = 0;
+  std::string origin_fault_site = "-";
+  // Diamond-merge bookkeeping: a branch fork whose targets form a forward
+  // diamond stamps both siblings with a shared nonzero group id and the
+  // reconvergence PC; the first sibling to reach merge_pc parks until its
+  // partner arrives (or the group dissolves). merge_prefix_len is the shared
+  // constraint-prefix length snapshotted at the fork; the merge_* counters
+  // snapshot side-effect odometers at the fork so suffix divergence in
+  // memory/kernel/device state disqualifies the merge.
+  uint64_t sibling_group = 0;
+  uint32_t merge_pc = 0;
+  size_t merge_prefix_len = 0;
+  uint64_t merge_mem_accesses = 0;
+  uint32_t merge_kcall_seq = 0;
+  uint64_t merge_crossings = 0;
+  uint64_t merge_mmio = 0;
+  size_t merge_interrupts = 0;
+  size_t merge_alternatives = 0;
+  size_t merge_concretizations = 0;
+  size_t merge_frames = 0;
+  size_t merge_workload = 0;
+  uint64_t merge_device_reads = 0;
+  bool parked = false;  // waiting at merge_pc for the sibling
+  // Loop-killer bookkeeping: last block leader executed, per-backedge
+  // traversal counts, and the covered-block total at the last novelty.
+  uint32_t prev_leader = 0;
+  std::unordered_map<uint64_t, uint32_t> backedge_counts;
+  size_t novelty_mark = 0;
 
   // --- per-checker data ---
   std::map<std::string, std::unique_ptr<CheckerState>> checker_state;

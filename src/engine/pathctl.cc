@@ -1,0 +1,156 @@
+#include "src/engine/pathctl.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ddt {
+
+namespace {
+
+// Parses one hex (0x-prefixed) or decimal PC. Returns false on junk.
+bool ParsePc(const std::string& text, uint32_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0' || v > UINT32_MAX) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+}  // namespace
+
+bool ParseEdgeKillRule(const std::string& text, EdgeKillRule* out) {
+  size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    return false;
+  }
+  EdgeKillRule rule;
+  if (!ParsePc(text.substr(0, colon), &rule.from) ||
+      !ParsePc(text.substr(colon + 1), &rule.to)) {
+    return false;
+  }
+  *out = rule;
+  return true;
+}
+
+void ForkSiteStats::Accumulate(const ForkSiteStats& other) {
+  states_created += other.states_created;
+  dropped_forks += other.dropped_forks;
+  states_evicted += other.states_evicted;
+  sat_calls += other.sat_calls;
+  states_merged += other.states_merged;
+  kills += other.kills;
+}
+
+void AccumulateForkSites(ForkSiteTable* into, const ForkSiteTable& from) {
+  for (const auto& [key, stats] : from) {
+    (*into)[key].Accumulate(stats);
+  }
+}
+
+std::string FormatHotForkSites(const ForkSiteTable& table, size_t n) {
+  std::vector<const ForkSiteTable::value_type*> ranked;
+  ranked.reserve(table.size());
+  for (const auto& entry : table) {
+    ranked.push_back(&entry);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto* a, const auto* b) {
+    if (a->second.states_created != b->second.states_created) {
+      return a->second.states_created > b->second.states_created;
+    }
+    return a->first < b->first;
+  });
+  std::string out = "hot fork sites (states spawned per fork-site pc/fault-site):\n";
+  if (ranked.empty()) {
+    return out + "  none observed\n";
+  }
+  for (size_t i = 0; i < ranked.size() && i < n; ++i) {
+    const auto& [key, s] = *ranked[i];
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "  pc=%08x fault=%s: %llu created, %llu dropped, %llu evicted, "
+                  "%llu merged, %llu killed, %llu SAT calls\n",
+                  key.first, key.second.c_str(),
+                  static_cast<unsigned long long>(s.states_created),
+                  static_cast<unsigned long long>(s.dropped_forks),
+                  static_cast<unsigned long long>(s.states_evicted),
+                  static_cast<unsigned long long>(s.states_merged),
+                  static_cast<unsigned long long>(s.kills),
+                  static_cast<unsigned long long>(s.sat_calls));
+    out += buf;
+  }
+  return out;
+}
+
+std::string EncodeForkSiteTable(const ForkSiteTable& table) {
+  std::string out;
+  for (const auto& [key, s] : table) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%s%08x:%s:%llu:%llu:%llu:%llu:%llu:%llu",
+                  out.empty() ? "" : " ", key.first, key.second.c_str(),
+                  static_cast<unsigned long long>(s.states_created),
+                  static_cast<unsigned long long>(s.dropped_forks),
+                  static_cast<unsigned long long>(s.states_evicted),
+                  static_cast<unsigned long long>(s.sat_calls),
+                  static_cast<unsigned long long>(s.states_merged),
+                  static_cast<unsigned long long>(s.kills));
+    out += buf;
+  }
+  return out;
+}
+
+ForkSiteTable DecodeForkSiteTable(const std::string& text) {
+  ForkSiteTable table;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t space = text.find(' ', pos);
+    std::string token =
+        text.substr(pos, space == std::string::npos ? std::string::npos : space - pos);
+    pos = space == std::string::npos ? text.size() : space + 1;
+    if (token.empty()) {
+      continue;
+    }
+    // pc : label : 6 counters — split on ':' into exactly 8 fields.
+    std::vector<std::string> fields;
+    size_t start = 0;
+    while (true) {
+      size_t colon = token.find(':', start);
+      if (colon == std::string::npos) {
+        fields.push_back(token.substr(start));
+        break;
+      }
+      fields.push_back(token.substr(start, colon - start));
+      start = colon + 1;
+    }
+    if (fields.size() != 8) {
+      continue;
+    }
+    uint32_t pc = 0;
+    if (!ParsePc("0x" + fields[0], &pc)) {
+      continue;
+    }
+    ForkSiteStats s;
+    uint64_t* counters[6] = {&s.states_created, &s.dropped_forks, &s.states_evicted,
+                             &s.sat_calls,      &s.states_merged, &s.kills};
+    bool ok = true;
+    for (size_t i = 0; i < 6; ++i) {
+      char* end = nullptr;
+      *counters[i] = std::strtoull(fields[i + 2].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      table[{pc, fields[1]}] = s;
+    }
+  }
+  return table;
+}
+
+}  // namespace ddt

@@ -14,8 +14,22 @@ const char* SearchStrategyName(SearchStrategy strategy) {
       return "bfs";
     case SearchStrategy::kRandom:
       return "random";
+    case SearchStrategy::kCoverageStarved:
+      return "coverage-starved";
   }
   return "?";
+}
+
+bool ParseSearchStrategy(const std::string& name, SearchStrategy* out) {
+  for (SearchStrategy s : {SearchStrategy::kCoverageGreedy, SearchStrategy::kDfs,
+                           SearchStrategy::kBfs, SearchStrategy::kRandom,
+                           SearchStrategy::kCoverageStarved}) {
+    if (name == SearchStrategyName(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
 }
 
 namespace {
@@ -66,6 +80,36 @@ class BfsSearcher : public Searcher {
   }
 };
 
+// Coverage-starved selection: a state about to enter an *uncovered* block
+// always wins over states grinding through covered code; covered states are
+// ranked by execution count so polling loops (whose counters explode) starve.
+// Unlike CoverageGreedySearcher there is no RNG tie-break — first index wins
+// — so the policy is a pure function of (states, coverage), which is what
+// the pathctl determinism contract needs.
+class CoverageStarvedSearcher : public Searcher {
+ public:
+  explicit CoverageStarvedSearcher(const BlockCountOracle* oracle) : oracle_(oracle) {}
+
+  size_t Select(const std::vector<ExecutionState*>& states) override {
+    uint64_t best_count = UINT64_MAX;
+    size_t best = 0;
+    for (size_t i = 0; i < states.size(); ++i) {
+      uint64_t count = oracle_->BlockCountAt(states[i]->pc);
+      if (count == 0) {
+        return i;  // uncovered next block: run it now
+      }
+      if (count < best_count) {
+        best_count = count;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+ private:
+  const BlockCountOracle* oracle_;
+};
+
 class RandomSearcher : public Searcher {
  public:
   explicit RandomSearcher(uint64_t seed) : rng_(seed) {}
@@ -91,6 +135,9 @@ std::unique_ptr<Searcher> MakeSearcher(SearchStrategy strategy, const BlockCount
       return std::make_unique<BfsSearcher>();
     case SearchStrategy::kRandom:
       return std::make_unique<RandomSearcher>(seed);
+    case SearchStrategy::kCoverageStarved:
+      DDT_CHECK(oracle != nullptr);
+      return std::make_unique<CoverageStarvedSearcher>(oracle);
   }
   DDT_UNREACHABLE("bad strategy");
 }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/engine/execution_state.h"
@@ -18,13 +19,21 @@
 namespace ddt {
 
 enum class SearchStrategy {
-  kCoverageGreedy,  // paper default
+  kCoverageGreedy,   // paper default
   kDfs,
   kBfs,
   kRandom,
+  // Path-explosion control (src/engine/pathctl.h): prefer states whose next
+  // block is *uncovered* (coverage-bitmap novelty, not execution counts);
+  // among covered states pick the minimum block-execution count. Fully
+  // deterministic — ties break by state order, no RNG.
+  kCoverageStarved,
 };
 
 const char* SearchStrategyName(SearchStrategy strategy);
+// Parses a strategy name ("coverage-greedy", "dfs", "bfs", "random",
+// "coverage-starved"). Returns false on an unknown name.
+bool ParseSearchStrategy(const std::string& name, SearchStrategy* out);
 
 // Block-execution-count oracle the coverage-greedy searcher consults.
 class BlockCountOracle {

@@ -777,6 +777,7 @@ class Coordinator {
     result_.fleet_workers = fleet_.workers;
     result_.threads_used = 1;
     result_.inline_scheduler = false;
+    result_.searcher_name = SearchStrategyName(config_.base.engine.strategy);
     if (metrics_ != nullptr) {
       metrics_->counter("fleet.workers_spawned")->Add(result_.fleet_workers_spawned);
       metrics_->counter("fleet.workers_lost")->Add(result_.fleet_workers_lost);

@@ -41,6 +41,7 @@ MemByte GuestMemory::Resolve(uint32_t addr, bool* walked_chain) const {
 }
 
 MemByte GuestMemory::ReadByte(uint32_t addr) {
+  ++access_count_;
   if (stats_ != nullptr) {
     ++stats_->reads;
   }
@@ -64,6 +65,7 @@ MemByte GuestMemory::ReadByte(uint32_t addr) {
 }
 
 void GuestMemory::WriteByte(uint32_t addr, MemByte byte) {
+  ++access_count_;
   if (stats_ != nullptr) {
     ++stats_->writes;
   }
@@ -119,6 +121,7 @@ GuestMemory GuestMemory::Fork() {
   GuestMemory child;
   child.root_ = root_;
   child.stats_ = stats_;
+  child.access_count_ = access_count_;
   child.eager_fork_ = eager_fork_;
   child.forked_ = true;
 

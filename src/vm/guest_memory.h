@@ -72,6 +72,10 @@ class GuestMemory {
 
   size_t ChainDepth() const;
   size_t DeltaSize() const { return delta_.size(); }
+  // Per-instance access odometer (reads + writes since construction or fork
+  // inheritance). The diamond-merge eligibility check compares snapshots of
+  // this counter to prove a fork suffix touched no guest memory at all.
+  uint64_t access_count() const { return access_count_; }
 
   void set_stats(MemStats* stats) { stats_ = stats; }
   void set_eager_fork(bool eager) { eager_fork_ = eager; }
@@ -97,6 +101,7 @@ class GuestMemory {
   std::unordered_map<uint32_t, MemByte> delta_;
   std::unordered_map<uint32_t, MemByte> read_cache_;
   MemStats* stats_ = nullptr;
+  uint64_t access_count_ = 0;
   bool eager_fork_ = false;
   bool forked_ = false;
 
